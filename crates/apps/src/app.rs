@@ -1,0 +1,81 @@
+//! The common interface of the benchmark applications.
+
+use crate::kind::AppKind;
+use ddtr_ddt::{DdtKind, OpCounts};
+use ddtr_mem::MemorySystem;
+use ddtr_trace::Packet;
+use serde::{Deserialize, Serialize};
+
+/// Number of dominant (explored) container slots in every application.
+///
+/// All four paper case studies expose exactly two dominant dynamic data
+/// structures, so the exploration space is `10^2 = 100` combinations per
+/// application.
+pub const DOMINANT_SLOTS_PER_APP: usize = 2;
+
+/// Access profile of one container slot, as collected by the profile
+/// objects attached to every candidate DDT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotProfile {
+    /// Slot name (e.g. `"radix_node"`, `"rtentry"`).
+    pub name: String,
+    /// Operation and access counters.
+    pub counts: OpCounts,
+    /// Whether this slot is one of the explored (dominant) containers.
+    pub dominant: bool,
+}
+
+/// A network application processing one packet at a time against simulated
+/// memory.
+///
+/// Implementations keep their dominant containers behind
+/// [`ddtr_ddt::ProfiledDdt`] wrappers so the methodology's profiling step
+/// can measure per-container access shares without re-instrumenting.
+pub trait NetworkApp {
+    /// Which benchmark this is.
+    fn kind(&self) -> AppKind;
+
+    /// The DDT implementations currently plugged into the dominant slots.
+    fn combo(&self) -> [DdtKind; DOMINANT_SLOTS_PER_APP];
+
+    /// Processes one packet, issuing all container traffic against `mem`.
+    fn process(&mut self, pkt: &Packet, mem: &mut MemorySystem);
+
+    /// Per-slot access profiles (dominant and minor slots).
+    fn slot_profiles(&self) -> Vec<SlotProfile>;
+
+    /// Application-level sanity counter: packets processed so far.
+    fn packets_processed(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AppParams;
+    use ddtr_mem::MemoryConfig;
+    use ddtr_trace::NetworkPreset;
+
+    #[test]
+    fn every_app_reports_two_dominant_slots() {
+        let trace = NetworkPreset::DartmouthBerry.generate(40);
+        for kind in AppKind::ALL {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let mut app = kind.instantiate(
+                [DdtKind::Array, DdtKind::Array],
+                &AppParams::default(),
+                &mut mem,
+            );
+            for pkt in &trace {
+                app.process(pkt, &mut mem);
+            }
+            let profiles = app.slot_profiles();
+            let dominant = profiles.iter().filter(|p| p.dominant).count();
+            assert_eq!(dominant, DOMINANT_SLOTS_PER_APP, "{kind}");
+            assert!(
+                profiles.len() > DOMINANT_SLOTS_PER_APP,
+                "{kind} must also expose a minor slot"
+            );
+            assert_eq!(app.packets_processed(), 40);
+        }
+    }
+}

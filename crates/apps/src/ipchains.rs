@@ -1,0 +1,457 @@
+//! `IPchains` — ordered-rule firewall, the third paper case study.
+//!
+//! Packets are matched against an ordered rule chain with first-match
+//! semantics; matching rules have their counters updated in place, and
+//! accepted flows enter a connection-tracking table that short-circuits the
+//! chain for established traffic. Dominant DDTs: the rule chain and the
+//! connection table.
+
+use crate::app::{NetworkApp, SlotProfile};
+use crate::kind::AppKind;
+use crate::params::AppParams;
+use ddtr_ddt::{Ddt, DdtKind, ProfiledDdt, Record};
+use ddtr_mem::MemorySystem;
+use ddtr_trace::{Packet, Protocol};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Verdict of a firewall evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Packet accepted.
+    Accept,
+    /// Packet denied.
+    Deny,
+}
+
+/// One rule of the chain. A `dport` of zero and a `proto` of `None` act as
+/// wildcards; the synthesised chain always ends with a catch-all rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirewallRule {
+    /// Rule identifier (chain position at synthesis time).
+    pub key: u64,
+    /// Protocol this rule matches, `None` = any.
+    pub proto: Option<Protocol>,
+    /// Destination port this rule matches, 0 = any.
+    pub dport: u16,
+    /// Whether a match accepts the packet.
+    pub accept: bool,
+    /// Packets matched so far (the classic per-rule counter).
+    pub hits: u32,
+    /// Bytes matched so far.
+    pub bytes: u64,
+}
+
+impl Record for FirewallRule {
+    const SIZE: u64 = 64;
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl FirewallRule {
+    /// Whether this rule matches the packet headers.
+    #[must_use]
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        self.proto.is_none_or(|p| p == pkt.proto) && (self.dport == 0 || self.dport == pkt.dport)
+    }
+}
+
+/// One tracked connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnEntry {
+    /// Flow key.
+    pub key: u64,
+    /// Cached verdict for the flow.
+    pub accept: bool,
+    /// Packets seen on the flow.
+    pub packets: u32,
+}
+
+impl Record for ConnEntry {
+    const SIZE: u64 = 40;
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Minor-slot record: audit log entries for denied packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AuditRecord {
+    seq: u64,
+    flow: u64,
+}
+
+impl Record for AuditRecord {
+    const SIZE: u64 = 24;
+    fn key(&self) -> u64 {
+        self.seq
+    }
+}
+
+const AUDIT_CAP: usize = 8;
+
+/// The firewall application.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_apps::{AppParams, IpchainsApp, NetworkApp};
+/// use ddtr_ddt::DdtKind;
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+/// use ddtr_trace::NetworkPreset;
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut app = IpchainsApp::new([DdtKind::Array, DdtKind::SllRov], &AppParams::default(), &mut mem);
+/// for pkt in &NetworkPreset::NlanrTau.generate(100) {
+///     app.process(pkt, &mut mem);
+/// }
+/// assert_eq!(app.accepted() + app.denied(), 100);
+/// ```
+pub struct IpchainsApp {
+    combo: [DdtKind; 2],
+    rules: ProfiledDdt<FirewallRule>,
+    conns: ProfiledDdt<ConnEntry>,
+    audit: ProfiledDdt<AuditRecord>,
+    table_cap: usize,
+    packets: u64,
+    accepted: u64,
+    denied: u64,
+    conn_hits: u64,
+    audit_seq: u64,
+}
+
+impl IpchainsApp {
+    /// Builds the firewall with `params.firewall_rules` synthesised rules
+    /// (deterministic in `params.seed`), ending in a catch-all accept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the rule chain.
+    #[must_use]
+    pub fn new(combo: [DdtKind; 2], params: &AppParams, mem: &mut MemorySystem) -> Self {
+        let mut rules = ProfiledDdt::new(combo[0].instantiate::<FirewallRule>(mem));
+        let conns = ProfiledDdt::new(combo[1].instantiate::<ConnEntry>(mem));
+        let audit = ProfiledDdt::new(DdtKind::Sll.instantiate::<AuditRecord>(mem));
+        for rule in Self::synthesise_rules(params) {
+            rules.insert(rule, mem);
+        }
+        IpchainsApp {
+            combo,
+            rules,
+            conns,
+            audit,
+            table_cap: params.table_cap,
+            packets: 0,
+            accepted: 0,
+            denied: 0,
+            conn_hits: 0,
+            audit_seq: 0,
+        }
+    }
+
+    /// Packets accepted so far.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Packets denied so far.
+    #[must_use]
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Packets short-circuited by connection tracking.
+    #[must_use]
+    pub fn conn_hits(&self) -> u64 {
+        self.conn_hits
+    }
+
+    /// Builds the rule chain: port/protocol-specific rules in seeded random
+    /// order, a deny for ICMP, then a catch-all accept at the end.
+    fn synthesise_rules(params: &AppParams) -> Vec<FirewallRule> {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x4950_4348);
+        // Well-known ports used by the trace generator, plus filler rules
+        // that never match (the inactive majority of a deployed chain).
+        let mut specs: Vec<(Option<Protocol>, u16, bool)> = vec![
+            (Some(Protocol::Tcp), 80, true),
+            (Some(Protocol::Tcp), 443, true),
+            (Some(Protocol::Tcp), 25, false),
+            (Some(Protocol::Udp), 53, true),
+            (Some(Protocol::Tcp), 110, false),
+            (Some(Protocol::Tcp), 8080, true),
+            (Some(Protocol::Icmp), 0, false),
+        ];
+        let mut filler_port = 10_000u16;
+        while specs.len() + 1 < params.firewall_rules {
+            specs.push((Some(Protocol::Tcp), filler_port, false));
+            filler_port += 1;
+        }
+        specs.truncate(params.firewall_rules.saturating_sub(1));
+        specs.shuffle(&mut rng);
+        let mut rules: Vec<FirewallRule> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (proto, dport, accept))| FirewallRule {
+                key: i as u64,
+                proto,
+                dport,
+                accept,
+                hits: 0,
+                bytes: 0,
+            })
+            .collect();
+        rules.push(FirewallRule {
+            key: rules.len() as u64,
+            proto: None,
+            dport: 0,
+            accept: true,
+            hits: 0,
+            bytes: 0,
+        });
+        rules
+    }
+
+    /// First-match chain walk with early exit; returns the matched rule.
+    fn walk_chain(&mut self, pkt: &Packet, mem: &mut MemorySystem) -> FirewallRule {
+        let mut matched = None;
+        self.rules.scan(mem, &mut |r| {
+            if r.matches(pkt) {
+                matched = Some(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        matched.expect("the catch-all rule always matches")
+    }
+}
+
+impl NetworkApp for IpchainsApp {
+    fn kind(&self) -> AppKind {
+        AppKind::Ipchains
+    }
+
+    fn combo(&self) -> [DdtKind; 2] {
+        self.combo
+    }
+
+    fn process(&mut self, pkt: &Packet, mem: &mut MemorySystem) {
+        self.packets += 1;
+        let flow = pkt.flow_key();
+        // Established connections bypass the chain.
+        if let Some(mut conn) = self.conns.get(flow, mem) {
+            self.conn_hits += 1;
+            conn.packets += 1;
+            let accept = conn.accept;
+            self.conns.update(flow, conn, mem);
+            if accept {
+                self.accepted += 1;
+            } else {
+                self.denied += 1;
+            }
+            return;
+        }
+        // Chain walk, counter update on the matched rule.
+        let mut rule = self.walk_chain(pkt, mem);
+        rule.hits += 1;
+        rule.bytes += u64::from(pkt.bytes);
+        let accept = rule.accept;
+        self.rules.update(rule.key, rule, mem);
+        if accept {
+            self.accepted += 1;
+        } else {
+            self.denied += 1;
+            self.audit_seq += 1;
+            self.audit.insert(
+                AuditRecord {
+                    seq: self.audit_seq,
+                    flow,
+                },
+                mem,
+            );
+            if self.audit.len() > AUDIT_CAP {
+                self.audit.remove_nth(0, mem);
+            }
+        }
+        // Track the connection for the fast path.
+        self.conns.insert(
+            ConnEntry {
+                key: flow,
+                accept,
+                packets: 1,
+            },
+            mem,
+        );
+        if self.conns.len() > self.table_cap {
+            self.conns.remove_nth(0, mem);
+        }
+    }
+
+    fn slot_profiles(&self) -> Vec<SlotProfile> {
+        vec![
+            SlotProfile {
+                name: "rule_chain".into(),
+                counts: self.rules.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "conn_table".into(),
+                counts: self.conns.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "audit_log".into(),
+                counts: self.audit.counts(),
+                dominant: false,
+            },
+        ]
+    }
+
+    fn packets_processed(&self) -> u64 {
+        self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_mem::MemoryConfig;
+    use ddtr_trace::{NetworkPreset, Payload};
+
+    fn build(combo: [DdtKind; 2]) -> (MemorySystem, IpchainsApp) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let app = IpchainsApp::new(combo, &AppParams::default(), &mut mem);
+        (mem, app)
+    }
+
+    fn pkt(src: u32, dport: u16, proto: Protocol) -> Packet {
+        Packet {
+            ts_us: 0,
+            src,
+            dst: 9,
+            sport: 1024,
+            dport,
+            proto,
+            bytes: 100,
+            payload: Payload::Empty,
+        }
+    }
+
+    #[test]
+    fn chain_ends_with_catch_all() {
+        let rules = IpchainsApp::synthesise_rules(&AppParams::default());
+        assert_eq!(rules.len(), 32);
+        let last = rules.last().expect("non-empty");
+        assert!(last.proto.is_none() && last.dport == 0 && last.accept);
+    }
+
+    #[test]
+    fn first_match_agrees_with_reference_walk() {
+        let (mut mem, mut app) = build([DdtKind::Dll, DdtKind::Dll]);
+        let reference = IpchainsApp::synthesise_rules(&AppParams::default());
+        for (dport, proto) in [
+            (80, Protocol::Tcp),
+            (25, Protocol::Tcp),
+            (53, Protocol::Udp),
+            (4444, Protocol::Tcp),
+            (0, Protocol::Icmp),
+        ] {
+            let p = pkt(1, dport, proto);
+            let got = app.walk_chain(&p, &mut mem);
+            let want = reference
+                .iter()
+                .find(|r| r.matches(&p))
+                .expect("catch-all matches");
+            assert_eq!(got.key, want.key, "dport {dport} {proto:?}");
+        }
+    }
+
+    #[test]
+    fn icmp_is_denied_and_audited() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        app.process(&pkt(1, 0, Protocol::Icmp), &mut mem);
+        assert_eq!(app.denied(), 1);
+        assert_eq!(app.audit.len(), 1);
+    }
+
+    #[test]
+    fn established_flows_bypass_the_chain() {
+        let (mut mem, mut app) = build([DdtKind::Sll, DdtKind::Sll]);
+        let p = pkt(7, 80, Protocol::Tcp);
+        app.process(&p, &mut mem);
+        let rule_accesses_after_first = app.rules.counts().accesses;
+        for _ in 0..10 {
+            app.process(&p, &mut mem);
+        }
+        assert_eq!(app.conn_hits(), 10);
+        assert_eq!(
+            app.rules.counts().accesses,
+            rule_accesses_after_first,
+            "no chain traffic for established flows"
+        );
+    }
+
+    #[test]
+    fn rule_counters_accumulate() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        // distinct sources so each packet misses conntrack
+        for src in 0..5u32 {
+            app.process(&pkt(src, 25, Protocol::Tcp), &mut mem);
+        }
+        let matched = app
+            .rules
+            .get(
+                IpchainsApp::synthesise_rules(&AppParams::default())
+                    .iter()
+                    .find(|r| r.matches(&pkt(0, 25, Protocol::Tcp)))
+                    .expect("smtp rule")
+                    .key,
+                &mut mem,
+            )
+            .expect("rule exists");
+        assert_eq!(matched.hits, 5);
+        assert_eq!(matched.bytes, 500);
+    }
+
+    #[test]
+    fn conn_table_is_capped() {
+        let (mut mem, mut app) = build([DdtKind::Dll, DdtKind::Dll]);
+        for src in 0..200u32 {
+            app.process(&pkt(src, 80, Protocol::Tcp), &mut mem);
+        }
+        assert!(app.conns.len() <= AppParams::default().table_cap + 1);
+    }
+
+    #[test]
+    fn more_rules_cost_more_accesses() {
+        let run = |rules: usize| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let params = AppParams {
+                firewall_rules: rules,
+                ..AppParams::default()
+            };
+            let mut app = IpchainsApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut mem);
+            mem.reset_stats();
+            // all-miss traffic (filler ports never match until catch-all)
+            for src in 0..30u32 {
+                app.process(&pkt(src, 7777, Protocol::Tcp), &mut mem);
+            }
+            mem.report().accesses
+        };
+        assert!(run(64) > run(16), "rule count must matter");
+    }
+
+    #[test]
+    fn every_packet_gets_a_verdict_on_real_trace() {
+        let trace = NetworkPreset::NlanrMra.generate(200);
+        let (mut mem, mut app) = build([DdtKind::SllChunk, DdtKind::DllChunkRov]);
+        for p in &trace {
+            app.process(p, &mut mem);
+        }
+        assert_eq!(app.accepted() + app.denied(), 200);
+        assert!(app.conn_hits() > 0, "zipf traffic must reuse flows");
+    }
+}

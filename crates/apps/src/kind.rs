@@ -1,0 +1,202 @@
+//! Enumeration of the benchmark applications.
+
+use crate::app::NetworkApp;
+use crate::drr::DrrApp;
+use crate::ipchains::IpchainsApp;
+use crate::nat::NatApp;
+use crate::params::AppParams;
+use crate::route::RouteApp;
+use crate::url::UrlApp;
+use ddtr_ddt::DdtKind;
+use ddtr_mem::MemorySystem;
+use ddtr_trace::NetworkPreset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The benchmark applications: the paper's four NetBench case studies
+/// ([`AppKind::ALL`]) plus the NAT extension case study
+/// ([`AppKind::EXTENDED_ALL`]).
+///
+/// # Example
+///
+/// ```
+/// use ddtr_apps::AppKind;
+///
+/// assert_eq!(AppKind::ALL.len(), 4);
+/// assert_eq!(AppKind::EXTENDED_ALL.len(), 5);
+/// assert_eq!("route".parse::<AppKind>()?, AppKind::Route);
+/// assert_eq!(AppKind::Ipchains.networks().len(), 7);
+/// # Ok::<(), ddtr_apps::ParseAppKindError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// IPv4 radix-tree routing (`Route`).
+    Route,
+    /// URL-based context switching (`URL`).
+    Url,
+    /// Ordered-rule firewall (`IPchains`).
+    Ipchains,
+    /// Deficit round robin scheduling (`DRR`).
+    Drr,
+    /// Network address translation gateway (`NAT`) — extension case study,
+    /// not part of the paper's evaluation.
+    Nat,
+}
+
+impl AppKind {
+    /// The paper's four applications in its table order.
+    pub const ALL: [AppKind; 4] = [AppKind::Route, AppKind::Url, AppKind::Ipchains, AppKind::Drr];
+
+    /// The paper's four plus the NAT extension case study.
+    pub const EXTENDED_ALL: [AppKind; 5] = [
+        AppKind::Route,
+        AppKind::Url,
+        AppKind::Ipchains,
+        AppKind::Drr,
+        AppKind::Nat,
+    ];
+
+    /// Whether this is an extension case study (not in the paper).
+    #[must_use]
+    pub fn is_extension(self) -> bool {
+        matches!(self, AppKind::Nat)
+    }
+
+    /// Builds the application with the given DDT implementations in its
+    /// two dominant slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation or the simulated heap cannot hold
+    /// the application's initial tables.
+    #[must_use]
+    pub fn instantiate(
+        self,
+        combo: [DdtKind; 2],
+        params: &AppParams,
+        mem: &mut MemorySystem,
+    ) -> Box<dyn NetworkApp> {
+        params.validate().expect("invalid application parameters");
+        match self {
+            AppKind::Route => Box::new(RouteApp::new(combo, params, mem)),
+            AppKind::Url => Box::new(UrlApp::new(combo, params, mem)),
+            AppKind::Ipchains => Box::new(IpchainsApp::new(combo, params, mem)),
+            AppKind::Drr => Box::new(DrrApp::new(combo, params, mem)),
+            AppKind::Nat => Box::new(NatApp::new(combo, params, mem)),
+        }
+    }
+
+    /// Builds the application in its original NetBench configuration: both
+    /// dominant containers as singly linked lists (the baseline the paper
+    /// compares against).
+    #[must_use]
+    pub fn baseline(self, params: &AppParams, mem: &mut MemorySystem) -> Box<dyn NetworkApp> {
+        self.instantiate([DdtKind::Sll, DdtKind::Sll], params, mem)
+    }
+
+    /// The network presets this application is explored on, matching the
+    /// paper's sweep sizes (Route/IPchains: 7 networks; URL/DRR: 5).
+    #[must_use]
+    pub fn networks(self) -> &'static [NetworkPreset] {
+        match self {
+            AppKind::Route | AppKind::Ipchains => &NetworkPreset::ROUTE_SEVEN,
+            AppKind::Url | AppKind::Drr | AppKind::Nat => &NetworkPreset::FIVE,
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AppKind::Route => "Route",
+            AppKind::Url => "URL",
+            AppKind::Ipchains => "IPchains",
+            AppKind::Drr => "DRR",
+            AppKind::Nat => "NAT",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned when parsing an unknown application name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppKindError {
+    input: String,
+}
+
+impl fmt::Display for ParseAppKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown application `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseAppKindError {}
+
+impl FromStr for AppKind {
+    type Err = ParseAppKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "route" => Ok(AppKind::Route),
+            "url" => Ok(AppKind::Url),
+            "ipchains" => Ok(AppKind::Ipchains),
+            "drr" => Ok(AppKind::Drr),
+            "nat" => Ok(AppKind::Nat),
+            _ => Err(ParseAppKindError { input: s.into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_mem::MemoryConfig;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for kind in AppKind::EXTENDED_ALL {
+            let parsed: AppKind = kind.to_string().parse().expect("round trip");
+            assert_eq!(parsed, kind);
+        }
+        assert!("nfs".parse::<AppKind>().is_err());
+    }
+
+    #[test]
+    fn extension_flag_marks_only_nat() {
+        assert_eq!(&AppKind::EXTENDED_ALL[..4], &AppKind::ALL[..]);
+        assert!(AppKind::Nat.is_extension());
+        assert!(AppKind::ALL.iter().all(|a| !a.is_extension()));
+    }
+
+    #[test]
+    fn network_sweeps_match_paper() {
+        assert_eq!(AppKind::Route.networks().len(), 7);
+        assert_eq!(AppKind::Ipchains.networks().len(), 7);
+        assert_eq!(AppKind::Url.networks().len(), 5);
+        assert_eq!(AppKind::Drr.networks().len(), 5);
+    }
+
+    #[test]
+    fn baseline_is_double_sll() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let app = AppKind::Url.baseline(&AppParams::default(), &mut mem);
+        assert_eq!(app.combo(), [DdtKind::Sll, DdtKind::Sll]);
+    }
+
+    #[test]
+    fn instantiate_builds_every_app_with_every_kind_pair_sample() {
+        let trace = ddtr_trace::NetworkPreset::DartmouthSudikoff.generate(10);
+        for kind in AppKind::ALL {
+            for d in [DdtKind::Array, DdtKind::DllChunkRov] {
+                let mut mem = MemorySystem::new(MemoryConfig::default());
+                let mut app = kind.instantiate([d, d], &AppParams::default(), &mut mem);
+                assert_eq!(app.kind(), kind);
+                assert_eq!(app.combo(), [d, d]);
+                for pkt in &trace {
+                    app.process(pkt, &mut mem);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! NetBench-style network applications over pluggable dynamic data types.
+//!
+//! The DATE 2006 paper evaluates its methodology on four applications from
+//! the NetBench suite (Memik et al., ICCAD 2001). This crate reimplements
+//! their kernels from scratch in Rust, with the *dominant* dynamic data
+//! structures — the ones the methodology explores — exposed as pluggable
+//! [`ddtr_ddt::Ddt`] containers:
+//!
+//! | [`AppKind`] | Kernel | Dominant containers |
+//! |---|---|---|
+//! | `Route` | IPv4 radix (Patricia) routing | radix-node store + `rtentry` table |
+//! | `Url` | URL-based context switching | pattern table + session table |
+//! | `Ipchains` | ordered-rule firewall | rule chain + connection-tracking table |
+//! | `Drr` | deficit round robin scheduling | flow table + packet-queue store |
+//! | `Nat` (*extension*) | address-translation gateway | binding table + port pool |
+//!
+//! `Nat` is not part of the paper's evaluation ([`AppKind::ALL`] stays at
+//! the paper's four; see [`AppKind::EXTENDED_ALL`]) — it exists to
+//! demonstrate the methodology's generality claim on an application the
+//! authors never measured.
+//!
+//! Every application also owns a deliberately *minor* container (statistics
+//! log) so that the profiling step has something to rule out.
+//!
+//! Per the paper, the original NetBench implementations used singly linked
+//! lists for these structures; [`AppKind::baseline`] reproduces that
+//! configuration for the headline comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_apps::{AppKind, AppParams};
+//! use ddtr_ddt::DdtKind;
+//! use ddtr_mem::{MemoryConfig, MemorySystem};
+//! use ddtr_trace::NetworkPreset;
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::default());
+//! let mut app = AppKind::Drr.instantiate(
+//!     [DdtKind::Array, DdtKind::Dll],
+//!     &AppParams::default(),
+//!     &mut mem,
+//! );
+//! for pkt in &NetworkPreset::DartmouthBerry.generate(100) {
+//!     app.process(pkt, &mut mem);
+//! }
+//! assert!(mem.report().accesses > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod drr;
+mod ipchains;
+mod kind;
+mod nat;
+mod params;
+mod route;
+mod url;
+
+pub use app::{NetworkApp, SlotProfile, DOMINANT_SLOTS_PER_APP};
+pub use drr::{DrrApp, FlowState, QueuedPacket};
+pub use ipchains::{ConnEntry, FirewallRule, IpchainsApp, Verdict};
+pub use kind::{AppKind, ParseAppKindError};
+pub use nat::{NatApp, NatBinding, PortLease};
+pub use params::AppParams;
+pub use route::{RadixNode, RouteApp, RouteEntry};
+pub use url::{SessionEntry, UrlApp, UrlPattern};

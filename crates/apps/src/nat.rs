@@ -1,0 +1,463 @@
+//! `NAT` — network address translation gateway (extension case study).
+//!
+//! Not one of the paper's four NetBench benchmarks: this kernel exists to
+//! demonstrate that the methodology applies unchanged to *new* network
+//! applications (the paper's claim of generality). A NAT gateway keeps two
+//! dynamic containers under packet-rate pressure: the **binding table**
+//! (flow → external port, hit on every packet) and the **port pool**
+//! (free external ports, popped on new outbound flows and refilled on
+//! expiry). Its application-specific network parameter is the pool size.
+
+use crate::app::{NetworkApp, SlotProfile};
+use crate::kind::AppKind;
+use crate::params::AppParams;
+use ddtr_ddt::{Ddt, DdtKind, ProfiledDdt, Record};
+use ddtr_mem::MemorySystem;
+use ddtr_trace::Packet;
+
+/// One NAT binding: an inside flow mapped to a leased external port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NatBinding {
+    /// Inside flow key.
+    pub key: u64,
+    /// Leased external port.
+    pub ext_port: u16,
+    /// Timestamp of the last translated packet, µs.
+    pub last_seen_us: u64,
+    /// Packets translated on this binding.
+    pub packets: u32,
+}
+
+impl Record for NatBinding {
+    const SIZE: u64 = 32;
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// One free external port in the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortLease {
+    /// The port number (doubles as the record key).
+    pub port: u16,
+}
+
+impl Record for PortLease {
+    const SIZE: u64 = 16;
+    fn key(&self) -> u64 {
+        u64::from(self.port)
+    }
+}
+
+/// Minor-slot record: periodic gateway statistics snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StatSnapshot {
+    seq: u64,
+    bindings: u32,
+}
+
+impl Record for StatSnapshot {
+    const SIZE: u64 = 16;
+    fn key(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// First external port handed out by the pool.
+const PORT_BASE: u16 = 40_000;
+/// Idle time after which a binding expires, µs.
+const BINDING_TTL_US: u64 = 400_000;
+/// Packets between expiry sweeps.
+const SWEEP_PERIOD: u64 = 32;
+/// Packets between statistics snapshots.
+const STAT_PERIOD: u64 = 64;
+/// Retained statistics snapshots.
+const STAT_CAP: usize = 8;
+
+/// The NAT gateway application.
+///
+/// Inside hosts are the lower half of the node population; their outbound
+/// flows acquire a binding (and a pooled port), outside packets translate
+/// only if a binding exists, and idle bindings are swept back into the
+/// pool. All functional outputs (translations, drops, expirations) are
+/// invariant under DDT swaps — only the four cost metrics move.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_apps::{AppParams, NatApp, NetworkApp};
+/// use ddtr_ddt::DdtKind;
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+/// use ddtr_trace::NetworkPreset;
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut nat = NatApp::new([DdtKind::Dll, DdtKind::Array], &AppParams::default(), &mut mem);
+/// for pkt in &NetworkPreset::DartmouthBerry.generate(200) {
+///     nat.process(pkt, &mut mem);
+/// }
+/// assert!(nat.translated() > 0);
+/// ```
+pub struct NatApp {
+    combo: [DdtKind; 2],
+    bindings: ProfiledDdt<NatBinding>,
+    pool: ProfiledDdt<PortLease>,
+    stats_log: ProfiledDdt<StatSnapshot>,
+    /// Inside/outside boundary: node ids below this are "inside".
+    inside_boundary: u32,
+    packets: u64,
+    translated: u64,
+    dropped: u64,
+    expired: u64,
+    now_us: u64,
+    stat_seq: u64,
+}
+
+impl NatApp {
+    /// Builds the gateway with `params.nat_ports` pooled external ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the initial port pool.
+    #[must_use]
+    pub fn new(combo: [DdtKind; 2], params: &AppParams, mem: &mut MemorySystem) -> Self {
+        let bindings = ProfiledDdt::new(combo[0].instantiate::<NatBinding>(mem));
+        let mut pool = ProfiledDdt::new(combo[1].instantiate::<PortLease>(mem));
+        let stats_log = ProfiledDdt::new(DdtKind::Sll.instantiate::<StatSnapshot>(mem));
+        for i in 0..params.nat_ports {
+            pool.insert(
+                PortLease {
+                    port: PORT_BASE + i as u16,
+                },
+                mem,
+            );
+        }
+        NatApp {
+            combo,
+            bindings,
+            pool,
+            stats_log,
+            inside_boundary: 0x0a00_0000 + 32,
+            packets: 0,
+            translated: 0,
+            dropped: 0,
+            expired: 0,
+            now_us: 0,
+            stat_seq: 0,
+        }
+    }
+
+    /// Packets translated (inside-out or matched inbound) so far.
+    #[must_use]
+    pub fn translated(&self) -> u64 {
+        self.translated
+    }
+
+    /// Packets dropped (no binding and no free port, or unmatched inbound).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bindings expired by the idle sweep so far.
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Live bindings right now.
+    #[must_use]
+    pub fn active_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn is_inside(&self, addr: u32) -> bool {
+        addr < self.inside_boundary
+    }
+
+    /// Outbound path: reuse the flow's binding or lease a pooled port.
+    fn outbound(&mut self, pkt: &Packet, mem: &mut MemorySystem) {
+        let key = pkt.flow_key();
+        if let Some(mut b) = self.bindings.get(key, mem) {
+            b.last_seen_us = self.now_us;
+            b.packets += 1;
+            self.bindings.update(key, b, mem);
+            self.translated += 1;
+            return;
+        }
+        // New flow: lease the pool's front port (FIFO reuse order).
+        match self.pool.remove_nth(0, mem) {
+            Some(lease) => {
+                self.bindings.insert(
+                    NatBinding {
+                        key,
+                        ext_port: lease.port,
+                        last_seen_us: self.now_us,
+                        packets: 1,
+                    },
+                    mem,
+                );
+                self.translated += 1;
+            }
+            None => {
+                // Pool exhausted: the gateway sheds the flow.
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Inbound path: translate only if some binding owns the flow.
+    fn inbound(&mut self, pkt: &Packet, mem: &mut MemorySystem) {
+        let key = pkt.flow_key();
+        if let Some(mut b) = self.bindings.get(key, mem) {
+            b.last_seen_us = self.now_us;
+            b.packets += 1;
+            self.bindings.update(key, b, mem);
+            self.translated += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Expiry sweep: scan the binding table, expire idle entries and
+    /// return their ports to the pool.
+    fn sweep(&mut self, mem: &mut MemorySystem) {
+        let deadline = self.now_us.saturating_sub(BINDING_TTL_US);
+        let mut stale: Vec<(u64, u16)> = Vec::new();
+        self.bindings.scan(mem, &mut |b| {
+            if b.last_seen_us < deadline {
+                stale.push((b.key, b.ext_port));
+            }
+            true
+        });
+        for (key, port) in stale {
+            self.bindings.remove(key, mem);
+            self.pool.insert(PortLease { port }, mem);
+            self.expired += 1;
+        }
+    }
+}
+
+impl NetworkApp for NatApp {
+    fn kind(&self) -> AppKind {
+        AppKind::Nat
+    }
+
+    fn combo(&self) -> [DdtKind; 2] {
+        self.combo
+    }
+
+    fn process(&mut self, pkt: &Packet, mem: &mut MemorySystem) {
+        self.packets += 1;
+        self.now_us = pkt.ts_us;
+        if self.is_inside(pkt.src) {
+            self.outbound(pkt, mem);
+        } else {
+            self.inbound(pkt, mem);
+        }
+        if self.packets.is_multiple_of(SWEEP_PERIOD) {
+            self.sweep(mem);
+        }
+        if self.packets.is_multiple_of(STAT_PERIOD) {
+            self.stat_seq += 1;
+            self.stats_log.insert(
+                StatSnapshot {
+                    seq: self.stat_seq,
+                    bindings: self.bindings.len() as u32,
+                },
+                mem,
+            );
+            if self.stats_log.len() > STAT_CAP {
+                self.stats_log.remove_nth(0, mem);
+            }
+        }
+    }
+
+    fn slot_profiles(&self) -> Vec<SlotProfile> {
+        vec![
+            SlotProfile {
+                name: "binding_table".into(),
+                counts: self.bindings.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "port_pool".into(),
+                counts: self.pool.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "stats_log".into(),
+                counts: self.stats_log.counts(),
+                dominant: false,
+            },
+        ]
+    }
+
+    fn packets_processed(&self) -> u64 {
+        self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_mem::MemoryConfig;
+    use ddtr_trace::{NetworkPreset, Payload, Protocol};
+
+    fn build(combo: [DdtKind; 2]) -> (MemorySystem, NatApp) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let app = NatApp::new(combo, &AppParams::default(), &mut mem);
+        (mem, app)
+    }
+
+    fn pkt(src: u32, dst: u32, ts_us: u64) -> Packet {
+        Packet {
+            ts_us,
+            src,
+            dst,
+            sport: 2000,
+            dport: 80,
+            proto: Protocol::Tcp,
+            bytes: 576,
+            payload: Payload::Empty,
+        }
+    }
+
+    const IN: u32 = 0x0a00_0001; // inside host
+    const OUT: u32 = 0x0a00_00f0; // outside host
+
+    #[test]
+    fn outbound_flow_acquires_a_binding_and_a_port() {
+        let (mut mem, mut nat) = build([DdtKind::Array, DdtKind::Array]);
+        let pool_before = nat.pool.len();
+        nat.process(&pkt(IN, OUT, 1), &mut mem);
+        assert_eq!(nat.translated(), 1);
+        assert_eq!(nat.active_bindings(), 1);
+        assert_eq!(nat.pool.len(), pool_before - 1);
+    }
+
+    #[test]
+    fn repeated_flow_reuses_its_binding() {
+        let (mut mem, mut nat) = build([DdtKind::Sll, DdtKind::Sll]);
+        for i in 0..10 {
+            nat.process(&pkt(IN, OUT, i), &mut mem);
+        }
+        assert_eq!(nat.active_bindings(), 1);
+        assert_eq!(nat.translated(), 10);
+        let b = nat.bindings.get(pkt(IN, OUT, 0).flow_key(), &mut mem);
+        assert_eq!(b.map(|b| b.packets), Some(10));
+    }
+
+    #[test]
+    fn unmatched_inbound_is_dropped() {
+        let (mut mem, mut nat) = build([DdtKind::Dll, DdtKind::Dll]);
+        nat.process(&pkt(OUT, IN, 1), &mut mem);
+        assert_eq!(nat.dropped(), 1);
+        assert_eq!(nat.translated(), 0);
+        assert_eq!(nat.active_bindings(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_sheds_new_flows() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let params = AppParams {
+            nat_ports: 4,
+            ..AppParams::default()
+        };
+        let mut nat = NatApp::new([DdtKind::Array, DdtKind::Array], &params, &mut mem);
+        // Six distinct inside flows against a 4-port pool.
+        for sport in 0..6u16 {
+            let mut p = pkt(IN, OUT, 1);
+            p.sport = 3000 + sport;
+            nat.process(&p, &mut mem);
+        }
+        assert_eq!(nat.active_bindings(), 4);
+        assert_eq!(nat.dropped(), 2);
+    }
+
+    #[test]
+    fn idle_bindings_expire_and_return_their_ports() {
+        let (mut mem, mut nat) = build([DdtKind::Dll, DdtKind::Array]);
+        let pool_full = nat.pool.len();
+        nat.process(&pkt(IN, OUT, 1), &mut mem);
+        assert_eq!(nat.pool.len(), pool_full - 1);
+        // Advance time far past the TTL and trigger a sweep with traffic
+        // from a *different* inside flow.
+        let mut filler = pkt(IN, OUT, BINDING_TTL_US * 2);
+        filler.sport = 9999;
+        for i in 0..SWEEP_PERIOD {
+            filler.ts_us = BINDING_TTL_US * 2 + i;
+            nat.process(&filler, &mut mem);
+        }
+        assert!(nat.expired() >= 1, "stale binding must expire");
+        // The expired port is back; only the filler flow's lease is out.
+        assert_eq!(nat.pool.len(), pool_full - 1);
+        assert_eq!(nat.active_bindings(), 1);
+    }
+
+    #[test]
+    fn expired_port_is_reused_fifo() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let params = AppParams {
+            nat_ports: 4,
+            ..AppParams::default()
+        };
+        let mut nat = NatApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut mem);
+        nat.process(&pkt(IN, OUT, 1), &mut mem);
+        let first_port = nat
+            .bindings
+            .get(pkt(IN, OUT, 0).flow_key(), &mut mem)
+            .expect("bound")
+            .ext_port;
+        assert_eq!(first_port, PORT_BASE, "pool leases in FIFO order");
+    }
+
+    #[test]
+    fn functional_outputs_are_ddt_invariant() {
+        let trace = NetworkPreset::DartmouthBerry.generate(300);
+        let mut reference: Option<(u64, u64, u64)> = None;
+        for combo in [
+            [DdtKind::Array, DdtKind::Array],
+            [DdtKind::Sll, DdtKind::DllChunkRov],
+            [DdtKind::Hash, DdtKind::Avl],
+        ] {
+            let (mut mem, mut nat) = build(combo);
+            for p in &trace {
+                nat.process(p, &mut mem);
+            }
+            let outputs = (nat.translated(), nat.dropped(), nat.expired());
+            match &reference {
+                None => reference = Some(outputs),
+                Some(r) => assert_eq!(*r, outputs, "combo {combo:?} changed behaviour"),
+            }
+        }
+    }
+
+    #[test]
+    fn different_combos_cost_differently() {
+        let trace = NetworkPreset::DartmouthBerry.generate(200);
+        let cost = |combo| {
+            let (mut mem, mut nat) = build(combo);
+            for p in &trace {
+                nat.process(p, &mut mem);
+            }
+            mem.report().accesses
+        };
+        assert_ne!(
+            cost([DdtKind::Array, DdtKind::Array]),
+            cost([DdtKind::Sll, DdtKind::Sll])
+        );
+    }
+
+    #[test]
+    fn profiles_mark_the_two_dominant_slots() {
+        let (mut mem, mut nat) = build([DdtKind::Array, DdtKind::Array]);
+        for p in &NetworkPreset::DartmouthBerry.generate(100) {
+            nat.process(p, &mut mem);
+        }
+        let profiles = nat.slot_profiles();
+        assert_eq!(profiles.iter().filter(|s| s.dominant).count(), 2);
+        assert_eq!(profiles.len(), 3);
+        let binding = profiles.iter().find(|s| s.name == "binding_table").expect("slot");
+        assert!(binding.counts.accesses > 0);
+    }
+}

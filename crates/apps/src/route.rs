@@ -1,0 +1,527 @@
+//! `Route` — IPv4 radix-tree routing, the first paper case study.
+//!
+//! NetBench's `route` holds its routing table in a radix (Patricia) tree:
+//! "the `radix_node` structure forms the nodes of the tree and the
+//! `rtentry` structure holds the route entries". Both are dominant DDTs
+//! here: the node store is walked positionally on every lookup, the entry
+//! table is searched by key at every leaf and churned by route flaps.
+
+use crate::app::{NetworkApp, SlotProfile};
+use crate::kind::AppKind;
+use crate::params::AppParams;
+use ddtr_ddt::{Ddt, DdtKind, ProfiledDdt, Record};
+use ddtr_mem::MemorySystem;
+use ddtr_trace::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A node of the radix (crit-bit) tree, stored in the node DDT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadixNode {
+    /// Node identifier (position in the node store).
+    pub id: u64,
+    /// Bit index tested at this node (MSB-first), internal nodes only.
+    pub bit: u8,
+    /// Node id of the zero-branch child.
+    pub left: u32,
+    /// Node id of the one-branch child.
+    pub right: u32,
+    /// Key of the route entry at this node (leaves only).
+    pub entry_key: u64,
+    /// Whether this node is a leaf.
+    pub is_leaf: bool,
+}
+
+impl Record for RadixNode {
+    const SIZE: u64 = 32;
+    fn key(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A routing-table entry (`rtentry` in NetBench).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Unique entry key, referenced by leaf nodes.
+    pub key: u64,
+    /// Network prefix (host byte order).
+    pub prefix: u32,
+    /// Prefix length in bits.
+    pub prefix_len: u8,
+    /// Next-hop address.
+    pub next_hop: u32,
+    /// Route metric, bumped on every flap.
+    pub metric: u32,
+    /// Route flags.
+    pub flags: u32,
+}
+
+impl Record for RouteEntry {
+    const SIZE: u64 = 56;
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Statistics record kept in the minor (non-explored) slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StatRecord {
+    seq: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Record for StatRecord {
+    const SIZE: u64 = 24;
+    fn key(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Host-side blueprint used while building the tree.
+#[derive(Debug, Clone)]
+enum NodeSpec {
+    Internal { bit: u8, left: u32, right: u32 },
+    Leaf { entry_key: u64 },
+}
+
+/// Route lookups per flap of a routing-table entry.
+const FLAP_PERIOD: u64 = 32;
+/// Lookups per statistics-record append.
+const STAT_PERIOD: u64 = 64;
+/// Maximum retained statistics records.
+const STAT_CAP: usize = 8;
+
+/// The routing application.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_apps::{AppParams, NetworkApp, RouteApp};
+/// use ddtr_ddt::DdtKind;
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+/// use ddtr_trace::NetworkPreset;
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut app = RouteApp::new([DdtKind::Array, DdtKind::Dll], &AppParams::default(), &mut mem);
+/// for pkt in &NetworkPreset::NlanrAix.generate(50) {
+///     app.process(pkt, &mut mem);
+/// }
+/// assert_eq!(app.packets_processed(), 50);
+/// assert!(app.hits() > 0);
+/// ```
+pub struct RouteApp {
+    combo: [DdtKind; 2],
+    nodes: ProfiledDdt<RadixNode>,
+    entries: ProfiledDdt<RouteEntry>,
+    stats: ProfiledDdt<StatRecord>,
+    /// Entry keys in flap rotation order.
+    entry_keys: Vec<u64>,
+    root: u32,
+    packets: u64,
+    lookups: u64,
+    hits: u64,
+    flap_cursor: usize,
+    stat_seq: u64,
+}
+
+impl RouteApp {
+    /// Builds the application and populates the routing table with
+    /// `params.route_table_size` prefixes derived from `params.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the initial tables.
+    #[must_use]
+    pub fn new(combo: [DdtKind; 2], params: &AppParams, mem: &mut MemorySystem) -> Self {
+        let mut nodes = ProfiledDdt::new(combo[0].instantiate::<RadixNode>(mem));
+        let mut entries = ProfiledDdt::new(combo[1].instantiate::<RouteEntry>(mem));
+        let stats = ProfiledDdt::new(DdtKind::Sll.instantiate::<StatRecord>(mem));
+
+        let prefixes = Self::synthesise_prefixes(params);
+        // Insert the route entries.
+        let mut entry_keys = Vec::with_capacity(prefixes.len());
+        for (i, &(prefix, prefix_len)) in prefixes.iter().enumerate() {
+            let key = 0x1000 + i as u64;
+            entries.insert(
+                RouteEntry {
+                    key,
+                    prefix,
+                    prefix_len,
+                    next_hop: 0xc0a8_0001 + (i as u32 % 14),
+                    metric: 1,
+                    flags: 0x1,
+                },
+                mem,
+            );
+            entry_keys.push(key);
+        }
+        // Build the crit-bit tree over the prefix addresses and store it.
+        let keys: Vec<(u32, u64)> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, _))| (p, 0x1000 + i as u64))
+            .collect();
+        let mut specs = Vec::new();
+        let root = Self::build_critbit(&keys, 0, &mut specs);
+        for (id, spec) in specs.iter().enumerate() {
+            let node = match spec {
+                NodeSpec::Internal { bit, left, right } => RadixNode {
+                    id: id as u64,
+                    bit: *bit,
+                    left: *left,
+                    right: *right,
+                    entry_key: 0,
+                    is_leaf: false,
+                },
+                NodeSpec::Leaf { entry_key } => RadixNode {
+                    id: id as u64,
+                    bit: 0,
+                    left: 0,
+                    right: 0,
+                    entry_key: *entry_key,
+                    is_leaf: true,
+                },
+            };
+            nodes.insert(node, mem);
+        }
+        RouteApp {
+            combo,
+            nodes,
+            entries,
+            stats,
+            entry_keys,
+            root,
+            packets: 0,
+            lookups: 0,
+            hits: 0,
+            flap_cursor: 0,
+            stat_seq: 0,
+        }
+    }
+
+    /// Routing-table hits observed so far (destination covered by a
+    /// stored prefix).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups performed so far.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Generates `route_table_size` unique prefixes over the generator's
+    /// `10.0.0.0/8` host population: host routes first (guaranteeing hits),
+    /// then wider synthetic prefixes.
+    fn synthesise_prefixes(params: &AppParams) -> Vec<(u32, u8)> {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x526f_7574);
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::with_capacity(params.route_table_size);
+        // Host routes covering the synthetic node population.
+        let hosts = params.route_table_size / 2;
+        for i in 0..hosts {
+            let addr = 0x0a00_0000u32 + i as u32;
+            if seen.insert(addr) {
+                out.push((addr, 32));
+            }
+        }
+        // Wider prefixes elsewhere in 10/8.
+        while out.len() < params.route_table_size {
+            let len = *[16u8, 20, 24].get(rng.gen_range(0..3)).expect("in range");
+            let net = 0x0a00_0000u32 | (rng.gen::<u32>() & 0x00ff_ffff & mask(len));
+            if seen.insert(net) {
+                out.push((net, len));
+            }
+        }
+        out
+    }
+
+    /// Recursive crit-bit construction; returns the subtree's node id.
+    fn build_critbit(keys: &[(u32, u64)], from_bit: u8, specs: &mut Vec<NodeSpec>) -> u32 {
+        debug_assert!(!keys.is_empty());
+        if keys.len() == 1 {
+            specs.push(NodeSpec::Leaf {
+                entry_key: keys[0].1,
+            });
+            return (specs.len() - 1) as u32;
+        }
+        // First bit at which the keys differ.
+        let mut bit = from_bit;
+        loop {
+            debug_assert!(bit < 32, "duplicate keys in crit-bit input");
+            let first = bit_of(keys[0].0, bit);
+            if keys.iter().any(|&(k, _)| bit_of(k, bit) != first) {
+                break;
+            }
+            bit += 1;
+        }
+        let (zeros, ones): (Vec<_>, Vec<_>) = keys.iter().partition(|&&(k, _)| !bit_of(k, bit));
+        let id = specs.len() as u32;
+        specs.push(NodeSpec::Internal {
+            bit,
+            left: 0,
+            right: 0,
+        });
+        let left = Self::build_critbit(&zeros, bit + 1, specs);
+        let right = Self::build_critbit(&ones, bit + 1, specs);
+        specs[id as usize] = NodeSpec::Internal { bit, left, right };
+        id
+    }
+
+    /// One longest-prefix lookup: walk the tree positionally, then verify
+    /// the candidate entry.
+    fn lookup(&mut self, dst: u32, mem: &mut MemorySystem) {
+        self.lookups += 1;
+        let mut cur = self.root;
+        let node = loop {
+            let node = self
+                .nodes
+                .get_nth(cur as usize, mem)
+                .expect("node ids are dense");
+            mem.touch_cpu(2); // bit extraction + branch
+            if node.is_leaf {
+                break node;
+            }
+            cur = if bit_of(dst, node.bit) {
+                node.right
+            } else {
+                node.left
+            };
+        };
+        // Verify the candidate route entry against the destination.
+        if let Some(entry) = self.entries.get(node.entry_key, mem) {
+            mem.touch_cpu(3); // mask + compare
+            if dst & mask(entry.prefix_len) == entry.prefix {
+                self.hits += 1;
+            }
+        }
+    }
+
+    /// A route flap: withdraw and re-announce one entry (metric bumped).
+    fn flap(&mut self, mem: &mut MemorySystem) {
+        let key = self.entry_keys[self.flap_cursor % self.entry_keys.len()];
+        self.flap_cursor += 1;
+        if let Some(mut entry) = self.entries.remove(key, mem) {
+            entry.metric += 1;
+            self.entries.insert(entry, mem);
+        }
+    }
+}
+
+impl NetworkApp for RouteApp {
+    fn kind(&self) -> AppKind {
+        AppKind::Route
+    }
+
+    fn combo(&self) -> [DdtKind; 2] {
+        self.combo
+    }
+
+    fn process(&mut self, pkt: &Packet, mem: &mut MemorySystem) {
+        self.packets += 1;
+        self.lookup(pkt.dst, mem);
+        if self.packets.is_multiple_of(FLAP_PERIOD) {
+            self.flap(mem);
+        }
+        if self.packets.is_multiple_of(STAT_PERIOD) {
+            self.stat_seq += 1;
+            self.stats.insert(
+                StatRecord {
+                    seq: self.stat_seq,
+                    lookups: self.lookups,
+                    hits: self.hits,
+                },
+                mem,
+            );
+            if self.stats.len() > STAT_CAP {
+                self.stats.remove_nth(0, mem);
+            }
+        }
+    }
+
+    fn slot_profiles(&self) -> Vec<SlotProfile> {
+        vec![
+            SlotProfile {
+                name: "radix_node".into(),
+                counts: self.nodes.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "rtentry".into(),
+                counts: self.entries.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "route_stats".into(),
+                counts: self.stats.counts(),
+                dominant: false,
+            },
+        ]
+    }
+
+    fn packets_processed(&self) -> u64 {
+        self.packets
+    }
+}
+
+fn bit_of(value: u32, bit: u8) -> bool {
+    debug_assert!(bit < 32);
+    (value >> (31 - bit)) & 1 == 1
+}
+
+fn mask(len: u8) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_mem::MemoryConfig;
+    use ddtr_trace::NetworkPreset;
+
+    fn build(combo: [DdtKind; 2]) -> (MemorySystem, RouteApp) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let app = RouteApp::new(combo, &AppParams::default(), &mut mem);
+        (mem, app)
+    }
+
+    #[test]
+    fn table_is_populated() {
+        let (_, app) = build([DdtKind::Array, DdtKind::Array]);
+        assert_eq!(app.entry_keys.len(), 128);
+    }
+
+    #[test]
+    fn host_routes_hit_exactly() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        // Destination 10.0.0.5 is a synthesised host route.
+        app.lookup(0x0a00_0005, &mut mem);
+        assert_eq!(app.hits(), 1);
+        assert_eq!(app.lookups(), 1);
+    }
+
+    #[test]
+    fn lookup_agrees_with_reference_lpm() {
+        // The crit-bit walk plus verification must agree with a brute-force
+        // exact/prefix check against the same table, for in-population
+        // destinations (exact host routes).
+        let (mut mem, mut app) = build([DdtKind::ArrayPtr, DdtKind::Dll]);
+        for node in 0..40u32 {
+            let dst = 0x0a00_0000 + node;
+            let before = app.hits();
+            app.lookup(dst, &mut mem);
+            let hit = app.hits() > before;
+            assert!(hit, "host route for {dst:#x} must hit");
+        }
+    }
+
+    #[test]
+    fn out_of_population_destination_misses() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        app.lookup(0xc0a8_0101, &mut mem); // 192.168.1.1: not in 10/8 table
+        assert_eq!(app.hits(), 0);
+    }
+
+    #[test]
+    fn flaps_keep_table_size_constant() {
+        let (mut mem, mut app) = build([DdtKind::Sll, DdtKind::Sll]);
+        let trace = NetworkPreset::DartmouthBerry.generate(150);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        // Entries are withdrawn and re-announced, never lost.
+        let counts = app.entries.counts();
+        assert!(counts.removes > 0, "flaps must exercise removal");
+        assert_eq!(counts.inserts, 128 + counts.removes);
+    }
+
+    #[test]
+    fn node_store_is_consulted_every_packet() {
+        let (mut mem, mut app) = build([DdtKind::Dll, DdtKind::Dll]);
+        let trace = NetworkPreset::DartmouthSudikoff.generate(30);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        let nodes = app.nodes.counts();
+        assert!(nodes.get_nths >= 30, "at least root per lookup");
+    }
+
+    #[test]
+    fn dominant_slots_dwarf_the_stats_slot() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        for pkt in &NetworkPreset::DartmouthBerry.generate(200) {
+            app.process(pkt, &mut mem);
+        }
+        let profiles = app.slot_profiles();
+        let dominant_min = profiles
+            .iter()
+            .filter(|p| p.dominant)
+            .map(|p| p.counts.accesses)
+            .min()
+            .expect("two dominant slots");
+        let minor = profiles
+            .iter()
+            .find(|p| !p.dominant)
+            .expect("minor slot")
+            .counts
+            .accesses;
+        assert!(
+            dominant_min > minor * 5,
+            "dominant {dominant_min} vs minor {minor}"
+        );
+    }
+
+    #[test]
+    fn bigger_table_means_more_node_traffic() {
+        let run = |size: usize| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let params = AppParams {
+                route_table_size: size,
+                ..AppParams::default()
+            };
+            let mut app = RouteApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut mem);
+            mem.reset_stats();
+            for pkt in &NetworkPreset::DartmouthBerry.generate(60) {
+                app.process(pkt, &mut mem);
+            }
+            mem.report().accesses
+        };
+        assert!(run(256) > run(128), "radix size must matter");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut mem, mut app) = build([DdtKind::SllChunkRov, DdtKind::DllRov]);
+            for pkt in &NetworkPreset::NlanrAix.generate(80) {
+                app.process(pkt, &mut mem);
+            }
+            (mem.report().accesses, mem.report().cycles, app.hits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn critbit_structure_is_a_proper_tree() {
+        // Every node id below specs.len(); leaves count equals keys.
+        let keys: Vec<(u32, u64)> = (0..17u32).map(|i| (i * 7 + 1, u64::from(i))).collect();
+        let mut specs = Vec::new();
+        let root = RouteApp::build_critbit(&keys, 0, &mut specs);
+        assert!((root as usize) < specs.len());
+        let leaves = specs
+            .iter()
+            .filter(|s| matches!(s, NodeSpec::Leaf { .. }))
+            .count();
+        assert_eq!(leaves, 17);
+        assert_eq!(specs.len(), 2 * 17 - 1, "crit-bit tree has n-1 internals");
+    }
+}

@@ -1,0 +1,388 @@
+//! `URL` — URL-based context switching, the second paper case study.
+//!
+//! NetBench's `url` inspects HTTP payloads and switches each request to an
+//! outbound context according to the longest matching URL pattern. Its two
+//! dominant DDTs are the pattern table (scanned with early exit on every
+//! request) and the session table (looked up, inserted and evicted per
+//! flow).
+
+use crate::app::{NetworkApp, SlotProfile};
+use crate::kind::AppKind;
+use crate::params::AppParams;
+use ddtr_ddt::{Ddt, DdtKind, ProfiledDdt, Record};
+use ddtr_mem::MemorySystem;
+use ddtr_trace::{Packet, Protocol, URL_STEMS};
+
+/// One entry of the URL pattern table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlPattern {
+    /// Pattern key (index into the host-side stem strings).
+    pub key: u64,
+    /// Outbound context selected when this pattern matches.
+    pub ctx: u32,
+    /// Pattern length in bytes (drives the modelled compare cost).
+    pub len: u32,
+}
+
+impl Record for UrlPattern {
+    const SIZE: u64 = 48;
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// One tracked session (per flow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEntry {
+    /// Flow key.
+    pub key: u64,
+    /// Context the session is pinned to.
+    pub ctx: u32,
+    /// Packets observed.
+    pub packets: u32,
+    /// Bytes observed.
+    pub bytes: u64,
+}
+
+impl Record for SessionEntry {
+    const SIZE: u64 = 48;
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Minor-slot record: per-context switch log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SwitchLog {
+    seq: u64,
+    ctx: u32,
+}
+
+impl Record for SwitchLog {
+    const SIZE: u64 = 16;
+    fn key(&self) -> u64 {
+        self.seq
+    }
+}
+
+const LOG_PERIOD: u64 = 48;
+const LOG_CAP: usize = 8;
+
+/// The URL-based context-switching application.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_apps::{AppParams, NetworkApp, UrlApp};
+/// use ddtr_ddt::DdtKind;
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+/// use ddtr_trace::NetworkPreset;
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut app = UrlApp::new([DdtKind::SllRov, DdtKind::Dll], &AppParams::default(), &mut mem);
+/// for pkt in &NetworkPreset::DartmouthLibrary.generate(120) {
+///     app.process(pkt, &mut mem);
+/// }
+/// assert!(app.switches() > 0);
+/// ```
+pub struct UrlApp {
+    combo: [DdtKind; 2],
+    patterns: ProfiledDdt<UrlPattern>,
+    sessions: ProfiledDdt<SessionEntry>,
+    log: ProfiledDdt<SwitchLog>,
+    /// Host-side pattern strings, index = pattern key.
+    stems: Vec<String>,
+    table_cap: usize,
+    packets: u64,
+    switches: u64,
+    unmatched: u64,
+    log_seq: u64,
+}
+
+impl UrlApp {
+    /// Builds the application with `params.url_patterns` patterns: the
+    /// shared [`URL_STEMS`] first, padded with never-matching patterns (the
+    /// inactive rules of a real deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the pattern table.
+    #[must_use]
+    pub fn new(combo: [DdtKind; 2], params: &AppParams, mem: &mut MemorySystem) -> Self {
+        let mut patterns = ProfiledDdt::new(combo[0].instantiate::<UrlPattern>(mem));
+        let sessions = ProfiledDdt::new(combo[1].instantiate::<SessionEntry>(mem));
+        let log = ProfiledDdt::new(DdtKind::Sll.instantiate::<SwitchLog>(mem));
+        let mut stems: Vec<String> = URL_STEMS.iter().map(|s| (*s).to_owned()).collect();
+        while stems.len() < params.url_patterns {
+            stems.push(format!("/inactive/pattern/{}", stems.len()));
+        }
+        stems.truncate(params.url_patterns.max(1));
+        for (i, stem) in stems.iter().enumerate() {
+            patterns.insert(
+                UrlPattern {
+                    key: i as u64,
+                    ctx: (i % 4) as u32,
+                    len: stem.len() as u32,
+                },
+                mem,
+            );
+        }
+        UrlApp {
+            combo,
+            patterns,
+            sessions,
+            log,
+            stems,
+            table_cap: params.table_cap,
+            packets: 0,
+            switches: 0,
+            unmatched: 0,
+            log_seq: 0,
+        }
+    }
+
+    /// Requests switched to a context so far.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Requests that matched no pattern.
+    #[must_use]
+    pub fn unmatched(&self) -> u64 {
+        self.unmatched
+    }
+
+    /// Scans the pattern table with early exit; returns the context of the
+    /// first matching pattern.
+    fn match_pattern(&mut self, url: &str, mem: &mut MemorySystem) -> Option<u32> {
+        let stems = &self.stems;
+        let mut found = None;
+        self.patterns.scan(mem, &mut |p| {
+            let stem = &stems[p.key as usize];
+            // String compare cost: one CPU op per 8 pattern bytes.
+            // (charged outside the closure via the record read itself; the
+            // visitor only decides the early exit.)
+            if url.starts_with(stem.as_str()) {
+                found = Some(p.ctx);
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Session bookkeeping: hit → update counters; miss → insert and evict
+    /// the oldest entry beyond the cap.
+    fn touch_session(&mut self, pkt: &Packet, ctx: u32, mem: &mut MemorySystem) {
+        let key = pkt.flow_key();
+        if let Some(mut s) = self.sessions.get(key, mem) {
+            s.packets += 1;
+            s.bytes += u64::from(pkt.bytes);
+            if ctx != u32::MAX {
+                s.ctx = ctx;
+            }
+            self.sessions.update(key, s, mem);
+        } else {
+            self.sessions.insert(
+                SessionEntry {
+                    key,
+                    ctx: if ctx == u32::MAX { 0 } else { ctx },
+                    packets: 1,
+                    bytes: u64::from(pkt.bytes),
+                },
+                mem,
+            );
+            if self.sessions.len() > self.table_cap {
+                self.sessions.remove_nth(0, mem);
+            }
+        }
+    }
+}
+
+impl NetworkApp for UrlApp {
+    fn kind(&self) -> AppKind {
+        AppKind::Url
+    }
+
+    fn combo(&self) -> [DdtKind; 2] {
+        self.combo
+    }
+
+    fn process(&mut self, pkt: &Packet, mem: &mut MemorySystem) {
+        self.packets += 1;
+        let mut ctx = u32::MAX;
+        if let Some(url) = pkt.payload.url() {
+            let url = url.to_owned();
+            match self.match_pattern(&url, mem) {
+                Some(c) => {
+                    self.switches += 1;
+                    ctx = c;
+                }
+                None => self.unmatched += 1,
+            }
+        }
+        if pkt.proto == Protocol::Tcp {
+            self.touch_session(pkt, ctx, mem);
+        }
+        if self.packets.is_multiple_of(LOG_PERIOD) {
+            self.log_seq += 1;
+            self.log.insert(
+                SwitchLog {
+                    seq: self.log_seq,
+                    ctx: if ctx == u32::MAX { 0 } else { ctx },
+                },
+                mem,
+            );
+            if self.log.len() > LOG_CAP {
+                self.log.remove_nth(0, mem);
+            }
+        }
+    }
+
+    fn slot_profiles(&self) -> Vec<SlotProfile> {
+        vec![
+            SlotProfile {
+                name: "pattern_table".into(),
+                counts: self.patterns.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "session_table".into(),
+                counts: self.sessions.counts(),
+                dominant: true,
+            },
+            SlotProfile {
+                name: "switch_log".into(),
+                counts: self.log.counts(),
+                dominant: false,
+            },
+        ]
+    }
+
+    fn packets_processed(&self) -> u64 {
+        self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_mem::MemoryConfig;
+    use ddtr_trace::{NetworkPreset, Payload};
+
+    fn build(combo: [DdtKind; 2]) -> (MemorySystem, UrlApp) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let app = UrlApp::new(combo, &AppParams::default(), &mut mem);
+        (mem, app)
+    }
+
+    fn http_pkt(src: u32, url: &str) -> Packet {
+        Packet {
+            ts_us: 0,
+            src,
+            dst: 99,
+            sport: 1024,
+            dport: 80,
+            proto: Protocol::Tcp,
+            bytes: 576,
+            payload: Payload::Http { url: url.into() },
+        }
+    }
+
+    #[test]
+    fn known_stem_matches() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        app.process(&http_pkt(1, "/index.html"), &mut mem);
+        assert_eq!(app.switches(), 1);
+        assert_eq!(app.unmatched(), 0);
+    }
+
+    #[test]
+    fn unknown_url_is_unmatched_but_session_tracked() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        app.process(&http_pkt(1, "/zzz/none"), &mut mem);
+        assert_eq!(app.unmatched(), 1);
+        assert_eq!(app.sessions.len(), 1);
+    }
+
+    #[test]
+    fn query_urls_match_their_stem() {
+        let (mut mem, mut app) = build([DdtKind::Dll, DdtKind::Dll]);
+        app.process(&http_pkt(1, "/search?q=42"), &mut mem);
+        assert_eq!(app.switches(), 1);
+    }
+
+    #[test]
+    fn sessions_are_evicted_beyond_cap() {
+        let (mut mem, mut app) = build([DdtKind::Sll, DdtKind::Sll]);
+        for src in 0..200u32 {
+            app.process(&http_pkt(src, "/login"), &mut mem);
+        }
+        assert!(app.sessions.len() <= AppParams::default().table_cap + 1);
+        let counts = app.sessions.counts();
+        assert!(counts.removes > 0, "eviction must occur");
+    }
+
+    #[test]
+    fn repeated_flow_updates_instead_of_inserting() {
+        let (mut mem, mut app) = build([DdtKind::Dll, DdtKind::Dll]);
+        for _ in 0..5 {
+            app.process(&http_pkt(7, "/login"), &mut mem);
+        }
+        assert_eq!(app.sessions.len(), 1);
+        let s = app.sessions.get(http_pkt(7, "/login").flow_key(), &mut mem);
+        assert_eq!(s.map(|s| s.packets), Some(5));
+    }
+
+    #[test]
+    fn early_exit_pattern_cost_depends_on_match_position() {
+        let (mut mem, mut app) = build([DdtKind::Sll, DdtKind::Sll]);
+        let cost = |app: &mut UrlApp, mem: &mut MemorySystem, url: &str| {
+            let before = mem.stats().accesses();
+            app.match_pattern(url, mem);
+            mem.stats().accesses() - before
+        };
+        let first = cost(&mut app, &mut mem, URL_STEMS[0]);
+        let last = cost(&mut app, &mut mem, URL_STEMS[11]);
+        assert!(last > first, "deeper match costs more: {first} vs {last}");
+    }
+
+    #[test]
+    fn non_tcp_packets_skip_sessions() {
+        let (mut mem, mut app) = build([DdtKind::Array, DdtKind::Array]);
+        let mut pkt = http_pkt(1, "/login");
+        pkt.proto = Protocol::Udp;
+        pkt.payload = Payload::Empty;
+        app.process(&pkt, &mut mem);
+        assert_eq!(app.sessions.len(), 0);
+    }
+
+    #[test]
+    fn trace_drive_produces_switches_on_every_combo_sample() {
+        let trace = NetworkPreset::DartmouthLibrary.generate(150);
+        for combo in [
+            [DdtKind::Array, DdtKind::Sll],
+            [DdtKind::SllChunkRov, DdtKind::DllRov],
+        ] {
+            let (mut mem, mut app) = build(combo);
+            for pkt in &trace {
+                app.process(pkt, &mut mem);
+            }
+            assert!(app.switches() > 10, "combo {combo:?}");
+            assert_eq!(app.packets_processed(), 150);
+        }
+    }
+
+    #[test]
+    fn pattern_table_size_is_configurable() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let params = AppParams {
+            url_patterns: 20,
+            ..AppParams::default()
+        };
+        let app = UrlApp::new([DdtKind::Array, DdtKind::Array], &params, &mut mem);
+        assert_eq!(app.patterns.len(), 20);
+    }
+}

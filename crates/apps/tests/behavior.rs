@@ -1,0 +1,347 @@
+//! Deep behavioural tests of the four application kernels against
+//! brute-force reference implementations, independent of any DDT choice.
+
+use ddtr_apps::{AppParams, DrrApp, IpchainsApp, NetworkApp, RouteApp, UrlApp};
+use ddtr_ddt::DdtKind;
+use ddtr_mem::{MemoryConfig, MemorySystem};
+use ddtr_trace::{NetworkPreset, Packet, Payload, Protocol};
+
+fn mem() -> MemorySystem {
+    MemorySystem::new(MemoryConfig::default())
+}
+
+fn pkt(src: u32, dst: u32, dport: u16, proto: Protocol, bytes: u32) -> Packet {
+    Packet {
+        ts_us: 0,
+        src,
+        dst,
+        sport: 1024,
+        dport,
+        proto,
+        bytes,
+        payload: Payload::Empty,
+    }
+}
+
+// ---------------------------------------------------------------- Route --
+
+/// Exhaustive check over the whole host population: every address with a
+/// host route hits; addresses outside the covered space miss.
+#[test]
+fn route_hits_exactly_the_covered_population() {
+    let params = AppParams {
+        route_table_size: 64, // 32 host routes for 10.0.0.0..10.0.0.31
+        ..AppParams::default()
+    };
+    let mut m = mem();
+    let mut app = RouteApp::new([DdtKind::Array, DdtKind::Array], &params, &mut m);
+    for host in 0..32u32 {
+        let before = app.hits();
+        app.process(&pkt(1, 0x0a00_0000 + host, 80, Protocol::Tcp, 40), &mut m);
+        assert_eq!(app.hits(), before + 1, "host 10.0.0.{host} must hit");
+    }
+    // An address far outside 10/8 must miss.
+    let before = app.hits();
+    app.process(&pkt(1, 0xDEAD_BEEF, 80, Protocol::Tcp, 40), &mut m);
+    assert_eq!(app.hits(), before, "192.x destination must miss");
+}
+
+/// Flapping churns the entry table but never loses an entry: all host
+/// routes still resolve after hundreds of flap cycles.
+#[test]
+fn route_flaps_never_lose_routes() {
+    let params = AppParams {
+        route_table_size: 32,
+        ..AppParams::default()
+    };
+    let mut m = mem();
+    let mut app = RouteApp::new([DdtKind::Sll, DdtKind::Dll], &params, &mut m);
+    // 2000 packets = ~62 flap cycles over 32 entries (each entry flapped
+    // at least once).
+    for i in 0..2000u32 {
+        app.process(&pkt(1, 0x0a00_0000 + (i % 16), 80, Protocol::Tcp, 40), &mut m);
+    }
+    let hits_before = app.hits();
+    for host in 0..16u32 {
+        app.process(&pkt(1, 0x0a00_0000 + host, 80, Protocol::Tcp, 40), &mut m);
+    }
+    assert_eq!(app.hits(), hits_before + 16, "all host routes survive flaps");
+}
+
+// ------------------------------------------------------------------ URL --
+
+/// Every known stem matches; every unknown one is counted unmatched; the
+/// totals reconcile with the packet count.
+#[test]
+fn url_accounting_reconciles() {
+    let mut m = mem();
+    let mut app = UrlApp::new([DdtKind::SllChunk, DdtKind::Dll], &AppParams::default(), &mut m);
+    let known = ["/index.html", "/login", "/feed.rss", "/search?q=5"];
+    let unknown = ["/nope", "/also/nope"];
+    for (i, url) in known.iter().chain(unknown.iter()).enumerate() {
+        let mut p = pkt(i as u32, 9, 80, Protocol::Tcp, 576);
+        p.payload = Payload::Http { url: (*url).into() };
+        app.process(&p, &mut m);
+    }
+    assert_eq!(app.switches(), known.len() as u64);
+    assert_eq!(app.unmatched(), unknown.len() as u64);
+    assert_eq!(app.packets_processed(), (known.len() + unknown.len()) as u64);
+}
+
+/// Session eviction is FIFO: the oldest flow is dropped first.
+#[test]
+fn url_session_eviction_is_fifo() {
+    let params = AppParams {
+        table_cap: 8,
+        ..AppParams::default()
+    };
+    let mut m = mem();
+    let mut app = UrlApp::new([DdtKind::Array, DdtKind::Array], &params, &mut m);
+    // 9 distinct flows: flow 0 must be evicted when flow 8 arrives.
+    for src in 0..9u32 {
+        let mut p = pkt(src, 9, 80, Protocol::Tcp, 100);
+        p.payload = Payload::Http { url: "/login".into() };
+        app.process(&p, &mut m);
+    }
+    // Re-sending flow 0 re-inserts it (a miss), pushing out flow 1.
+    let profiles_before = app.slot_profiles();
+    let inserts_before = profiles_before
+        .iter()
+        .find(|s| s.name == "session_table")
+        .expect("slot")
+        .counts
+        .inserts;
+    let mut p = pkt(0, 9, 80, Protocol::Tcp, 100);
+    p.payload = Payload::Http { url: "/login".into() };
+    app.process(&p, &mut m);
+    let inserts_after = app
+        .slot_profiles()
+        .into_iter()
+        .find(|s| s.name == "session_table")
+        .expect("slot")
+        .counts
+        .inserts;
+    assert_eq!(inserts_after, inserts_before + 1, "flow 0 was evicted and re-inserted");
+}
+
+// ------------------------------------------------------------- IPchains --
+
+/// The application's verdicts over a grid of (protocol, port) inputs agree
+/// with a brute-force walk of the synthesised chain.
+#[test]
+fn ipchains_verdicts_match_reference_chain() {
+    let params = AppParams::default();
+    let mut m = mem();
+    let mut app = IpchainsApp::new([DdtKind::Dll, DdtKind::Dll], &params, &mut m);
+    let grid: Vec<(Protocol, u16)> = [Protocol::Tcp, Protocol::Udp, Protocol::Icmp]
+        .into_iter()
+        .flat_map(|proto| {
+            [25u16, 53, 80, 110, 443, 8080, 9999]
+                .into_iter()
+                .map(move |port| (proto, port))
+        })
+        .collect();
+    // Distinct sources so conntrack never short-circuits.
+    for (i, &(proto, port)) in grid.iter().enumerate() {
+        app.process(&pkt(i as u32, 9, port, proto, 100), &mut m);
+    }
+    assert_eq!(app.accepted() + app.denied(), grid.len() as u64);
+    // Known chain facts: SMTP (25) and POP3 (110) TCP are deny rules,
+    // ICMP is denied, DNS/HTTP/HTTPS/8080 accepted, unknown ports fall to
+    // the catch-all accept.
+    let mut m2 = mem();
+    let mut probe = IpchainsApp::new([DdtKind::Array, DdtKind::Array], &params, &mut m2);
+    let verdict = |app: &mut IpchainsApp, m: &mut MemorySystem, src: u32, port, proto| {
+        let before = app.denied();
+        app.process(&pkt(src, 9, port, proto, 100), m);
+        app.denied() == before // true = accepted
+    };
+    assert!(!verdict(&mut probe, &mut m2, 100, 25, Protocol::Tcp), "smtp denied");
+    assert!(!verdict(&mut probe, &mut m2, 101, 110, Protocol::Tcp), "pop3 denied");
+    assert!(!verdict(&mut probe, &mut m2, 102, 0, Protocol::Icmp), "icmp denied");
+    assert!(verdict(&mut probe, &mut m2, 103, 53, Protocol::Udp), "dns accepted");
+    assert!(verdict(&mut probe, &mut m2, 104, 80, Protocol::Tcp), "http accepted");
+    assert!(verdict(&mut probe, &mut m2, 105, 31337, Protocol::Tcp), "catch-all accepts");
+}
+
+/// Conntrack caches the verdict: a denied flow keeps being denied via the
+/// fast path without re-walking the chain.
+#[test]
+fn ipchains_conntrack_caches_deny_verdicts() {
+    let mut m = mem();
+    let mut app = IpchainsApp::new([DdtKind::Sll, DdtKind::Sll], &AppParams::default(), &mut m);
+    let p = pkt(7, 9, 25, Protocol::Tcp, 100); // SMTP: denied
+    app.process(&p, &mut m);
+    assert_eq!(app.denied(), 1);
+    for _ in 0..5 {
+        app.process(&p, &mut m);
+    }
+    assert_eq!(app.denied(), 6);
+    assert_eq!(app.conn_hits(), 5, "subsequent packets used the cache");
+}
+
+// ------------------------------------------------------------------ DRR --
+
+/// Weighted share: a flow sending twice as many packets gets roughly twice
+/// the transmissions once both are backlogged (equal quanta, equal-size
+/// packets — DRR is fair per byte, demand is the only asymmetry).
+#[test]
+fn drr_serves_proportionally_to_demand() {
+    let mut m = mem();
+    let mut app = DrrApp::new([DdtKind::Dll, DdtKind::Dll], &AppParams::default(), &mut m);
+    for i in 0..300u32 {
+        // Flow 0 sends two packets for every one of flow 1.
+        let src = if i % 3 == 2 { 1 } else { 0 };
+        app.process(&pkt(src, 9, 80, Protocol::Tcp, 576), &mut m);
+    }
+    let total = app.transmitted();
+    assert!(total > 0);
+    assert_eq!(app.enqueued() as usize, 300);
+    // Both flows must have been served; conservation holds.
+    assert_eq!(app.enqueued(), app.transmitted() + app.backlog() as u64);
+}
+
+/// Tiny packets drain many per round; jumbo packets need deficit
+/// accumulation across rounds — both must terminate and conserve.
+#[test]
+fn drr_handles_extreme_packet_sizes() {
+    for size in [1u32, 40, 1500, 9000] {
+        let mut m = mem();
+        let params = AppParams {
+            drr_quantum: 1500,
+            ..AppParams::default()
+        };
+        let mut app = DrrApp::new([DdtKind::Array, DdtKind::SllChunk], &params, &mut m);
+        for src in 0..60u32 {
+            app.process(&pkt(src % 4, 9, 80, Protocol::Tcp, size), &mut m);
+        }
+        assert_eq!(
+            app.enqueued(),
+            app.transmitted() + app.backlog() as u64,
+            "size {size}"
+        );
+        assert!(app.transmitted() > 0, "size {size} must make progress");
+    }
+}
+
+/// Real traces drive all three containers of every app (the minor slot
+/// included), so profiling always has three non-zero candidates.
+#[test]
+fn all_slots_see_traffic_on_long_traces() {
+    let trace = NetworkPreset::DartmouthBerry.generate(400);
+    let params = AppParams::default();
+    let apps: Vec<Box<dyn NetworkApp>> = {
+        let mut v: Vec<Box<dyn NetworkApp>> = Vec::new();
+        let mut m1 = mem();
+        let mut a: Box<dyn NetworkApp> =
+            Box::new(RouteApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut m1));
+        for p in &trace {
+            a.process(p, &mut m1);
+        }
+        v.push(a);
+        let mut m2 = mem();
+        let mut a: Box<dyn NetworkApp> =
+            Box::new(UrlApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut m2));
+        for p in &trace {
+            a.process(p, &mut m2);
+        }
+        v.push(a);
+        let mut m3 = mem();
+        let mut a: Box<dyn NetworkApp> =
+            Box::new(IpchainsApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut m3));
+        for p in &trace {
+            a.process(p, &mut m3);
+        }
+        v.push(a);
+        let mut m4 = mem();
+        let mut a: Box<dyn NetworkApp> =
+            Box::new(DrrApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut m4));
+        for p in &trace {
+            a.process(p, &mut m4);
+        }
+        v.push(a);
+        v
+    };
+    for app in &apps {
+        for slot in app.slot_profiles() {
+            assert!(
+                slot.counts.accesses > 0,
+                "{}/{} never accessed",
+                app.kind(),
+                slot.name
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ NAT --
+
+/// Brute-force NAT reference: a `HashMap` binding table and a `VecDeque`
+/// port pool replaying the gateway's exact policy (FIFO leases, TTL
+/// sweeps every 32 packets, inside = first 32 hosts).
+#[test]
+fn nat_matches_a_brute_force_reference_gateway() {
+    use ddtr_apps::NatApp;
+    use std::collections::{HashMap, VecDeque};
+
+    const TTL_US: u64 = 400_000;
+    const SWEEP: u64 = 32;
+    let params = AppParams {
+        nat_ports: 16,
+        ..AppParams::default()
+    };
+    let trace = NetworkPreset::DartmouthBerry.generate(600);
+
+    // Reference model over the same trace.
+    let mut pool: VecDeque<u16> = (0..16u16).map(|i| 40_000 + i).collect();
+    // key -> (port, last_seen, insertion_seq); insertion_seq drives the
+    // sweep's logical-order scan, matching the DDT's insertion order.
+    let mut bindings: HashMap<u64, (u16, u64, u64)> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let (mut translated, mut dropped, mut expired) = (0u64, 0u64, 0u64);
+    for (i, p) in trace.iter().enumerate() {
+        let key = p.flow_key();
+        let inside = p.src < 0x0a00_0000 + 32;
+        if let Some(b) = bindings.get_mut(&key) {
+            b.1 = p.ts_us;
+            translated += 1;
+        } else if inside {
+            if let Some(port) = pool.pop_front() {
+                bindings.insert(key, (port, p.ts_us, i as u64));
+                order.push(key);
+                translated += 1;
+            } else {
+                dropped += 1;
+            }
+        } else {
+            dropped += 1;
+        }
+        if ((i + 1) as u64).is_multiple_of(SWEEP) {
+            let deadline = p.ts_us.saturating_sub(TTL_US);
+            let mut keep = Vec::new();
+            for &k in &order {
+                let (port, last, _) = bindings[&k];
+                if last < deadline {
+                    bindings.remove(&k);
+                    pool.push_back(port);
+                    expired += 1;
+                } else {
+                    keep.push(k);
+                }
+            }
+            order = keep;
+        }
+    }
+
+    // The real gateway.
+    let mut m = mem();
+    let mut nat = NatApp::new([DdtKind::Dll, DdtKind::Array], &params, &mut m);
+    for p in &trace {
+        nat.process(p, &mut m);
+    }
+
+    assert_eq!(nat.translated(), translated, "translated diverged");
+    assert_eq!(nat.dropped(), dropped, "dropped diverged");
+    assert_eq!(nat.expired(), expired, "expired diverged");
+    assert_eq!(nat.active_bindings(), bindings.len(), "live bindings diverged");
+}

@@ -1,0 +1,59 @@
+//! Criterion benchmarks over the four applications: cost of processing a
+//! trace under the SLL+SLL baseline versus a refined combination — the
+//! host-side counterpart of the paper's 0.8-64 s per-simulation figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddtr_apps::{AppKind, AppParams};
+use ddtr_ddt::DdtKind;
+use ddtr_mem::{MemoryConfig, MemorySystem};
+use ddtr_trace::NetworkPreset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_apps(c: &mut Criterion) {
+    let trace = NetworkPreset::DartmouthBerry.generate(150);
+    let params = AppParams {
+        route_table_size: 64,
+        firewall_rules: 16,
+        table_cap: 24,
+        ..AppParams::default()
+    };
+    let combos: [(&str, [DdtKind; 2]); 2] = [
+        ("baseline_sll", [DdtKind::Sll, DdtKind::Sll]),
+        ("refined_ar_dll", [DdtKind::Array, DdtKind::Dll]),
+    ];
+    let mut group = c.benchmark_group("app_simulation_150pkt");
+    for app in AppKind::ALL {
+        for (label, combo) in combos {
+            group.bench_with_input(
+                BenchmarkId::new(app.to_string(), label),
+                &combo,
+                |b, &combo| {
+                    b.iter(|| {
+                        let mut mem = MemorySystem::new(MemoryConfig::default());
+                        let mut instance = app.instantiate(combo, &params, &mut mem);
+                        for pkt in &trace {
+                            instance.process(pkt, &mut mem);
+                        }
+                        black_box(mem.report().accesses)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_apps
+}
+criterion_main!(benches);

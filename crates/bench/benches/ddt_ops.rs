@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks over the twelve DDT implementations (paper library + extensions): the raw
+//! host-side cost of the modelled operations (insert, key search,
+//! positional access, removal) — the per-simulation cost driver of the
+//! exploration tool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddtr_ddt::{Ddt, DdtKind, TestRecord};
+use ddtr_mem::{MemoryConfig, MemorySystem};
+use std::hint::black_box;
+use std::time::Duration;
+
+type Rec = TestRecord<32>;
+
+const N: u64 = 64;
+
+fn filled(kind: DdtKind) -> (MemorySystem, Box<dyn Ddt<Rec>>) {
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut ddt = kind.instantiate::<Rec>(&mut mem);
+    for i in 0..N {
+        ddt.insert(Rec { id: i, tag: i }, &mut mem);
+    }
+    (mem, ddt)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_64");
+    for kind in DdtKind::EXTENDED {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut mem = MemorySystem::new(MemoryConfig::default());
+                let mut ddt = kind.instantiate::<Rec>(&mut mem);
+                for i in 0..N {
+                    ddt.insert(Rec { id: i, tag: i }, &mut mem);
+                }
+                black_box(mem.report().accesses)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_search_64");
+    for kind in DdtKind::EXTENDED {
+        let (mut mem, mut ddt) = filled(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                for i in 0..N {
+                    black_box(ddt.get((i * 13) % N, &mut mem));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_get_nth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("positional_scan_64");
+    for kind in DdtKind::EXTENDED {
+        let (mut mem, mut ddt) = filled(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                for i in 0..N as usize {
+                    black_box(ddt.get_nth(i, &mut mem));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remove_insert_churn");
+    for kind in DdtKind::EXTENDED {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let (mut mem, mut ddt) = filled(kind);
+                for i in 0..N {
+                    ddt.remove(i, &mut mem);
+                    ddt.insert(Rec { id: i + N, tag: 0 }, &mut mem);
+                }
+                black_box(ddt.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_insert, bench_get, bench_get_nth, bench_churn
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the step-3 post-processing machinery —
+//! the paper's Perl tool "processes the Gigabytes of the log files
+//! produced by previous steps"; these measure the Rust counterpart's cost
+//! per exploration-sized batch of 4-metric points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddtr_pareto::{curve_2d, hypervolume, hypervolume_2d, pareto_front_indices, pareto_ranks};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Deterministic pseudo-random 4-metric points shaped like exploration
+/// logs (correlated, positive).
+fn points(n: usize) -> Vec<[f64; 4]> {
+    let mut state = 0x5EEDu64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 10_000) as f64 / 100.0
+    };
+    (0..n)
+        .map(|_| {
+            let base = next();
+            [
+                base + next() * 0.3,
+                base * 1.4 + next() * 0.2,
+                base * 20.0 + next(),
+                base * 8.0 + next() * 0.5,
+            ]
+        })
+        .collect()
+}
+
+fn bench_front(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_front");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(700));
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_front_indices(black_box(pts))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_ranks");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(700));
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_ranks(black_box(pts))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_curves_and_volumes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_postprocess");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(700));
+    group.sample_size(10);
+    let pts = points(400);
+    let reference4 = [120.0f64, 160.0, 2100.0, 850.0];
+    group.bench_function("curve_2d_time_energy", |b| {
+        b.iter(|| black_box(curve_2d(black_box(&pts), 0, 1)));
+    });
+    group.bench_function("hypervolume_2d", |b| {
+        let te: Vec<[f64; 2]> = pts.iter().map(|p| [p[0], p[1]]).collect();
+        b.iter(|| black_box(hypervolume_2d(black_box(&te), [120.0, 160.0])));
+    });
+    group.bench_function("hypervolume_4d", |b| {
+        b.iter(|| black_box(hypervolume(black_box(&pts), &reference4)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_front, bench_ranks, bench_curves_and_volumes);
+criterion_main!(benches);

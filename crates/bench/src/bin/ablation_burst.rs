@@ -1,0 +1,82 @@
+//! Ablation — **traffic burstiness**: real campus traces deliver packets
+//! in same-flow trains, not smooth Poisson streams. Packet trains repeat
+//! lookups of one key, which is precisely what the roving-pointer DDTs
+//! (`SLL(O)`, `DLL(O)`, …) are built for — so the optimal DDT choice should
+//! *change* with the traffic shape. This is the paper's core argument for
+//! step 2 (network-level exploration), demonstrated on the burst axis.
+//!
+//! Run with `cargo run -p ddtr-bench --bin ablation_burst --release`.
+
+use ddtr_apps::{AppKind, AppParams};
+use ddtr_core::{all_combos, combo_label, Simulator};
+use ddtr_mem::MemoryConfig;
+use ddtr_pareto::pareto_front_indices;
+use ddtr_trace::{BurstProfile, TraceGenerator, TraceSpec};
+use std::collections::BTreeSet;
+
+fn spec(burst: Option<BurstProfile>) -> TraceSpec {
+    let mut s = TraceSpec::builder("burst-sweep")
+        .nodes(64)
+        .flows(96)
+        .flow_skew(0.9)
+        .seed(0xB0057)
+        .build();
+    s.burstiness = burst;
+    s
+}
+
+/// Front labels and mean roving-pointer benefit for one traffic shape.
+fn sweep(burst: Option<BurstProfile>) -> (BTreeSet<String>, f64) {
+    let sim = Simulator::new(MemoryConfig::embedded_default());
+    let trace = TraceGenerator::new(spec(burst)).generate(400);
+    let params = AppParams::default();
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for combo in all_combos() {
+        let log = sim.run(AppKind::Url, combo, &params, &trace);
+        labels.push(combo_label(combo));
+        points.push(log.objectives());
+    }
+    let front: BTreeSet<String> = pareto_front_indices(&points)
+        .into_iter()
+        .map(|i| labels[i].clone())
+        .collect();
+    // Mean access advantage of SLL(O)+SLL(O) over SLL+SLL: the roving
+    // pointer pays off exactly when lookups repeat.
+    let accesses = |label: &str| {
+        labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| points[i][2])
+            .expect("combo simulated")
+    };
+    let roving_gain = 1.0 - accesses("SLL(O)+SLL(O)") / accesses("SLL+SLL");
+    (front, roving_gain)
+}
+
+fn main() {
+    println!("Ablation — DDT choice vs traffic burstiness (URL, 100 combos each)\n");
+    let (smooth_front, smooth_gain) = sweep(None);
+    println!(
+        "smooth poisson    front {:2} points, roving-pointer access gain {:+.1}%",
+        smooth_front.len(),
+        smooth_gain * 100.0
+    );
+    for trains in [4.0, 8.0, 16.0] {
+        let (front, gain) = sweep(Some(BurstProfile {
+            mean_burst_pkts: trains,
+            off_gap_factor: 20.0,
+            locality: 0.9,
+        }));
+        let stable = smooth_front.intersection(&front).count();
+        println!(
+            "trains of ~{trains:>4.0}    front {:2} points, roving-pointer access gain {:+.1}%, {stable}/{} of smooth front retained",
+            front.len(),
+            gain * 100.0,
+            smooth_front.len(),
+        );
+    }
+    println!("\nShape check: the roving-pointer benefit grows with train length and");
+    println!("the Pareto membership shifts with the traffic shape — the reason the");
+    println!("methodology explores per network configuration (step 2).");
+}

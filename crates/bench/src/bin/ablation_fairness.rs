@@ -1,0 +1,51 @@
+//! Ablation — **level of fairness**: the paper names the DRR quantum as an
+//! application-specific network parameter ("the Level of Fairness used in
+//! the Deficit Round Robin scheduling application"). Sweep it and show how
+//! the best DDT combination and the cost metrics react.
+//!
+//! Run with `cargo run -p ddtr-bench --bin ablation_fairness --release`.
+
+use ddtr_apps::{AppKind, AppParams};
+use ddtr_core::{all_combos, combo_label, Simulator};
+use ddtr_mem::MemoryConfig;
+use ddtr_trace::NetworkPreset;
+
+fn main() {
+    let trace = NetworkPreset::DartmouthDorm.generate(400);
+    let sim = Simulator::new(MemoryConfig::embedded_default());
+    println!("Ablation — DRR quantum (level of fairness) sweep, {} trace\n", trace.network);
+    println!(
+        "{:>8} | {:>20} | {:>12} | {:>12} | {:>14}",
+        "quantum", "best-energy combo", "energy nJ", "cycles", "sched. accesses"
+    );
+    for quantum in [300u32, 600, 1500, 3000] {
+        let params = AppParams {
+            drr_quantum: quantum,
+            ..AppParams::default()
+        };
+        let mut best: Option<(String, f64, u64, u64)> = None;
+        for combo in all_combos() {
+            let log = sim.run(AppKind::Drr, combo, &params, &trace);
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, e, _, _)| log.report.energy_nj < *e);
+            if better {
+                best = Some((
+                    combo_label(combo),
+                    log.report.energy_nj,
+                    log.report.cycles,
+                    log.report.accesses,
+                ));
+            }
+        }
+        let (combo, energy, cycles, accesses) = best.expect("combos were simulated");
+        println!(
+            "{quantum:>8} | {combo:>20} | {energy:>12.1} | {cycles:>12} | {accesses:>14}"
+        );
+    }
+    println!("\nShape check: a finer level of fairness (smaller quantum) costs");
+    println!("more scheduler rounds — more flow-table and queue traffic — so the");
+    println!("metrics rise as the quantum shrinks, and the winning combination");
+    println!("can shift: exactly why step 2 treats the quantum as an explored");
+    println!("network parameter.");
+}

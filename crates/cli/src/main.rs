@@ -1,0 +1,406 @@
+//! `ddtr` — the automated exploration tool of the methodology.
+//!
+//! Subcommands mirror the paper's tool flow (Figure 2):
+//!
+//! ```text
+//! ddtr profile  <app>                 # step 1a: dominant-DDT profiling
+//! ddtr explore  <app> [--quick]       # steps 1-3: the full pipeline
+//! ddtr pareto   <app> [--quick]       # step 3 charts for every config
+//! ddtr report   <app> [--quick]       # table 1 / table 2 rows + headline
+//! ddtr trace    <preset> <packets>    # emit a synthetic trace (text)
+//! ddtr params   <preset> <packets>    # extract network parameters
+//! ddtr replay   <logs.jsonl>          # step 3 from persisted step-2 logs
+//! ddtr ga       <app> [--extended]    # heuristic (NSGA-II) exploration
+//! ```
+//!
+//! `explore --logs <path>` persists the step-2 simulation logs as JSON
+//! lines, which `replay` turns back into Pareto sets without
+//! re-simulating — the decoupling of the original tool flow.
+
+use ddtr_apps::AppKind;
+use ddtr_core::{
+    explore_heuristic, explore_pareto_level, headline_comparison, profile_application, read_logs,
+    render_pareto_chart, step2_from_logs, table1_markdown, table2_markdown, write_logs, GaConfig,
+    Methodology, MethodologyConfig, ParetoChartPlane,
+};
+use ddtr_ddt::DdtKind;
+use ddtr_trace::{NetworkParams, NetworkPreset, TraceWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ddtr: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  ddtr profile <route|url|ipchains|drr|nat> [--quick]
+  ddtr explore <route|url|ipchains|drr|nat> [--quick] [--extended] [--json]
+  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended]
+  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended]
+  ddtr trace   <preset> <packets>
+  ddtr params  <preset> <packets>
+  ddtr replay  <logs.jsonl>
+  ddtr ga      <route|url|ipchains|drr|nat> [--quick] [--extended] [--seed N] [--stall N]
+  ddtr presets";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "profile" => profile(&rest),
+        "explore" => explore(&rest),
+        "pareto" => pareto(&rest),
+        "report" => report(&rest),
+        "trace" => trace(&rest),
+        "params" => params(&rest),
+        "replay" => replay(&rest),
+        "ga" => ga(&rest),
+        "presets" => {
+            for p in NetworkPreset::ALL {
+                let s = p.spec();
+                println!(
+                    "{p:10} nodes={:4} rate={:6.0}pps flows={:3} mtu={}",
+                    s.nodes, s.mean_rate_pps, s.flows, s.sizes.mtu
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_app(rest: &[&String]) -> Result<(AppKind, MethodologyConfig), String> {
+    let app: AppKind = rest
+        .first()
+        .ok_or("missing application name")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let quick = rest.iter().any(|a| a.as_str() == "--quick");
+    let mut cfg = if quick {
+        MethodologyConfig::quick(app)
+    } else {
+        MethodologyConfig::paper(app)
+    };
+    if rest.iter().any(|a| a.as_str() == "--extended") {
+        cfg.candidates = DdtKind::EXTENDED.to_vec();
+    }
+    Ok((app, cfg))
+}
+
+fn profile(rest: &[&String]) -> Result<(), String> {
+    let (app, cfg) = parse_app(rest)?;
+    let report = profile_application(&cfg).map_err(|e| e.to_string())?;
+    println!("# dominant-DDT profile of {app}");
+    for slot in &report.slots {
+        let marker = if report.dominant.contains(&slot.name) {
+            "DOMINANT"
+        } else {
+            "minor"
+        };
+        println!(
+            "{:16} {:>12} accesses  {:>8} ops  [{marker}]",
+            slot.name,
+            slot.counts.accesses,
+            slot.counts.total_ops()
+        );
+    }
+    println!(
+        "dominant set covers {:.1}% of container accesses",
+        report.dominant_share * 100.0
+    );
+    Ok(())
+}
+
+fn explore(rest: &[&String]) -> Result<(), String> {
+    let (app, cfg) = parse_app(rest)?;
+    let outcome = Methodology::new(cfg).run().map_err(|e| e.to_string())?;
+    if let Some(pos) = rest.iter().position(|a| a.as_str() == "--logs") {
+        let path = rest
+            .get(pos + 1)
+            .ok_or("--logs needs a file path")?;
+        let file = std::fs::File::create(path.as_str()).map_err(|e| e.to_string())?;
+        write_logs(&outcome.step2.logs, std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {} step-2 logs to {path}", outcome.step2.logs.len());
+    }
+    if rest.iter().any(|a| a.as_str() == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("# exploration of {app}");
+    println!(
+        "step 1: {} simulations, {} survivors ({:.0}% pruned)",
+        outcome.step1.measurements.len(),
+        outcome.step1.survivors.len(),
+        outcome.step1.pruned_fraction() * 100.0
+    );
+    println!(
+        "step 2: {} simulations over {} configurations",
+        outcome.step2.simulations(),
+        outcome.config.configurations()
+    );
+    println!(
+        "step 3: {} Pareto-optimal combinations:",
+        outcome.pareto.global_front.len()
+    );
+    for p in &outcome.pareto.global_front {
+        println!("  {:20} {}", p.combo, p.report);
+    }
+    println!(
+        "total: {} of {} exhaustive simulations ({:.0}% reduction)",
+        outcome.counts.reduced,
+        outcome.counts.exhaustive,
+        outcome.counts.reduction() * 100.0
+    );
+    Ok(())
+}
+
+fn pareto(rest: &[&String]) -> Result<(), String> {
+    let (app, cfg) = parse_app(rest)?;
+    let outcome = Methodology::new(cfg).run().map_err(|e| e.to_string())?;
+    println!("# Pareto exploration spaces of {app}");
+    for front in &outcome.pareto.per_config {
+        let logs = outcome.step2.logs_for(&front.config_key);
+        println!("\n== {} ==", front.config_key);
+        println!("{}", render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy));
+        println!("Pareto-optimal: {}", front.front.len());
+        for p in &front.front {
+            println!("  {:20} {}", p.combo, p.report);
+        }
+    }
+    Ok(())
+}
+
+fn report(rest: &[&String]) -> Result<(), String> {
+    let (app, cfg) = parse_app(rest)?;
+    let outcome = Methodology::new(cfg.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!("{}", table1_markdown(&[&outcome]));
+    println!("{}", table2_markdown(&[&outcome]));
+    let headline = headline_comparison(&cfg, &outcome).map_err(|e| e.to_string())?;
+    println!("# headline vs original ({app}, both dominant DDTs = SLL)");
+    println!(
+        "energy saving (best-energy point {}): {:.0}%",
+        headline.best_energy_combo,
+        headline.energy_saving() * 100.0
+    );
+    println!(
+        "time improvement (best-time point {}): {:.0}%",
+        headline.best_time_combo,
+        headline.time_improvement() * 100.0
+    );
+    Ok(())
+}
+
+fn trace(rest: &[&String]) -> Result<(), String> {
+    let preset: NetworkPreset = rest.first().ok_or("missing preset")?.parse()?;
+    let packets: usize = rest
+        .get(1)
+        .ok_or("missing packet count")?
+        .parse()
+        .map_err(|e| format!("bad packet count: {e}"))?;
+    print!("{}", TraceWriter::to_string(&preset.generate(packets)));
+    Ok(())
+}
+
+fn params(rest: &[&String]) -> Result<(), String> {
+    let preset: NetworkPreset = rest.first().ok_or("missing preset")?.parse()?;
+    let packets: usize = rest
+        .get(1)
+        .ok_or("missing packet count")?
+        .parse()
+        .map_err(|e| format!("bad packet count: {e}"))?;
+    let p = NetworkParams::extract(&preset.generate(packets));
+    println!("network        : {}", p.network);
+    println!("nodes observed : {}", p.nodes_observed);
+    println!("duration       : {:.3} s", p.duration_s);
+    println!("throughput     : {:.0} pps / {:.0} bps", p.throughput_pps, p.throughput_bps);
+    println!("mean pkt size  : {:.1} B (MTU {})", p.mean_packet_bytes, p.mtu_bytes);
+    let [s, m, l] = p.sizes.shares();
+    println!("size mix       : {:.0}% small / {:.0}% medium / {:.0}% large", s * 100.0, m * 100.0, l * 100.0);
+    println!("flows observed : {}", p.flows_observed);
+    println!("url share      : {:.1}%", p.url_share * 100.0);
+    println!("mean train len : {:.2} pkts", p.mean_train_len);
+    println!("gap p99/median : {:.1}x", p.gap_p99_over_median);
+    Ok(())
+}
+
+fn replay(rest: &[&String]) -> Result<(), String> {
+    let path = rest.first().ok_or("missing log file")?;
+    let file = std::fs::File::open(path.as_str()).map_err(|e| e.to_string())?;
+    let logs = read_logs(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let n = logs.len();
+    let pareto = explore_pareto_level(&step2_from_logs(logs)).map_err(|e| e.to_string())?;
+    println!("# step 3 replayed from {n} persisted logs");
+    println!("{} Pareto-optimal combinations:", pareto.global_front.len());
+    for p in &pareto.global_front {
+        println!("  {:20} {}", p.combo, p.report);
+    }
+    Ok(())
+}
+
+fn ga(rest: &[&String]) -> Result<(), String> {
+    let app: AppKind = rest
+        .first()
+        .ok_or("missing application name")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let mut cfg = if rest.iter().any(|a| a.as_str() == "--quick") {
+        GaConfig::quick(app)
+    } else {
+        GaConfig::paper(app)
+    };
+    if rest.iter().any(|a| a.as_str() == "--extended") {
+        cfg.candidates = DdtKind::EXTENDED.to_vec();
+    }
+    if let Some(pos) = rest.iter().position(|a| a.as_str() == "--seed") {
+        cfg.seed = rest
+            .get(pos + 1)
+            .ok_or("--seed needs a value")?
+            .parse()
+            .map_err(|e| format!("bad seed: {e}"))?;
+    }
+    if let Some(pos) = rest.iter().position(|a| a.as_str() == "--stall") {
+        cfg.stall_generations = Some(
+            rest.get(pos + 1)
+                .ok_or("--stall needs a value")?
+                .parse()
+                .map_err(|e| format!("bad stall window: {e}"))?,
+        );
+    }
+    let space = cfg.candidates.len().pow(2);
+    let outcome = explore_heuristic(&cfg).map_err(|e| e.to_string())?;
+    println!("# heuristic (NSGA-II) exploration of {app}");
+    println!(
+        "candidates: {} kinds ({} combinations), seed {}",
+        cfg.candidates.len(),
+        space,
+        cfg.seed
+    );
+    for h in &outcome.history {
+        println!(
+            "generation {:2}: {:3} simulations, archive front {:2}",
+            h.generation, h.evaluations, h.front_size
+        );
+    }
+    println!(
+        "\n{} simulations of {} exhaustive ({:.0}% saved); front:",
+        outcome.evaluations,
+        space,
+        100.0 * (1.0 - outcome.evaluations as f64 / space as f64)
+    );
+    for log in &outcome.front {
+        println!("  {:20} {}", log.combo, log.report);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_reported() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_application_is_reported() {
+        let err = run(&args(&["profile", "nfs"])).unwrap_err();
+        assert!(err.contains("nfs"));
+    }
+
+    #[test]
+    fn parse_app_selects_quick_config() {
+        let binding = args(&["drr", "--quick"]);
+        let rest: Vec<&String> = binding.iter().collect();
+        let (app, cfg) = parse_app(&rest).expect("parses");
+        assert_eq!(app, AppKind::Drr);
+        assert_eq!(cfg.networks.len(), 2, "quick config uses two networks");
+        let binding = args(&["drr"]);
+        let rest: Vec<&String> = binding.iter().collect();
+        let (_, cfg) = parse_app(&rest).expect("parses");
+        assert_eq!(cfg.networks.len(), 5, "paper config uses the full sweep");
+    }
+
+    #[test]
+    fn trace_requires_packet_count() {
+        let err = run(&args(&["trace", "BWY-I"])).unwrap_err();
+        assert!(err.contains("packet count"));
+        let err = run(&args(&["trace", "BWY-I", "many"])).unwrap_err();
+        assert!(err.contains("bad packet count"));
+    }
+
+    #[test]
+    fn replay_rejects_missing_file() {
+        assert!(run(&args(&["replay", "/nonexistent/logs.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn presets_subcommand_succeeds() {
+        run(&args(&["presets"])).expect("lists presets");
+    }
+
+    #[test]
+    fn profile_quick_runs_end_to_end() {
+        run(&args(&["profile", "drr", "--quick"])).expect("profiles");
+    }
+
+    #[test]
+    fn parse_app_honours_extended_flag() {
+        let binding = args(&["drr", "--quick", "--extended"]);
+        let rest: Vec<&String> = binding.iter().collect();
+        let (_, cfg) = parse_app(&rest).expect("parses");
+        assert_eq!(cfg.candidates.len(), 12);
+    }
+
+    #[test]
+    fn ga_quick_runs_end_to_end() {
+        run(&args(&["ga", "drr", "--quick", "--seed", "7"])).expect("heuristic runs");
+    }
+
+    #[test]
+    fn ga_rejects_bad_seed() {
+        let err = run(&args(&["ga", "drr", "--quick", "--seed", "banana"])).unwrap_err();
+        assert!(err.contains("bad seed"));
+    }
+
+    #[test]
+    fn ga_accepts_stall_window() {
+        run(&args(&["ga", "drr", "--quick", "--stall", "2"])).expect("runs with early stop");
+        let err = run(&args(&["ga", "drr", "--quick", "--stall", "zero"])).unwrap_err();
+        assert!(err.contains("bad stall window"));
+    }
+
+    #[test]
+    fn explore_writes_logs_and_replay_reads_them() {
+        let path = std::env::temp_dir().join("ddtr_cli_test_logs.jsonl");
+        let path_str = path.to_string_lossy().into_owned();
+        run(&args(&["explore", "drr", "--quick", "--logs", &path_str])).expect("explores");
+        run(&args(&["replay", &path_str])).expect("replays");
+        let _ = std::fs::remove_file(path);
+    }
+}

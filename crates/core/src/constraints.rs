@@ -1,0 +1,226 @@
+//! Designer constraints over the Pareto set.
+//!
+//! The point of step 3 is that "design constraints can be implemented
+//! directly in the exploration approach and get the best tradeoffs from
+//! the final DDT implementation": the designer states budgets for any of
+//! the four metrics and picks the best remaining Pareto point under a
+//! chosen objective.
+
+use crate::step3::{ParetoPoint, ParetoReport};
+use ddtr_mem::CostReport;
+use serde::{Deserialize, Serialize};
+
+/// The metric a constrained selection minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimise dissipated energy.
+    Energy,
+    /// Minimise execution time.
+    Time,
+    /// Minimise memory accesses.
+    Accesses,
+    /// Minimise memory footprint.
+    Footprint,
+}
+
+impl Objective {
+    /// Index of this objective in the canonical metric order
+    /// `[energy, time, accesses, footprint]`.
+    #[must_use]
+    pub fn dim(self) -> usize {
+        match self {
+            Objective::Energy => 0,
+            Objective::Time => 1,
+            Objective::Accesses => 2,
+            Objective::Footprint => 3,
+        }
+    }
+}
+
+/// Budgets of the embedded design; `None` means unconstrained.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_core::DesignConstraints;
+/// use ddtr_mem::CostReport;
+///
+/// let constraints = DesignConstraints::none()
+///     .with_max_energy_nj(5_000.0)
+///     .with_max_footprint_bytes(8_192);
+/// let candidate = CostReport {
+///     accesses: 10_000,
+///     cycles: 40_000,
+///     energy_nj: 4_200.0,
+///     peak_footprint_bytes: 6_000,
+/// };
+/// assert!(constraints.admits(&candidate));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DesignConstraints {
+    /// Maximum energy in nanojoules.
+    pub max_energy_nj: Option<f64>,
+    /// Maximum execution time in cycles.
+    pub max_cycles: Option<u64>,
+    /// Maximum memory accesses.
+    pub max_accesses: Option<u64>,
+    /// Maximum peak footprint in bytes.
+    pub max_footprint_bytes: Option<u64>,
+}
+
+impl DesignConstraints {
+    /// No constraints (every point admitted).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the energy budget.
+    #[must_use]
+    pub fn with_max_energy_nj(mut self, nj: f64) -> Self {
+        self.max_energy_nj = Some(nj);
+        self
+    }
+
+    /// Sets the time budget.
+    #[must_use]
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets the access budget.
+    #[must_use]
+    pub fn with_max_accesses(mut self, accesses: u64) -> Self {
+        self.max_accesses = Some(accesses);
+        self
+    }
+
+    /// Sets the footprint budget.
+    #[must_use]
+    pub fn with_max_footprint_bytes(mut self, bytes: u64) -> Self {
+        self.max_footprint_bytes = Some(bytes);
+        self
+    }
+
+    /// Whether `report` satisfies every stated budget.
+    #[must_use]
+    pub fn admits(&self, report: &CostReport) -> bool {
+        self.max_energy_nj.is_none_or(|b| report.energy_nj <= b)
+            && self.max_cycles.is_none_or(|b| report.cycles <= b)
+            && self.max_accesses.is_none_or(|b| report.accesses <= b)
+            && self
+                .max_footprint_bytes
+                .is_none_or(|b| report.peak_footprint_bytes <= b)
+    }
+}
+
+impl ParetoReport {
+    /// Picks, from the global Pareto front, the point that satisfies
+    /// `constraints` and minimises `objective`; `None` when no front point
+    /// fits the budgets (the design is infeasible with these DDTs).
+    #[must_use]
+    pub fn select(
+        &self,
+        constraints: &DesignConstraints,
+        objective: Objective,
+    ) -> Option<&ParetoPoint> {
+        self.global_front
+            .iter()
+            .filter(|p| constraints.admits(&p.report))
+            .min_by(|a, b| {
+                a.report.as_array()[objective.dim()]
+                    .partial_cmp(&b.report.as_array()[objective.dim()])
+                    .expect("metrics are finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step3::ParetoPoint;
+
+    fn point(combo: &str, e: f64, t: u64, a: u64, f: u64) -> ParetoPoint {
+        ParetoPoint {
+            combo: combo.into(),
+            report: CostReport {
+                accesses: a,
+                cycles: t,
+                energy_nj: e,
+                peak_footprint_bytes: f,
+            },
+        }
+    }
+
+    fn report() -> ParetoReport {
+        ParetoReport {
+            per_config: Vec::new(),
+            global_front: vec![
+                point("FAST", 9.0, 1, 5, 9),
+                point("FRUGAL", 1.0, 9, 5, 9),
+                point("LEAN", 5.0, 5, 5, 1),
+            ],
+            tradeoffs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unconstrained_selection_is_the_metric_minimum() {
+        let r = report();
+        let c = DesignConstraints::none();
+        assert_eq!(r.select(&c, Objective::Energy).unwrap().combo, "FRUGAL");
+        assert_eq!(r.select(&c, Objective::Time).unwrap().combo, "FAST");
+        assert_eq!(r.select(&c, Objective::Footprint).unwrap().combo, "LEAN");
+    }
+
+    #[test]
+    fn budgets_filter_before_optimising() {
+        let r = report();
+        // An energy budget of 6 rules out FAST; best time among the rest.
+        let c = DesignConstraints::none().with_max_energy_nj(6.0);
+        assert_eq!(r.select(&c, Objective::Time).unwrap().combo, "LEAN");
+    }
+
+    #[test]
+    fn infeasible_budgets_yield_none() {
+        let r = report();
+        let c = DesignConstraints::none().with_max_cycles(0);
+        assert!(r.select(&c, Objective::Energy).is_none());
+    }
+
+    #[test]
+    fn admits_checks_every_dimension() {
+        let c = DesignConstraints::none()
+            .with_max_energy_nj(10.0)
+            .with_max_cycles(10)
+            .with_max_accesses(10)
+            .with_max_footprint_bytes(10);
+        let ok = CostReport {
+            accesses: 10,
+            cycles: 10,
+            energy_nj: 10.0,
+            peak_footprint_bytes: 10,
+        };
+        assert!(c.admits(&ok));
+        for (i, bad) in [
+            CostReport { energy_nj: 10.1, ..ok },
+            CostReport { cycles: 11, ..ok },
+            CostReport { accesses: 11, ..ok },
+            CostReport { peak_footprint_bytes: 11, ..ok },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(!c.admits(&bad), "dimension {i} not enforced");
+        }
+    }
+
+    #[test]
+    fn objective_dims_match_metric_order() {
+        assert_eq!(Objective::Energy.dim(), 0);
+        assert_eq!(Objective::Time.dim(), 1);
+        assert_eq!(Objective::Accesses.dim(), 2);
+        assert_eq!(Objective::Footprint.dim(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type of the exploration pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the methodology pipeline.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The exploration configuration is unusable.
+    InvalidConfig(String),
+    /// A serialisation or log-handling failure.
+    Log(String),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::InvalidConfig(why) => write!(f, "invalid exploration config: {why}"),
+            ExploreError::Log(why) => write!(f, "exploration log error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExploreError::InvalidConfig("zero packets".into());
+        assert!(e.to_string().contains("zero packets"));
+        let e = ExploreError::Log("disk full".into());
+        assert!(e.to_string().contains("disk full"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The three-step Dynamic Data Type refinement methodology of the DATE 2006
+//! paper, with its supporting automation.
+//!
+//! The methodology takes a network application whose dominant dynamic data
+//! structures are pluggable (see [`ddtr_apps`]) and produces a small set of
+//! Pareto-optimal DDT implementation choices:
+//!
+//! 1. **Application-level exploration** ([`explore_application_level`]): profile the
+//!    application on a typical trace to confirm the dominant containers,
+//!    then simulate *all* DDT combinations on one reference configuration
+//!    and discard the ~80 % that are not best in any cost metric.
+//! 2. **Network-level exploration** ([`explore_network_level`]): extract the network
+//!    parameters of every configuration (networks × application
+//!    parameters) and re-simulate only the surviving combinations on each.
+//! 3. **Pareto-level exploration** ([`explore_pareto_level`]): prune the simulation logs
+//!    into Pareto-optimal sets per configuration and globally, with the
+//!    trade-off ranges the designer chooses from.
+//!
+//! [`Methodology`] ties the steps together; [`Simulator`] runs a single
+//! (application, combination, configuration) measurement; the
+//! [`headline_comparison`] helper reproduces the paper's comparison against
+//! the original NetBench implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_core::{Methodology, MethodologyConfig};
+//! use ddtr_apps::AppKind;
+//!
+//! let outcome = Methodology::new(MethodologyConfig::quick(AppKind::Drr)).run()?;
+//! // Step 1 pruned most of the 100 combinations...
+//! assert!(outcome.step1.survivors.len() < 40);
+//! // ...and step 3 produced a small Pareto-optimal set.
+//! assert!(!outcome.pareto.global_front.is_empty());
+//! # Ok::<(), ddtr_core::ExploreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod combo;
+mod config;
+mod constraints;
+mod error;
+mod ga;
+mod headline;
+mod log;
+mod pipeline;
+mod profile;
+mod report;
+mod sim;
+mod step1;
+mod step2;
+mod step3;
+
+pub use combo::{all_combos, combo_label, combos_from, parse_combo};
+pub use config::MethodologyConfig;
+pub use constraints::{DesignConstraints, Objective};
+pub use error::ExploreError;
+pub use ga::{explore_heuristic, GaConfig, GaOutcome, GenerationStats};
+pub use headline::{headline_comparison, HeadlineReport};
+pub use log::{read_logs, step2_from_logs, write_logs};
+pub use pipeline::{Methodology, MethodologyOutcome, SimCounts};
+pub use profile::{profile_application, ProfileReport};
+pub use report::{
+    render_pareto_chart, table1_markdown, table2_markdown, tradeoff_percentages, ParetoChartPlane,
+};
+pub use sim::{SimLog, Simulator};
+pub use step1::{explore_application_level, Step1Result};
+pub use step2::{explore_network_level, NetworkConfig, Step2Result};
+pub use step3::{explore_pareto_level, ConfigFront, ParetoPoint, ParetoReport};

@@ -1,0 +1,170 @@
+//! The full three-step methodology pipeline.
+
+use crate::config::MethodologyConfig;
+use crate::error::ExploreError;
+use crate::profile::{profile_application, ProfileReport};
+use crate::step1::{explore_application_level, Step1Result};
+use crate::step2::{explore_network_level, Step2Result};
+use crate::step3::{explore_pareto_level, ParetoReport};
+use serde::{Deserialize, Serialize};
+
+/// Simulation accounting, reproducing the paper's Table 1 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCounts {
+    /// Simulations an exhaustive exploration would need.
+    pub exhaustive: usize,
+    /// Simulations the methodology actually ran (step 1 + step 2).
+    pub reduced: usize,
+    /// Pareto-optimal design points offered to the designer.
+    pub pareto_optimal: usize,
+}
+
+impl SimCounts {
+    /// Fraction of simulations avoided versus exhaustive exploration.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.exhaustive == 0 {
+            0.0
+        } else {
+            1.0 - self.reduced as f64 / self.exhaustive as f64
+        }
+    }
+}
+
+/// Everything the methodology produces for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodologyOutcome {
+    /// The configuration explored.
+    pub config: MethodologyConfig,
+    /// Dominant-container profiling (step 1, first substep).
+    pub profile: ProfileReport,
+    /// Application-level exploration (step 1).
+    pub step1: Step1Result,
+    /// Network-level exploration (step 2).
+    pub step2: Step2Result,
+    /// Pareto-level exploration (step 3).
+    pub pareto: ParetoReport,
+    /// Simulation accounting.
+    pub counts: SimCounts,
+}
+
+/// The automated tool flow: profile → step 1 → step 2 → step 3.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_core::{Methodology, MethodologyConfig};
+/// use ddtr_apps::AppKind;
+///
+/// let outcome = Methodology::new(MethodologyConfig::quick(AppKind::Url)).run()?;
+/// // quick mode uses only two network configurations, so the
+/// // reduction is modest; the paper-sized sweeps reach ~80%.
+/// assert!(outcome.counts.reduction() > 0.2);
+/// # Ok::<(), ddtr_core::ExploreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Methodology {
+    config: MethodologyConfig,
+}
+
+impl Methodology {
+    /// Creates the pipeline for `config`.
+    #[must_use]
+    pub fn new(config: MethodologyConfig) -> Self {
+        Methodology { config }
+    }
+
+    /// The configuration this pipeline will run.
+    #[must_use]
+    pub fn config(&self) -> &MethodologyConfig {
+        &self.config
+    }
+
+    /// Runs all three steps, propagating restrictions from each step to
+    /// the next (the point of the stepwise procedure: "decrease the number
+    /// of total simulations needed").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError`] if the configuration is invalid or a step
+    /// receives unusable input.
+    pub fn run(&self) -> Result<MethodologyOutcome, ExploreError> {
+        self.config.validate()?;
+        let profile = profile_application(&self.config)?;
+        let step1 = explore_application_level(&self.config)?;
+        let step2 = explore_network_level(&self.config, &step1.survivor_combos())?;
+        let pareto = explore_pareto_level(&step2)?;
+        let counts = SimCounts {
+            exhaustive: self.config.exhaustive_simulations(),
+            reduced: step1.measurements.len() + step2.simulations(),
+            pareto_optimal: pareto.global_front.len(),
+        };
+        Ok(MethodologyOutcome {
+            config: self.config.clone(),
+            profile,
+            step1,
+            step2,
+            pareto,
+            counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_apps::AppKind;
+
+    #[test]
+    fn full_pipeline_on_drr() {
+        let outcome = Methodology::new(MethodologyConfig::quick(AppKind::Drr))
+            .run()
+            .expect("pipeline");
+        // Step 1 simulated the whole application-level space.
+        assert_eq!(outcome.step1.measurements.len(), 100);
+        // Step 2 only simulated survivors.
+        assert_eq!(
+            outcome.step2.simulations(),
+            outcome.step1.survivors.len() * outcome.config.configurations()
+        );
+        // The reduction against exhaustive exploration is substantial.
+        // Quick mode has 2 configurations: exhaustive = 200, reduced =
+        // 100 + survivors*2, so ~0.3 is the expected ballpark. The paper
+        // -sized sweeps (benches) reach ~80%.
+        assert!(
+            outcome.counts.reduction() > 0.25,
+            "reduction {:.2}",
+            outcome.counts.reduction()
+        );
+        // A small Pareto set comes out.
+        let p = outcome.counts.pareto_optimal;
+        assert!((1..=20).contains(&p), "pareto set size {p}");
+        // Profiling identified the declared dominant slots.
+        assert!(outcome.profile.matches_declared());
+    }
+
+    #[test]
+    fn reduction_accounts_are_consistent() {
+        let counts = SimCounts {
+            exhaustive: 1000,
+            reduced: 250,
+            pareto_optimal: 5,
+        };
+        assert!((counts.reduction() - 0.75).abs() < 1e-12);
+        let zero = SimCounts {
+            exhaustive: 0,
+            reduced: 0,
+            pareto_optimal: 0,
+        };
+        assert_eq!(zero.reduction(), 0.0);
+    }
+
+    #[test]
+    fn outcome_serialises() {
+        let outcome = Methodology::new(MethodologyConfig::quick(AppKind::Url))
+            .run()
+            .expect("pipeline");
+        let json = serde_json::to_string(&outcome).expect("serialise");
+        assert!(json.contains("global_front"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Report formatting: the paper's tables and figure data.
+
+use crate::pipeline::MethodologyOutcome;
+use crate::sim::SimLog;
+use ddtr_pareto::ScatterChart;
+use std::fmt::Write as _;
+
+/// Which 2-D plane of the four metrics a chart shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParetoChartPlane {
+    /// Execution time (x) versus energy (y) — Figures 3, 4a, 4b.
+    TimeEnergy,
+    /// Memory accesses (x) versus memory footprint (y) — Figure 4c.
+    AccessesFootprint,
+}
+
+impl ParetoChartPlane {
+    /// Metric indices (into `[energy, time, accesses, footprint]`) of the
+    /// x and y axes.
+    #[must_use]
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            ParetoChartPlane::TimeEnergy => (1, 0),
+            ParetoChartPlane::AccessesFootprint => (2, 3),
+        }
+    }
+
+    /// Axis labels.
+    #[must_use]
+    pub fn labels(self) -> (&'static str, &'static str) {
+        match self {
+            ParetoChartPlane::TimeEnergy => ("execution time [cycles]", "energy [nJ]"),
+            ParetoChartPlane::AccessesFootprint => {
+                ("memory accesses", "memory footprint [bytes]")
+            }
+        }
+    }
+}
+
+/// Renders one configuration's exploration space in the requested plane as
+/// an ASCII scatter chart (Pareto points highlighted), exactly what the
+/// paper's post-processing tool draws from the log files.
+#[must_use]
+pub fn render_pareto_chart(logs: &[&SimLog], plane: ParetoChartPlane) -> String {
+    let (x, y) = plane.dims();
+    let (xl, yl) = plane.labels();
+    let points: Vec<[f64; 2]> = logs
+        .iter()
+        .map(|l| {
+            let o = l.objectives();
+            [o[x], o[y]]
+        })
+        .collect();
+    ScatterChart::new(xl, yl).render(&points)
+}
+
+/// One row of the paper's Table 1 ("Reduction of total simulations needed
+/// to explore the design space") in Markdown.
+#[must_use]
+pub fn table1_markdown(outcomes: &[&MethodologyOutcome]) -> String {
+    let mut out = String::from(
+        "| Network application | Exhaustive simulations | Reduced simulations | Pareto optimal |\n|---|---|---|---|\n",
+    );
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            o.config.app, o.counts.exhaustive, o.counts.reduced, o.counts.pareto_optimal
+        );
+    }
+    out
+}
+
+/// The percentage trade-offs of one outcome, in the paper's Table 2 metric
+/// order `[energy, time, accesses, footprint]`.
+#[must_use]
+pub fn tradeoff_percentages(outcome: &MethodologyOutcome) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (i, r) in outcome.pareto.tradeoffs.iter().take(4).enumerate() {
+        out[i] = r.spread_percent();
+    }
+    out
+}
+
+/// The paper's Table 2 ("Trade-offs achieved among Pareto-optimal points")
+/// in Markdown.
+#[must_use]
+pub fn table2_markdown(outcomes: &[&MethodologyOutcome]) -> String {
+    let mut out = String::from(
+        "| Application | Energy | Exec. Time | Mem. Accesses | Mem. Footprint |\n|---|---|---|---|---|\n",
+    );
+    for o in outcomes {
+        let [e, t, a, f] = tradeoff_percentages(o);
+        let _ = writeln!(out, "| {} | {e}% | {t}% | {a}% | {f}% |", o.config.app);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MethodologyConfig;
+    use crate::pipeline::Methodology;
+    use ddtr_apps::AppKind;
+
+    fn outcome() -> MethodologyOutcome {
+        Methodology::new(MethodologyConfig::quick(AppKind::Drr))
+            .run()
+            .expect("pipeline")
+    }
+
+    #[test]
+    fn tables_render_markdown() {
+        let o = outcome();
+        let t1 = table1_markdown(&[&o]);
+        assert!(t1.contains("| DRR |"));
+        assert!(t1.contains("Exhaustive"));
+        let t2 = table2_markdown(&[&o]);
+        assert!(t2.contains('%'));
+        assert!(t2.contains("| DRR |"));
+    }
+
+    #[test]
+    fn chart_renders_both_planes() {
+        let o = outcome();
+        let key = o.step2.logs[0].config_key();
+        let logs = o.step2.logs_for(&key);
+        for plane in [ParetoChartPlane::TimeEnergy, ParetoChartPlane::AccessesFootprint] {
+            let chart = render_pareto_chart(&logs, plane);
+            assert!(chart.contains('o'), "chart must mark Pareto points");
+        }
+    }
+
+    #[test]
+    fn plane_dims_are_consistent_with_labels() {
+        assert_eq!(ParetoChartPlane::TimeEnergy.dims(), (1, 0));
+        assert_eq!(ParetoChartPlane::AccessesFootprint.dims(), (2, 3));
+        assert!(ParetoChartPlane::TimeEnergy.labels().1.contains("energy"));
+    }
+
+    #[test]
+    fn tradeoff_percentages_are_bounded() {
+        let o = outcome();
+        for p in tradeoff_percentages(&o) {
+            assert!(p <= 100);
+        }
+    }
+}

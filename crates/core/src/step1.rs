@@ -1,0 +1,255 @@
+//! Step 1 — application-level DDT exploration.
+
+use crate::combo::{combos_from, parse_combo, Combo};
+use crate::config::MethodologyConfig;
+use crate::error::ExploreError;
+use crate::sim::{SimLog, Simulator};
+use ddtr_pareto::pareto_front_indices;
+use ddtr_trace::TraceGenerator;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Result of the application-level exploration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Step1Result {
+    /// One log per simulated combination (all 100).
+    pub measurements: Vec<SimLog>,
+    /// Combination labels that survive into step 2.
+    pub survivors: Vec<String>,
+}
+
+impl Step1Result {
+    /// The surviving combinations as typed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a survivor label was corrupted (cannot happen for results
+    /// produced by [`explore_application_level`]).
+    #[must_use]
+    pub fn survivor_combos(&self) -> Vec<Combo> {
+        self.survivors
+            .iter()
+            .map(|s| parse_combo(s).expect("survivor labels are well-formed"))
+            .collect()
+    }
+
+    /// Fraction of the design space discarded by this step.
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.measurements.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.survivors.len() as f64 / self.measurements.len() as f64
+    }
+}
+
+/// Runs step 1: simulate **all** DDT combinations on the reference
+/// configuration and keep only those that are best in at least one metric —
+/// the 4-D Pareto front, topped up (or capped) to the configured survivor
+/// fraction by normalised overall score.
+///
+/// With `cfg.parallel`, combinations are simulated by a crossbeam worker
+/// pool (each simulation is independent); results are identical either way
+/// because measurements are re-ordered canonically.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidConfig`] when the configuration fails
+/// validation.
+pub fn explore_application_level(cfg: &MethodologyConfig) -> Result<Step1Result, ExploreError> {
+    cfg.validate()?;
+    let trace =
+        TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
+    let params = cfg
+        .param_variants
+        .first()
+        .expect("validated config has at least one variant");
+    let sim = Simulator::new(cfg.mem);
+    let combos = combos_from(&cfg.candidates);
+    let measurements: Vec<SimLog> = if cfg.parallel {
+        let next = Mutex::new(0usize);
+        let slots: Mutex<Vec<Option<SimLog>>> = Mutex::new(vec![None; combos.len()]);
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(combos.len().max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = {
+                        let mut guard = next.lock();
+                        let i = *guard;
+                        *guard += 1;
+                        i
+                    };
+                    let Some(&combo) = combos.get(i) else {
+                        break;
+                    };
+                    let log = sim.run(cfg.app, combo, params, &trace);
+                    slots.lock()[i] = Some(log);
+                });
+            }
+        })
+        .expect("exploration workers do not panic");
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every combination was simulated"))
+            .collect()
+    } else {
+        combos
+            .iter()
+            .map(|&combo| sim.run(cfg.app, combo, params, &trace))
+            .collect()
+    };
+    let survivors = select_survivors(&measurements, cfg.survivor_fraction);
+    Ok(Step1Result {
+        survivors,
+        measurements,
+    })
+}
+
+/// Survivor selection: the 4-D Pareto-optimal combinations, plus the best
+/// remaining combinations by normalised score until the target count is
+/// reached. The front is never truncated — pruning must stay loss-free for
+/// step 3 (see the `ablation_pruning` bench for the empirical check).
+pub(crate) fn select_survivors(measurements: &[SimLog], fraction: f64) -> Vec<String> {
+    if measurements.is_empty() {
+        return Vec::new();
+    }
+    let points: Vec<[f64; 4]> = measurements.iter().map(SimLog::objectives).collect();
+    let target = ((measurements.len() as f64 * fraction).ceil() as usize).max(1);
+    let mut keep: Vec<usize> = pareto_front_indices(&points);
+    if keep.len() < target {
+        // Normalise each metric to [0, 1] and rank the rest by total score.
+        let mut maxima = [f64::MIN_POSITIVE; 4];
+        for p in &points {
+            for d in 0..4 {
+                maxima[d] = maxima[d].max(p[d]);
+            }
+        }
+        let mut rest: Vec<usize> = (0..points.len()).filter(|i| !keep.contains(i)).collect();
+        rest.sort_by(|&a, &b| {
+            let score = |i: usize| -> f64 {
+                points[i]
+                    .iter()
+                    .zip(maxima.iter())
+                    .map(|(v, m)| v / m)
+                    .sum()
+            };
+            score(a)
+                .partial_cmp(&score(b))
+                .expect("metrics are finite")
+        });
+        keep.extend(rest.into_iter().take(target - keep.len()));
+    }
+    keep.sort_unstable();
+    keep.into_iter()
+        .map(|i| measurements[i].combo.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_apps::AppKind;
+    use ddtr_mem::CostReport;
+
+    fn fake_log(combo: &str, e: f64, t: u64, a: u64, f: u64) -> SimLog {
+        SimLog {
+            app: AppKind::Drr,
+            combo: combo.into(),
+            network: "X".into(),
+            params: "p".into(),
+            report: CostReport {
+                accesses: a,
+                cycles: t,
+                energy_nj: e,
+                peak_footprint_bytes: f,
+            },
+        }
+    }
+
+    #[test]
+    fn survivors_include_per_metric_winners() {
+        let logs = vec![
+            fake_log("A+A", 1.0, 900, 900, 900),   // best energy
+            fake_log("B+B", 900.0, 1, 900, 900),   // best time
+            fake_log("C+C", 900.0, 900, 1, 900),   // best accesses
+            fake_log("D+D", 900.0, 900, 900, 1),   // best footprint
+            fake_log("E+E", 999.0, 999, 999, 999), // dominated
+        ];
+        let survivors = select_survivors(&logs, 0.2);
+        for label in ["A+A", "B+B", "C+C", "D+D"] {
+            assert!(survivors.contains(&label.to_string()), "{label}");
+        }
+        assert!(!survivors.contains(&"E+E".to_string()));
+    }
+
+    #[test]
+    fn front_is_never_truncated() {
+        // Six mutually non-dominated points with a 10% target: all kept.
+        let logs: Vec<SimLog> = (0u32..6)
+            .map(|i| {
+                fake_log(
+                    &format!("K{i}+K{i}"),
+                    f64::from(i + 1),
+                    u64::from(6 - i),
+                    10,
+                    10,
+                )
+            })
+            .collect();
+        let survivors = select_survivors(&logs, 0.1);
+        assert_eq!(survivors.len(), 6);
+    }
+
+    #[test]
+    fn target_filled_from_best_scores() {
+        // One dominating point; fraction demands three survivors.
+        let logs = vec![
+            fake_log("A+A", 1.0, 1, 1, 1),
+            fake_log("B+B", 2.0, 2, 2, 2),
+            fake_log("C+C", 3.0, 3, 3, 3),
+            fake_log("D+D", 9.0, 9, 9, 9),
+        ];
+        let survivors = select_survivors(&logs, 0.75);
+        assert_eq!(survivors.len(), 3);
+        assert!(survivors.contains(&"A+A".to_string()));
+        assert!(survivors.contains(&"B+B".to_string()));
+        assert!(survivors.contains(&"C+C".to_string()));
+    }
+
+    #[test]
+    fn full_step1_prunes_most_of_the_space() {
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let result = explore_application_level(&cfg).expect("step 1");
+        assert_eq!(result.measurements.len(), 100);
+        assert!(
+            result.pruned_fraction() >= 0.6,
+            "pruned only {:.0}%",
+            result.pruned_fraction() * 100.0
+        );
+        assert!(!result.survivors.is_empty());
+        assert_eq!(result.survivor_combos().len(), result.survivors.len());
+    }
+
+    #[test]
+    fn empty_input_yields_no_survivors() {
+        assert!(select_survivors(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_step1_agree() {
+        let mut cfg = MethodologyConfig::quick(AppKind::Url);
+        cfg.parallel = false;
+        let seq = explore_application_level(&cfg).expect("sequential");
+        cfg.parallel = true;
+        let par = explore_application_level(&cfg).expect("parallel");
+        assert_eq!(seq.survivors, par.survivors);
+        let key = |l: &SimLog| (l.combo.clone(), l.report.accesses, l.report.cycles);
+        let a: Vec<_> = seq.measurements.iter().map(key).collect();
+        let b: Vec<_> = par.measurements.iter().map(key).collect();
+        assert_eq!(a, b, "parallel step 1 must be order-preserving");
+    }
+}

@@ -1,0 +1,217 @@
+//! Step 2 — network-level DDT exploration.
+
+use crate::combo::Combo;
+use crate::config::MethodologyConfig;
+use crate::error::ExploreError;
+use crate::sim::{SimLog, Simulator};
+use ddtr_apps::AppParams;
+use ddtr_trace::{NetworkParams, NetworkPreset, Trace, TraceGenerator};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One network configuration of step 2: a network preset combined with an
+/// application-parameter variant, plus the parameters the tool extracted
+/// from the trace (the Perl-parser output of the original flow).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// The network preset.
+    pub network: NetworkPreset,
+    /// The application-parameter label.
+    pub params_label: String,
+    /// Parameters extracted from the generated trace.
+    pub extracted: NetworkParams,
+}
+
+/// Result of the network-level exploration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Step2Result {
+    /// Every configuration explored.
+    pub configs: Vec<NetworkConfig>,
+    /// One log per (survivor combination × configuration).
+    pub logs: Vec<SimLog>,
+}
+
+impl Step2Result {
+    /// Number of simulations this step performed.
+    #[must_use]
+    pub fn simulations(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// The logs belonging to one configuration key (`network/params`).
+    #[must_use]
+    pub fn logs_for(&self, config_key: &str) -> Vec<&SimLog> {
+        self.logs
+            .iter()
+            .filter(|l| l.config_key() == config_key)
+            .collect()
+    }
+}
+
+/// Runs step 2: for every network configuration (network × application
+/// parameters), parse the trace to extract its network parameters, then
+/// simulate each surviving combination on it.
+///
+/// With `cfg.parallel`, configurations are processed by a crossbeam worker
+/// pool; results are deterministic either way because each simulation is
+/// independent and logs are re-sorted canonically.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidConfig`] when the configuration fails
+/// validation.
+pub fn explore_network_level(
+    cfg: &MethodologyConfig,
+    survivors: &[Combo],
+) -> Result<Step2Result, ExploreError> {
+    cfg.validate()?;
+    if survivors.is_empty() {
+        return Err(ExploreError::InvalidConfig(
+            "step 2 needs at least one surviving combination".into(),
+        ));
+    }
+    // Build every configuration's trace once and extract its parameters.
+    let mut jobs: Vec<(NetworkPreset, AppParams, Trace)> = Vec::new();
+    for &network in &cfg.networks {
+        let trace = TraceGenerator::new(network.spec()).generate(cfg.packets_per_sim);
+        for params in &cfg.param_variants {
+            jobs.push((network, params.clone(), trace.clone()));
+        }
+    }
+    let configs: Vec<NetworkConfig> = jobs
+        .iter()
+        .map(|(network, params, trace)| NetworkConfig {
+            network: *network,
+            params_label: params.label(cfg.app),
+            extracted: NetworkParams::extract(trace),
+        })
+        .collect();
+
+    let sim = Simulator::new(cfg.mem);
+    let mut logs: Vec<SimLog> = if cfg.parallel {
+        run_parallel(cfg, &sim, &jobs, survivors)
+    } else {
+        let mut out = Vec::with_capacity(jobs.len() * survivors.len());
+        for (_, params, trace) in &jobs {
+            for &combo in survivors {
+                out.push(sim.run(cfg.app, combo, params, trace));
+            }
+        }
+        out
+    };
+    logs.sort_by(|a, b| (a.config_key(), &a.combo).cmp(&(b.config_key(), &b.combo)));
+    Ok(Step2Result { configs, logs })
+}
+
+/// Worker-pool execution over (configuration, combination) tasks.
+fn run_parallel(
+    cfg: &MethodologyConfig,
+    sim: &Simulator,
+    jobs: &[(NetworkPreset, AppParams, Trace)],
+    survivors: &[Combo],
+) -> Vec<SimLog> {
+    let tasks: Vec<(usize, Combo)> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, _)| survivors.iter().map(move |&c| (j, c)))
+        .collect();
+    let next = Mutex::new(0usize);
+    let logs = Mutex::new(Vec::with_capacity(tasks.len()));
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tasks.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let Some(&(job_idx, combo)) = tasks.get(i) else {
+                    break;
+                };
+                let (_, params, trace) = &jobs[job_idx];
+                let log = sim.run(cfg.app, combo, params, trace);
+                logs.lock().push(log);
+            });
+        }
+    })
+    .expect("exploration workers do not panic");
+    logs.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MethodologyConfig;
+    use ddtr_apps::AppKind;
+    use ddtr_ddt::DdtKind;
+
+    fn survivors() -> Vec<Combo> {
+        vec![
+            [DdtKind::Array, DdtKind::Array],
+            [DdtKind::Sll, DdtKind::Sll],
+            [DdtKind::Array, DdtKind::Dll],
+        ]
+    }
+
+    #[test]
+    fn simulates_survivors_times_configs() {
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let result = explore_network_level(&cfg, &survivors()).expect("step 2");
+        assert_eq!(result.configs.len(), cfg.configurations());
+        assert_eq!(result.simulations(), 3 * cfg.configurations());
+    }
+
+    #[test]
+    fn extracted_parameters_accompany_each_config() {
+        let cfg = MethodologyConfig::quick(AppKind::Url);
+        let result = explore_network_level(&cfg, &survivors()).expect("step 2");
+        for config in &result.configs {
+            assert!(config.extracted.is_usable(), "{}", config.network);
+            assert!(config.extracted.nodes_observed >= 2);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut cfg = MethodologyConfig::quick(AppKind::Drr);
+        cfg.parallel = false;
+        let seq = explore_network_level(&cfg, &survivors()).expect("sequential");
+        cfg.parallel = true;
+        let par = explore_network_level(&cfg, &survivors()).expect("parallel");
+        let key = |l: &SimLog| (l.config_key(), l.combo.clone(), l.report.accesses);
+        let a: Vec<_> = seq.logs.iter().map(key).collect();
+        let b: Vec<_> = par.logs.iter().map(key).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn logs_group_by_config_key() {
+        let cfg = MethodologyConfig::quick(AppKind::Ipchains);
+        let result = explore_network_level(&cfg, &survivors()).expect("step 2");
+        let key = result.logs[0].config_key();
+        assert_eq!(result.logs_for(&key).len(), 3);
+    }
+
+    #[test]
+    fn empty_survivors_rejected() {
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        assert!(explore_network_level(&cfg, &[]).is_err());
+    }
+
+    #[test]
+    fn network_configuration_changes_the_metrics() {
+        // The same combination must measure differently on different
+        // networks — the reason step 2 exists at all.
+        let cfg = MethodologyConfig::quick(AppKind::Url);
+        let result =
+            explore_network_level(&cfg, &[[DdtKind::Sll, DdtKind::Sll]]).expect("step 2");
+        let accesses: Vec<u64> = result.logs.iter().map(|l| l.report.accesses).collect();
+        assert_eq!(accesses.len(), 2);
+        assert_ne!(accesses[0], accesses[1]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Step 3 — Pareto-level DDT exploration.
+
+use crate::error::ExploreError;
+use crate::sim::SimLog;
+use crate::step2::Step2Result;
+use ddtr_mem::CostReport;
+use ddtr_pareto::{pareto_front_indices, tradeoff_ranges, TradeoffRange};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One Pareto-optimal design point offered to the designer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// DDT combination label.
+    pub combo: String,
+    /// Its four-metric cost (per configuration, or averaged for the global
+    /// front).
+    pub report: CostReport,
+}
+
+/// The Pareto-optimal set of one network configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigFront {
+    /// Configuration key (`network/params`).
+    pub config_key: String,
+    /// The non-dominated points, in log order.
+    pub front: Vec<ParetoPoint>,
+}
+
+/// Result of the Pareto-level exploration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoReport {
+    /// Pareto front per network configuration — one curve per
+    /// configuration, as in the paper's Figure 4a.
+    pub per_config: Vec<ConfigFront>,
+    /// Global front over per-combination metrics averaged across all
+    /// configurations — the set reported in the paper's Table 1.
+    pub global_front: Vec<ParetoPoint>,
+    /// Trade-off ranges over all per-configuration front points, in metric
+    /// order `[energy, time, accesses, footprint]` — the paper's Table 2.
+    pub tradeoffs: Vec<TradeoffRange>,
+}
+
+impl ParetoReport {
+    /// The global-front point with the lowest value in metric `dim`
+    /// (0 energy, 1 time, 2 accesses, 3 footprint).
+    #[must_use]
+    pub fn best_by(&self, dim: usize) -> Option<&ParetoPoint> {
+        self.global_front.iter().min_by(|a, b| {
+            a.report.as_array()[dim]
+                .partial_cmp(&b.report.as_array()[dim])
+                .expect("metrics are finite")
+        })
+    }
+}
+
+/// Runs step 3: prune every configuration's logs to its Pareto front,
+/// compute the global front over configuration-averaged metrics, and
+/// derive the trade-off ranges.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidConfig`] when `step2` carries no logs.
+pub fn explore_pareto_level(step2: &Step2Result) -> Result<ParetoReport, ExploreError> {
+    if step2.logs.is_empty() {
+        return Err(ExploreError::InvalidConfig(
+            "step 3 needs step-2 simulation logs".into(),
+        ));
+    }
+    // Per-configuration fronts.
+    let mut grouped: BTreeMap<String, Vec<&SimLog>> = BTreeMap::new();
+    for log in &step2.logs {
+        grouped.entry(log.config_key()).or_default().push(log);
+    }
+    let mut per_config = Vec::with_capacity(grouped.len());
+    let mut pooled_front_points: Vec<[f64; 4]> = Vec::new();
+    for (config_key, logs) in &grouped {
+        let points: Vec<[f64; 4]> = logs.iter().map(|l| l.objectives()).collect();
+        let front_idx = pareto_front_indices(&points);
+        pooled_front_points.extend(front_idx.iter().map(|&i| points[i]));
+        per_config.push(ConfigFront {
+            config_key: config_key.clone(),
+            front: front_idx
+                .into_iter()
+                .map(|i| ParetoPoint {
+                    combo: logs[i].combo.clone(),
+                    report: logs[i].report,
+                })
+                .collect(),
+        });
+    }
+    // Global front over per-combination averages across configurations.
+    let mut by_combo: BTreeMap<String, Vec<CostReport>> = BTreeMap::new();
+    for log in &step2.logs {
+        by_combo.entry(log.combo.clone()).or_default().push(log.report);
+    }
+    let averaged: Vec<(String, CostReport)> = by_combo
+        .into_iter()
+        .map(|(combo, reports)| {
+            let n = reports.len() as f64;
+            let mean = CostReport {
+                accesses: (reports.iter().map(|r| r.accesses).sum::<u64>() as f64 / n) as u64,
+                cycles: (reports.iter().map(|r| r.cycles).sum::<u64>() as f64 / n) as u64,
+                energy_nj: reports.iter().map(|r| r.energy_nj).sum::<f64>() / n,
+                peak_footprint_bytes: (reports
+                    .iter()
+                    .map(|r| r.peak_footprint_bytes)
+                    .sum::<u64>() as f64
+                    / n) as u64,
+            };
+            (combo, mean)
+        })
+        .collect();
+    let avg_points: Vec<[f64; 4]> = averaged.iter().map(|(_, r)| r.as_array()).collect();
+    let global_front: Vec<ParetoPoint> = pareto_front_indices(&avg_points)
+        .into_iter()
+        .map(|i| ParetoPoint {
+            combo: averaged[i].0.clone(),
+            report: averaged[i].1,
+        })
+        .collect();
+    // Trade-off ranges over all per-configuration front points.
+    let all_idx: Vec<usize> = (0..pooled_front_points.len()).collect();
+    let tradeoffs = tradeoff_ranges(&pooled_front_points, &all_idx);
+    Ok(ParetoReport {
+        per_config,
+        global_front,
+        tradeoffs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step2::Step2Result;
+    use ddtr_apps::AppKind;
+
+    fn log(combo: &str, net: &str, e: f64, t: u64, a: u64, f: u64) -> SimLog {
+        SimLog {
+            app: AppKind::Url,
+            combo: combo.into(),
+            network: net.into(),
+            params: "p".into(),
+            report: CostReport {
+                accesses: a,
+                cycles: t,
+                energy_nj: e,
+                peak_footprint_bytes: f,
+            },
+        }
+    }
+
+    fn step2_fixture() -> Step2Result {
+        Step2Result {
+            configs: Vec::new(),
+            logs: vec![
+                // net1: A dominates B; A and C trade off
+                log("A+A", "net1", 1.0, 10, 10, 10),
+                log("B+B", "net1", 2.0, 20, 20, 20),
+                log("C+C", "net1", 10.0, 1, 10, 10),
+                // net2: B best everywhere
+                log("A+A", "net2", 5.0, 50, 50, 50),
+                log("B+B", "net2", 1.0, 1, 1, 1),
+                log("C+C", "net2", 9.0, 9, 90, 90),
+            ],
+        }
+    }
+
+    #[test]
+    fn per_config_fronts_are_correct() {
+        let report = explore_pareto_level(&step2_fixture()).expect("step 3");
+        assert_eq!(report.per_config.len(), 2);
+        let net1 = &report.per_config[0];
+        assert_eq!(net1.config_key, "net1/p");
+        let combos: Vec<&str> = net1.front.iter().map(|p| p.combo.as_str()).collect();
+        assert_eq!(combos, vec!["A+A", "C+C"]);
+        let net2 = &report.per_config[1];
+        let combos: Vec<&str> = net2.front.iter().map(|p| p.combo.as_str()).collect();
+        assert_eq!(combos, vec!["B+B"]);
+    }
+
+    #[test]
+    fn global_front_uses_cross_config_averages() {
+        let report = explore_pareto_level(&step2_fixture()).expect("step 3");
+        // Averages: A=(3,30,30,30), B=(1.5,10.5,10.5,10.5), C=(9.5,5,50,50)
+        // B dominates A; C survives on time.
+        let combos: Vec<&str> = report.global_front.iter().map(|p| p.combo.as_str()).collect();
+        assert_eq!(combos, vec!["B+B", "C+C"]);
+    }
+
+    #[test]
+    fn best_by_selects_metric_minimum() {
+        let report = explore_pareto_level(&step2_fixture()).expect("step 3");
+        assert_eq!(report.best_by(0).expect("front").combo, "B+B"); // energy
+        assert_eq!(report.best_by(1).expect("front").combo, "C+C"); // time
+    }
+
+    #[test]
+    fn tradeoffs_cover_four_metrics() {
+        let report = explore_pareto_level(&step2_fixture()).expect("step 3");
+        assert_eq!(report.tradeoffs.len(), 4);
+        for r in &report.tradeoffs {
+            assert!(r.max >= r.min);
+        }
+    }
+
+    #[test]
+    fn empty_logs_rejected() {
+        let empty = Step2Result {
+            configs: Vec::new(),
+            logs: Vec::new(),
+        };
+        assert!(explore_pareto_level(&empty).is_err());
+    }
+}

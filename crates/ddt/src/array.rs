@@ -1,0 +1,375 @@
+//! `AR` — contiguous growable array of records.
+
+use crate::ddt::Ddt;
+use crate::kind::DdtKind;
+use crate::layout::{DESCRIPTOR_BYTES, KEY_BYTES};
+use crate::record::Record;
+use ddtr_mem::{MemorySystem, SimAllocator, VirtAddr};
+
+const INITIAL_CAPACITY: usize = 4;
+
+/// The `AR` dynamic data type: all records stored contiguously in one
+/// growable buffer (doubling growth, `memmove` on removal).
+///
+/// Characteristics the exploration measures: O(1) positional access and
+/// excellent spatial locality, but linear-time removal, copy-on-grow
+/// traffic, and up-to-2x slack capacity in the footprint.
+///
+/// # Panics
+///
+/// All mutating operations panic if the simulated heap is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::{ArrayDdt, Ddt, Record};
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+///
+/// # #[derive(Clone)] struct R(u64);
+/// # impl Record for R { const SIZE: u64 = 16; fn key(&self) -> u64 { self.0 } }
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut arr = ArrayDdt::new(&mut mem);
+/// arr.insert(R(1), &mut mem);
+/// arr.insert(R(2), &mut mem);
+/// assert_eq!(arr.get_nth(1, &mut mem).map(|r| r.0), Some(2));
+/// ```
+#[derive(Debug)]
+pub struct ArrayDdt<R: Record> {
+    desc: VirtAddr,
+    buf: VirtAddr,
+    capacity: usize,
+    items: Vec<R>,
+}
+
+impl<R: Record> ArrayDdt<R> {
+    /// Creates an empty array container, allocating its descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the descriptor.
+    #[must_use]
+    pub fn new(mem: &mut MemorySystem) -> Self {
+        let desc = mem
+            .alloc_hot(DESCRIPTOR_BYTES)
+            .expect("simulated heap exhausted allocating array descriptor");
+        mem.write(desc, DESCRIPTOR_BYTES);
+        ArrayDdt {
+            desc,
+            buf: VirtAddr::NULL,
+            capacity: 0,
+            items: Vec::new(),
+        }
+    }
+
+    /// Current slack capacity (slots allocated but unused).
+    #[must_use]
+    pub fn slack(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    fn slot(&self, idx: usize) -> VirtAddr {
+        self.buf.offset(idx as u64 * R::SIZE)
+    }
+
+    fn grow(&mut self, mem: &mut MemorySystem) {
+        let new_cap = if self.capacity == 0 {
+            INITIAL_CAPACITY
+        } else {
+            self.capacity * 2
+        };
+        let new_buf = mem
+            .alloc(new_cap as u64 * R::SIZE)
+            .expect("simulated heap exhausted growing array buffer");
+        // Copy every live record into the new buffer.
+        for i in 0..self.items.len() {
+            mem.read(self.slot(i), R::SIZE);
+            mem.write(new_buf.offset(i as u64 * R::SIZE), R::SIZE);
+        }
+        if !self.buf.is_null() {
+            mem.free(self.buf).expect("array buffer is live");
+        }
+        self.buf = new_buf;
+        self.capacity = new_cap;
+        // Update the descriptor's buffer pointer and capacity fields.
+        mem.write(self.desc, 16);
+    }
+
+    /// Linear key probe; returns the index of the first match, charging one
+    /// key read and one compare per probed slot.
+    fn find(&self, key: u64, mem: &mut MemorySystem) -> Option<usize> {
+        mem.read(self.desc, 16); // buffer pointer + count
+        for (i, item) in self.items.iter().enumerate() {
+            mem.read(self.slot(i), KEY_BYTES);
+            mem.touch_cpu(1);
+            if item.key() == key {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Shift all records after `idx` one slot left (removal `memmove`).
+    fn shift_left(&mut self, idx: usize, mem: &mut MemorySystem) {
+        for j in idx + 1..self.items.len() {
+            mem.read(self.slot(j), R::SIZE);
+            mem.write(self.slot(j - 1), R::SIZE);
+        }
+    }
+}
+
+impl<R: Record> Ddt<R> for ArrayDdt<R> {
+    fn kind(&self) -> DdtKind {
+        DdtKind::Array
+    }
+
+    fn insert(&mut self, rec: R, mem: &mut MemorySystem) {
+        mem.read(self.desc, 16); // count + capacity
+        if self.items.len() == self.capacity {
+            self.grow(mem);
+        }
+        mem.write(self.slot(self.items.len()), R::SIZE);
+        mem.write(self.desc.offset(16), 8); // count
+        self.items.push(rec);
+    }
+
+    fn get(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let idx = self.find(key, mem)?;
+        mem.read(self.slot(idx), R::SIZE);
+        Some(self.items[idx].clone())
+    }
+
+    fn get_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.items.len() {
+            return None;
+        }
+        mem.read(self.desc, 16); // buffer pointer + bounds
+        mem.read(self.slot(idx), R::SIZE);
+        Some(self.items[idx].clone())
+    }
+
+    fn update(&mut self, key: u64, rec: R, mem: &mut MemorySystem) -> bool {
+        let Some(idx) = self.find(key, mem) else {
+            return false;
+        };
+        mem.write(self.slot(idx), R::SIZE);
+        self.items[idx] = rec;
+        true
+    }
+
+    fn remove(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let idx = self.find(key, mem)?;
+        self.remove_nth(idx, mem)
+    }
+
+    fn remove_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.items.len() {
+            return None;
+        }
+        mem.read(self.slot(idx), R::SIZE);
+        self.shift_left(idx, mem);
+        mem.write(self.desc.offset(16), 8); // count
+        Some(self.items.remove(idx))
+    }
+
+    fn scan(&mut self, mem: &mut MemorySystem, visit: &mut dyn FnMut(&R) -> bool) {
+        mem.read(self.desc, 16);
+        for i in 0..self.items.len() {
+            mem.read(self.slot(i), R::SIZE);
+            mem.touch_cpu(1);
+            if !visit(&self.items[i]) {
+                return;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn clear(&mut self, mem: &mut MemorySystem) {
+        if !self.buf.is_null() {
+            mem.free(self.buf).expect("array buffer is live");
+            self.buf = VirtAddr::NULL;
+        }
+        self.capacity = 0;
+        self.items.clear();
+        mem.write(self.desc, DESCRIPTOR_BYTES);
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        let mut total = SimAllocator::gross_size(DESCRIPTOR_BYTES);
+        if self.capacity > 0 {
+            total += SimAllocator::gross_size(self.capacity as u64 * R::SIZE);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use ddtr_mem::MemoryConfig;
+
+    type Rec = TestRecord<32>;
+
+    fn rec(id: u64) -> Rec {
+        Rec { id, tag: id * 100 }
+    }
+
+    fn setup() -> (MemorySystem, ArrayDdt<Rec>) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let arr = ArrayDdt::new(&mut mem);
+        (mem, arr)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..10 {
+            arr.insert(rec(i), &mut mem);
+        }
+        assert_eq!(arr.len(), 10);
+        assert_eq!(arr.get(7, &mut mem), Some(rec(7)));
+        assert_eq!(arr.get(99, &mut mem), None);
+    }
+
+    #[test]
+    fn get_nth_is_positional() {
+        let (mut mem, mut arr) = setup();
+        for i in [5u64, 3, 9] {
+            arr.insert(rec(i), &mut mem);
+        }
+        assert_eq!(arr.get_nth(0, &mut mem), Some(rec(5)));
+        assert_eq!(arr.get_nth(2, &mut mem), Some(rec(9)));
+        assert_eq!(arr.get_nth(3, &mut mem), None);
+    }
+
+    #[test]
+    fn get_nth_costs_constant_accesses() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..64 {
+            arr.insert(rec(i), &mut mem);
+        }
+        let a0 = {
+            let before = mem.stats().accesses();
+            arr.get_nth(0, &mut mem);
+            mem.stats().accesses() - before
+        };
+        let a63 = {
+            let before = mem.stats().accesses();
+            arr.get_nth(63, &mut mem);
+            mem.stats().accesses() - before
+        };
+        assert_eq!(a0, a63, "array positional access is O(1)");
+    }
+
+    #[test]
+    fn get_probe_cost_grows_with_position() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..64 {
+            arr.insert(rec(i), &mut mem);
+        }
+        let cost = |key: u64, mem: &mut MemorySystem, arr: &mut ArrayDdt<Rec>| {
+            let before = mem.stats().accesses();
+            arr.get(key, mem);
+            mem.stats().accesses() - before
+        };
+        let front = cost(0, &mut mem, &mut arr);
+        let back = cost(63, &mut mem, &mut arr);
+        assert!(back > front + 50, "linear probe: {front} vs {back}");
+    }
+
+    #[test]
+    fn remove_shifts_and_preserves_order() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..5 {
+            arr.insert(rec(i), &mut mem);
+        }
+        assert_eq!(arr.remove(2, &mut mem), Some(rec(2)));
+        assert_eq!(arr.len(), 4);
+        let order: Vec<u64> = (0..4).map(|i| arr.get_nth(i, &mut mem).unwrap().id).collect();
+        assert_eq!(order, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn remove_nth_out_of_bounds_is_none() {
+        let (mut mem, mut arr) = setup();
+        arr.insert(rec(1), &mut mem);
+        assert_eq!(arr.remove_nth(5, &mut mem), None);
+        assert_eq!(arr.len(), 1);
+    }
+
+    #[test]
+    fn update_overwrites_first_match() {
+        let (mut mem, mut arr) = setup();
+        arr.insert(rec(1), &mut mem);
+        arr.insert(rec(2), &mut mem);
+        assert!(arr.update(2, Rec { id: 2, tag: 777 }, &mut mem));
+        assert_eq!(arr.get(2, &mut mem).unwrap().tag, 777);
+        assert!(!arr.update(42, rec(42), &mut mem));
+    }
+
+    #[test]
+    fn growth_doubles_capacity_and_copies() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..5 {
+            arr.insert(rec(i), &mut mem);
+        }
+        // capacity grew 4 -> 8; all 5 records intact
+        assert_eq!(arr.slack(), 3);
+        for i in 0..5 {
+            assert_eq!(arr.get_nth(i, &mut mem).unwrap().id, i as u64);
+        }
+    }
+
+    #[test]
+    fn footprint_includes_slack() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..5 {
+            arr.insert(rec(i), &mut mem);
+        }
+        let expected = SimAllocator::gross_size(DESCRIPTOR_BYTES)
+            + SimAllocator::gross_size(8 * Rec::SIZE);
+        assert_eq!(arr.footprint_bytes(), expected);
+    }
+
+    #[test]
+    fn clear_releases_buffer() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..10 {
+            arr.insert(rec(i), &mut mem);
+        }
+        let live_before = mem.alloc_stats().live_gross_bytes;
+        arr.clear(&mut mem);
+        assert!(arr.is_empty());
+        assert!(mem.alloc_stats().live_gross_bytes < live_before);
+        // container remains usable
+        arr.insert(rec(77), &mut mem);
+        assert_eq!(arr.get(77, &mut mem), Some(rec(77)));
+    }
+
+    #[test]
+    fn scan_visits_in_order_and_stops_early() {
+        let (mut mem, mut arr) = setup();
+        for i in 0..6 {
+            arr.insert(rec(i), &mut mem);
+        }
+        let mut seen = Vec::new();
+        arr.scan(&mut mem, &mut |r| {
+            seen.push(r.id);
+            r.id < 3
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_first() {
+        let (mut mem, mut arr) = setup();
+        arr.insert(Rec { id: 5, tag: 1 }, &mut mem);
+        arr.insert(Rec { id: 5, tag: 2 }, &mut mem);
+        assert_eq!(arr.get(5, &mut mem).unwrap().tag, 1);
+        assert_eq!(arr.remove(5, &mut mem).unwrap().tag, 1);
+        assert_eq!(arr.get(5, &mut mem).unwrap().tag, 2);
+    }
+}

@@ -1,0 +1,614 @@
+//! `SLL(AR)`, `DLL(AR)`, `SLL(ARO)`, `DLL(ARO)` — linked lists of array
+//! chunks (unrolled linked lists), optionally with a roving chunk pointer.
+
+use crate::ddt::Ddt;
+use crate::kind::DdtKind;
+use crate::layout::{CHUNK_CAPACITY, DESCRIPTOR_BYTES, KEY_BYTES, PTR_BYTES};
+use crate::record::Record;
+use ddtr_mem::{MemorySystem, SimAllocator, VirtAddr};
+
+#[derive(Debug)]
+struct Chunk<R> {
+    addr: VirtAddr,
+    recs: Vec<R>,
+}
+
+/// An unrolled linked list: a (singly or doubly) linked chain of
+/// fixed-capacity array chunks, optionally with a roving chunk pointer.
+///
+/// This single type implements four of the ten library DDTs (`SLL(AR)`,
+/// `DLL(AR)`, `SLL(ARO)`, `DLL(ARO)`). Chunking amortises link-following
+/// over [`CHUNK_CAPACITY`] records — traversal reads one header per chunk
+/// instead of one pointer per record — at the price of slack slots in
+/// partially filled chunks.
+///
+/// # Panics
+///
+/// All mutating operations panic if the simulated heap is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::{ChunkedDdt, Ddt, Record};
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+///
+/// # #[derive(Clone)] struct R(u64);
+/// # impl Record for R { const SIZE: u64 = 16; fn key(&self) -> u64 { self.0 } }
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut list = ChunkedDdt::new(&mut mem, false, false); // SLL(AR)
+/// for i in 0..20 { list.insert(R(i), &mut mem); }
+/// assert_eq!(list.get_nth(19, &mut mem).map(|r| r.0), Some(19));
+/// ```
+#[derive(Debug)]
+pub struct ChunkedDdt<R: Record> {
+    desc: VirtAddr,
+    desc_bytes: u64,
+    doubly: bool,
+    roving: bool,
+    rov_chunk: Option<usize>,
+    chunks: Vec<Chunk<R>>,
+    len: usize,
+    chunk_capacity: usize,
+}
+
+impl<R: Record> ChunkedDdt<R> {
+    /// Creates a chunked list with the library-default
+    /// [`CHUNK_CAPACITY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the descriptor.
+    #[must_use]
+    pub fn new(mem: &mut MemorySystem, doubly: bool, roving: bool) -> Self {
+        Self::with_chunk_capacity(mem, doubly, roving, CHUNK_CAPACITY)
+    }
+
+    /// Creates a chunked list with an explicit records-per-chunk capacity
+    /// (used by the chunk-size ablation bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_capacity` is zero or the heap is exhausted.
+    #[must_use]
+    pub fn with_chunk_capacity(
+        mem: &mut MemorySystem,
+        doubly: bool,
+        roving: bool,
+        chunk_capacity: usize,
+    ) -> Self {
+        assert!(chunk_capacity > 0, "chunk capacity must be non-zero");
+        let desc_bytes = if roving {
+            DESCRIPTOR_BYTES + PTR_BYTES
+        } else {
+            DESCRIPTOR_BYTES
+        };
+        let desc = mem
+            .alloc_hot(desc_bytes)
+            .expect("simulated heap exhausted allocating chunked-list descriptor");
+        mem.write(desc, desc_bytes);
+        ChunkedDdt {
+            desc,
+            desc_bytes,
+            doubly,
+            roving,
+            rov_chunk: None,
+            chunks: Vec::new(),
+            len: 0,
+            chunk_capacity,
+        }
+    }
+
+    fn header_bytes(&self) -> u64 {
+        // next + count, plus prev when doubly linked
+        if self.doubly {
+            3 * PTR_BYTES
+        } else {
+            2 * PTR_BYTES
+        }
+    }
+
+    fn chunk_bytes(&self) -> u64 {
+        self.header_bytes() + self.chunk_capacity as u64 * R::SIZE
+    }
+
+    fn slot(&self, chunk: usize, idx: usize) -> VirtAddr {
+        self.chunks[chunk]
+            .addr
+            .offset(self.header_bytes() + idx as u64 * R::SIZE)
+    }
+
+    fn rov_field(&self) -> VirtAddr {
+        self.desc.offset(DESCRIPTOR_BYTES)
+    }
+
+    /// Charges header reads for hopping `hops` chunks starting at `from`.
+    fn charge_chunk_walk(&self, from: usize, hops: usize, dir: isize, mem: &mut MemorySystem) {
+        let mut i = from as isize;
+        for _ in 0..hops {
+            mem.read(self.chunks[i as usize].addr, self.header_bytes());
+            mem.touch_cpu(1);
+            i += dir;
+        }
+    }
+
+    /// Logical index of the first record in `chunk`.
+    fn chunk_base(&self, chunk: usize) -> usize {
+        self.chunks[..chunk].iter().map(|c| c.recs.len()).sum()
+    }
+
+    /// Key probe. Returns (chunk, slot).
+    ///
+    /// Roving variants first probe the roving chunk (the "last hit" chunk);
+    /// packet-burst lookups of the same or a neighbouring key then avoid
+    /// the chain walk. On a roving miss the search falls back to a head
+    /// scan, so first-match semantics hold whenever keys are unique (which
+    /// the container contract expects for key-based operations).
+    fn find(&mut self, key: u64, mem: &mut MemorySystem) -> Option<(usize, usize)> {
+        let n_chunks = self.chunks.len();
+        if self.roving {
+            mem.read(self.rov_field(), PTR_BYTES);
+            if let Some(c) = self.rov_chunk.filter(|&c| c < n_chunks) {
+                mem.read(self.chunks[c].addr, self.header_bytes());
+                for (s, r) in self.chunks[c].recs.iter().enumerate() {
+                    mem.read(self.slot(c, s), KEY_BYTES);
+                    mem.touch_cpu(1);
+                    if r.key() == key {
+                        return Some((c, s));
+                    }
+                }
+            }
+        }
+        mem.read(self.desc, PTR_BYTES); // head
+        let mut hit = None;
+        'outer: for (c, chunk) in self.chunks.iter().enumerate() {
+            mem.read(chunk.addr, self.header_bytes()); // count + links
+            for (s, r) in chunk.recs.iter().enumerate() {
+                mem.read(self.slot(c, s), KEY_BYTES);
+                mem.touch_cpu(1);
+                if r.key() == key {
+                    hit = Some((c, s));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((c, _)) = hit {
+            if self.roving {
+                self.rov_chunk = Some(c);
+                mem.write(self.rov_field(), PTR_BYTES);
+            }
+        }
+        hit
+    }
+
+    /// Positional locate: translate logical `idx` into (chunk, slot) and
+    /// charge the chunk hops from the cheapest entry point.
+    fn locate(&mut self, idx: usize, mem: &mut MemorySystem) -> (usize, usize) {
+        debug_assert!(idx < self.len);
+        let mut target = 0;
+        let mut base = 0;
+        for (c, chunk) in self.chunks.iter().enumerate() {
+            if idx < base + chunk.recs.len() {
+                target = c;
+                break;
+            }
+            base += chunk.recs.len();
+        }
+        let slot = idx - self.chunk_base(target);
+        let n_chunks = self.chunks.len();
+        // Entry points: head, tail (doubly), roving chunk.
+        let mut best = (target, 0usize, 1isize, false);
+        if self.doubly {
+            let from_tail = n_chunks - 1 - target;
+            if from_tail < best.0 {
+                best = (from_tail, n_chunks - 1, -1, false);
+            }
+        }
+        if self.roving {
+            if let Some(r) = self.rov_chunk.filter(|&r| r < n_chunks) {
+                if target >= r && target - r < best.0 {
+                    best = (target - r, r, 1, true);
+                }
+                if self.doubly && r > target && r - target < best.0 {
+                    best = (r - target, r, -1, true);
+                }
+            }
+        }
+        let (hops, start, dir, via_rov) = best;
+        if via_rov {
+            mem.read(self.rov_field(), PTR_BYTES);
+        } else {
+            mem.read(self.desc, PTR_BYTES);
+        }
+        self.charge_chunk_walk(start, hops, dir, mem);
+        mem.read(self.chunks[target].addr, self.header_bytes()); // target header
+        if self.roving {
+            self.rov_chunk = Some(target);
+            mem.write(self.rov_field(), PTR_BYTES);
+        }
+        (target, slot)
+    }
+
+    /// Removes the record at (chunk, slot): intra-chunk shift, chunk unlink
+    /// when emptied.
+    fn remove_at(&mut self, chunk: usize, slot: usize, mem: &mut MemorySystem) -> R {
+        mem.read(self.slot(chunk, slot), R::SIZE);
+        let chunk_len = self.chunks[chunk].recs.len();
+        for s in slot + 1..chunk_len {
+            mem.read(self.slot(chunk, s), R::SIZE);
+            mem.write(self.slot(chunk, s - 1), R::SIZE);
+        }
+        mem.write(self.chunks[chunk].addr, PTR_BYTES); // chunk count
+        mem.write(self.desc.offset(2 * PTR_BYTES), PTR_BYTES); // total count
+        let rec = self.chunks[chunk].recs.remove(slot);
+        self.len -= 1;
+        if self.chunks[chunk].recs.is_empty() {
+            // Unlink and free the emptied chunk.
+            if chunk == 0 {
+                mem.write(self.desc, PTR_BYTES); // head
+            } else {
+                mem.write(self.chunks[chunk - 1].addr, PTR_BYTES); // prev.next
+            }
+            if self.doubly {
+                if chunk + 1 < self.chunks.len() {
+                    mem.write(self.chunks[chunk + 1].addr, PTR_BYTES); // next.prev
+                } else {
+                    mem.write(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+                }
+            } else if chunk + 1 == self.chunks.len() {
+                mem.write(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+            }
+            let dead = self.chunks.remove(chunk);
+            mem.free(dead.addr).expect("chunk is live");
+            self.rov_chunk = match self.rov_chunk {
+                Some(r) if r == chunk => None,
+                Some(r) if r > chunk => Some(r - 1),
+                other => other,
+            };
+        }
+        rec
+    }
+}
+
+impl<R: Record> Ddt<R> for ChunkedDdt<R> {
+    fn kind(&self) -> DdtKind {
+        match (self.doubly, self.roving) {
+            (false, false) => DdtKind::SllChunk,
+            (true, false) => DdtKind::DllChunk,
+            (false, true) => DdtKind::SllChunkRov,
+            (true, true) => DdtKind::DllChunkRov,
+        }
+    }
+
+    fn insert(&mut self, rec: R, mem: &mut MemorySystem) {
+        mem.read(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+        let need_chunk = self
+            .chunks
+            .last()
+            .is_none_or(|c| c.recs.len() == self.chunk_capacity);
+        if need_chunk {
+            let addr = mem
+                .alloc(self.chunk_bytes())
+                .expect("simulated heap exhausted allocating chunk");
+            mem.write(addr, self.header_bytes()); // initialise links + count
+            if let Some(last) = self.chunks.last() {
+                mem.write(last.addr, PTR_BYTES); // old tail .next
+            } else {
+                mem.write(self.desc, PTR_BYTES); // head
+            }
+            mem.write(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+            self.chunks.push(Chunk {
+                addr,
+                recs: Vec::with_capacity(self.chunk_capacity),
+            });
+        } else {
+            mem.read(self.chunks.last().expect("non-empty").addr, self.header_bytes());
+        }
+        let c = self.chunks.len() - 1;
+        let s = self.chunks[c].recs.len();
+        mem.write(self.slot(c, s), R::SIZE);
+        mem.write(self.chunks[c].addr, PTR_BYTES); // chunk count
+        mem.write(self.desc.offset(2 * PTR_BYTES), PTR_BYTES); // total count
+        self.chunks[c].recs.push(rec);
+        self.len += 1;
+    }
+
+    fn get(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let (c, s) = self.find(key, mem)?;
+        mem.read(self.slot(c, s), R::SIZE);
+        Some(self.chunks[c].recs[s].clone())
+    }
+
+    fn get_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.len {
+            return None;
+        }
+        let (c, s) = self.locate(idx, mem);
+        mem.read(self.slot(c, s), R::SIZE);
+        Some(self.chunks[c].recs[s].clone())
+    }
+
+    fn update(&mut self, key: u64, rec: R, mem: &mut MemorySystem) -> bool {
+        let Some((c, s)) = self.find(key, mem) else {
+            return false;
+        };
+        mem.write(self.slot(c, s), R::SIZE);
+        self.chunks[c].recs[s] = rec;
+        true
+    }
+
+    fn remove(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let (c, s) = if self.doubly {
+            self.find(key, mem)?
+        } else {
+            // SLL chunk chain: rescan from the head so the predecessor
+            // chunk is known if the victim chunk empties.
+            mem.read(self.desc, PTR_BYTES);
+            let mut hit = None;
+            'outer: for (c, chunk) in self.chunks.iter().enumerate() {
+                mem.read(chunk.addr, self.header_bytes());
+                for (s, r) in chunk.recs.iter().enumerate() {
+                    mem.read(self.slot(c, s), KEY_BYTES);
+                    mem.touch_cpu(1);
+                    if r.key() == key {
+                        hit = Some((c, s));
+                        break 'outer;
+                    }
+                }
+            }
+            hit?
+        };
+        Some(self.remove_at(c, s, mem))
+    }
+
+    fn remove_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.len {
+            return None;
+        }
+        let (c, s) = if self.doubly {
+            self.locate(idx, mem)
+        } else {
+            // Walk from the head (predecessor needed for unlink).
+            mem.read(self.desc, PTR_BYTES);
+            let mut base = 0;
+            let mut target = 0;
+            for (ci, chunk) in self.chunks.iter().enumerate() {
+                mem.read(chunk.addr, self.header_bytes());
+                mem.touch_cpu(1);
+                if idx < base + chunk.recs.len() {
+                    target = ci;
+                    break;
+                }
+                base += chunk.recs.len();
+            }
+            (target, idx - base)
+        };
+        Some(self.remove_at(c, s, mem))
+    }
+
+    fn scan(&mut self, mem: &mut MemorySystem, visit: &mut dyn FnMut(&R) -> bool) {
+        mem.read(self.desc, PTR_BYTES);
+        for c in 0..self.chunks.len() {
+            mem.read(self.chunks[c].addr, self.header_bytes());
+            for s in 0..self.chunks[c].recs.len() {
+                mem.read(self.slot(c, s), R::SIZE);
+                mem.touch_cpu(1);
+                if !visit(&self.chunks[c].recs[s]) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self, mem: &mut MemorySystem) {
+        for chunk in self.chunks.drain(..) {
+            mem.free(chunk.addr).expect("chunk is live");
+        }
+        self.len = 0;
+        self.rov_chunk = None;
+        mem.write(self.desc, self.desc_bytes);
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        SimAllocator::gross_size(self.desc_bytes)
+            + self.chunks.len() as u64 * SimAllocator::gross_size(self.chunk_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use ddtr_mem::MemoryConfig;
+
+    type Rec = TestRecord<32>;
+
+    fn rec(id: u64) -> Rec {
+        Rec { id, tag: id + 7 }
+    }
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemoryConfig::default())
+    }
+
+    fn fill(list: &mut ChunkedDdt<Rec>, mem: &mut MemorySystem, n: u64) {
+        for i in 0..n {
+            list.insert(rec(i), mem);
+        }
+    }
+
+    fn access_cost<F: FnOnce(&mut MemorySystem)>(mem: &mut MemorySystem, f: F) -> u64 {
+        let before = mem.stats().accesses();
+        f(mem);
+        mem.stats().accesses() - before
+    }
+
+    #[test]
+    fn four_kinds_report_correctly() {
+        let mut m = mem();
+        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, false, false).kind(), DdtKind::SllChunk);
+        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, true, false).kind(), DdtKind::DllChunk);
+        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, false, true).kind(), DdtKind::SllChunkRov);
+        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, true, true).kind(), DdtKind::DllChunkRov);
+    }
+
+    #[test]
+    fn insert_get_round_trip_all_variants() {
+        for (doubly, roving) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut m = mem();
+            let mut list = ChunkedDdt::new(&mut m, doubly, roving);
+            fill(&mut list, &mut m, 30);
+            for i in 0..30 {
+                assert_eq!(list.get(i, &mut m), Some(rec(i)), "doubly={doubly} roving={roving}");
+                assert_eq!(list.get_nth(i as usize, &mut m), Some(rec(i)));
+            }
+            assert_eq!(list.get(1000, &mut m), None);
+            assert_eq!(list.get_nth(30, &mut m), None);
+        }
+    }
+
+    #[test]
+    fn chunks_allocated_on_demand() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::new(&mut m, false, false);
+        fill(&mut list, &mut m, CHUNK_CAPACITY as u64);
+        assert_eq!(list.chunks.len(), 1);
+        list.insert(rec(99), &mut m);
+        assert_eq!(list.chunks.len(), 2);
+    }
+
+    #[test]
+    fn positional_walk_cheaper_than_plain_list() {
+        // The whole point of chunking: reaching record 63 hops 8 chunk
+        // headers instead of 63 node pointers.
+        let mut m = mem();
+        let mut chunked = ChunkedDdt::new(&mut m, false, false);
+        fill(&mut chunked, &mut m, 64);
+        let cost = access_cost(&mut m, |m| {
+            chunked.get_nth(63, m);
+        });
+        assert!(cost < 20, "chunk walk should be ~n/8 header reads, got {cost}");
+    }
+
+    #[test]
+    fn roving_chunk_pointer_helps_sequential_access() {
+        let mut m = mem();
+        let mut plain = ChunkedDdt::new(&mut m, false, false);
+        let mut rov = ChunkedDdt::new(&mut m, false, true);
+        fill(&mut plain, &mut m, 128);
+        fill(&mut rov, &mut m, 128);
+        let plain_cost = access_cost(&mut m, |m| {
+            for i in 0..128 {
+                plain.get_nth(i, m);
+            }
+        });
+        let rov_cost = access_cost(&mut m, |m| {
+            for i in 0..128 {
+                rov.get_nth(i, m);
+            }
+        });
+        assert!(rov_cost < plain_cost, "roving {rov_cost} vs plain {plain_cost}");
+    }
+
+    #[test]
+    fn remove_shifts_within_chunk_only() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::new(&mut m, false, false);
+        fill(&mut list, &mut m, 24); // 3 chunks of 8
+        assert_eq!(list.remove(4, &mut m), Some(rec(4)));
+        assert_eq!(list.len(), 23);
+        // order preserved
+        let order: Vec<u64> = (0..23).map(|i| list.get_nth(i, &mut m).unwrap().id).collect();
+        let expected: Vec<u64> = (0..24).filter(|&i| i != 4).collect();
+        assert_eq!(order, expected);
+        // chunk sizes: first chunk lost one record, others untouched
+        assert_eq!(list.chunks[0].recs.len(), 7);
+        assert_eq!(list.chunks[1].recs.len(), 8);
+    }
+
+    #[test]
+    fn emptied_chunk_is_unlinked_and_freed() {
+        for doubly in [false, true] {
+            let mut m = mem();
+            let mut list = ChunkedDdt::new(&mut m, doubly, false);
+            fill(&mut list, &mut m, 9); // chunks: 8 + 1
+            let live = m.alloc_stats().live_gross_bytes;
+            list.remove(8, &mut m); // empties the second chunk
+            assert_eq!(list.chunks.len(), 1);
+            assert!(m.alloc_stats().live_gross_bytes < live);
+            assert_eq!(list.len(), 8);
+        }
+    }
+
+    #[test]
+    fn remove_head_chunk_updates_head() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::with_chunk_capacity(&mut m, false, false, 2);
+        fill(&mut list, &mut m, 6);
+        list.remove(0, &mut m);
+        list.remove(1, &mut m); // first chunk now empty and unlinked
+        assert_eq!(list.get_nth(0, &mut m), Some(rec(2)));
+        assert_eq!(list.chunks.len(), 2);
+    }
+
+    #[test]
+    fn footprint_counts_slack_slots() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::new(&mut m, false, false);
+        fill(&mut list, &mut m, 1); // one chunk, 7 slack slots
+        let expected = SimAllocator::gross_size(DESCRIPTOR_BYTES)
+            + SimAllocator::gross_size(2 * PTR_BYTES + CHUNK_CAPACITY as u64 * Rec::SIZE);
+        assert_eq!(list.footprint_bytes(), expected);
+    }
+
+    #[test]
+    fn custom_chunk_capacity_respected() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::with_chunk_capacity(&mut m, true, false, 3);
+        fill(&mut list, &mut m, 10);
+        assert_eq!(list.chunks.len(), 4); // 3+3+3+1
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk capacity")]
+    fn zero_chunk_capacity_rejected() {
+        let mut m = mem();
+        let _ = ChunkedDdt::<Rec>::with_chunk_capacity(&mut m, false, false, 0);
+    }
+
+    #[test]
+    fn update_scan_clear() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::new(&mut m, true, true);
+        fill(&mut list, &mut m, 12);
+        assert!(list.update(3, Rec { id: 3, tag: 999 }, &mut m));
+        let mut seen = Vec::new();
+        list.scan(&mut m, &mut |r| {
+            seen.push(r.tag);
+            true
+        });
+        assert_eq!(seen[3], 999);
+        assert_eq!(seen.len(), 12);
+        list.clear(&mut m);
+        assert!(list.is_empty());
+        assert_eq!(
+            m.alloc_stats().live_gross_bytes,
+            SimAllocator::gross_size(DESCRIPTOR_BYTES + PTR_BYTES)
+        );
+    }
+
+    #[test]
+    fn remove_nth_across_chunks() {
+        let mut m = mem();
+        let mut list = ChunkedDdt::new(&mut m, true, false);
+        fill(&mut list, &mut m, 20);
+        assert_eq!(list.remove_nth(10, &mut m), Some(rec(10)));
+        assert_eq!(list.remove_nth(0, &mut m), Some(rec(0)));
+        assert_eq!(list.remove_nth(17, &mut m), Some(rec(19)));
+        assert_eq!(list.len(), 17);
+        assert_eq!(list.remove_nth(17, &mut m), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! The common interface of all dynamic data types.
+
+use crate::record::Record;
+use crate::DdtKind;
+use ddtr_mem::MemorySystem;
+
+/// A dynamic data type: a run-time-allocated, keyed record container.
+///
+/// This is the instrumentation interface of the methodology: the paper
+/// inserts "typical functions operating on DDTs (e.g. add a record, access
+/// a record or remove a record)" into the application once, and then swaps
+/// the implementation behind this interface for every exploration run.
+///
+/// Every method takes the [`MemorySystem`] the container lives in and
+/// issues the memory traffic the modelled structure would issue. Methods
+/// that search or position take `&mut self` because the roving-pointer
+/// variants update their roving position on reads.
+///
+/// Keys are expected to be unique within a container (network records —
+/// routes, sessions, rules, flows — carry unique identifiers). If duplicate
+/// keys are stored anyway, non-roving implementations operate on the first
+/// match in logical order, while roving implementations may operate on the
+/// most recently accessed match first.
+///
+/// # Object safety
+///
+/// The trait is object-safe for a fixed record type: exploration code works
+/// with `Box<dyn Ddt<R>>` values produced by [`DdtKind::instantiate`].
+pub trait Ddt<R: Record> {
+    /// Which of the ten implementations this is.
+    fn kind(&self) -> DdtKind;
+
+    /// Appends a record at the logical end of the container.
+    fn insert(&mut self, rec: R, mem: &mut MemorySystem);
+
+    /// Returns a copy of the first record whose key equals `key`.
+    fn get(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R>;
+
+    /// Returns a copy of the record at logical position `idx`.
+    fn get_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R>;
+
+    /// Overwrites the first record whose key equals `key`; returns whether
+    /// a record was found.
+    fn update(&mut self, key: u64, rec: R, mem: &mut MemorySystem) -> bool;
+
+    /// Removes and returns the first record whose key equals `key`.
+    fn remove(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R>;
+
+    /// Removes and returns the record at logical position `idx`.
+    fn remove_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R>;
+
+    /// Visits records in logical order until the visitor returns `false`.
+    ///
+    /// The traversal reads every visited record in full, plus the link
+    /// fields needed to reach it — exactly the traffic of an iterator over
+    /// the modelled structure.
+    fn scan(&mut self, mem: &mut MemorySystem, visit: &mut dyn FnMut(&R) -> bool);
+
+    /// Number of records currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the container is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all records and returns their heap blocks to the simulated
+    /// allocator.
+    fn clear(&mut self, mem: &mut MemorySystem);
+
+    /// Current modelled heap bytes attributable to this container
+    /// (descriptor, link fields, chunk headers, slack capacity and records,
+    /// including allocator overhead).
+    fn footprint_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use crate::DdtKind;
+    use ddtr_mem::{MemoryConfig, MemorySystem};
+
+    type Rec = TestRecord<32>;
+
+    #[test]
+    fn trait_is_object_safe_and_default_is_empty() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let ddt: Box<dyn Ddt<Rec>> = DdtKind::Array.instantiate(&mut mem);
+        assert!(ddt.is_empty());
+        assert_eq!(ddt.len(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The dynamic-data-type (DDT) library of the `ddtr` workspace.
+//!
+//! This crate is the Rust counterpart of the ten-implementation C++ DDT
+//! library the DATE 2006 paper instruments its applications with
+//! (Mamagkakis et al., WWIC 2004). A *dynamic data type* is a container
+//! whose records are allocated and freed at run time; the choice of its
+//! internal organisation (array vs. linked list vs. chunked list, with or
+//! without a roving pointer) trades the four cost metrics of the
+//! methodology against each other.
+//!
+//! Every operation of every implementation issues the memory traffic the
+//! modelled structure would issue on the embedded platform — pointer
+//! dereferences, key compares, record moves, allocator calls — against a
+//! [`ddtr_mem::MemorySystem`], so that the exploration layer can measure
+//! accesses, cycles, energy and footprint per candidate implementation.
+//!
+//! # The ten implementations
+//!
+//! | [`DdtKind`] | Organisation |
+//! |---|---|
+//! | `Array` | contiguous growable array of records (AR) |
+//! | `ArrayPtr` | growable array of pointers to heap records (AR(P)) |
+//! | `Sll` | singly linked list |
+//! | `Dll` | doubly linked list |
+//! | `SllRov` | SLL with a roving pointer (SLL(O)) |
+//! | `DllRov` | DLL with a roving pointer (DLL(O)) |
+//! | `SllChunk` | singly linked list of array chunks (SLL(AR)) |
+//! | `DllChunk` | doubly linked list of array chunks (DLL(AR)) |
+//! | `SllChunkRov` | chunked SLL with a roving pointer (SLL(ARO)) |
+//! | `DllChunkRov` | chunked DLL with a roving pointer (DLL(ARO)) |
+//!
+//! Two *extension* implementations beyond the paper's library —
+//! [`DdtKind::Hash`] (HSH, an insertion-order-preserving chained hash
+//! table) and [`DdtKind::Avl`] (AVL, a balanced search tree with order
+//! threading) — are available through [`DdtKind::EXTENDED`] and show how
+//! the exploration absorbs new candidates without changing the
+//! instrumentation.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_ddt::{Ddt, DdtKind, Record};
+//! use ddtr_mem::{MemoryConfig, MemorySystem};
+//!
+//! #[derive(Clone, Debug, PartialEq)]
+//! struct Entry { id: u64, payload: [u8; 24] }
+//! impl Record for Entry {
+//!     const SIZE: u64 = 32;
+//!     fn key(&self) -> u64 { self.id }
+//! }
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::default());
+//! let mut ddt = DdtKind::Dll.instantiate::<Entry>(&mut mem);
+//! ddt.insert(Entry { id: 7, payload: [0; 24] }, &mut mem);
+//! assert_eq!(ddt.get(7, &mut mem).map(|e| e.id), Some(7));
+//! assert!(mem.report().accesses > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod array_ptr;
+mod chunked;
+mod ddt;
+mod hash;
+mod kind;
+mod layout;
+mod linked;
+mod probe;
+mod record;
+mod tree;
+
+pub use array::ArrayDdt;
+pub use array_ptr::ArrayPtrDdt;
+pub use chunked::ChunkedDdt;
+pub use ddt::Ddt;
+pub use hash::HashDdt;
+pub use kind::{DdtKind, ParseDdtKindError};
+pub use layout::{CHUNK_CAPACITY, DESCRIPTOR_BYTES, KEY_BYTES, PTR_BYTES};
+pub use linked::LinkedDdt;
+pub use probe::{OpCounts, ProfiledDdt};
+pub use record::{Record, TestRecord};
+pub use tree::TreeDdt;

@@ -1,0 +1,593 @@
+//! `SLL`, `DLL`, `SLL(O)`, `DLL(O)` — linked lists of records, optionally
+//! with a roving pointer.
+
+use crate::ddt::Ddt;
+use crate::kind::DdtKind;
+use crate::layout::{DESCRIPTOR_BYTES, KEY_BYTES, PTR_BYTES};
+use crate::record::Record;
+use ddtr_mem::{MemorySystem, SimAllocator, VirtAddr};
+
+/// A (singly or doubly) linked list of individually allocated record nodes,
+/// optionally maintaining a *roving pointer* — a cursor remembering the last
+/// accessed position so that nearby subsequent accesses walk fewer links.
+///
+/// This single type implements four of the ten library DDTs (`SLL`, `DLL`,
+/// `SLL(O)`, `DLL(O)`); use [`DdtKind::instantiate`] or the named
+/// constructors.
+///
+/// Modelled node layout: the record, followed by a `next` pointer, followed
+/// (in the doubly linked variants) by a `prev` pointer. Every link followed
+/// during traversal is one pointer-sized memory read.
+///
+/// # Panics
+///
+/// All mutating operations panic if the simulated heap is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::{Ddt, LinkedDdt, Record};
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+///
+/// # #[derive(Clone)] struct R(u64);
+/// # impl Record for R { const SIZE: u64 = 16; fn key(&self) -> u64 { self.0 } }
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut list = LinkedDdt::dll(&mut mem);
+/// list.insert(R(1), &mut mem);
+/// list.insert(R(2), &mut mem);
+/// assert_eq!(list.remove(1, &mut mem).map(|r| r.0), Some(1));
+/// assert_eq!(list.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct LinkedDdt<R: Record> {
+    desc: VirtAddr,
+    desc_bytes: u64,
+    doubly: bool,
+    roving: bool,
+    /// Logical index of the roving pointer, when valid.
+    rov: Option<usize>,
+    nodes: Vec<(VirtAddr, R)>,
+}
+
+impl<R: Record> LinkedDdt<R> {
+    /// Creates a list container.
+    ///
+    /// `doubly` selects two link fields per node; `roving` adds a roving
+    /// pointer to the descriptor. Prefer the named constructors or
+    /// [`DdtKind::instantiate`] in application code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the descriptor.
+    #[must_use]
+    pub fn new(mem: &mut MemorySystem, doubly: bool, roving: bool) -> Self {
+        let desc_bytes = if roving {
+            DESCRIPTOR_BYTES + PTR_BYTES
+        } else {
+            DESCRIPTOR_BYTES
+        };
+        let desc = mem
+            .alloc_hot(desc_bytes)
+            .expect("simulated heap exhausted allocating list descriptor");
+        mem.write(desc, desc_bytes);
+        LinkedDdt {
+            desc,
+            desc_bytes,
+            doubly,
+            roving,
+            rov: None,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// A plain singly linked list (`SLL`).
+    #[must_use]
+    pub fn sll(mem: &mut MemorySystem) -> Self {
+        Self::new(mem, false, false)
+    }
+
+    /// A plain doubly linked list (`DLL`).
+    #[must_use]
+    pub fn dll(mem: &mut MemorySystem) -> Self {
+        Self::new(mem, true, false)
+    }
+
+    /// A singly linked list with a roving pointer (`SLL(O)`).
+    #[must_use]
+    pub fn sll_rov(mem: &mut MemorySystem) -> Self {
+        Self::new(mem, false, true)
+    }
+
+    /// A doubly linked list with a roving pointer (`DLL(O)`).
+    #[must_use]
+    pub fn dll_rov(mem: &mut MemorySystem) -> Self {
+        Self::new(mem, true, true)
+    }
+
+    fn node_bytes() -> u64 {
+        R::SIZE + PTR_BYTES
+    }
+
+    fn node_bytes_doubly() -> u64 {
+        R::SIZE + 2 * PTR_BYTES
+    }
+
+    fn this_node_bytes(&self) -> u64 {
+        if self.doubly {
+            Self::node_bytes_doubly()
+        } else {
+            Self::node_bytes()
+        }
+    }
+
+    fn next_field(&self, node: VirtAddr) -> VirtAddr {
+        node.offset(R::SIZE)
+    }
+
+    fn prev_field(&self, node: VirtAddr) -> VirtAddr {
+        node.offset(R::SIZE + PTR_BYTES)
+    }
+
+    fn rov_field(&self) -> VirtAddr {
+        self.desc.offset(DESCRIPTOR_BYTES)
+    }
+
+    /// Charges the pointer reads of walking `hops` links starting at
+    /// logical index `from`, forward (`dir = +1`) or backward (`dir = -1`).
+    fn charge_walk(&self, from: usize, hops: usize, dir: isize, mem: &mut MemorySystem) {
+        let mut i = from as isize;
+        for _ in 0..hops {
+            let addr = self.nodes[i as usize].0;
+            let field = if dir >= 0 {
+                self.next_field(addr)
+            } else {
+                self.prev_field(addr)
+            };
+            mem.read(field, PTR_BYTES);
+            mem.touch_cpu(1);
+            i += dir;
+        }
+    }
+
+    /// Key search charging one key read per probed node and one link read
+    /// per advance.
+    ///
+    /// Roving variants first probe the record at the roving pointer (the
+    /// "last hit" cache, one key read); repeated lookups of the same key —
+    /// the common packet-burst pattern in network applications — then cost
+    /// O(1). On a roving miss the search falls back to a head scan, so
+    /// first-match semantics hold whenever keys are unique (which the
+    /// container contract expects for key-based operations).
+    fn find(&mut self, key: u64, mem: &mut MemorySystem) -> Option<usize> {
+        let n = self.nodes.len();
+        if self.roving {
+            mem.read(self.rov_field(), PTR_BYTES);
+            if let Some(r) = self.rov.filter(|&r| r < n) {
+                mem.read(self.nodes[r].0, KEY_BYTES);
+                mem.touch_cpu(1);
+                if self.nodes[r].1.key() == key {
+                    return Some(r);
+                }
+            }
+        }
+        mem.read(self.desc, PTR_BYTES); // head
+        let mut found = None;
+        for i in 0..n {
+            mem.read(self.nodes[i].0, KEY_BYTES);
+            mem.touch_cpu(1);
+            if self.nodes[i].1.key() == key {
+                found = Some(i);
+                break;
+            }
+            mem.read(self.next_field(self.nodes[i].0), PTR_BYTES);
+        }
+        if let Some(i) = found {
+            if self.roving {
+                self.rov = Some(i);
+                mem.write(self.rov_field(), PTR_BYTES);
+            }
+        }
+        found
+    }
+
+    /// Positional search from the cheapest entry point (head, tail if
+    /// doubly, roving pointer if enabled). Charges entry-point and link
+    /// reads; returns nothing extra — callers read the record themselves.
+    fn seek(&mut self, idx: usize, mem: &mut MemorySystem) {
+        let n = self.nodes.len();
+        debug_assert!(idx < n);
+        // (hops, start, dir, reads_rov)
+        let mut best = (idx, 0usize, 1isize, false); // from head
+        if self.doubly {
+            let from_tail = n - 1 - idx;
+            if from_tail < best.0 {
+                best = (from_tail, n - 1, -1, false);
+            }
+        }
+        if self.roving {
+            if let Some(r) = self.rov.filter(|&r| r < n) {
+                if idx >= r && idx - r < best.0 {
+                    best = (idx - r, r, 1, true);
+                }
+                if self.doubly && r > idx && r - idx < best.0 {
+                    best = (r - idx, r, -1, true);
+                }
+            }
+        }
+        let (hops, start, dir, via_rov) = best;
+        if via_rov {
+            mem.read(self.rov_field(), PTR_BYTES);
+        } else {
+            // head or tail pointer in the descriptor
+            mem.read(self.desc, PTR_BYTES);
+        }
+        self.charge_walk(start, hops, dir, mem);
+        if self.roving {
+            self.rov = Some(idx);
+            mem.write(self.rov_field(), PTR_BYTES);
+        }
+    }
+
+    /// Unlinks the node at `idx`, charging pointer fix-ups, and frees it.
+    /// For singly linked variants the caller must have walked from the head
+    /// so the predecessor is known (this is why SLL removals rescan).
+    fn unlink(&mut self, idx: usize, mem: &mut MemorySystem) -> R {
+        let (addr, _) = self.nodes[idx];
+        // Read the victim's link fields to splice around it.
+        let link_bytes = if self.doubly { 2 * PTR_BYTES } else { PTR_BYTES };
+        mem.read(self.next_field(addr), link_bytes);
+        if idx == 0 {
+            mem.write(self.desc, PTR_BYTES); // head
+        } else {
+            mem.write(self.next_field(self.nodes[idx - 1].0), PTR_BYTES);
+        }
+        if self.doubly {
+            if idx + 1 < self.nodes.len() {
+                mem.write(self.prev_field(self.nodes[idx + 1].0), PTR_BYTES);
+            } else {
+                mem.write(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+            }
+        } else if idx + 1 == self.nodes.len() {
+            mem.write(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+        }
+        mem.write(self.desc.offset(2 * PTR_BYTES), PTR_BYTES); // count
+        mem.free(addr).expect("list node is live");
+        let (_, rec) = self.nodes.remove(idx);
+        // Keep the roving pointer consistent with logical indices.
+        self.rov = match self.rov {
+            Some(r) if r == idx => None,
+            Some(r) if r > idx => Some(r - 1),
+            other => other,
+        };
+        rec
+    }
+}
+
+impl<R: Record> Ddt<R> for LinkedDdt<R> {
+    fn kind(&self) -> DdtKind {
+        match (self.doubly, self.roving) {
+            (false, false) => DdtKind::Sll,
+            (true, false) => DdtKind::Dll,
+            (false, true) => DdtKind::SllRov,
+            (true, true) => DdtKind::DllRov,
+        }
+    }
+
+    fn insert(&mut self, rec: R, mem: &mut MemorySystem) {
+        let addr = mem
+            .alloc(self.this_node_bytes())
+            .expect("simulated heap exhausted allocating list node");
+        mem.write(addr, R::SIZE); // record payload
+        mem.write(self.next_field(addr), PTR_BYTES); // next = null
+        if self.doubly {
+            mem.write(self.prev_field(addr), PTR_BYTES); // prev = old tail
+        }
+        mem.read(self.desc.offset(PTR_BYTES), PTR_BYTES); // tail
+        if let Some(&(tail_addr, _)) = self.nodes.last() {
+            mem.write(self.next_field(tail_addr), PTR_BYTES);
+        } else {
+            mem.write(self.desc, PTR_BYTES); // head
+        }
+        mem.write(self.desc.offset(PTR_BYTES), 2 * PTR_BYTES); // tail + count
+        self.nodes.push((addr, rec));
+    }
+
+    fn get(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let idx = self.find(key, mem)?;
+        mem.read(self.nodes[idx].0, R::SIZE);
+        Some(self.nodes[idx].1.clone())
+    }
+
+    fn get_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.nodes.len() {
+            return None;
+        }
+        self.seek(idx, mem);
+        mem.read(self.nodes[idx].0, R::SIZE);
+        Some(self.nodes[idx].1.clone())
+    }
+
+    fn update(&mut self, key: u64, rec: R, mem: &mut MemorySystem) -> bool {
+        let Some(idx) = self.find(key, mem) else {
+            return false;
+        };
+        mem.write(self.nodes[idx].0, R::SIZE);
+        self.nodes[idx].1 = rec;
+        true
+    }
+
+    fn remove(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let idx = if self.doubly {
+            // DLL can splice anywhere: find with the roving-aware probe.
+            self.find(key, mem)?
+        } else {
+            // SLL needs the predecessor: rescan from the head.
+            mem.read(self.desc, PTR_BYTES);
+            let mut found = None;
+            for (i, (addr, rec)) in self.nodes.iter().enumerate() {
+                mem.read(*addr, KEY_BYTES);
+                mem.touch_cpu(1);
+                if rec.key() == key {
+                    found = Some(i);
+                    break;
+                }
+                mem.read(self.next_field(*addr), PTR_BYTES);
+            }
+            found?
+        };
+        mem.read(self.nodes[idx].0, R::SIZE);
+        Some(self.unlink(idx, mem))
+    }
+
+    fn remove_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.nodes.len() {
+            return None;
+        }
+        if self.doubly {
+            self.seek(idx, mem);
+        } else {
+            // Walk from the head to learn the predecessor.
+            mem.read(self.desc, PTR_BYTES);
+            self.charge_walk(0, idx, 1, mem);
+        }
+        mem.read(self.nodes[idx].0, R::SIZE);
+        Some(self.unlink(idx, mem))
+    }
+
+    fn scan(&mut self, mem: &mut MemorySystem, visit: &mut dyn FnMut(&R) -> bool) {
+        mem.read(self.desc, PTR_BYTES);
+        for i in 0..self.nodes.len() {
+            mem.read(self.nodes[i].0, R::SIZE);
+            mem.read(self.next_field(self.nodes[i].0), PTR_BYTES);
+            mem.touch_cpu(1);
+            if !visit(&self.nodes[i].1) {
+                return;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn clear(&mut self, mem: &mut MemorySystem) {
+        for (addr, _) in self.nodes.drain(..) {
+            mem.free(addr).expect("list node is live");
+        }
+        self.rov = None;
+        mem.write(self.desc, self.desc_bytes);
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        SimAllocator::gross_size(self.desc_bytes)
+            + self.nodes.len() as u64 * SimAllocator::gross_size(self.this_node_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use ddtr_mem::MemoryConfig;
+
+    type Rec = TestRecord<32>;
+
+    fn rec(id: u64) -> Rec {
+        Rec { id, tag: id * 3 }
+    }
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemoryConfig::default())
+    }
+
+    fn fill(list: &mut LinkedDdt<Rec>, mem: &mut MemorySystem, n: u64) {
+        for i in 0..n {
+            list.insert(rec(i), mem);
+        }
+    }
+
+    fn access_cost<F: FnOnce(&mut MemorySystem)>(mem: &mut MemorySystem, f: F) -> u64 {
+        let before = mem.stats().accesses();
+        f(mem);
+        mem.stats().accesses() - before
+    }
+
+    #[test]
+    fn all_four_kinds_report_correctly() {
+        let mut m = mem();
+        assert_eq!(LinkedDdt::<Rec>::sll(&mut m).kind(), DdtKind::Sll);
+        assert_eq!(LinkedDdt::<Rec>::dll(&mut m).kind(), DdtKind::Dll);
+        assert_eq!(LinkedDdt::<Rec>::sll_rov(&mut m).kind(), DdtKind::SllRov);
+        assert_eq!(LinkedDdt::<Rec>::dll_rov(&mut m).kind(), DdtKind::DllRov);
+    }
+
+    #[test]
+    fn insert_get_round_trip_all_variants() {
+        for (doubly, roving) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut m = mem();
+            let mut list = LinkedDdt::new(&mut m, doubly, roving);
+            fill(&mut list, &mut m, 20);
+            assert_eq!(list.len(), 20);
+            for i in 0..20 {
+                assert_eq!(list.get(i, &mut m), Some(rec(i)), "doubly={doubly} roving={roving}");
+            }
+            assert_eq!(list.get(99, &mut m), None);
+        }
+    }
+
+    #[test]
+    fn sll_get_nth_cost_is_linear_in_position() {
+        let mut m = mem();
+        let mut list = LinkedDdt::sll(&mut m);
+        fill(&mut list, &mut m, 64);
+        let c0 = access_cost(&mut m, |m| {
+            list.get_nth(0, m);
+        });
+        let c63 = access_cost(&mut m, |m| {
+            list.get_nth(63, m);
+        });
+        assert!(c63 > c0 + 50, "walking 63 links must cost more: {c0} vs {c63}");
+    }
+
+    #[test]
+    fn dll_get_nth_walks_from_nearest_end() {
+        let mut m = mem();
+        let mut list = LinkedDdt::dll(&mut m);
+        fill(&mut list, &mut m, 64);
+        let back = access_cost(&mut m, |m| {
+            list.get_nth(63, m);
+        });
+        let front = access_cost(&mut m, |m| {
+            list.get_nth(0, m);
+        });
+        assert!(back <= front + 2, "tail entry point: {back} vs {front}");
+    }
+
+    #[test]
+    fn roving_pointer_makes_sequential_access_cheap() {
+        let mut m = mem();
+        let mut plain = LinkedDdt::sll(&mut m);
+        let mut rov = LinkedDdt::sll_rov(&mut m);
+        fill(&mut plain, &mut m, 64);
+        fill(&mut rov, &mut m, 64);
+        let plain_cost = access_cost(&mut m, |m| {
+            for i in 0..64 {
+                plain.get_nth(i, m);
+            }
+        });
+        let rov_cost = access_cost(&mut m, |m| {
+            for i in 0..64 {
+                rov.get_nth(i, m);
+            }
+        });
+        assert!(
+            rov_cost * 3 < plain_cost,
+            "roving sequential walk {rov_cost} vs plain {plain_cost}"
+        );
+    }
+
+    #[test]
+    fn roving_pointer_survives_unrelated_inserts() {
+        let mut m = mem();
+        let mut list = LinkedDdt::sll_rov(&mut m);
+        fill(&mut list, &mut m, 10);
+        list.get_nth(5, &mut m);
+        list.insert(rec(100), &mut m); // append: indices unchanged
+        let cheap = access_cost(&mut m, |m| {
+            list.get_nth(6, m);
+        });
+        assert!(cheap <= 6, "one hop from the roving pointer, got {cheap}");
+    }
+
+    #[test]
+    fn remove_preserves_order_and_frees_node() {
+        for (doubly, roving) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut m = mem();
+            let mut list = LinkedDdt::new(&mut m, doubly, roving);
+            fill(&mut list, &mut m, 6);
+            let live = m.alloc_stats().live_gross_bytes;
+            assert_eq!(list.remove(3, &mut m), Some(rec(3)));
+            assert!(m.alloc_stats().live_gross_bytes < live);
+            let order: Vec<u64> = (0..5).map(|i| list.get_nth(i, &mut m).unwrap().id).collect();
+            assert_eq!(order, vec![0, 1, 2, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn remove_head_and_tail_edges() {
+        let mut m = mem();
+        let mut list = LinkedDdt::dll(&mut m);
+        fill(&mut list, &mut m, 3);
+        assert_eq!(list.remove_nth(0, &mut m), Some(rec(0)));
+        assert_eq!(list.remove_nth(1, &mut m), Some(rec(2)));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.get_nth(0, &mut m), Some(rec(1)));
+        assert_eq!(list.remove_nth(0, &mut m), Some(rec(1)));
+        assert!(list.is_empty());
+        // insertion into the emptied list still works
+        list.insert(rec(9), &mut m);
+        assert_eq!(list.get(9, &mut m), Some(rec(9)));
+    }
+
+    #[test]
+    fn rov_adjusts_after_removal_before_it() {
+        let mut m = mem();
+        let mut list = LinkedDdt::sll_rov(&mut m);
+        fill(&mut list, &mut m, 10);
+        list.get_nth(7, &mut m); // rov = 7
+        list.remove_nth(2, &mut m); // rov shifts to 6
+        assert_eq!(list.get_nth(6, &mut m), Some(rec(7)));
+        let cheap = access_cost(&mut m, |m| {
+            list.get_nth(6, m);
+        });
+        assert!(cheap <= 4, "rov should sit exactly there, got {cheap}");
+    }
+
+    #[test]
+    fn dll_node_footprint_larger_than_sll() {
+        let mut m = mem();
+        let mut sll = LinkedDdt::sll(&mut m);
+        let mut dll = LinkedDdt::dll(&mut m);
+        fill(&mut sll, &mut m, 16);
+        fill(&mut dll, &mut m, 16);
+        assert!(dll.footprint_bytes() > sll.footprint_bytes());
+    }
+
+    #[test]
+    fn update_and_scan_work() {
+        let mut m = mem();
+        let mut list = LinkedDdt::dll_rov(&mut m);
+        fill(&mut list, &mut m, 4);
+        assert!(list.update(2, Rec { id: 2, tag: 555 }, &mut m));
+        let mut tags = Vec::new();
+        list.scan(&mut m, &mut |r| {
+            tags.push(r.tag);
+            true
+        });
+        assert_eq!(tags, vec![0, 3, 555, 9]);
+    }
+
+    #[test]
+    fn clear_frees_everything_but_descriptor() {
+        let mut m = mem();
+        let mut list = LinkedDdt::dll_rov(&mut m);
+        fill(&mut list, &mut m, 8);
+        list.clear(&mut m);
+        assert!(list.is_empty());
+        assert_eq!(
+            m.alloc_stats().live_gross_bytes,
+            SimAllocator::gross_size(DESCRIPTOR_BYTES + PTR_BYTES)
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_first_match_semantics() {
+        let mut m = mem();
+        let mut list = LinkedDdt::sll(&mut m);
+        list.insert(Rec { id: 4, tag: 1 }, &mut m);
+        list.insert(Rec { id: 4, tag: 2 }, &mut m);
+        assert_eq!(list.get(4, &mut m).unwrap().tag, 1);
+        assert_eq!(list.remove(4, &mut m).unwrap().tag, 1);
+        assert_eq!(list.get(4, &mut m).unwrap().tag, 2);
+    }
+}

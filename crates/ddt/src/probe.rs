@@ -1,0 +1,207 @@
+//! Profiling wrapper — the "profile object" of the methodology's first step.
+
+use crate::ddt::Ddt;
+use crate::kind::DdtKind;
+use crate::record::Record;
+use ddtr_mem::MemorySystem;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation counters collected by a [`ProfiledDdt`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// `insert` calls.
+    pub inserts: u64,
+    /// `get` (key search) calls.
+    pub gets: u64,
+    /// `get_nth` (positional) calls.
+    pub get_nths: u64,
+    /// `update` calls.
+    pub updates: u64,
+    /// `remove` + `remove_nth` calls.
+    pub removes: u64,
+    /// `scan` calls.
+    pub scans: u64,
+    /// Memory accesses attributed to this container.
+    pub accesses: u64,
+}
+
+impl OpCounts {
+    /// Total operation count (excluding the access tally).
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.inserts + self.gets + self.get_nths + self.updates + self.removes + self.scans
+    }
+}
+
+/// Wraps any [`Ddt`] and counts its operations and memory accesses.
+///
+/// The paper's step 1 "attaches to each candidate DDT of the network
+/// application a profile object and runs the application for some typical
+/// input traces"; the access shares collected here determine which
+/// containers are *dominant* and therefore worth exploring.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::{Ddt, DdtKind, ProfiledDdt, Record};
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+///
+/// # #[derive(Clone)] struct R(u64);
+/// # impl Record for R { const SIZE: u64 = 16; fn key(&self) -> u64 { self.0 } }
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let inner = DdtKind::Sll.instantiate::<R>(&mut mem);
+/// let mut probe = ProfiledDdt::new(inner);
+/// probe.insert(R(1), &mut mem);
+/// probe.get(1, &mut mem);
+/// let counts = probe.counts();
+/// assert_eq!(counts.inserts, 1);
+/// assert_eq!(counts.gets, 1);
+/// assert!(counts.accesses > 0);
+/// ```
+pub struct ProfiledDdt<R: Record> {
+    inner: Box<dyn Ddt<R>>,
+    counts: OpCounts,
+}
+
+impl<R: Record> ProfiledDdt<R> {
+    /// Attaches a profile object to `inner`.
+    #[must_use]
+    pub fn new(inner: Box<dyn Ddt<R>>) -> Self {
+        ProfiledDdt {
+            inner,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The counters collected so far.
+    #[must_use]
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Detaches the profile object, returning the wrapped container.
+    #[must_use]
+    pub fn into_inner(self) -> Box<dyn Ddt<R>> {
+        self.inner
+    }
+
+    fn tally<T>(
+        &mut self,
+        mem: &mut MemorySystem,
+        bump: impl FnOnce(&mut OpCounts),
+        op: impl FnOnce(&mut dyn Ddt<R>, &mut MemorySystem) -> T,
+    ) -> T {
+        let before = mem.stats().accesses();
+        let out = op(self.inner.as_mut(), mem);
+        self.counts.accesses += mem.stats().accesses() - before;
+        bump(&mut self.counts);
+        out
+    }
+}
+
+impl<R: Record> Ddt<R> for ProfiledDdt<R> {
+    fn kind(&self) -> DdtKind {
+        self.inner.kind()
+    }
+
+    fn insert(&mut self, rec: R, mem: &mut MemorySystem) {
+        self.tally(mem, |c| c.inserts += 1, |d, m| d.insert(rec, m));
+    }
+
+    fn get(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        self.tally(mem, |c| c.gets += 1, |d, m| d.get(key, m))
+    }
+
+    fn get_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        self.tally(mem, |c| c.get_nths += 1, |d, m| d.get_nth(idx, m))
+    }
+
+    fn update(&mut self, key: u64, rec: R, mem: &mut MemorySystem) -> bool {
+        self.tally(mem, |c| c.updates += 1, |d, m| d.update(key, rec, m))
+    }
+
+    fn remove(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        self.tally(mem, |c| c.removes += 1, |d, m| d.remove(key, m))
+    }
+
+    fn remove_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        self.tally(mem, |c| c.removes += 1, |d, m| d.remove_nth(idx, m))
+    }
+
+    fn scan(&mut self, mem: &mut MemorySystem, visit: &mut dyn FnMut(&R) -> bool) {
+        self.tally(mem, |c| c.scans += 1, |d, m| d.scan(m, visit));
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn clear(&mut self, mem: &mut MemorySystem) {
+        self.tally(mem, |_| {}, |d, m| d.clear(m));
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.inner.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use ddtr_mem::MemoryConfig;
+
+    type Rec = TestRecord<16>;
+
+    #[test]
+    fn counts_every_operation_category() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = ProfiledDdt::new(DdtKind::Dll.instantiate::<Rec>(&mut mem));
+        p.insert(Rec { id: 1, tag: 0 }, &mut mem);
+        p.insert(Rec { id: 2, tag: 0 }, &mut mem);
+        p.get(1, &mut mem);
+        p.get_nth(0, &mut mem);
+        p.update(2, Rec { id: 2, tag: 9 }, &mut mem);
+        p.remove(1, &mut mem);
+        p.remove_nth(0, &mut mem);
+        p.scan(&mut mem, &mut |_| true);
+        let c = p.counts();
+        assert_eq!(c.inserts, 2);
+        assert_eq!(c.gets, 1);
+        assert_eq!(c.get_nths, 1);
+        assert_eq!(c.updates, 1);
+        assert_eq!(c.removes, 2);
+        assert_eq!(c.scans, 1);
+        assert_eq!(c.total_ops(), 8);
+        assert!(c.accesses > 8);
+    }
+
+    #[test]
+    fn accesses_attributed_only_to_wrapped_container() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = ProfiledDdt::new(DdtKind::Sll.instantiate::<Rec>(&mut mem));
+        let mut other = DdtKind::Sll.instantiate::<Rec>(&mut mem);
+        p.insert(Rec { id: 1, tag: 0 }, &mut mem);
+        let after_insert = p.counts().accesses;
+        // traffic on another container must not be attributed to `p`
+        other.insert(Rec { id: 5, tag: 0 }, &mut mem);
+        other.get(5, &mut mem);
+        assert_eq!(p.counts().accesses, after_insert);
+    }
+
+    #[test]
+    fn into_inner_preserves_contents() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut p = ProfiledDdt::new(DdtKind::Array.instantiate::<Rec>(&mut mem));
+        p.insert(Rec { id: 3, tag: 4 }, &mut mem);
+        let mut inner = p.into_inner();
+        assert_eq!(inner.get(3, &mut mem).map(|r| r.tag), Some(4));
+    }
+
+    #[test]
+    fn kind_passthrough() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let p = ProfiledDdt::new(DdtKind::SllChunkRov.instantiate::<Rec>(&mut mem));
+        assert_eq!(p.kind(), DdtKind::SllChunkRov);
+    }
+}

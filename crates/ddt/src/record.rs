@@ -1,0 +1,70 @@
+//! The record abstraction stored by every DDT.
+
+/// A fixed-size, keyed record storable in any [`crate::Ddt`].
+///
+/// `SIZE` is the *modelled* on-platform size in bytes (what the embedded
+/// structure would occupy), not the host `size_of`. The key is assumed to
+/// occupy the first [`crate::KEY_BYTES`] bytes of the record, which is what
+/// a key-probe access reads during searches.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::Record;
+///
+/// #[derive(Clone)]
+/// struct RouteEntry { dest: u64, next_hop: u32, metric: u32 }
+///
+/// impl Record for RouteEntry {
+///     const SIZE: u64 = 40; // modelled rtentry size
+///     fn key(&self) -> u64 { self.dest }
+/// }
+/// ```
+pub trait Record: Clone {
+    /// Modelled record size in bytes on the embedded platform.
+    const SIZE: u64;
+
+    /// The search key of this record (first field of the modelled layout).
+    fn key(&self) -> u64;
+}
+
+/// A minimal keyed record of a configurable modelled size.
+///
+/// Intended for tests and micro-benchmarks; applications define their own
+/// domain records.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::{Record, TestRecord};
+///
+/// let r = TestRecord::<64> { id: 3, tag: 0 };
+/// assert_eq!(TestRecord::<64>::SIZE, 64);
+/// assert_eq!(r.key(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestRecord<const SIZE_BYTES: u64> {
+    /// Key value.
+    pub id: u64,
+    /// An arbitrary payload word so tests can detect stale data.
+    pub tag: u64,
+}
+
+impl<const SIZE_BYTES: u64> Record for TestRecord<SIZE_BYTES> {
+    const SIZE: u64 = SIZE_BYTES;
+    fn key(&self) -> u64 {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_record_reports_size_and_key() {
+        let r = TestRecord::<32> { id: 9, tag: 1 };
+        assert_eq!(TestRecord::<32>::SIZE, 32);
+        assert_eq!(r.key(), 9);
+    }
+}

@@ -1,0 +1,585 @@
+//! `AVL` — height-balanced search tree with insertion-order threading
+//! (extension DDT).
+
+use crate::ddt::Ddt;
+use crate::kind::DdtKind;
+use crate::layout::{DESCRIPTOR_BYTES, KEY_BYTES, PTR_BYTES};
+use crate::record::Record;
+use ddtr_mem::{MemorySystem, SimAllocator, VirtAddr};
+
+/// Descriptor layout: root pointer, record count, order head, order tail.
+const TREE_DESCRIPTOR_BYTES: u64 = DESCRIPTOR_BYTES + PTR_BYTES;
+
+/// Bytes of the balance/height word stored in every node.
+const HEIGHT_BYTES: u64 = 8;
+
+/// Host-side shape of one AVL node. The simulated node lives at `addr`;
+/// this mirror only exists to drive the traffic model deterministically.
+#[derive(Debug, Clone, Copy)]
+struct AvlNode {
+    key: u64,
+    addr: VirtAddr,
+    left: Option<usize>,
+    right: Option<usize>,
+    height: i32,
+}
+
+/// The `AVL` extension dynamic data type: records indexed by a
+/// height-balanced binary search tree, additionally threaded on a doubly
+/// linked insertion-order list so positional operations and scans observe
+/// the same logical order as every other DDT.
+///
+/// This is not one of the paper's ten library DDTs; it belongs to the
+/// *extended* candidate set ([`DdtKind::EXTENDED`]).
+///
+/// Characteristics the exploration measures: O(log n) key operations —
+/// the cheapest key search of the whole library at large populations —
+/// paid for with the largest node (four link words plus a height word) and
+/// rotation write traffic on mutation.
+///
+/// Keys must be unique for key-based operations (the general [`Ddt`]
+/// contract); if duplicates are stored, key operations act on an
+/// unspecified duplicate.
+///
+/// # Panics
+///
+/// All mutating operations panic if the simulated heap is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_ddt::{Ddt, TreeDdt, Record};
+/// use ddtr_mem::{MemoryConfig, MemorySystem};
+///
+/// # #[derive(Clone)] struct R(u64);
+/// # impl Record for R { const SIZE: u64 = 16; fn key(&self) -> u64 { self.0 } }
+/// let mut mem = MemorySystem::new(MemoryConfig::default());
+/// let mut tree = TreeDdt::new(&mut mem);
+/// for k in 0..100 {
+///     tree.insert(R(k), &mut mem);
+/// }
+/// assert_eq!(tree.get(42, &mut mem).map(|r| r.0), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct TreeDdt<R: Record> {
+    desc: VirtAddr,
+    root: Option<usize>,
+    /// Host arena of tree nodes; freed slots are recycled.
+    slab: Vec<AvlNode>,
+    free_slots: Vec<usize>,
+    /// Host mirror of the insertion-order thread.
+    nodes: Vec<(VirtAddr, R)>,
+}
+
+impl<R: Record> TreeDdt<R> {
+    /// Creates an empty tree container, allocating its descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap cannot hold the descriptor.
+    #[must_use]
+    pub fn new(mem: &mut MemorySystem) -> Self {
+        let desc = mem
+            .alloc_hot(TREE_DESCRIPTOR_BYTES)
+            .expect("simulated heap exhausted allocating tree descriptor");
+        mem.write(desc, TREE_DESCRIPTOR_BYTES);
+        TreeDdt {
+            desc,
+            root: None,
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Height of the tree (0 when empty) — balance diagnostic.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.root.map_or(0, |r| self.slab[r].height as u32)
+    }
+
+    fn node_bytes() -> u64 {
+        R::SIZE + 4 * PTR_BYTES + HEIGHT_BYTES
+    }
+
+    fn h(&self, n: Option<usize>) -> i32 {
+        n.map_or(0, |i| self.slab[i].height)
+    }
+
+    fn balance(&self, i: usize) -> i32 {
+        self.h(self.slab[i].left) - self.h(self.slab[i].right)
+    }
+
+    fn update_height(&mut self, i: usize, mem: &mut MemorySystem) {
+        let nh = 1 + self.h(self.slab[i].left).max(self.h(self.slab[i].right));
+        if nh != self.slab[i].height {
+            self.slab[i].height = nh;
+            mem.write(self.slab[i].addr.offset(R::SIZE + 4 * PTR_BYTES), HEIGHT_BYTES);
+        }
+        mem.touch_cpu(1);
+    }
+
+    /// One rotation: three child-pointer rewrites plus two height updates.
+    fn rotate(&mut self, i: usize, left_rotation: bool, mem: &mut MemorySystem) -> usize {
+        let pivot = if left_rotation {
+            self.slab[i].right.expect("left rotation needs a right child")
+        } else {
+            self.slab[i].left.expect("right rotation needs a left child")
+        };
+        mem.read(self.slab[pivot].addr.offset(R::SIZE), 2 * PTR_BYTES);
+        if left_rotation {
+            self.slab[i].right = self.slab[pivot].left;
+            self.slab[pivot].left = Some(i);
+        } else {
+            self.slab[i].left = self.slab[pivot].right;
+            self.slab[pivot].right = Some(i);
+        }
+        // Rewire: demoted node's child, pivot's child, parent's link (the
+        // caller writes the parent link by storing the returned index).
+        mem.write(self.slab[i].addr.offset(R::SIZE), 2 * PTR_BYTES);
+        mem.write(self.slab[pivot].addr.offset(R::SIZE), 2 * PTR_BYTES);
+        mem.touch_cpu(3);
+        self.update_height(i, mem);
+        self.update_height(pivot, mem);
+        pivot
+    }
+
+    /// Rebalances node `i` after a mutation below it, returning the new
+    /// subtree root.
+    fn rebalance(&mut self, i: usize, mem: &mut MemorySystem) -> usize {
+        self.update_height(i, mem);
+        let bf = self.balance(i);
+        mem.touch_cpu(1);
+        if bf > 1 {
+            let l = self.slab[i].left.expect("left-heavy implies left child");
+            if self.balance(l) < 0 {
+                let new_l = self.rotate(l, true, mem);
+                self.slab[i].left = Some(new_l);
+            }
+            self.rotate(i, false, mem)
+        } else if bf < -1 {
+            let r = self.slab[i].right.expect("right-heavy implies right child");
+            if self.balance(r) > 0 {
+                let new_r = self.rotate(r, false, mem);
+                self.slab[i].right = Some(new_r);
+            }
+            self.rotate(i, true, mem)
+        } else {
+            i
+        }
+    }
+
+    fn alloc_slot(&mut self, node: AvlNode) -> usize {
+        if let Some(slot) = self.free_slots.pop() {
+            self.slab[slot] = node;
+            slot
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        }
+    }
+
+    /// Recursive AVL insert charging one key read, one compare and one
+    /// child-pointer read per level of the descent.
+    fn insert_at(
+        &mut self,
+        at: Option<usize>,
+        key: u64,
+        addr: VirtAddr,
+        mem: &mut MemorySystem,
+    ) -> usize {
+        let Some(i) = at else {
+            return self.alloc_slot(AvlNode {
+                key,
+                addr,
+                left: None,
+                right: None,
+                height: 1,
+            });
+        };
+        mem.read(self.slab[i].addr, KEY_BYTES);
+        mem.touch_cpu(1);
+        mem.read(self.slab[i].addr.offset(R::SIZE), PTR_BYTES);
+        if key < self.slab[i].key {
+            let child = self.insert_at(self.slab[i].left, key, addr, mem);
+            if self.slab[i].left != Some(child) {
+                self.slab[i].left = Some(child);
+                mem.write(self.slab[i].addr.offset(R::SIZE), PTR_BYTES);
+            }
+        } else {
+            let child = self.insert_at(self.slab[i].right, key, addr, mem);
+            if self.slab[i].right != Some(child) {
+                self.slab[i].right = Some(child);
+                mem.write(self.slab[i].addr.offset(R::SIZE + PTR_BYTES), PTR_BYTES);
+            }
+        }
+        self.rebalance(i, mem)
+    }
+
+    /// Recursive AVL delete of `key`, returning the new subtree root.
+    fn remove_at(&mut self, at: Option<usize>, key: u64, mem: &mut MemorySystem) -> Option<usize> {
+        let i = at?;
+        mem.read(self.slab[i].addr, KEY_BYTES);
+        mem.touch_cpu(1);
+        if key < self.slab[i].key {
+            mem.read(self.slab[i].addr.offset(R::SIZE), PTR_BYTES);
+            let child = self.remove_at(self.slab[i].left, key, mem);
+            if self.slab[i].left != child {
+                self.slab[i].left = child;
+                mem.write(self.slab[i].addr.offset(R::SIZE), PTR_BYTES);
+            }
+        } else if key > self.slab[i].key {
+            mem.read(self.slab[i].addr.offset(R::SIZE + PTR_BYTES), PTR_BYTES);
+            let child = self.remove_at(self.slab[i].right, key, mem);
+            if self.slab[i].right != child {
+                self.slab[i].right = child;
+                mem.write(self.slab[i].addr.offset(R::SIZE + PTR_BYTES), PTR_BYTES);
+            }
+        } else {
+            // Found the node to unlink from the tree shape.
+            match (self.slab[i].left, self.slab[i].right) {
+                (None, None) => {
+                    self.free_slots.push(i);
+                    return None;
+                }
+                (Some(c), None) | (None, Some(c)) => {
+                    mem.read(self.slab[i].addr.offset(R::SIZE), 2 * PTR_BYTES);
+                    self.free_slots.push(i);
+                    return Some(c);
+                }
+                (Some(_), Some(r)) => {
+                    // Two children: splice the in-order successor (leftmost
+                    // of the right subtree) into this position.
+                    let mut succ = r;
+                    mem.read(self.slab[succ].addr, KEY_BYTES);
+                    while let Some(l) = self.slab[succ].left {
+                        mem.read(self.slab[succ].addr.offset(R::SIZE), PTR_BYTES);
+                        mem.touch_cpu(1);
+                        succ = l;
+                        mem.read(self.slab[succ].addr, KEY_BYTES);
+                    }
+                    let (skey, saddr) = (self.slab[succ].key, self.slab[succ].addr);
+                    let new_right = self.remove_at(self.slab[i].right, skey, mem);
+                    self.slab[i].right = new_right;
+                    self.slab[i].key = skey;
+                    self.slab[i].addr = saddr;
+                    // Splice writes: the successor's identity replaces the
+                    // removed node's key/record pointer fields.
+                    mem.write(self.slab[i].addr.offset(R::SIZE + PTR_BYTES), PTR_BYTES);
+                }
+            }
+        }
+        Some(self.rebalance(i, mem))
+    }
+
+    /// Tree descent charging per visited level; returns the slab index of
+    /// the node holding `key`.
+    fn find_tree(&self, key: u64, mem: &mut MemorySystem) -> Option<usize> {
+        mem.read(self.desc, PTR_BYTES); // root pointer
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            mem.read(self.slab[i].addr, KEY_BYTES);
+            mem.touch_cpu(1);
+            if key == self.slab[i].key {
+                return Some(i);
+            }
+            cur = if key < self.slab[i].key {
+                mem.read(self.slab[i].addr.offset(R::SIZE), PTR_BYTES);
+                self.slab[i].left
+            } else {
+                mem.read(self.slab[i].addr.offset(R::SIZE + PTR_BYTES), PTR_BYTES);
+                self.slab[i].right
+            };
+        }
+        None
+    }
+
+    fn order_index_of(&self, addr: VirtAddr) -> usize {
+        self.nodes
+            .iter()
+            .position(|&(a, _)| a == addr)
+            .expect("tree node is on the order list")
+    }
+
+    /// Unlinks `addr` from the order thread and frees its block.
+    fn unlink_order(&mut self, addr: VirtAddr, mem: &mut MemorySystem) -> R {
+        mem.read(addr.offset(R::SIZE + 2 * PTR_BYTES), 2 * PTR_BYTES);
+        mem.write(self.desc.offset(DESCRIPTOR_BYTES), PTR_BYTES);
+        let idx = self.order_index_of(addr);
+        let (_, rec) = self.nodes.remove(idx);
+        mem.free(addr).expect("tree node is live");
+        rec
+    }
+}
+
+impl<R: Record> Ddt<R> for TreeDdt<R> {
+    fn kind(&self) -> DdtKind {
+        DdtKind::Avl
+    }
+
+    fn insert(&mut self, rec: R, mem: &mut MemorySystem) {
+        let key = rec.key();
+        let addr = mem
+            .alloc(Self::node_bytes())
+            .expect("simulated heap exhausted allocating tree node");
+        mem.write(addr, Self::node_bytes());
+        mem.read(self.desc, PTR_BYTES); // root pointer
+        let new_root = self.insert_at(self.root, key, addr, mem);
+        if self.root != Some(new_root) {
+            mem.write(self.desc, PTR_BYTES);
+        }
+        self.root = Some(new_root);
+        // Order append at the tail.
+        mem.read(self.desc.offset(DESCRIPTOR_BYTES), PTR_BYTES);
+        if let Some(&(prev_tail, _)) = self.nodes.last() {
+            mem.write(prev_tail.offset(R::SIZE + 2 * PTR_BYTES), PTR_BYTES);
+        }
+        mem.write(self.desc.offset(16), 8 + PTR_BYTES); // count + tail
+        self.nodes.push((addr, rec));
+    }
+
+    fn get(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let i = self.find_tree(key, mem)?;
+        let addr = self.slab[i].addr;
+        mem.read(addr, R::SIZE);
+        let idx = self.order_index_of(addr);
+        Some(self.nodes[idx].1.clone())
+    }
+
+    fn get_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.nodes.len() {
+            return None;
+        }
+        mem.read(self.desc.offset(DESCRIPTOR_BYTES), PTR_BYTES);
+        for i in 0..idx {
+            mem.read(self.nodes[i].0.offset(R::SIZE + 2 * PTR_BYTES), PTR_BYTES);
+            mem.touch_cpu(1);
+        }
+        mem.read(self.nodes[idx].0, R::SIZE);
+        Some(self.nodes[idx].1.clone())
+    }
+
+    fn update(&mut self, key: u64, rec: R, mem: &mut MemorySystem) -> bool {
+        let Some(i) = self.find_tree(key, mem) else {
+            return false;
+        };
+        let addr = self.slab[i].addr;
+        mem.write(addr, R::SIZE);
+        let idx = self.order_index_of(addr);
+        self.nodes[idx].1 = rec;
+        true
+    }
+
+    fn remove(&mut self, key: u64, mem: &mut MemorySystem) -> Option<R> {
+        let i = self.find_tree(key, mem)?;
+        let addr = self.slab[i].addr;
+        mem.read(addr, R::SIZE);
+        self.root = self.remove_at(self.root, key, mem);
+        mem.write(self.desc.offset(16), 8); // count
+        Some(self.unlink_order(addr, mem))
+    }
+
+    fn remove_nth(&mut self, idx: usize, mem: &mut MemorySystem) -> Option<R> {
+        if idx >= self.nodes.len() {
+            return None;
+        }
+        mem.read(self.desc.offset(DESCRIPTOR_BYTES), PTR_BYTES);
+        for i in 0..idx {
+            mem.read(self.nodes[i].0.offset(R::SIZE + 2 * PTR_BYTES), PTR_BYTES);
+            mem.touch_cpu(1);
+        }
+        let (addr, _) = self.nodes[idx];
+        mem.read(addr, R::SIZE);
+        let key = self.nodes[idx].1.key();
+        self.root = self.remove_at(self.root, key, mem);
+        mem.write(self.desc.offset(16), 8); // count
+        Some(self.unlink_order(addr, mem))
+    }
+
+    fn scan(&mut self, mem: &mut MemorySystem, visit: &mut dyn FnMut(&R) -> bool) {
+        mem.read(self.desc.offset(DESCRIPTOR_BYTES), PTR_BYTES);
+        for (addr, rec) in &self.nodes {
+            mem.read(*addr, R::SIZE);
+            mem.read(addr.offset(R::SIZE + 2 * PTR_BYTES), PTR_BYTES);
+            mem.touch_cpu(1);
+            if !visit(rec) {
+                return;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn clear(&mut self, mem: &mut MemorySystem) {
+        for (addr, _) in self.nodes.drain(..) {
+            mem.free(addr).expect("tree node is live");
+        }
+        self.root = None;
+        self.slab.clear();
+        self.free_slots.clear();
+        mem.write(self.desc, TREE_DESCRIPTOR_BYTES);
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        SimAllocator::gross_size(TREE_DESCRIPTOR_BYTES)
+            + self.nodes.len() as u64 * SimAllocator::gross_size(Self::node_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use ddtr_mem::MemoryConfig;
+
+    type Rec = TestRecord<32>;
+
+    fn rec(id: u64) -> Rec {
+        Rec { id, tag: id * 100 }
+    }
+
+    fn setup() -> (MemorySystem, TreeDdt<Rec>) {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let tree = TreeDdt::new(&mut mem);
+        (mem, tree)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let (mut mem, mut t) = setup();
+        for i in 0..100 {
+            t.insert(rec(i), &mut mem);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(63, &mut mem), Some(rec(63)));
+        assert_eq!(t.get(1000, &mut mem), None);
+    }
+
+    #[test]
+    fn tree_stays_balanced_under_sorted_inserts() {
+        let (mut mem, mut t) = setup();
+        for i in 0..1024 {
+            t.insert(rec(i), &mut mem);
+        }
+        // AVL height bound: < 1.45 * log2(n + 2).
+        assert!(t.height() <= 15, "height {} exceeds AVL bound", t.height());
+    }
+
+    #[test]
+    fn tree_stays_balanced_under_reverse_and_interleaved_inserts() {
+        let (mut mem, mut t) = setup();
+        for i in (0..512).rev() {
+            t.insert(rec(i * 2), &mut mem);
+        }
+        for i in 0..512 {
+            t.insert(rec(i * 2 + 1), &mut mem);
+        }
+        assert_eq!(t.len(), 1024);
+        assert!(t.height() <= 15, "height {} exceeds AVL bound", t.height());
+    }
+
+    #[test]
+    fn positional_ops_follow_insertion_order() {
+        let (mut mem, mut t) = setup();
+        for &k in &[50u64, 10, 90, 30, 70] {
+            t.insert(rec(k), &mut mem);
+        }
+        assert_eq!(t.get_nth(0, &mut mem), Some(rec(50)));
+        assert_eq!(t.get_nth(4, &mut mem), Some(rec(70)));
+        let mut seen = Vec::new();
+        t.scan(&mut mem, &mut |r| {
+            seen.push(r.id);
+            true
+        });
+        assert_eq!(seen, vec![50, 10, 90, 30, 70]);
+    }
+
+    #[test]
+    fn remove_all_in_random_order_keeps_tree_consistent() {
+        let (mut mem, mut t) = setup();
+        let keys: Vec<u64> = (0..64).map(|i| (i * 37) % 64).collect();
+        for &k in &keys {
+            t.insert(rec(k), &mut mem);
+        }
+        for &k in keys.iter().rev() {
+            assert_eq!(t.remove(k, &mut mem), Some(rec(k)), "key {k}");
+            assert_eq!(t.get(k, &mut mem), None);
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn remove_node_with_two_children() {
+        let (mut mem, mut t) = setup();
+        for &k in &[50u64, 25, 75, 10, 30, 60, 90] {
+            t.insert(rec(k), &mut mem);
+        }
+        assert_eq!(t.remove(50, &mut mem), Some(rec(50)));
+        for &k in &[25u64, 75, 10, 30, 60, 90] {
+            assert_eq!(t.get(k, &mut mem), Some(rec(k)), "survivor {k}");
+        }
+    }
+
+    #[test]
+    fn remove_nth_is_positional() {
+        let (mut mem, mut t) = setup();
+        for &k in &[5u64, 1, 9] {
+            t.insert(rec(k), &mut mem);
+        }
+        assert_eq!(t.remove_nth(1, &mut mem), Some(rec(1)));
+        assert_eq!(t.remove_nth(9, &mut mem), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1, &mut mem), None);
+    }
+
+    #[test]
+    fn key_search_beats_list_scan_at_scale() {
+        let mut mem_t = MemorySystem::new(MemoryConfig::default());
+        let mut t = TreeDdt::<Rec>::new(&mut mem_t);
+        let mut mem_l = MemorySystem::new(MemoryConfig::default());
+        let mut l = crate::LinkedDdt::<Rec>::sll(&mut mem_l);
+        for i in 0..512 {
+            t.insert(rec(i), &mut mem_t);
+            l.insert(rec(i), &mut mem_l);
+        }
+        let before_t = mem_t.stats().accesses();
+        let _ = t.get(511, &mut mem_t);
+        let tree_cost = mem_t.stats().accesses() - before_t;
+        let before_l = mem_l.stats().accesses();
+        let _ = l.get(511, &mut mem_l);
+        let list_cost = mem_l.stats().accesses() - before_l;
+        assert!(
+            tree_cost * 10 < list_cost,
+            "tree descent ({tree_cost}) should be >10x cheaper than list scan ({list_cost})"
+        );
+    }
+
+    #[test]
+    fn clear_returns_heap_to_descriptor() {
+        let (mut mem, mut t) = setup();
+        for i in 0..50 {
+            t.insert(rec(i), &mut mem);
+        }
+        t.clear(&mut mem);
+        assert_eq!(t.len(), 0);
+        let expected = SimAllocator::gross_size(TREE_DESCRIPTOR_BYTES);
+        assert_eq!(mem.alloc_stats().live_gross_bytes, expected);
+        assert_eq!(t.footprint_bytes(), expected);
+    }
+
+    #[test]
+    fn footprint_tracks_live_heap() {
+        let (mut mem, mut t) = setup();
+        for i in 0..48 {
+            t.insert(rec(i), &mut mem);
+            assert_eq!(t.footprint_bytes(), mem.alloc_stats().live_gross_bytes);
+        }
+        for i in (0..48).rev() {
+            t.remove(i, &mut mem);
+            assert_eq!(t.footprint_bytes(), mem.alloc_stats().live_gross_bytes);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Asymptotic cost characterisation: the access-count growth of every
+//! implementation must match its theoretical complexity class. These are
+//! the facts the whole exploration methodology trades on, so they get
+//! their own test suite.
+
+use ddtr_ddt::{Ddt, DdtKind, TestRecord, CHUNK_CAPACITY};
+use ddtr_mem::{MemoryConfig, MemorySystem};
+
+type Rec = TestRecord<32>;
+
+fn filled(kind: DdtKind, n: u64) -> (MemorySystem, Box<dyn Ddt<Rec>>) {
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut ddt = kind.instantiate::<Rec>(&mut mem);
+    for i in 0..n {
+        ddt.insert(Rec { id: i, tag: 0 }, &mut mem);
+    }
+    (mem, ddt)
+}
+
+/// Accesses consumed by `f`.
+fn cost(mem: &mut MemorySystem, f: impl FnOnce(&mut MemorySystem)) -> u64 {
+    let before = mem.stats().accesses();
+    f(mem);
+    mem.stats().accesses() - before
+}
+
+/// Cost of `get_nth(n-1)` on a container of n records.
+fn tail_read_cost(kind: DdtKind, n: u64) -> u64 {
+    let (mut mem, mut ddt) = filled(kind, n);
+    cost(&mut mem, |m| {
+        ddt.get_nth(n as usize - 1, m);
+    })
+}
+
+#[test]
+fn array_positional_access_is_constant() {
+    assert_eq!(tail_read_cost(DdtKind::Array, 32), tail_read_cost(DdtKind::Array, 256));
+    assert_eq!(
+        tail_read_cost(DdtKind::ArrayPtr, 32),
+        tail_read_cost(DdtKind::ArrayPtr, 256)
+    );
+}
+
+#[test]
+fn sll_positional_access_is_linear() {
+    let small = tail_read_cost(DdtKind::Sll, 64);
+    let large = tail_read_cost(DdtKind::Sll, 256);
+    let ratio = large as f64 / small as f64;
+    assert!((3.0..5.0).contains(&ratio), "expected ~4x, got {ratio:.2}x");
+}
+
+#[test]
+fn dll_positional_access_from_tail_is_constant() {
+    // The DLL walks from the nearest end: the last element is one hop from
+    // the tail pointer regardless of n.
+    assert_eq!(tail_read_cost(DdtKind::Dll, 32), tail_read_cost(DdtKind::Dll, 256));
+}
+
+#[test]
+fn chunked_positional_access_divides_by_chunk_capacity() {
+    let sll = tail_read_cost(DdtKind::Sll, 256);
+    let chunked = tail_read_cost(DdtKind::SllChunk, 256);
+    let ratio = sll as f64 / chunked as f64;
+    // One header read per CHUNK_CAPACITY records instead of one pointer
+    // per record; allow generous slack for fixed costs.
+    assert!(
+        ratio > CHUNK_CAPACITY as f64 / 2.0,
+        "chunking should cut the walk by ~{CHUNK_CAPACITY}x, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn mid_element_search_is_linear_for_lists_and_arrays() {
+    for kind in [DdtKind::Array, DdtKind::ArrayPtr, DdtKind::Sll, DdtKind::Dll] {
+        let probe = |n: u64| {
+            let (mut mem, mut ddt) = filled(kind, n);
+            cost(&mut mem, |m| {
+                ddt.get(n / 2, m);
+            })
+        };
+        let small = probe(64);
+        let large = probe(256);
+        let ratio = large as f64 / small as f64;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "{kind}: expected ~4x, got {ratio:.2}x"
+        );
+    }
+}
+
+#[test]
+fn repeated_key_lookup_is_constant_with_roving_pointer() {
+    for kind in [DdtKind::SllRov, DdtKind::DllRov] {
+        let (mut mem, mut ddt) = filled(kind, 256);
+        ddt.get(200, &mut mem); // position the roving pointer
+        let repeat = cost(&mut mem, |m| {
+            ddt.get(200, m);
+        });
+        assert!(
+            repeat <= 5,
+            "{kind}: roving repeat lookup should be O(1), cost {repeat}"
+        );
+    }
+}
+
+#[test]
+fn array_removal_cost_is_linear_in_suffix_length() {
+    let (mut mem, mut ddt) = filled(DdtKind::Array, 128);
+    let front = cost(&mut mem, |m| {
+        ddt.remove_nth(0, m);
+    });
+    let back = cost(&mut mem, |m| {
+        ddt.remove_nth(ddt.len() - 1, m);
+    });
+    assert!(
+        front > back * 10,
+        "removing the head must shift the whole suffix: {front} vs {back}"
+    );
+}
+
+#[test]
+fn list_tail_removal_is_cheap_for_dll_only() {
+    let n = 128;
+    let (mut mem, mut sll) = filled(DdtKind::Sll, n);
+    let sll_cost = cost(&mut mem, |m| {
+        sll.remove_nth(n as usize - 1, m);
+    });
+    let (mut mem2, mut dll) = filled(DdtKind::Dll, n);
+    let dll_cost = cost(&mut mem2, |m| {
+        dll.remove_nth(n as usize - 1, m);
+    });
+    assert!(
+        sll_cost > dll_cost * 5,
+        "SLL must rescan for the predecessor: {sll_cost} vs {dll_cost}"
+    );
+}
+
+#[test]
+fn hash_key_search_is_constant_at_scale() {
+    // Chains stay O(1) expected as the table grows with the population.
+    let probe = |n: u64| {
+        let (mut mem, mut ddt) = filled(DdtKind::Hash, n);
+        cost(&mut mem, |m| {
+            ddt.get(n - 1, m);
+        })
+    };
+    let small = probe(64);
+    let large = probe(1024);
+    assert!(
+        large <= small * 2,
+        "hash probe must not grow with n ({small} -> {large})"
+    );
+}
+
+#[test]
+fn avl_key_search_grows_logarithmically() {
+    let probe = |n: u64| {
+        let (mut mem, mut ddt) = filled(DdtKind::Avl, n);
+        // Probe a mid-population key so the descent reaches a typical depth.
+        cost(&mut mem, |m| {
+            ddt.get(n / 2, m);
+        })
+    };
+    let small = probe(64); // depth ~6
+    let large = probe(4096); // depth ~12
+    assert!(
+        large <= small * 3,
+        "tree descent must grow ~log n, not linearly ({small} -> {large})"
+    );
+    // And it must beat the linear probe of the plain list decisively.
+    let (mut mem, mut sll) = filled(DdtKind::Sll, 4096);
+    let linear = cost(&mut mem, |m| {
+        sll.get(2048, m);
+    });
+    assert!(linear > large * 20, "log vs linear: {large} vs {linear}");
+}
+
+#[test]
+fn insert_is_constant_amortised_for_all_kinds() {
+    for kind in DdtKind::EXTENDED {
+        let insert_avg = |n: u64| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let mut ddt = kind.instantiate::<Rec>(&mut mem);
+            let c = cost(&mut mem, |m| {
+                for i in 0..n {
+                    ddt.insert(Rec { id: i, tag: 0 }, m);
+                }
+            });
+            c as f64 / n as f64
+        };
+        let small = insert_avg(64);
+        let large = insert_avg(512);
+        assert!(
+            large < small * 2.0,
+            "{kind}: amortised insert must not grow with n ({small:.1} -> {large:.1})"
+        );
+    }
+}
+
+#[test]
+fn footprint_ranks_match_structure_overheads() {
+    // For equal content, per-record overhead orders the footprints:
+    // DLL nodes (2 pointers) > SLL nodes (1 pointer); chunked lists
+    // amortise headers below plain lists at full chunks.
+    let n = 128;
+    let fp = |kind: DdtKind| filled(kind, n).1.footprint_bytes();
+    assert!(fp(DdtKind::Dll) > fp(DdtKind::Sll));
+    assert!(fp(DdtKind::DllChunk) >= fp(DdtKind::SllChunk));
+    assert!(fp(DdtKind::Sll) > fp(DdtKind::SllChunk));
+}

@@ -1,0 +1,119 @@
+//! Failure injection: behaviour of the DDT layer when the simulated heap
+//! runs out — the embedded failure mode the footprint metric guards
+//! against.
+
+use ddtr_ddt::{DdtKind, TestRecord};
+use ddtr_mem::{AllocError, CacheConfig, DramConfig, MemoryConfig, MemorySystem};
+
+type Rec = TestRecord<64>;
+
+/// A platform with a deliberately minuscule heap arena.
+fn starved(arena_bytes: u64) -> MemorySystem {
+    MemorySystem::new(MemoryConfig {
+        l1: CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 32,
+            ways: 1,
+            hit_cycles: 1,
+            ..CacheConfig::default()
+        },
+        l2: None,
+        dram: DramConfig {
+            access_cycles: 50,
+            capacity_bytes: arena_bytes,
+        },
+        ..MemoryConfig::tiny_for_tests()
+    })
+}
+
+#[test]
+fn allocator_reports_out_of_memory() {
+    let mut mem = starved(256);
+    let first = mem.alloc(128).expect("first allocation fits");
+    let err = mem.alloc(512).expect_err("arena exhausted");
+    assert!(matches!(err, AllocError::OutOfMemory { requested: 512 }));
+    assert!(!first.is_null());
+    assert_eq!(mem.alloc_stats().failed_allocs, 1);
+}
+
+#[test]
+fn failed_allocations_do_not_corrupt_the_heap() {
+    let mut mem = starved(1024);
+    let a = mem.alloc(400).expect("fits");
+    assert!(mem.alloc(800).is_err());
+    // The heap remains fully usable after the failure.
+    let b = mem.alloc(400).expect("remaining space still allocatable");
+    assert_ne!(a, b);
+    mem.free(a).expect("free");
+    mem.free(b).expect("free");
+    assert_eq!(mem.alloc_stats().live_gross_bytes, 0);
+}
+
+#[test]
+fn every_ddt_panics_cleanly_on_heap_exhaustion() {
+    for kind in DdtKind::EXTENDED {
+        let result = std::panic::catch_unwind(|| {
+            let mut mem = starved(2048);
+            let mut ddt = kind.instantiate::<Rec>(&mut mem);
+            for i in 0..1000 {
+                ddt.insert(Rec { id: i, tag: 0 }, &mut mem);
+            }
+        });
+        let err = result.expect_err(&format!("{kind} must hit the arena limit"));
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("simulated heap exhausted"),
+            "{kind}: unexpected panic message `{msg}`"
+        );
+    }
+}
+
+#[test]
+fn containers_fit_exactly_while_the_arena_allows() {
+    // Fill an SLL until just before exhaustion, verifying footprint
+    // accounting agrees with the arena occupancy at every step.
+    let mut mem = starved(4096);
+    let mut ddt = DdtKind::Sll.instantiate::<Rec>(&mut mem);
+    let mut inserted = 0u64;
+    loop {
+        let live = mem.alloc_stats().live_gross_bytes;
+        if live + 128 > 4096 {
+            break;
+        }
+        ddt.insert(Rec { id: inserted, tag: 0 }, &mut mem);
+        inserted += 1;
+        assert_eq!(ddt.footprint_bytes(), mem.alloc_stats().live_gross_bytes);
+    }
+    assert!(inserted > 10, "a 4 KiB arena holds dozens of 64 B records");
+    // Clearing returns everything.
+    ddt.clear(&mut mem);
+    let only_descriptor = mem.alloc_stats().live_gross_bytes;
+    assert!(only_descriptor <= 40, "left {only_descriptor} live bytes");
+}
+
+#[test]
+fn fragmented_arena_still_serves_small_requests() {
+    let mut mem = starved(4096);
+    // Fill the arena completely, then free every other block, creating
+    // holes of one block each with live blocks between them.
+    let mut blocks = Vec::new();
+    while let Ok(addr) = mem.alloc(128) {
+        blocks.push(addr);
+    }
+    assert!(blocks.len() >= 16, "arena should hold many blocks");
+    for (i, b) in blocks.iter().enumerate() {
+        if i % 2 == 0 {
+            mem.free(*b).expect("free");
+        }
+    }
+    // A large request no hole can serve fails...
+    assert!(mem.alloc(1024).is_err());
+    // ...but hole-sized requests succeed (first fit reuses the gaps).
+    for _ in 0..8 {
+        mem.alloc(120).expect("hole-sized allocation fits");
+    }
+}

@@ -1,0 +1,257 @@
+//! Model-based property tests: every DDT implementation (the paper's ten
+//! plus the two extensions) must behave exactly like a reference `Vec`
+//! model under arbitrary operation sequences, and must never leak or
+//! double-free simulated heap blocks.
+
+use ddtr_ddt::{Ddt, DdtKind, TestRecord};
+use ddtr_mem::{MemoryConfig, MemorySystem, SimAllocator};
+use proptest::prelude::*;
+
+type Rec = TestRecord<24>;
+
+/// The operations of the common DDT interface, with small key/index spaces
+/// so that hits and misses both occur.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    GetNth(usize),
+    Update(u64, u64),
+    Remove(u64),
+    RemoveNth(usize),
+    Scan,
+    Clear,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u64..24, any::<u64>()).prop_map(|(k, t)| Op::Insert(k, t)),
+            3 => (0u64..24).prop_map(Op::Get),
+            3 => (0usize..32).prop_map(Op::GetNth),
+            2 => (0u64..24, any::<u64>()).prop_map(|(k, t)| Op::Update(k, t)),
+            2 => (0u64..24).prop_map(Op::Remove),
+            2 => (0usize..32).prop_map(Op::RemoveNth),
+            1 => Just(Op::Scan),
+            1 => Just(Op::Clear),
+        ],
+        1..120,
+    )
+}
+
+/// Reference model: a plain vector with first-match key semantics.
+#[derive(Default)]
+struct VecModel {
+    items: Vec<Rec>,
+}
+
+impl VecModel {
+    fn apply(&mut self, op: &Op) -> ModelOut {
+        match op {
+            Op::Insert(k, t) => {
+                self.items.push(Rec { id: *k, tag: *t });
+                ModelOut::Unit
+            }
+            Op::Get(k) => ModelOut::Rec(self.items.iter().find(|r| r.id == *k).copied()),
+            Op::GetNth(i) => ModelOut::Rec(self.items.get(*i).copied()),
+            Op::Update(k, t) => {
+                if let Some(r) = self.items.iter_mut().find(|r| r.id == *k) {
+                    *r = Rec { id: *k, tag: *t };
+                    ModelOut::Bool(true)
+                } else {
+                    ModelOut::Bool(false)
+                }
+            }
+            Op::Remove(k) => {
+                if let Some(pos) = self.items.iter().position(|r| r.id == *k) {
+                    ModelOut::Rec(Some(self.items.remove(pos)))
+                } else {
+                    ModelOut::Rec(None)
+                }
+            }
+            Op::RemoveNth(i) => {
+                if *i < self.items.len() {
+                    ModelOut::Rec(Some(self.items.remove(*i)))
+                } else {
+                    ModelOut::Rec(None)
+                }
+            }
+            Op::Scan => ModelOut::Seq(self.items.clone()),
+            Op::Clear => {
+                self.items.clear();
+                ModelOut::Unit
+            }
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum ModelOut {
+    Unit,
+    Bool(bool),
+    Rec(Option<Rec>),
+    Seq(Vec<Rec>),
+}
+
+fn apply_ddt(ddt: &mut dyn Ddt<Rec>, op: &Op, mem: &mut MemorySystem) -> ModelOut {
+    match op {
+        Op::Insert(k, t) => {
+            ddt.insert(Rec { id: *k, tag: *t }, mem);
+            ModelOut::Unit
+        }
+        Op::Get(k) => ModelOut::Rec(ddt.get(*k, mem)),
+        Op::GetNth(i) => ModelOut::Rec(ddt.get_nth(*i, mem)),
+        Op::Update(k, t) => ModelOut::Bool(ddt.update(*k, Rec { id: *k, tag: *t }, mem)),
+        Op::Remove(k) => ModelOut::Rec(ddt.remove(*k, mem)),
+        Op::RemoveNth(i) => ModelOut::Rec(ddt.remove_nth(*i, mem)),
+        Op::Scan => {
+            let mut seq = Vec::new();
+            ddt.scan(mem, &mut |r| {
+                seq.push(*r);
+                true
+            });
+            ModelOut::Seq(seq)
+        }
+        Op::Clear => {
+            ddt.clear(mem);
+            ModelOut::Unit
+        }
+    }
+}
+
+fn check_kind(kind: DdtKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut ddt = kind.instantiate::<Rec>(&mut mem);
+    let mut model = VecModel::default();
+    for (step, op) in ops.iter().enumerate() {
+        // The container contract expects unique keys for key-based
+        // operations; skip inserts that would duplicate a live key.
+        if let Op::Insert(k, _) = op {
+            if model.items.iter().any(|r| r.id == *k) {
+                continue;
+            }
+        }
+        let expected = model.apply(op);
+        let actual = apply_ddt(ddt.as_mut(), op, &mut mem);
+        prop_assert_eq!(
+            &actual,
+            &expected,
+            "kind {} diverged at step {} on {:?}",
+            kind,
+            step,
+            op
+        );
+        prop_assert_eq!(ddt.len(), model.items.len());
+    }
+    // Heap hygiene: clearing the container leaves only its descriptor (and
+    // for the hash kind, the initial bucket array) live, and the container
+    // knows exactly what it still holds.
+    ddt.clear(&mut mem);
+    let live = mem.alloc_stats().live_gross_bytes;
+    prop_assert_eq!(
+        live,
+        ddt.footprint_bytes(),
+        "kind {} footprint drifted from live heap after clear",
+        kind
+    );
+    prop_assert!(
+        live <= SimAllocator::gross_size(40) + SimAllocator::gross_size(64),
+        "kind {} leaked {} live bytes after clear",
+        kind,
+        live
+    );
+    Ok(())
+}
+
+macro_rules! equivalence_test {
+    ($name:ident, $kind:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn $name(ops in ops()) {
+                check_kind($kind, &ops)?;
+            }
+        }
+    };
+}
+
+equivalence_test!(array_matches_model, DdtKind::Array);
+equivalence_test!(array_ptr_matches_model, DdtKind::ArrayPtr);
+equivalence_test!(sll_matches_model, DdtKind::Sll);
+equivalence_test!(dll_matches_model, DdtKind::Dll);
+equivalence_test!(sll_rov_matches_model, DdtKind::SllRov);
+equivalence_test!(dll_rov_matches_model, DdtKind::DllRov);
+equivalence_test!(sll_chunk_matches_model, DdtKind::SllChunk);
+equivalence_test!(dll_chunk_matches_model, DdtKind::DllChunk);
+equivalence_test!(sll_chunk_rov_matches_model, DdtKind::SllChunkRov);
+equivalence_test!(dll_chunk_rov_matches_model, DdtKind::DllChunkRov);
+equivalence_test!(hash_matches_model, DdtKind::Hash);
+equivalence_test!(avl_matches_model, DdtKind::Avl);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Footprint reported by the container always matches live heap bytes
+    /// attributable to it (its descriptor plus its blocks).
+    #[test]
+    fn footprint_matches_live_heap(ops in ops(), kind_idx in 0usize..12) {
+        let kind = DdtKind::EXTENDED[kind_idx];
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut ddt = kind.instantiate::<Rec>(&mut mem);
+        for op in &ops {
+            apply_ddt(ddt.as_mut(), op, &mut mem);
+            prop_assert_eq!(
+                ddt.footprint_bytes(),
+                mem.alloc_stats().live_gross_bytes,
+                "kind {} footprint drifted from allocator", kind
+            );
+        }
+    }
+
+    /// All twelve kinds (paper library + extensions) agree with each other
+    /// operation-by-operation.
+    #[test]
+    fn all_kinds_agree(ops in ops()) {
+        let mut systems: Vec<(MemorySystem, Box<dyn Ddt<Rec>>)> = DdtKind::EXTENDED
+            .iter()
+            .map(|k| {
+                let mut mem = MemorySystem::new(MemoryConfig::default());
+                let ddt = k.instantiate::<Rec>(&mut mem);
+                (mem, ddt)
+            })
+            .collect();
+        let mut live_keys = std::collections::BTreeSet::new();
+        for op in &ops {
+            // Keep keys unique (the container contract for key-based ops).
+            match op {
+                Op::Insert(k, _)
+                    if !live_keys.insert(*k) => {
+                        continue;
+                    }
+                Op::Remove(k) => {
+                    live_keys.remove(k);
+                }
+                Op::RemoveNth(_) | Op::Clear => {
+                    // Recompute below from the first container's scan.
+                }
+                _ => {}
+            }
+            let mut outputs = Vec::new();
+            for (mem, ddt) in &mut systems {
+                outputs.push(apply_ddt(ddt.as_mut(), op, mem));
+            }
+            for w in outputs.windows(2) {
+                prop_assert_eq!(&w[0], &w[1], "kinds disagree on {:?}", op);
+            }
+            match op {
+                Op::RemoveNth(_) => {
+                    if let ModelOut::Rec(Some(r)) = &outputs[0] {
+                        live_keys.remove(&r.id);
+                    }
+                }
+                Op::Clear => live_keys.clear(),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulated virtual addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An address in the simulated embedded address space.
+///
+/// A [`VirtAddr`] is produced by [`SimAllocator::alloc`](crate::SimAllocator)
+/// and consumed by the cache/DRAM models. It is a plain 64-bit value wrapped
+/// in a newtype so that simulated addresses cannot be confused with sizes or
+/// host pointers.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_mem::VirtAddr;
+///
+/// let base = VirtAddr::new(0x1000);
+/// let field = base.offset(8);
+/// assert_eq!(field.as_u64(), 0x1008);
+/// assert_eq!(format!("{base}"), "0x0000000000001000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// The null address; never returned by a successful allocation.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows `u64`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Returns `true` for the null address.
+    #[must_use]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the cache-line index of this address for a given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    #[must_use]
+    pub fn line_index(self, line_bytes: u64) -> u64 {
+        assert!(line_bytes > 0, "line size must be non-zero");
+        self.0 / line_bytes
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(addr: VirtAddr) -> u64 {
+        addr.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(VirtAddr::NULL.is_null());
+        assert!(!VirtAddr::new(4).is_null());
+    }
+
+    #[test]
+    fn offset_advances() {
+        let a = VirtAddr::new(100);
+        assert_eq!(a.offset(28).as_u64(), 128);
+    }
+
+    #[test]
+    fn line_index_divides() {
+        let a = VirtAddr::new(96);
+        assert_eq!(a.line_index(32), 3);
+        assert_eq!(a.line_index(64), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn line_index_rejects_zero_line() {
+        let _ = VirtAddr::new(96).line_index(0);
+    }
+
+    #[test]
+    fn display_is_padded_hex() {
+        assert_eq!(format!("{}", VirtAddr::new(0xabc)), "0x0000000000000abc");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VirtAddr::new(1) < VirtAddr::new(2));
+        assert_eq!(u64::from(VirtAddr::new(7)), 7);
+    }
+}

@@ -1,0 +1,105 @@
+//! Main-memory timing model.
+
+use crate::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Access counters of the [`DramModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Line reads served (cache fill traffic).
+    pub reads: u64,
+    /// Line writes served (writeback traffic).
+    pub writes: u64,
+}
+
+impl DramStats {
+    /// Total line transfers.
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Flat DRAM timing model: every line transfer costs a fixed number of
+/// cycles. Energy is attributed by [`crate::EnergyModel`], not here.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_mem::{DramConfig, DramModel};
+///
+/// let mut dram = DramModel::new(DramConfig::default());
+/// let cycles = dram.read_line() + dram.write_line();
+/// assert_eq!(cycles, 2 * DramConfig::default().access_cycles);
+/// assert_eq!(dram.stats().transfers(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        DramModel {
+            cfg,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Serves a line fill; returns the cycle cost.
+    pub fn read_line(&mut self) -> u64 {
+        self.stats.reads += 1;
+        self.cfg.access_cycles
+    }
+
+    /// Serves a writeback; returns the cycle cost.
+    pub fn write_line(&mut self) -> u64 {
+        self.stats.writes += 1;
+        self.cfg.access_cycles
+    }
+
+    /// Configuration in use.
+    #[must_use]
+    pub fn config(&self) -> DramConfig {
+        self.cfg
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Clears the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_cost_fixed_cycles() {
+        let cfg = DramConfig {
+            access_cycles: 42,
+            capacity_bytes: 1024,
+        };
+        let mut d = DramModel::new(cfg);
+        assert_eq!(d.read_line(), 42);
+        assert_eq!(d.write_line(), 42);
+        assert_eq!(d.stats(), DramStats { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut d = DramModel::new(DramConfig::default());
+        d.read_line();
+        d.reset_stats();
+        assert_eq!(d.stats().transfers(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulated embedded memory subsystem for dynamic-data-type exploration.
+//!
+//! This crate is the lowest substrate of the `ddtr` workspace. It models the
+//! part of an embedded platform that the DATE 2006 paper *"Dynamic Data Type
+//! Refinement Methodology for Systematic Performance–Energy Design
+//! Exploration of Network Applications"* charges its four cost metrics to:
+//!
+//! * a **heap allocator** ([`SimAllocator`]) managing a simulated address
+//!   space with free-list allocation, block headers and fragmentation — the
+//!   source of the *memory footprint* metric,
+//! * a **set-associative L1 cache** ([`Cache`]) in front of a **DRAM model**
+//!   ([`DramModel`]) — the source of the *execution time* (cycles) metric,
+//! * a **CACTI-like energy model** ([`EnergyModel`]) assigning a per-access
+//!   energy to every hierarchy level — the source of the *energy* metric,
+//! * an access ledger ([`MemStats`]) — the source of the *memory accesses*
+//!   metric.
+//!
+//! Everything is deterministic: two runs with the same inputs produce
+//! bit-identical reports, which the exploration methodology requires in order
+//! to compare hundreds of simulations fairly.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_mem::{MemoryConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::default());
+//! let block = mem.alloc(64).expect("arena has room");
+//! mem.reset_stats(); // exclude allocator bookkeeping from the measurement
+//! mem.write(block, 64);
+//! mem.read(block, 8);
+//! let report = mem.report();
+//! assert_eq!(report.accesses, 2);
+//! assert!(report.energy_nj > 0.0);
+//! assert!(report.peak_footprint_bytes >= 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod allocator;
+mod cache;
+mod config;
+mod dram;
+mod energy;
+mod report;
+mod system;
+
+pub use addr::VirtAddr;
+pub use allocator::{AllocError, AllocStats, FitPolicy, SimAllocator};
+pub use cache::{Cache, CacheStats, LineAccess};
+pub use config::{
+    AllocCostModel, CacheConfig, DramConfig, MemoryConfig, ReplacementPolicy, SpmConfig,
+};
+pub use dram::{DramModel, DramStats};
+pub use energy::EnergyModel;
+pub use report::{CostReport, MemStats};
+pub use system::MemorySystem;

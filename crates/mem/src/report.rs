@@ -1,0 +1,200 @@
+//! Aggregated measurement ledger and the four-metric cost report.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Raw counters accumulated by a [`crate::MemorySystem`] during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Read transactions issued by the workload.
+    pub reads: u64,
+    /// Write transactions issued by the workload.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Total elapsed cycles (memory latency plus charged CPU work).
+    pub cycles: u64,
+    /// Total dynamic + leakage energy in nanojoules.
+    pub energy_nj: f64,
+    /// Successful heap allocations.
+    pub allocs: u64,
+    /// Heap frees.
+    pub frees: u64,
+}
+
+impl MemStats {
+    /// Total memory accesses — the paper's *memory accesses* metric.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, rhs: MemStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.read_bytes += rhs.read_bytes;
+        self.write_bytes += rhs.write_bytes;
+        self.cycles += rhs.cycles;
+        self.energy_nj += rhs.energy_nj;
+        self.allocs += rhs.allocs;
+        self.frees += rhs.frees;
+    }
+}
+
+/// The four cost metrics of the DATE 2006 methodology for one simulation.
+///
+/// Lower is better in every dimension. [`CostReport::dominates`] implements
+/// the Pareto relation used by step 3 of the methodology.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_mem::CostReport;
+///
+/// let fast = CostReport { accesses: 10, cycles: 100, energy_nj: 5.0, peak_footprint_bytes: 64 };
+/// let slow = CostReport { accesses: 20, cycles: 300, energy_nj: 9.0, peak_footprint_bytes: 64 };
+/// assert!(fast.dominates(&slow));
+/// assert!(!slow.dominates(&fast));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Total memory accesses.
+    pub accesses: u64,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+    /// Peak heap footprint in bytes (allocator overhead included).
+    pub peak_footprint_bytes: u64,
+}
+
+impl CostReport {
+    /// A zero report (useful as an accumulator identity).
+    #[must_use]
+    pub fn zero() -> Self {
+        CostReport {
+            accesses: 0,
+            cycles: 0,
+            energy_nj: 0.0,
+            peak_footprint_bytes: 0,
+        }
+    }
+
+    /// Returns the metrics as an array ordered
+    /// `[energy, cycles, accesses, footprint]`, the order used by the
+    /// paper's tables.
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 4] {
+        [
+            self.energy_nj,
+            self.cycles as f64,
+            self.accesses as f64,
+            self.peak_footprint_bytes as f64,
+        ]
+    }
+
+    /// Pareto dominance: no metric worse, at least one strictly better.
+    #[must_use]
+    pub fn dominates(&self, other: &CostReport) -> bool {
+        let a = self.as_array();
+        let b = other.as_array();
+        let mut strictly = false;
+        for (x, y) in a.iter().zip(b.iter()) {
+            if x > y {
+                return false;
+            }
+            if x < y {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy {:.2} uJ | time {} cycles | {} accesses | footprint {} B",
+            self.energy_nj / 1000.0,
+            self.cycles,
+            self.accesses,
+            self.peak_footprint_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(accesses: u64, cycles: u64, energy: f64, fp: u64) -> CostReport {
+        CostReport {
+            accesses,
+            cycles,
+            energy_nj: energy,
+            peak_footprint_bytes: fp,
+        }
+    }
+
+    #[test]
+    fn accesses_sum_reads_writes() {
+        let s = MemStats {
+            reads: 3,
+            writes: 4,
+            ..MemStats::default()
+        };
+        assert_eq!(s.accesses(), 7);
+    }
+
+    #[test]
+    fn add_assign_accumulates_all_fields() {
+        let mut a = MemStats {
+            reads: 1,
+            writes: 2,
+            read_bytes: 8,
+            write_bytes: 16,
+            cycles: 10,
+            energy_nj: 1.5,
+            allocs: 1,
+            frees: 0,
+        };
+        a += a;
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.cycles, 20);
+        assert!((a.energy_nj - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = r(10, 10, 10.0, 10);
+        assert!(!a.dominates(&a), "equal points do not dominate");
+        let better = r(9, 10, 10.0, 10);
+        assert!(better.dominates(&a));
+        assert!(!a.dominates(&better));
+    }
+
+    #[test]
+    fn incomparable_points_do_not_dominate() {
+        let a = r(5, 20, 10.0, 10);
+        let b = r(20, 5, 10.0, 10);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn array_order_matches_paper_tables() {
+        let a = r(3, 2, 1.0, 4);
+        assert_eq!(a.as_array(), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CostReport::zero()).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Tests of the two-level cache hierarchy.
+
+use ddtr_mem::{CacheConfig, DramConfig, MemoryConfig, MemorySystem, VirtAddr};
+
+/// A platform whose L1 is tiny and L2 moderate, so a strided working set
+/// fits the L2 but thrashes the L1.
+fn two_level() -> MemoryConfig {
+    MemoryConfig {
+        l1: CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 32,
+            ways: 1,
+            hit_cycles: 1,
+            ..CacheConfig::default()
+        },
+        l2: Some(CacheConfig {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            hit_cycles: 6,
+            ..CacheConfig::default()
+        }),
+        dram: DramConfig {
+            access_cycles: 80,
+            capacity_bytes: 256 * 1024,
+        },
+        ..MemoryConfig::tiny_for_tests()
+    }
+}
+
+fn one_level() -> MemoryConfig {
+    MemoryConfig {
+        l2: None,
+        ..two_level()
+    }
+}
+
+/// Sweep a 4 KiB working set repeatedly: thrashes the 512 B L1, fits the
+/// 8 KiB L2.
+fn sweep(mem: &mut MemorySystem) -> u64 {
+    let base = mem.alloc(4096).expect("arena fits");
+    mem.reset_stats();
+    for _round in 0..4 {
+        for off in (0..4096).step_by(32) {
+            mem.read(base.offset(off), 8);
+        }
+    }
+    mem.report().cycles
+}
+
+#[test]
+fn l2_absorbs_l1_thrashing() {
+    let mut with = MemorySystem::new(two_level());
+    let mut without = MemorySystem::new(one_level());
+    let cycles_with = sweep(&mut with);
+    let cycles_without = sweep(&mut without);
+    assert!(
+        cycles_with * 2 < cycles_without,
+        "L2 should absorb the refills: {cycles_with} vs {cycles_without}"
+    );
+    let l2 = with.l2_stats().expect("l2 configured");
+    assert!(l2.read_hits > l2.read_misses, "steady state hits in L2");
+}
+
+#[test]
+fn l2_stats_absent_without_l2() {
+    let mem = MemorySystem::new(one_level());
+    assert!(mem.l2_stats().is_none());
+}
+
+#[test]
+fn dirty_victims_land_in_l2_not_dram() {
+    let mut mem = MemorySystem::new(two_level());
+    let base = mem.alloc(2048).expect("arena fits");
+    mem.reset_stats();
+    // Dirty a 2 KiB region (64 lines through a 16-line L1), then sweep it
+    // again: every L1 victim writeback must be absorbed by the L2.
+    for round in 0..3 {
+        for off in (0..2048).step_by(32) {
+            if round % 2 == 0 {
+                mem.write(base.offset(off), 8);
+            } else {
+                mem.read(base.offset(off), 8);
+            }
+        }
+    }
+    let l2 = mem.l2_stats().expect("l2 configured");
+    assert!(l2.write_hits + l2.write_misses > 0, "writebacks reached L2");
+    // The L2 never evicted a dirty line for this small working set.
+    assert_eq!(l2.writebacks, 0, "nothing should spill to DRAM");
+}
+
+#[test]
+fn writeback_goes_to_the_victims_address() {
+    // Regression guard for multi-level correctness: the L1 victim's
+    // *own* address is what reaches the next level, not the address that
+    // caused the eviction. With a direct-mapped L1, address A dirtied and
+    // then evicted by B (same set) must appear as a write at A in the L2,
+    // making a subsequent L2 probe of A hit.
+    let mut mem = MemorySystem::new(two_level());
+    // Two addresses mapping to the same L1 set (512 B direct-mapped = 16
+    // lines): A and A + 512.
+    let a = VirtAddr::new(0x1000);
+    let b = a.offset(512);
+    mem.write(a, 8); // miss, dirty A in L1 (L2 sees the fill read)
+    mem.read(b, 8); // evicts dirty A -> writeback lands at A in L2
+    let l2_before = mem.l2_stats().expect("l2").write_hits + mem.l2_stats().expect("l2").write_misses;
+    assert!(l2_before > 0, "the writeback reached the L2");
+    // A is now resident (and dirty) in the L2: re-reading A misses L1 but
+    // hits L2.
+    let hits_before = mem.l2_stats().expect("l2").read_hits;
+    mem.read(a, 8);
+    assert_eq!(
+        mem.l2_stats().expect("l2").read_hits,
+        hits_before + 1,
+        "A must hit in L2 after its writeback"
+    );
+}
+
+#[test]
+fn l2_validation_rules() {
+    let mut cfg = two_level();
+    cfg.l2 = Some(CacheConfig {
+        line_bytes: 64, // mismatched line size
+        ..cfg.l2.expect("set")
+    });
+    assert!(cfg.validate().is_err());
+
+    let mut cfg = two_level();
+    cfg.l2 = Some(CacheConfig {
+        capacity_bytes: 256, // smaller than L1
+        line_bytes: 32,
+        ways: 1,
+        hit_cycles: 6,
+        ..CacheConfig::default()
+    });
+    assert!(cfg.validate().is_err());
+
+    assert!(MemoryConfig::with_l2().validate().is_ok());
+}
+
+#[test]
+fn l2_adds_energy_per_probe() {
+    let mut with = MemorySystem::new(two_level());
+    let mut without = MemorySystem::new(one_level());
+    // A single cold miss: the two-level system pays the L2 probe energy on
+    // top of the DRAM fill.
+    let a1 = with.alloc(64).expect("fits");
+    let a2 = without.alloc(64).expect("fits");
+    with.reset_stats();
+    without.reset_stats();
+    with.read(a1, 8);
+    without.read(a2, 8);
+    assert!(with.stats().energy_nj > without.stats().energy_nj);
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the simulated memory subsystem.
+
+use ddtr_mem::{Cache, CacheConfig, MemoryConfig, MemorySystem, SimAllocator, VirtAddr};
+use proptest::prelude::*;
+
+/// Operations applied to the allocator under test.
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc(u64),
+    /// Free the i-th live block (modulo the live count).
+    Free(usize),
+}
+
+fn heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..256).prop_map(HeapOp::Alloc),
+            (0usize..64).prop_map(HeapOp::Free),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Live blocks never overlap, regardless of the alloc/free sequence.
+    #[test]
+    fn allocator_blocks_never_overlap(ops in heap_ops()) {
+        let mut heap = SimAllocator::new(0x1000, 1 << 20);
+        let mut live: Vec<(VirtAddr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::Alloc(size) => {
+                    if let Ok(addr) = heap.alloc(size) {
+                        live.push((addr, size));
+                    }
+                }
+                HeapOp::Free(i) => {
+                    if !live.is_empty() {
+                        let (addr, _) = live.remove(i % live.len());
+                        heap.free(addr).expect("live block frees cleanly");
+                    }
+                }
+            }
+            // No two live blocks overlap.
+            let mut spans: Vec<(u64, u64)> = live
+                .iter()
+                .map(|&(a, s)| (a.as_u64(), a.as_u64() + s))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+            }
+        }
+    }
+
+    /// Freeing everything coalesces the arena back to a single region and
+    /// zero live bytes.
+    #[test]
+    fn allocator_full_free_coalesces(sizes in prop::collection::vec(1u64..512, 1..64)) {
+        let mut heap = SimAllocator::new(0x1000, 1 << 20);
+        let blocks: Vec<_> = sizes.iter().map(|&s| heap.alloc(s).expect("fits")).collect();
+        for b in blocks {
+            heap.free(b).expect("free");
+        }
+        prop_assert_eq!(heap.free_regions(), 1);
+        prop_assert_eq!(heap.stats().live_gross_bytes, 0);
+        prop_assert_eq!(heap.stats().live_user_bytes, 0);
+    }
+
+    /// Peak footprint is monotone non-decreasing and at least current usage.
+    #[test]
+    fn allocator_peak_is_monotone(ops in heap_ops()) {
+        let mut heap = SimAllocator::new(0x1000, 1 << 20);
+        let mut live: Vec<VirtAddr> = Vec::new();
+        let mut last_peak = 0;
+        for op in ops {
+            match op {
+                HeapOp::Alloc(size) => {
+                    if let Ok(a) = heap.alloc(size) {
+                        live.push(a);
+                    }
+                }
+                HeapOp::Free(i) => {
+                    if !live.is_empty() {
+                        let a = live.remove(i % live.len());
+                        heap.free(a).expect("free");
+                    }
+                }
+            }
+            let s = heap.stats();
+            prop_assert!(s.peak_gross_bytes >= last_peak);
+            prop_assert!(s.peak_gross_bytes >= s.live_gross_bytes);
+            last_peak = s.peak_gross_bytes;
+        }
+    }
+
+    /// Re-accessing an address immediately after the first access always
+    /// hits (temporal locality is honoured by the LRU cache).
+    #[test]
+    fn cache_immediate_reaccess_hits(addrs in prop::collection::vec(0u64..(1 << 20), 1..100)) {
+        let mut cache = Cache::new(CacheConfig::default());
+        for raw in addrs {
+            let a = VirtAddr::new(raw);
+            cache.access(a, false);
+            let (hit, _) = cache.access(a, false);
+            prop_assert!(hit);
+        }
+    }
+
+    /// Hit + miss counts always add up to total accesses.
+    #[test]
+    fn cache_counters_are_consistent(
+        ops in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..300)
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 32,
+            ways: 2,
+            hit_cycles: 1,
+            ..CacheConfig::default()
+        });
+        for (raw, write) in &ops {
+            cache.access(VirtAddr::new(*raw), *write);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), ops.len() as u64);
+        prop_assert!(s.writebacks <= s.read_misses + s.write_misses);
+    }
+
+    /// The composed system is deterministic: same op sequence, same report.
+    #[test]
+    fn memory_system_is_deterministic(
+        ops in prop::collection::vec((0u64..4096, 1u64..64, any::<bool>()), 1..200)
+    ) {
+        let run = || {
+            let mut m = MemorySystem::new(MemoryConfig::tiny_for_tests());
+            let base = m.alloc(8192).expect("arena fits");
+            for (off, size, write) in &ops {
+                let addr = base.offset(off % 8000);
+                if *write {
+                    m.write(addr, *size);
+                } else {
+                    m.read(addr, *size);
+                }
+            }
+            m.report()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.accesses, b.accesses);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert!((a.energy_nj - b.energy_nj).abs() < 1e-9);
+        prop_assert_eq!(a.peak_footprint_bytes, b.peak_footprint_bytes);
+    }
+
+    /// Energy and cycles are strictly positive for any non-empty workload.
+    #[test]
+    fn work_always_costs_something(size in 1u64..128) {
+        let mut m = MemorySystem::new(MemoryConfig::default());
+        let a = m.alloc(size).expect("fits");
+        m.write(a, size);
+        let r = m.report();
+        prop_assert!(r.cycles > 0);
+        prop_assert!(r.energy_nj > 0.0);
+        prop_assert!(r.peak_footprint_bytes >= size);
+    }
+}

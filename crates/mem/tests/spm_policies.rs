@@ -1,0 +1,195 @@
+//! Integration tests of the platform extension knobs: scratchpad memory,
+//! allocator fit policies and cache replacement policies.
+
+use ddtr_mem::{
+    CacheConfig, FitPolicy, MemoryConfig, MemorySystem, ReplacementPolicy, SpmConfig,
+};
+
+#[test]
+fn alloc_hot_lands_in_the_scratchpad_when_configured() {
+    let mut m = MemorySystem::new(MemoryConfig::with_spm());
+    let hot = m.alloc_hot(24).expect("spm has room");
+    assert!(m.is_spm_addr(hot));
+    assert_eq!(m.spm_used(), 24);
+    // Scratchpad residents do not occupy the heap arena.
+    assert_eq!(m.alloc_stats().live_gross_bytes, 0);
+}
+
+#[test]
+fn alloc_hot_falls_back_to_heap_without_scratchpad() {
+    let mut m = MemorySystem::new(MemoryConfig::default());
+    let hot = m.alloc_hot(24).expect("heap has room");
+    assert!(!m.is_spm_addr(hot));
+    assert_eq!(m.spm_used(), 0);
+    assert!(m.alloc_stats().live_gross_bytes > 0);
+    m.free(hot).expect("heap block is freeable");
+}
+
+#[test]
+fn alloc_hot_falls_back_once_the_scratchpad_fills() {
+    let cfg = MemoryConfig {
+        spm: Some(SpmConfig {
+            capacity_bytes: 64,
+            access_cycles: 1,
+        }),
+        ..MemoryConfig::default()
+    };
+    let mut m = MemorySystem::new(cfg);
+    let a = m.alloc_hot(48).expect("fits the spm");
+    let b = m.alloc_hot(48).expect("overflows to the heap");
+    assert!(m.is_spm_addr(a));
+    assert!(!m.is_spm_addr(b));
+    assert_eq!(m.spm_used(), 48);
+}
+
+#[test]
+fn scratchpad_accesses_bypass_the_cache_at_fixed_cost() {
+    let mut m = MemorySystem::new(MemoryConfig::with_spm());
+    let hot = m.alloc_hot(32).expect("spm has room");
+    let cache_before = m.cache_stats().accesses();
+    let c1 = m.read(hot, 8);
+    let c2 = m.read(hot, 8);
+    assert_eq!(m.cache_stats().accesses(), cache_before, "no cache traffic");
+    assert_eq!(c1, c2, "every scratchpad access costs the same");
+    assert_eq!(c1, 1, "single-cycle scratchpad");
+}
+
+#[test]
+fn scratchpad_descriptor_access_is_cheaper_than_a_cold_heap_access() {
+    // The first touch of a heap line misses all the way to DRAM; the first
+    // touch of a scratchpad word costs one cycle. This is the entire value
+    // proposition of SPM placement for hot descriptors.
+    let mut with_spm = MemorySystem::new(MemoryConfig::with_spm());
+    let hot = with_spm.alloc_hot(24).expect("spm");
+    let spm_cycles = with_spm.read(hot, 8);
+
+    let mut without = MemorySystem::new(MemoryConfig::default());
+    let cold = without.alloc_hot(24).expect("heap");
+    let heap_cycles = without.read(cold, 8);
+
+    assert!(
+        heap_cycles > 10 * spm_cycles,
+        "cold heap read ({heap_cycles}) vs spm read ({spm_cycles})"
+    );
+}
+
+#[test]
+fn spm_energy_is_accounted_but_small() {
+    let mut m = MemorySystem::new(MemoryConfig::with_spm());
+    let hot = m.alloc_hot(32).expect("spm");
+    let e0 = m.stats().energy_nj;
+    m.write(hot, 32);
+    let e1 = m.stats().energy_nj;
+    assert!(e1 > e0, "spm writes consume energy");
+    // One L1-sized access would cost more than a 4 KiB scratchpad access.
+    let heap = m.alloc(32).expect("heap");
+    m.write(heap, 32);
+    m.write(heap, 32); // warm (hit) write
+    let warm_start = m.stats().energy_nj;
+    m.write(heap, 32);
+    let warm_cost = m.stats().energy_nj - warm_start;
+    assert!(e1 - e0 < warm_cost, "spm access is the cheapest access");
+}
+
+#[test]
+fn spm_config_validation_rejects_overlap_with_heap() {
+    let cfg = MemoryConfig {
+        spm: Some(SpmConfig {
+            capacity_bytes: 1 << 30,
+            access_cycles: 1,
+        }),
+        ..MemoryConfig::default()
+    };
+    let err = cfg.validate().expect_err("spm bigger than the heap base");
+    assert!(err.contains("overlaps"), "got: {err}");
+}
+
+#[test]
+fn fit_policy_flows_from_config_to_allocator() {
+    for policy in [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::NextFit] {
+        let cfg = MemoryConfig {
+            fit_policy: policy,
+            ..MemoryConfig::default()
+        };
+        let m = MemorySystem::new(cfg);
+        assert_eq!(m.allocator().policy(), policy);
+    }
+}
+
+#[test]
+fn fit_policies_produce_different_layouts_but_identical_user_bytes() {
+    // After freeing an early block, first fit reuses its hole while next
+    // fit keeps moving forward — the canonical layout divergence.
+    let run = |policy: FitPolicy| {
+        let cfg = MemoryConfig {
+            fit_policy: policy,
+            ..MemoryConfig::tiny_for_tests()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let a = m.alloc(64).expect("fits");
+        let _b = m.alloc(64).expect("fits");
+        m.free(a).expect("free");
+        (m.alloc(64).expect("refit"), m.alloc_stats().live_user_bytes)
+    };
+    let (first_addr, first_bytes) = run(FitPolicy::FirstFit);
+    let (next_addr, next_bytes) = run(FitPolicy::NextFit);
+    assert_eq!(first_bytes, next_bytes, "accounting is policy-independent");
+    assert_ne!(first_addr, next_addr, "layouts differ between policies");
+}
+
+#[test]
+fn replacement_policy_changes_the_miss_profile() {
+    // A working set slightly larger than one set, with periodic re-touches
+    // of one line: LRU keeps the re-touched line, FIFO does not.
+    let run = |replacement: ReplacementPolicy| {
+        let cfg = MemoryConfig {
+            l1: CacheConfig {
+                capacity_bytes: 256,
+                line_bytes: 32,
+                ways: 2,
+                hit_cycles: 1,
+                replacement,
+            },
+            ..MemoryConfig::tiny_for_tests()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let base = m.alloc(8192).expect("fits");
+        for round in 0..50u64 {
+            m.read(base, 8); // the hot line
+            // two conflicting lines mapping to the same set (stride = sets*line)
+            m.read(base.offset(4 * 32 * (1 + round % 2)), 8);
+        }
+        m.cache_stats().miss_ratio()
+    };
+    let lru = run(ReplacementPolicy::Lru);
+    let fifo = run(ReplacementPolicy::Fifo);
+    assert_ne!(lru, fifo, "policies must be observable in the miss profile");
+}
+
+#[test]
+fn reports_stay_deterministic_with_all_knobs_enabled() {
+    let run = || {
+        let cfg = MemoryConfig {
+            spm: Some(SpmConfig::default()),
+            fit_policy: FitPolicy::BestFit,
+            l1: CacheConfig {
+                replacement: ReplacementPolicy::Random,
+                ..CacheConfig::default()
+            },
+            ..MemoryConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg);
+        let hot = m.alloc_hot(32).expect("spm");
+        let block = m.alloc(4096).expect("heap");
+        for i in 0..500u64 {
+            m.read(hot, 8);
+            m.write(block.offset((i * 37) % 4000), 16.min(4096 - (i * 37) % 4000));
+        }
+        m.report()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.accesses, b.accesses);
+    assert_eq!(a.cycles, b.cycles);
+    assert!((a.energy_nj - b.energy_nj).abs() < 1e-9);
+}

@@ -1,0 +1,48 @@
+//! Multi-objective (Pareto) analysis for the DDT exploration methodology.
+//!
+//! Step 3 of the DATE 2006 methodology turns gigabytes of simulation logs
+//! into Pareto-optimal sets: "a point is said to be Pareto-optimal, if it
+//! is no longer possible to improve upon one cost factor without worsening
+//! any other". This crate implements the machinery:
+//!
+//! * dominance tests and front/rank extraction over arbitrary-dimension
+//!   minimisation objectives ([`dominates`], [`pareto_front_indices`],
+//!   [`pareto_ranks`]),
+//! * two-dimensional curve extraction for the paper's time–energy and
+//!   accesses–footprint charts ([`curve_2d`]),
+//! * the trade-off ranges reported in the paper's Table 2
+//!   ([`tradeoff_ranges`], [`TradeoffRange`]),
+//! * a 2-D hypervolume indicator for the ablation studies
+//!   ([`hypervolume_2d`]),
+//! * ASCII scatter charts and CSV emission for the figures
+//!   ([`ScatterChart`]).
+//!
+//! All objectives are *minimised*; callers negate any maximisation metric.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_pareto::{pareto_front_indices, tradeoff_ranges};
+//!
+//! let points = vec![
+//!     vec![1.0, 9.0], // fast but hungry
+//!     vec![9.0, 1.0], // slow but frugal
+//!     vec![5.0, 5.0], // balanced
+//!     vec![9.0, 9.0], // dominated
+//! ];
+//! let front = pareto_front_indices(&points);
+//! assert_eq!(front, vec![0, 1, 2]);
+//! let spread = tradeoff_ranges(&points, &front);
+//! assert!((spread[0].spread_ratio() - (9.0 - 1.0) / 9.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod front;
+mod tradeoff;
+
+pub use chart::ScatterChart;
+pub use front::{curve_2d, dominates, hypervolume, hypervolume_2d, pareto_front_indices, pareto_ranks};
+pub use tradeoff::{tradeoff_ranges, TradeoffRange};

@@ -1,0 +1,131 @@
+//! Trade-off ranges among Pareto-optimal points (the paper's Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The spread of one objective across a Pareto-optimal set.
+///
+/// The paper reports, per metric, how much a designer can trade away by
+/// moving along the Pareto curve — e.g. "trade-offs can be achieved up to
+/// 90 % for the dissipated energy" means the most frugal Pareto point uses
+/// 90 % less energy than the most energy-hungry one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffRange {
+    /// Smallest value of the objective on the front.
+    pub min: f64,
+    /// Largest value of the objective on the front.
+    pub max: f64,
+}
+
+impl TradeoffRange {
+    /// `(max - min) / max`: the fraction of the worst front value that can
+    /// be traded away, in `[0, 1]`. Zero when the front is degenerate.
+    #[must_use]
+    pub fn spread_ratio(&self) -> f64 {
+        if self.max <= 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.max
+        }
+    }
+
+    /// The spread as a percentage, rounded to the nearest integer — the
+    /// format of the paper's Table 2.
+    #[must_use]
+    pub fn spread_percent(&self) -> u32 {
+        (self.spread_ratio() * 100.0).round() as u32
+    }
+}
+
+/// Computes the per-objective [`TradeoffRange`] over the points selected by
+/// `front` (indices into `points`, typically from
+/// [`crate::pareto_front_indices`]).
+///
+/// Returns one range per objective dimension; an empty front yields an
+/// empty vector.
+///
+/// # Panics
+///
+/// Panics if `front` contains an out-of-range index or points have
+/// inconsistent dimensionality.
+#[must_use]
+pub fn tradeoff_ranges<P: AsRef<[f64]>>(points: &[P], front: &[usize]) -> Vec<TradeoffRange> {
+    let Some(&first) = front.first() else {
+        return Vec::new();
+    };
+    let dims = points[first].as_ref().len();
+    let mut ranges = vec![
+        TradeoffRange {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        dims
+    ];
+    for &i in front {
+        let p = points[i].as_ref();
+        assert_eq!(p.len(), dims, "dimension mismatch");
+        for (d, &v) in p.iter().enumerate() {
+            ranges[d].min = ranges[d].min.min(v);
+            ranges[d].max = ranges[d].max.max(v);
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::pareto_front_indices;
+
+    #[test]
+    fn empty_front_gives_no_ranges() {
+        let pts: Vec<Vec<f64>> = vec![vec![1.0, 2.0]];
+        assert!(tradeoff_ranges(&pts, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_front_has_zero_spread() {
+        let pts = vec![vec![4.0, 5.0]];
+        let r = tradeoff_ranges(&pts, &[0]);
+        assert_eq!(r[0].spread_percent(), 0);
+        assert_eq!(r[1].spread_percent(), 0);
+    }
+
+    #[test]
+    fn spread_matches_paper_table_format() {
+        // Energy spans 1..10 on the front: 90% trade-off, like Route in
+        // Table 2.
+        let pts = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
+        let front = pareto_front_indices(&pts);
+        let r = tradeoff_ranges(&pts, &front);
+        assert_eq!(r[0].spread_percent(), 90);
+        assert_eq!(r[1].spread_percent(), 90);
+    }
+
+    #[test]
+    fn only_front_points_counted() {
+        let pts = vec![
+            vec![1.0, 10.0],
+            vec![10.0, 1.0],
+            vec![100.0, 100.0], // dominated — must not widen the range
+        ];
+        let front = pareto_front_indices(&pts);
+        let r = tradeoff_ranges(&pts, &front);
+        assert_eq!(r[0].max, 10.0);
+        assert_eq!(r[1].max, 10.0);
+    }
+
+    #[test]
+    fn zero_max_yields_zero_spread() {
+        let r = TradeoffRange { min: 0.0, max: 0.0 };
+        assert_eq!(r.spread_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ranges_cover_every_dimension() {
+        let pts = vec![vec![1.0, 2.0, 3.0, 4.0], vec![4.0, 3.0, 2.0, 1.0]];
+        let r = tradeoff_ranges(&pts, &[0, 1]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[3].min, 1.0);
+        assert_eq!(r[3].max, 4.0);
+    }
+}

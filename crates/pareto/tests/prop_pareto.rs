@@ -1,0 +1,249 @@
+//! Property-based tests of the Pareto machinery.
+
+use ddtr_pareto::{
+    curve_2d, dominates, hypervolume, hypervolume_2d, pareto_front_indices, pareto_ranks,
+    tradeoff_ranges,
+};
+use proptest::prelude::*;
+
+fn arb_points(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0f64..100.0, dims..=dims),
+        1..40,
+    )
+}
+
+proptest! {
+    /// Minimality: no front member dominates another front member.
+    #[test]
+    fn front_members_are_mutually_nondominated(pts in arb_points(4)) {
+        let front = pareto_front_indices(&pts);
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(i == j || !dominates(&pts[i], &pts[j]));
+            }
+        }
+    }
+
+    /// Completeness: every non-front point is dominated by some front point.
+    #[test]
+    fn every_dropped_point_is_dominated(pts in arb_points(3)) {
+        let front = pareto_front_indices(&pts);
+        let on_front = |i: usize| front.contains(&i);
+        for i in 0..pts.len() {
+            if !on_front(i) {
+                let covered = front.iter().any(|&f| dominates(&pts[f], &pts[i]));
+                prop_assert!(covered, "dropped point {i} not dominated by the front");
+            }
+        }
+    }
+
+    /// The front is never empty for non-empty input.
+    #[test]
+    fn front_is_nonempty(pts in arb_points(2)) {
+        prop_assert!(!pareto_front_indices(&pts).is_empty());
+    }
+
+    /// Rank 0 of non-dominated sorting equals the Pareto front.
+    #[test]
+    fn rank_zero_equals_front(pts in arb_points(3)) {
+        let front = pareto_front_indices(&pts);
+        let ranks = pareto_ranks(&pts);
+        let rank0: Vec<usize> = (0..pts.len()).filter(|&i| ranks[i] == 0).collect();
+        prop_assert_eq!(front, rank0);
+    }
+
+    /// Ranks are dense: every rank below the maximum is inhabited.
+    #[test]
+    fn ranks_are_dense(pts in arb_points(2)) {
+        let ranks = pareto_ranks(&pts);
+        let max = ranks.iter().copied().max().expect("non-empty");
+        for r in 0..=max {
+            prop_assert!(ranks.contains(&r), "rank {r} uninhabited");
+        }
+    }
+
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a in prop::collection::vec(0.0f64..10.0, 4),
+        b in prop::collection::vec(0.0f64..10.0, 4),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    /// Adding a point never shrinks the hypervolume.
+    #[test]
+    fn hypervolume_is_monotone(
+        pts in arb_points(2),
+        extra in prop::collection::vec(0.0f64..100.0, 2),
+    ) {
+        let reference = [200.0, 200.0];
+        let base = hypervolume_2d(&pts, reference);
+        let mut more = pts.clone();
+        more.push(extra);
+        let bigger = hypervolume_2d(&more, reference);
+        prop_assert!(bigger + 1e-9 >= base, "hv shrank: {base} -> {bigger}");
+    }
+
+    /// Trade-off ranges bound every front point in every dimension.
+    #[test]
+    fn tradeoff_ranges_bound_front(pts in arb_points(4)) {
+        let front = pareto_front_indices(&pts);
+        let ranges = tradeoff_ranges(&pts, &front);
+        for &i in &front {
+            for (d, r) in ranges.iter().enumerate() {
+                prop_assert!(pts[i][d] >= r.min - 1e-12);
+                prop_assert!(pts[i][d] <= r.max + 1e-12);
+                prop_assert!(r.spread_ratio() >= 0.0 && r.spread_ratio() <= 1.0);
+            }
+        }
+    }
+
+    /// Idempotence: the front of the front is the whole front.
+    #[test]
+    fn front_is_idempotent(pts in arb_points(3)) {
+        let front = pareto_front_indices(&pts);
+        let front_points: Vec<Vec<f64>> = front.iter().map(|&i| pts[i].clone()).collect();
+        let again = pareto_front_indices(&front_points);
+        prop_assert_eq!(again.len(), front_points.len());
+    }
+
+    /// Order invariance: permuting the input permutes (not changes) the
+    /// selected front points.
+    #[test]
+    fn front_is_order_invariant(pts in arb_points(3), seed in 0u64..1000) {
+        use std::collections::BTreeSet;
+        let front_a: BTreeSet<Vec<u64>> = pareto_front_indices(&pts)
+            .into_iter()
+            .map(|i| pts[i].iter().map(|v| v.to_bits()).collect())
+            .collect();
+        // Deterministic shuffle.
+        let mut shuffled = pts.clone();
+        let mut state = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let front_b: BTreeSet<Vec<u64>> = pareto_front_indices(&shuffled)
+            .into_iter()
+            .map(|i| shuffled[i].iter().map(|v| v.to_bits()).collect())
+            .collect();
+        prop_assert_eq!(front_a, front_b);
+    }
+
+    /// Rank counts partition the input: every point has exactly one rank.
+    #[test]
+    fn ranks_partition_points(pts in arb_points(3)) {
+        let ranks = pareto_ranks(&pts);
+        prop_assert_eq!(ranks.len(), pts.len());
+        prop_assert!(ranks.iter().all(|&r| r != usize::MAX));
+    }
+
+    /// A rank-r point is always dominated by some rank-(r-1) point.
+    #[test]
+    fn each_rank_is_dominated_by_the_previous(pts in arb_points(2)) {
+        let ranks = pareto_ranks(&pts);
+        for (i, &r) in ranks.iter().enumerate() {
+            if r == 0 { continue; }
+            let covered = (0..pts.len()).any(|j| {
+                ranks[j] == r - 1 && dominates(&pts[j], &pts[i])
+            });
+            prop_assert!(covered, "rank-{r} point {i} not dominated by rank {}", r - 1);
+        }
+    }
+
+    /// 2-D curves are sorted by x and mutually non-dominated in-plane.
+    #[test]
+    fn curve_2d_is_sorted_and_nondominated(pts in arb_points(4)) {
+        let curve = curve_2d(&pts, 1, 2);
+        for w in curve.windows(2) {
+            prop_assert!(pts[w[0]][1] <= pts[w[1]][1], "curve not x-sorted");
+        }
+        for &i in &curve {
+            for &j in &curve {
+                let a = [pts[i][1], pts[i][2]];
+                let b = [pts[j][1], pts[j][2]];
+                prop_assert!(i == j || !dominates(&a, &b));
+            }
+        }
+    }
+
+    /// The curve in any plane contains the projection of at least one
+    /// full-dimensional front point.
+    #[test]
+    fn curve_intersects_full_front(pts in arb_points(3)) {
+        let curve = curve_2d(&pts, 0, 1);
+        prop_assert!(!curve.is_empty());
+        // The in-plane minimum of objective 0 is on the curve, and that
+        // point is non-dominated in the plane by construction.
+        let min0 = (0..pts.len())
+            .min_by(|&a, &b| pts[a][0].partial_cmp(&pts[b][0]).expect("finite"))
+            .expect("non-empty");
+        let covered = curve.iter().any(|&i| pts[i][0] <= pts[min0][0] + 1e-12);
+        prop_assert!(covered);
+    }
+
+    /// Hypervolume never exceeds the reference box area.
+    #[test]
+    fn hypervolume_is_bounded_by_the_reference_box(pts in arb_points(2)) {
+        let reference = [150.0, 150.0];
+        let hv = hypervolume_2d(&pts, reference);
+        prop_assert!(hv >= 0.0);
+        prop_assert!(hv <= 150.0 * 150.0 + 1e-9);
+    }
+
+    /// Scaling all points towards the origin never shrinks hypervolume.
+    #[test]
+    fn hypervolume_improves_when_points_improve(pts in arb_points(2)) {
+        let reference = [200.0, 200.0];
+        let base = hypervolume_2d(&pts, reference);
+        let better: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|p| p.iter().map(|v| v * 0.5).collect())
+            .collect();
+        let improved = hypervolume_2d(&better, reference);
+        prop_assert!(improved + 1e-9 >= base, "hv shrank: {base} -> {improved}");
+    }
+
+    /// The exact n-dimensional hypervolume agrees with the 2-D staircase
+    /// implementation on arbitrary planar sets.
+    #[test]
+    fn hypervolume_nd_matches_2d(pts in arb_points(2)) {
+        let reference = [150.0, 150.0];
+        let a = hypervolume_2d(&pts, reference);
+        let b = hypervolume(&pts, &reference);
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    /// Adding a point never shrinks the 4-D hypervolume, and the volume
+    /// stays within the reference box.
+    #[test]
+    fn hypervolume_nd_is_monotone_and_bounded(
+        pts in arb_points(4),
+        extra in prop::collection::vec(0.0f64..100.0, 4),
+    ) {
+        let reference = [120.0f64; 4];
+        let base = hypervolume(&pts, &reference);
+        let mut more = pts.clone();
+        more.push(extra);
+        let bigger = hypervolume(&more, &reference);
+        prop_assert!(bigger + 1e-6 >= base, "hv shrank: {base} -> {bigger}");
+        prop_assert!(bigger <= 120.0f64.powi(4) + 1e-6);
+    }
+
+    /// Dominated points contribute nothing: pruning to the front first
+    /// leaves the hypervolume unchanged.
+    #[test]
+    fn hypervolume_nd_depends_only_on_the_front(pts in arb_points(3)) {
+        let reference = [150.0f64; 3];
+        let all = hypervolume(&pts, &reference);
+        let front = pareto_front_indices(&pts);
+        let front_points: Vec<Vec<f64>> = front.iter().map(|&i| pts[i].clone()).collect();
+        let pruned = hypervolume(&front_points, &reference);
+        prop_assert!((all - pruned).abs() < 1e-6, "{all} vs {pruned}");
+    }
+}

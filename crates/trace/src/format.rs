@@ -1,0 +1,263 @@
+//! Text serialisation of traces.
+//!
+//! The paper's tool "parses the available network traces and extracts the
+//! network parameters from the raw data in the traces". To exercise that
+//! code path with real files, traces serialise to a simple one-line-per-
+//! packet text format:
+//!
+//! ```text
+//! # ddtr-trace <network>
+//! <ts_us> <src> <dst> <sport> <dport> <proto> <bytes> [url]
+//! ```
+
+use crate::packet::{Packet, Payload, Protocol, Trace};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error produced while parsing a text trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and reason.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The header line is missing or malformed.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ParseTraceError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+            ParseTraceError::MissingHeader => f.write_str("missing `# ddtr-trace` header"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes traces in the text format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceWriter;
+
+impl TraceWriter {
+    /// Serialises `trace` to `w`.
+    ///
+    /// A mutable reference also works as the writer (`&mut Vec<u8>`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+        writeln!(w, "# ddtr-trace {}", trace.network)?;
+        for p in trace {
+            write!(
+                w,
+                "{} {} {} {} {} {} {}",
+                p.ts_us, p.src, p.dst, p.sport, p.dport, p.proto, p.bytes
+            )?;
+            if let Some(url) = p.payload.url() {
+                write!(w, " {url}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Serialises to an owned string.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: writing to a `Vec<u8>` is infallible and the format is
+    /// pure ASCII-compatible UTF-8.
+    #[must_use]
+    pub fn to_string(trace: &Trace) -> String {
+        let mut buf = Vec::new();
+        Self::write(trace, &mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("trace text is UTF-8")
+    }
+}
+
+/// Parses traces from the text format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Parses a full trace from `r`.
+    ///
+    /// A mutable reference also works as the reader (`&mut &[u8]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on I/O failure, a missing header, or any
+    /// malformed line.
+    pub fn read<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+        let mut lines = r.lines();
+        let header = lines.next().ok_or(ParseTraceError::MissingHeader)??;
+        let network = header
+            .strip_prefix("# ddtr-trace ")
+            .ok_or(ParseTraceError::MissingHeader)?
+            .trim()
+            .to_owned();
+        let mut packets = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            let line_no = i + 2;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            packets.push(Self::parse_line(&line, line_no)?);
+        }
+        Ok(Trace::new(network, packets))
+    }
+
+    /// Parses a trace from a string.
+    ///
+    /// (Named `parse_str` rather than `from_str` to avoid confusion with
+    /// `std::str::FromStr`, which cannot be implemented here because the
+    /// error carries I/O context.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceReader::read`].
+    pub fn parse_str(s: &str) -> Result<Trace, ParseTraceError> {
+        Self::read(s.as_bytes())
+    }
+
+    fn parse_line(line: &str, line_no: usize) -> Result<Packet, ParseTraceError> {
+        let malformed = |reason: &str| ParseTraceError::Malformed {
+            line: line_no,
+            reason: reason.to_owned(),
+        };
+        let mut fields = line.split_whitespace();
+        let mut next_num = |name: &str| -> Result<u64, ParseTraceError> {
+            fields
+                .next()
+                .ok_or_else(|| malformed(&format!("missing field `{name}`")))?
+                .parse::<u64>()
+                .map_err(|e| malformed(&format!("bad `{name}`: {e}")))
+        };
+        let ts_us = next_num("ts_us")?;
+        let src = u32::try_from(next_num("src")?).map_err(|_| malformed("src out of range"))?;
+        let dst = u32::try_from(next_num("dst")?).map_err(|_| malformed("dst out of range"))?;
+        let sport =
+            u16::try_from(next_num("sport")?).map_err(|_| malformed("sport out of range"))?;
+        let dport =
+            u16::try_from(next_num("dport")?).map_err(|_| malformed("dport out of range"))?;
+        let proto = match fields.next() {
+            Some("tcp") => Protocol::Tcp,
+            Some("udp") => Protocol::Udp,
+            Some("icmp") => Protocol::Icmp,
+            Some(other) => return Err(malformed(&format!("unknown protocol `{other}`"))),
+            None => return Err(malformed("missing field `proto`")),
+        };
+        let bytes = {
+            let raw = fields
+                .next()
+                .ok_or_else(|| malformed("missing field `bytes`"))?;
+            raw.parse::<u32>()
+                .map_err(|e| malformed(&format!("bad `bytes`: {e}")))?
+        };
+        let payload = match fields.next() {
+            Some(url) => Payload::Http { url: url.to_owned() },
+            None => Payload::Empty,
+        };
+        Ok(Packet {
+            ts_us,
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+            bytes,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::NetworkPreset;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let t = NetworkPreset::DartmouthBerry.generate(200);
+        let text = TraceWriter::to_string(&t);
+        let back = TraceReader::parse_str(&text).expect("round trip parses");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert!(matches!(
+            TraceReader::parse_str("1 2 3 4 5 tcp 100"),
+            Err(ParseTraceError::MissingHeader)
+        ));
+        assert!(matches!(
+            TraceReader::parse_str(""),
+            Err(ParseTraceError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# ddtr-trace x\n\n# comment\n5 1 2 10 80 tcp 40\n";
+        let t = TraceReader::parse_str(text).expect("parses");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.network, "x");
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let text = "# ddtr-trace x\n5 1 2 10 80 tcp 40\noops\n";
+        let err = TraceReader::parse_str(text).unwrap_err();
+        match err {
+            ParseTraceError::Malformed { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_rejected() {
+        let text = "# ddtr-trace x\n5 1 2 10 80 sctp 40\n";
+        let err = TraceReader::parse_str(text).unwrap_err();
+        assert!(err.to_string().contains("sctp"));
+    }
+
+    #[test]
+    fn out_of_range_port_rejected() {
+        let text = "# ddtr-trace x\n5 1 2 99999 80 tcp 40\n";
+        assert!(TraceReader::parse_str(text).is_err());
+    }
+
+    #[test]
+    fn url_field_round_trips() {
+        let text = "# ddtr-trace x\n5 1 2 10 80 tcp 576 /index.html\n";
+        let t = TraceReader::parse_str(text).expect("parses");
+        assert_eq!(t.packets[0].payload.url(), Some("/index.html"));
+        let again = TraceWriter::to_string(&t);
+        assert_eq!(TraceReader::parse_str(&again).unwrap(), t);
+    }
+}

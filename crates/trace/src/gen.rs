@@ -1,0 +1,423 @@
+//! Deterministic synthetic packet-stream generation.
+
+use crate::packet::{Packet, Payload, Protocol, Trace};
+use crate::spec::TraceSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pool of URL path templates the generator draws from; the URL-switching
+/// application's pattern table is built from the same stems, so lookups hit
+/// with realistic probability.
+pub const URL_STEMS: [&str; 12] = [
+    "/index.html",
+    "/images/logo.gif",
+    "/news/today",
+    "/mail/inbox",
+    "/search?q=",
+    "/static/css/site.css",
+    "/api/v1/items",
+    "/video/stream",
+    "/docs/manual",
+    "/login",
+    "/cart/checkout",
+    "/feed.rss",
+];
+
+/// Seeded packet-stream synthesiser implementing the workload model of the
+/// substituted traces: Poisson arrivals, Zipf-popular flows over a fixed
+/// node population, trimodal packet sizes and a configurable share of HTTP
+/// payloads.
+///
+/// Generation is fully deterministic in [`TraceSpec::seed`].
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::{TraceGenerator, TraceSpec};
+///
+/// let spec = TraceSpec::builder("lab").seed(1).build();
+/// let a = TraceGenerator::new(spec.clone()).generate(200);
+/// let b = TraceGenerator::new(spec).generate(200);
+/// assert_eq!(a, b, "same seed, same trace");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: TraceSpec,
+    /// Zipf CDF over flow ranks (cumulative, normalised).
+    flow_cdf: Vec<f64>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`TraceSpec::validate`].
+    #[must_use]
+    pub fn new(spec: TraceSpec) -> Self {
+        spec.validate().expect("invalid trace spec");
+        let flow_cdf = zipf_cdf(spec.flows as usize, spec.flow_skew);
+        TraceGenerator { spec, flow_cdf }
+    }
+
+    /// The spec driving this generator.
+    #[must_use]
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    /// Generates a trace of exactly `n_packets` packets.
+    ///
+    /// With [`TraceSpec::burstiness`] set, packets arrive in geometric
+    /// ON-trains with per-train flow locality, separated by long OFF gaps
+    /// — the packet-train structure of real campus traces. Without it the
+    /// stream is a smooth Poisson process.
+    #[must_use]
+    pub fn generate(&self, n_packets: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        let mut ts_us = 0u64;
+        let mean_gap_us = 1e6 / self.spec.mean_rate_pps;
+        // Pre-assign each flow its endpoints and ports so a flow's packets
+        // are self-consistent across the trace.
+        let flows: Vec<FlowDef> = (0..self.spec.flows)
+            .map(|i| FlowDef::synthesise(i, self.spec.nodes, &mut rng))
+            .collect();
+        let mut packets = Vec::with_capacity(n_packets);
+        // ON/OFF burst state.
+        let mut burst_remaining = 0u64;
+        let mut burst_flow = 0usize;
+        for i in 0..n_packets {
+            let flow_idx = if let Some(burst) = &self.spec.burstiness {
+                if burst_remaining == 0 {
+                    // Silent OFF gap before the next train (not before the
+                    // very first packet).
+                    if i > 0 {
+                        ts_us +=
+                            exponential_gap_us(burst.off_gap_factor * mean_gap_us, &mut rng);
+                    }
+                    burst_remaining = geometric_len(burst.mean_burst_pkts, &mut rng);
+                    burst_flow = sample_cdf(&self.flow_cdf, &mut rng);
+                } else if rng.gen::<f64>() >= burst.locality {
+                    // Train occasionally interleaves a foreign flow.
+                    burst_flow = sample_cdf(&self.flow_cdf, &mut rng);
+                }
+                ts_us += exponential_gap_us(mean_gap_us, &mut rng);
+                burst_remaining -= 1;
+                burst_flow
+            } else {
+                ts_us += exponential_gap_us(mean_gap_us, &mut rng);
+                sample_cdf(&self.flow_cdf, &mut rng)
+            };
+            let flow = &flows[flow_idx];
+            let bytes = self.sample_size(&mut rng);
+            let payload = if flow.proto == Protocol::Tcp
+                && rng.gen::<f64>() < self.spec.url_fraction
+            {
+                Payload::Http {
+                    url: synth_url(&mut rng),
+                }
+            } else {
+                Payload::Empty
+            };
+            packets.push(Packet {
+                ts_us,
+                src: flow.src,
+                dst: flow.dst,
+                sport: flow.sport,
+                dport: flow.dport,
+                proto: flow.proto,
+                bytes,
+                payload,
+            });
+        }
+        Trace::new(self.spec.name.clone(), packets)
+    }
+
+    fn sample_size(&self, rng: &mut StdRng) -> u32 {
+        let s = &self.spec.sizes;
+        let total = s.small + s.medium + s.large;
+        let x = rng.gen::<f64>() * total;
+        if x < s.small {
+            40
+        } else if x < s.small + s.medium {
+            576
+        } else {
+            s.mtu
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FlowDef {
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+    proto: Protocol,
+}
+
+impl FlowDef {
+    fn synthesise(index: u32, nodes: u32, rng: &mut StdRng) -> Self {
+        let src = 0x0a00_0000 + rng.gen_range(0..nodes);
+        let mut dst = 0x0a00_0000 + rng.gen_range(0..nodes);
+        if dst == src {
+            dst = 0x0a00_0000 + (dst - 0x0a00_0000 + 1) % nodes;
+        }
+        let well_known = [80u16, 443, 25, 53, 110, 8080];
+        let dport = well_known[(index as usize) % well_known.len()];
+        let proto = match index % 10 {
+            0..=7 => Protocol::Tcp,
+            8 => Protocol::Udp,
+            _ => Protocol::Icmp,
+        };
+        FlowDef {
+            src,
+            dst,
+            sport: rng.gen_range(1024..u16::MAX),
+            dport,
+            proto,
+        }
+    }
+}
+
+/// Cumulative Zipf distribution over `n` ranks with skew `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for rank in 1..=n {
+        acc += 1.0 / (rank as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Draws an index from a cumulative distribution by binary search.
+fn sample_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let x = rng.gen::<f64>();
+    cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
+}
+
+/// Exponential inter-arrival gap (Poisson process), at least 1 us so
+/// timestamps strictly increase on average workloads.
+fn exponential_gap_us(mean_us: f64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let gap = -mean_us * u.ln();
+    gap.max(1.0) as u64
+}
+
+/// Geometric burst length with the given mean, at least one packet.
+fn geometric_len(mean_pkts: f64, rng: &mut StdRng) -> u64 {
+    let p = (1.0 / mean_pkts).clamp(1e-6, 1.0);
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    (1.0 + u.ln() / (1.0 - p).max(1e-12).ln()).max(1.0) as u64
+}
+
+fn synth_url(rng: &mut StdRng) -> String {
+    let stem = URL_STEMS[rng.gen_range(0..URL_STEMS.len())];
+    if stem.ends_with('=') {
+        format!("{stem}{}", rng.gen_range(0..1000))
+    } else {
+        stem.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SizeProfile;
+    use std::collections::BTreeMap;
+
+    fn spec() -> TraceSpec {
+        TraceSpec::builder("test").seed(99).build()
+    }
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let g = TraceGenerator::new(spec());
+        let a = g.generate(300);
+        let b = g.generate(300);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceGenerator::new(spec()).generate(100);
+        let mut s2 = spec();
+        s2.seed = 100;
+        let b = TraceGenerator::new(s2).generate(100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let t = TraceGenerator::new(spec()).generate(500);
+        assert!(t.packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn sizes_come_from_the_mixture() {
+        let s = TraceSpec::builder("sz")
+            .sizes(SizeProfile {
+                small: 1.0,
+                medium: 1.0,
+                large: 1.0,
+                mtu: 1400,
+            })
+            .build();
+        let t = TraceGenerator::new(s).generate(600);
+        let mut seen = BTreeMap::new();
+        for p in &t {
+            *seen.entry(p.bytes).or_insert(0u32) += 1;
+        }
+        assert_eq!(
+            seen.keys().copied().collect::<Vec<_>>(),
+            vec![40, 576, 1400]
+        );
+        // Roughly balanced thirds.
+        for &count in seen.values() {
+            assert!(count > 100, "mixture component starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn flow_popularity_is_skewed() {
+        let s = TraceSpec::builder("zipf").flows(50).flow_skew(1.2).build();
+        let t = TraceGenerator::new(s).generate(2000);
+        let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+        for p in &t {
+            *counts.entry(p.flow_key()).or_insert(0) += 1;
+        }
+        let mut v: Vec<u32> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let top = u64::from(v[0]);
+        let total: u64 = v.iter().map(|&c| u64::from(c)).sum();
+        assert!(
+            top * 5 > total,
+            "top flow should dominate a skewed trace: {top}/{total}"
+        );
+    }
+
+    #[test]
+    fn url_fraction_honoured_approximately() {
+        let s = TraceSpec::builder("urls").url_fraction(0.9).build();
+        let t = TraceGenerator::new(s).generate(1000);
+        let with_url = t.iter().filter(|p| p.payload.url().is_some()).count();
+        // TCP-only payloads, so a bit below 0.9 of all packets.
+        assert!(with_url > 500, "only {with_url} URLs generated");
+    }
+
+    #[test]
+    fn zero_url_fraction_generates_none() {
+        let s = TraceSpec::builder("nourl").url_fraction(0.0).build();
+        let t = TraceGenerator::new(s).generate(400);
+        assert!(t.iter().all(|p| p.payload.url().is_none()));
+    }
+
+    #[test]
+    fn sources_stay_within_node_population() {
+        let s = TraceSpec::builder("n").nodes(8).build();
+        let t = TraceGenerator::new(s).generate(400);
+        for p in &t {
+            assert!((0x0a00_0000..0x0a00_0008).contains(&p.src));
+            assert!((0x0a00_0000..0x0a00_0008).contains(&p.dst));
+            assert_ne!(p.src, p.dst, "self-traffic is filtered");
+        }
+    }
+
+    #[test]
+    fn bursty_trace_has_longer_same_flow_runs() {
+        use crate::spec::BurstProfile;
+        let run_lengths = |trace: &crate::packet::Trace| {
+            let mut runs = Vec::new();
+            let mut current = 0u64;
+            let mut last = None;
+            for p in trace {
+                let key = p.flow_key();
+                if last == Some(key) {
+                    current += 1;
+                } else {
+                    if current > 0 {
+                        runs.push(current);
+                    }
+                    current = 1;
+                    last = Some(key);
+                }
+            }
+            runs.push(current);
+            runs.iter().sum::<u64>() as f64 / runs.len() as f64
+        };
+        let smooth = TraceGenerator::new(spec()).generate(1500);
+        let mut bursty_spec = spec();
+        bursty_spec.burstiness = Some(BurstProfile::default());
+        let bursty = TraceGenerator::new(bursty_spec).generate(1500);
+        let mean_smooth = run_lengths(&smooth);
+        let mean_bursty = run_lengths(&bursty);
+        assert!(
+            mean_bursty > 2.0 * mean_smooth,
+            "packet trains must lengthen same-flow runs: {mean_smooth:.2} vs {mean_bursty:.2}"
+        );
+    }
+
+    #[test]
+    fn bursty_trace_has_bimodal_gaps() {
+        use crate::spec::BurstProfile;
+        let mut s = spec();
+        s.burstiness = Some(BurstProfile {
+            mean_burst_pkts: 6.0,
+            off_gap_factor: 50.0,
+            locality: 0.9,
+        });
+        let t = TraceGenerator::new(s).generate(1000);
+        let mut gaps: Vec<u64> = t
+            .packets
+            .windows(2)
+            .map(|w| w[1].ts_us - w[0].ts_us)
+            .collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        let p99 = gaps[gaps.len() * 99 / 100];
+        assert!(
+            p99 > 10 * median.max(1),
+            "OFF gaps must dwarf in-burst gaps: median {median}, p99 {p99}"
+        );
+    }
+
+    #[test]
+    fn bursty_generation_is_deterministic() {
+        use crate::spec::BurstProfile;
+        let mut s = spec();
+        s.burstiness = Some(BurstProfile::default());
+        let g = TraceGenerator::new(s);
+        assert_eq!(g.generate(400), g.generate(400));
+    }
+
+    #[test]
+    fn geometric_len_respects_mean_roughly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let total: u64 = (0..n).map(|_| geometric_len(8.0, &mut rng)).sum();
+        let mean = total as f64 / f64::from(n);
+        assert!((6.0..10.0).contains(&mean), "mean {mean}");
+        // Degenerate mean of one packet never stalls or panics.
+        assert_eq!(geometric_len(1.0, &mut rng), 1);
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalised() {
+        let cdf = zipf_cdf(20, 0.9);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf.last().copied().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_skew_is_roughly_uniform() {
+        let cdf = zipf_cdf(4, 0.0);
+        assert!((cdf[0] - 0.25).abs() < 1e-12);
+        assert!((cdf[1] - 0.5).abs() < 1e-12);
+    }
+}

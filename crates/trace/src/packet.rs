@@ -1,0 +1,241 @@
+//! Packet records and traces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transport protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+    /// Internet Control Message Protocol.
+    Icmp,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => f.write_str("tcp"),
+            Protocol::Udp => f.write_str("udp"),
+            Protocol::Icmp => f.write_str("icmp"),
+        }
+    }
+}
+
+/// Application payload attached to a packet, as far as the benchmark
+/// applications care about it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// No application payload of interest.
+    Empty,
+    /// An HTTP request carrying a URL (consumed by the URL-switching
+    /// application).
+    Http {
+        /// The request URL.
+        url: String,
+    },
+}
+
+impl Payload {
+    /// The URL carried by an HTTP payload, if any.
+    #[must_use]
+    pub fn url(&self) -> Option<&str> {
+        match self {
+            Payload::Http { url } => Some(url),
+            Payload::Empty => None,
+        }
+    }
+}
+
+/// One packet observation, the unit every application consumes.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::{Packet, Payload, Protocol};
+///
+/// let pkt = Packet {
+///     ts_us: 10,
+///     src: 0x0a00_0001,
+///     dst: 0x0a00_0002,
+///     sport: 4242,
+///     dport: 80,
+///     proto: Protocol::Tcp,
+///     bytes: 576,
+///     payload: Payload::Http { url: "/index.html".into() },
+/// };
+/// assert_eq!(pkt.flow_key() >> 32 & 0xffff_ffff, 0x0a00_0001);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Arrival timestamp in microseconds since trace start.
+    pub ts_us: u64,
+    /// Source IPv4 address.
+    pub src: u32,
+    /// Destination IPv4 address.
+    pub dst: u32,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+    /// On-wire packet size in bytes.
+    pub bytes: u32,
+    /// Application payload of interest.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// A 64-bit flow identifier: source address in the high half, a hash
+    /// of (destination, ports) in the low half. Used as session/flow key by
+    /// the URL, IPchains and DRR applications.
+    #[must_use]
+    pub fn flow_key(&self) -> u64 {
+        let low = (u64::from(self.dst) ^ (u64::from(self.sport) << 16) ^ u64::from(self.dport))
+            & 0xffff_ffff;
+        (u64::from(self.src) << 32) | low
+    }
+}
+
+/// A finite packet stream plus the name of the network it came from.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::NetworkPreset;
+///
+/// let trace = NetworkPreset::NlanrMra.generate(100);
+/// assert_eq!(trace.len(), 100);
+/// assert!(trace.duration_us() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Name of the originating network (preset or file).
+    pub network: String,
+    /// The packets, in non-decreasing timestamp order.
+    pub packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// Creates a trace, asserting timestamp monotonicity in debug builds.
+    #[must_use]
+    pub fn new(network: impl Into<String>, packets: Vec<Packet>) -> Self {
+        debug_assert!(
+            packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+            "trace timestamps must be non-decreasing"
+        );
+        Trace {
+            network: network.into(),
+            packets,
+        }
+    }
+
+    /// Number of packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the trace holds no packets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterator over the packets.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+
+    /// Capture duration: last minus first timestamp (zero for traces with
+    /// fewer than two packets).
+    #[must_use]
+    pub fn duration_us(&self) -> u64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.ts_us - a.ts_us,
+            _ => 0,
+        }
+    }
+
+    /// Total bytes on the wire.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| u64::from(p.bytes)).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(ts: u64, src: u32, bytes: u32) -> Packet {
+        Packet {
+            ts_us: ts,
+            src,
+            dst: 1,
+            sport: 10,
+            dport: 80,
+            proto: Protocol::Tcp,
+            bytes,
+            payload: Payload::Empty,
+        }
+    }
+
+    #[test]
+    fn flow_key_separates_sources() {
+        let a = pkt(0, 5, 100).flow_key();
+        let b = pkt(0, 6, 100).flow_key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flow_key_depends_on_ports() {
+        let mut p1 = pkt(0, 5, 100);
+        let mut p2 = pkt(0, 5, 100);
+        p1.dport = 80;
+        p2.dport = 443;
+        assert_ne!(p1.flow_key(), p2.flow_key());
+    }
+
+    #[test]
+    fn duration_and_totals() {
+        let t = Trace::new("t", vec![pkt(100, 1, 40), pkt(400, 2, 60)]);
+        assert_eq!(t.duration_us(), 300);
+        assert_eq!(t.total_bytes(), 100);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_has_zero_duration() {
+        let t = Trace::new("e", vec![]);
+        assert_eq!(t.duration_us(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn payload_url_accessor() {
+        assert_eq!(Payload::Empty.url(), None);
+        let p = Payload::Http { url: "/a".into() };
+        assert_eq!(p.url(), Some("/a"));
+    }
+
+    #[test]
+    fn protocol_display() {
+        assert_eq!(Protocol::Tcp.to_string(), "tcp");
+        assert_eq!(Protocol::Udp.to_string(), "udp");
+        assert_eq!(Protocol::Icmp.to_string(), "icmp");
+    }
+}

@@ -1,0 +1,295 @@
+//! Network-parameter extraction — the Rust port of the paper's Perl trace
+//! parser.
+
+use crate::packet::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Histogram of packet sizes over the classic trimodal buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeHistogram {
+    /// Packets of at most 64 bytes (ACK/control).
+    pub small: u64,
+    /// Packets of 65..=576 bytes.
+    pub medium: u64,
+    /// Packets larger than 576 bytes.
+    pub large: u64,
+}
+
+impl SizeHistogram {
+    /// Total packets counted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.small + self.medium + self.large
+    }
+
+    /// Share of each bucket, in `[0, 1]`; zeros for an empty histogram.
+    #[must_use]
+    pub fn shares(&self) -> [f64; 3] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 3];
+        }
+        [
+            self.small as f64 / t as f64,
+            self.medium as f64 / t as f64,
+            self.large as f64 / t as f64,
+        ]
+    }
+}
+
+/// The network parameters the methodology extracts from a trace before the
+/// network-level exploration: "the number of nodes in the network, the
+/// throughput of the network and the typical packet sizes used".
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::{NetworkParams, NetworkPreset};
+///
+/// let trace = NetworkPreset::NlanrAix.generate(400);
+/// let p = NetworkParams::extract(&trace);
+/// assert!(p.mtu_bytes <= 1500);
+/// assert!(p.mean_packet_bytes > 0.0);
+/// assert!(p.flows_observed > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Network name carried by the trace.
+    pub network: String,
+    /// Distinct hosts seen as source or destination.
+    pub nodes_observed: u32,
+    /// Capture duration in seconds.
+    pub duration_s: f64,
+    /// Observed throughput in packets per second.
+    pub throughput_pps: f64,
+    /// Observed throughput in bits per second.
+    pub throughput_bps: f64,
+    /// Mean on-wire packet size in bytes.
+    pub mean_packet_bytes: f64,
+    /// Largest packet observed (the effective MTU).
+    pub mtu_bytes: u32,
+    /// Packet-size histogram.
+    pub sizes: SizeHistogram,
+    /// Distinct flows observed.
+    pub flows_observed: u32,
+    /// Share of packets carrying an HTTP URL payload.
+    pub url_share: f64,
+    /// Mean length of same-flow packet runs (1.0 = perfectly interleaved;
+    /// large values indicate packet trains).
+    #[serde(default)]
+    pub mean_train_len: f64,
+    /// Inter-arrival bimodality: the p99 gap over the median gap. Smooth
+    /// Poisson traffic sits in the single digits; ON/OFF traffic shows
+    /// order-of-magnitude ratios.
+    #[serde(default)]
+    pub gap_p99_over_median: f64,
+}
+
+impl NetworkParams {
+    /// Extracts all parameters in a single pass over the trace.
+    ///
+    /// Empty traces yield all-zero parameters (with the network name kept),
+    /// which downstream validation rejects before exploration.
+    #[must_use]
+    pub fn extract(trace: &Trace) -> Self {
+        let mut hosts = BTreeSet::new();
+        let mut flows = BTreeSet::new();
+        let mut sizes = SizeHistogram::default();
+        let mut mtu = 0u32;
+        let mut urls = 0u64;
+        // Burst-structure accumulators.
+        let mut runs = 0u64;
+        let mut last_flow: Option<u64> = None;
+        let mut gaps: Vec<u64> = Vec::with_capacity(trace.len().saturating_sub(1));
+        let mut last_ts: Option<u64> = None;
+        for p in trace {
+            hosts.insert(p.src);
+            hosts.insert(p.dst);
+            flows.insert(p.flow_key());
+            match p.bytes {
+                0..=64 => sizes.small += 1,
+                65..=576 => sizes.medium += 1,
+                _ => sizes.large += 1,
+            }
+            mtu = mtu.max(p.bytes);
+            if p.payload.url().is_some() {
+                urls += 1;
+            }
+            if last_flow != Some(p.flow_key()) {
+                runs += 1;
+                last_flow = Some(p.flow_key());
+            }
+            if let Some(prev) = last_ts {
+                gaps.push(p.ts_us.saturating_sub(prev));
+            }
+            last_ts = Some(p.ts_us);
+        }
+        let mean_train_len = if runs == 0 {
+            0.0
+        } else {
+            trace.len() as f64 / runs as f64
+        };
+        gaps.sort_unstable();
+        let gap_p99_over_median = if gaps.is_empty() {
+            0.0
+        } else {
+            let median = gaps[gaps.len() / 2].max(1);
+            let p99 = gaps[(gaps.len() * 99 / 100).min(gaps.len() - 1)];
+            p99 as f64 / median as f64
+        };
+        let n = trace.len() as f64;
+        let duration_s = trace.duration_us() as f64 / 1e6;
+        let (pps, bps) = if duration_s > 0.0 {
+            (
+                n / duration_s,
+                trace.total_bytes() as f64 * 8.0 / duration_s,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        NetworkParams {
+            network: trace.network.clone(),
+            nodes_observed: hosts.len() as u32,
+            duration_s,
+            throughput_pps: pps,
+            throughput_bps: bps,
+            mean_packet_bytes: if trace.is_empty() {
+                0.0
+            } else {
+                trace.total_bytes() as f64 / n
+            },
+            mtu_bytes: mtu,
+            sizes,
+            flows_observed: flows.len() as u32,
+            url_share: if trace.is_empty() { 0.0 } else { urls as f64 / n },
+            mean_train_len,
+            gap_p99_over_median,
+        }
+    }
+
+    /// Whether the trace was rich enough to drive an exploration.
+    #[must_use]
+    pub fn is_usable(&self) -> bool {
+        self.nodes_observed >= 2 && self.throughput_pps > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, Payload, Protocol, Trace};
+    use crate::presets::NetworkPreset;
+
+    fn pkt(ts: u64, src: u32, dst: u32, bytes: u32, url: Option<&str>) -> Packet {
+        Packet {
+            ts_us: ts,
+            src,
+            dst,
+            sport: 1024,
+            dport: 80,
+            proto: Protocol::Tcp,
+            bytes,
+            payload: url.map_or(Payload::Empty, |u| Payload::Http { url: u.into() }),
+        }
+    }
+
+    #[test]
+    fn extracts_hand_built_trace() {
+        let t = Trace::new(
+            "hand",
+            vec![
+                pkt(0, 1, 2, 40, None),
+                pkt(500_000, 1, 3, 576, Some("/a")),
+                pkt(1_000_000, 2, 3, 1500, None),
+            ],
+        );
+        let p = NetworkParams::extract(&t);
+        assert_eq!(p.nodes_observed, 3);
+        assert_eq!(p.mtu_bytes, 1500);
+        assert_eq!(p.sizes, SizeHistogram { small: 1, medium: 1, large: 1 });
+        assert!((p.duration_s - 1.0).abs() < 1e-9);
+        assert!((p.throughput_pps - 3.0).abs() < 1e-9);
+        assert!((p.url_share - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.flows_observed, 3);
+        assert!(p.is_usable());
+    }
+
+    #[test]
+    fn empty_trace_is_unusable() {
+        let p = NetworkParams::extract(&Trace::new("empty", vec![]));
+        assert!(!p.is_usable());
+        assert_eq!(p.nodes_observed, 0);
+        assert_eq!(p.mean_packet_bytes, 0.0);
+    }
+
+    #[test]
+    fn histogram_shares_sum_to_one() {
+        let t = NetworkPreset::NlanrTau.generate(500);
+        let p = NetworkParams::extract(&t);
+        let sum: f64 = p.sizes.shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(p.sizes.total(), 500);
+    }
+
+    #[test]
+    fn extraction_recovers_preset_shape() {
+        // The extractor must recover, approximately, the parameters the
+        // preset was generated from — this closes the paper's tool loop.
+        let preset = NetworkPreset::DartmouthLibrary;
+        let spec = preset.spec();
+        let t = preset.generate(3000);
+        let p = NetworkParams::extract(&t);
+        assert!(p.nodes_observed <= spec.nodes * 2);
+        assert!(p.nodes_observed >= spec.nodes / 4);
+        assert_eq!(p.mtu_bytes, spec.sizes.mtu);
+        let rate_err = (p.throughput_pps - spec.mean_rate_pps).abs() / spec.mean_rate_pps;
+        assert!(rate_err < 0.25, "rate error {rate_err}");
+        assert!(p.flows_observed <= spec.flows);
+        assert!(p.flows_observed > spec.flows / 4);
+    }
+
+    #[test]
+    fn bigger_networks_extract_more_nodes() {
+        let small = NetworkParams::extract(&NetworkPreset::DartmouthWhittemore.generate(2000));
+        let big = NetworkParams::extract(&NetworkPreset::NlanrMra.generate(2000));
+        assert!(big.nodes_observed > small.nodes_observed);
+    }
+
+    #[test]
+    fn burst_structure_is_extracted() {
+        use crate::spec::{BurstProfile, TraceSpec};
+        use crate::TraceGenerator;
+        let smooth_spec = TraceSpec::builder("smooth").seed(3).build();
+        let smooth = NetworkParams::extract(&TraceGenerator::new(smooth_spec).generate(1500));
+        let mut bursty_spec = TraceSpec::builder("bursty").seed(3).build();
+        bursty_spec.burstiness = Some(BurstProfile {
+            mean_burst_pkts: 10.0,
+            off_gap_factor: 40.0,
+            locality: 0.95,
+        });
+        let bursty = NetworkParams::extract(&TraceGenerator::new(bursty_spec).generate(1500));
+        assert!(
+            bursty.mean_train_len > 2.0 * smooth.mean_train_len,
+            "trains: {} vs {}",
+            smooth.mean_train_len,
+            bursty.mean_train_len
+        );
+        assert!(
+            bursty.gap_p99_over_median > 3.0 * smooth.gap_p99_over_median,
+            "gaps: {} vs {}",
+            smooth.gap_p99_over_median,
+            bursty.gap_p99_over_median
+        );
+    }
+
+    #[test]
+    fn burst_metrics_handle_degenerate_traces() {
+        let empty = NetworkParams::extract(&Trace::new("empty", vec![]));
+        assert_eq!(empty.mean_train_len, 0.0);
+        assert_eq!(empty.gap_p99_over_median, 0.0);
+        let single = NetworkParams::extract(&Trace::new("one", vec![pkt(0, 1, 2, 40, None)]));
+        assert_eq!(single.mean_train_len, 1.0);
+        assert_eq!(single.gap_p99_over_median, 0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Named network presets standing in for the paper's ten traces.
+
+use crate::gen::TraceGenerator;
+use crate::packet::Trace;
+use crate::spec::{SizeProfile, TraceSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The ten network configurations used by the reproduction, mirroring the
+/// paper's trace inventory: three NLANR measurement points (total campus
+/// and satellite activity) and seven Dartmouth campus wireless building
+/// traces, two of which come from the Berry building (`BWY I`/`BWY II` in
+/// the paper's figures).
+///
+/// Each preset fixes the extractable network parameters — node count,
+/// throughput, packet-size mixture/MTU — plus the flow-skew and URL-share
+/// parameters that shape the applications' dynamic access patterns.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::NetworkPreset;
+///
+/// let spec = NetworkPreset::NlanrMra.spec();
+/// assert!(spec.nodes > NetworkPreset::DartmouthSudikoff.spec().nodes);
+/// assert_eq!(NetworkPreset::DartmouthBerry.to_string(), "BWY-I");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetworkPreset {
+    /// NLANR MRA backbone tap: large population, high rate, MTU-heavy.
+    NlanrMra,
+    /// NLANR AIX satellite link: small ACK-heavy packets, moderate rate.
+    NlanrAix,
+    /// NLANR TAU campus aggregate.
+    NlanrTau,
+    /// Dartmouth Berry building, first capture (`BWY I`).
+    DartmouthBerry,
+    /// Dartmouth Berry building, second capture (`BWY II`).
+    DartmouthBerry2,
+    /// Dartmouth Sudikoff (CS department) building.
+    DartmouthSudikoff,
+    /// Dartmouth Whittemore building.
+    DartmouthWhittemore,
+    /// Dartmouth main library.
+    DartmouthLibrary,
+    /// Dartmouth residential dormitory.
+    DartmouthDorm,
+    /// Dartmouth academic building aggregate.
+    DartmouthAcad,
+}
+
+impl NetworkPreset {
+    /// All ten presets in canonical order.
+    pub const ALL: [NetworkPreset; 10] = [
+        NetworkPreset::NlanrMra,
+        NetworkPreset::NlanrAix,
+        NetworkPreset::NlanrTau,
+        NetworkPreset::DartmouthBerry,
+        NetworkPreset::DartmouthBerry2,
+        NetworkPreset::DartmouthSudikoff,
+        NetworkPreset::DartmouthWhittemore,
+        NetworkPreset::DartmouthLibrary,
+        NetworkPreset::DartmouthDorm,
+        NetworkPreset::DartmouthAcad,
+    ];
+
+    /// The seven presets used by the Route exploration in the paper
+    /// ("seven network configurations, utilizing 7 different networks").
+    pub const ROUTE_SEVEN: [NetworkPreset; 7] = [
+        NetworkPreset::NlanrMra,
+        NetworkPreset::NlanrAix,
+        NetworkPreset::NlanrTau,
+        NetworkPreset::DartmouthBerry,
+        NetworkPreset::DartmouthSudikoff,
+        NetworkPreset::DartmouthLibrary,
+        NetworkPreset::DartmouthDorm,
+    ];
+
+    /// The five presets used by the URL and DRR explorations.
+    pub const FIVE: [NetworkPreset; 5] = [
+        NetworkPreset::NlanrMra,
+        NetworkPreset::DartmouthBerry,
+        NetworkPreset::DartmouthSudikoff,
+        NetworkPreset::DartmouthLibrary,
+        NetworkPreset::DartmouthDorm,
+    ];
+
+    /// The network parameters of this preset.
+    #[must_use]
+    pub fn spec(self) -> TraceSpec {
+        match self {
+            NetworkPreset::NlanrMra => TraceSpec::builder(self.to_string())
+                .nodes(450)
+                .mean_rate_pps(8_000.0)
+                .sizes(SizeProfile {
+                    small: 0.40,
+                    medium: 0.20,
+                    large: 0.40,
+                    mtu: 1500,
+                })
+                .flows(512)
+                .flow_skew(0.9)
+                .url_fraction(0.25)
+                .seed(0x4d52_4131)
+                .build(),
+            NetworkPreset::NlanrAix => TraceSpec::builder(self.to_string())
+                .nodes(120)
+                .mean_rate_pps(1_200.0)
+                .sizes(SizeProfile {
+                    small: 0.70,
+                    medium: 0.20,
+                    large: 0.10,
+                    mtu: 1500,
+                })
+                .flows(160)
+                .flow_skew(0.7)
+                .url_fraction(0.15)
+                .seed(0x4149_5831)
+                .build(),
+            NetworkPreset::NlanrTau => TraceSpec::builder(self.to_string())
+                .nodes(300)
+                .mean_rate_pps(4_500.0)
+                .sizes(SizeProfile {
+                    small: 0.45,
+                    medium: 0.30,
+                    large: 0.25,
+                    mtu: 1500,
+                })
+                .flows(384)
+                .flow_skew(0.85)
+                .url_fraction(0.2)
+                .seed(0x5441_5531)
+                .build(),
+            NetworkPreset::DartmouthBerry => TraceSpec::builder(self.to_string())
+                .nodes(60)
+                .mean_rate_pps(900.0)
+                .sizes(SizeProfile {
+                    small: 0.35,
+                    medium: 0.45,
+                    large: 0.20,
+                    mtu: 1470,
+                })
+                .flows(96)
+                .flow_skew(1.1)
+                .url_fraction(0.45)
+                .seed(0x4257_5931)
+                .build(),
+            NetworkPreset::DartmouthBerry2 => TraceSpec::builder(self.to_string())
+                .nodes(64)
+                .mean_rate_pps(1_400.0)
+                .sizes(SizeProfile {
+                    small: 0.30,
+                    medium: 0.40,
+                    large: 0.30,
+                    mtu: 1470,
+                })
+                .flows(128)
+                .flow_skew(1.0)
+                .url_fraction(0.40)
+                .seed(0x4257_5932)
+                .build(),
+            NetworkPreset::DartmouthSudikoff => TraceSpec::builder(self.to_string())
+                .nodes(45)
+                .mean_rate_pps(700.0)
+                .sizes(SizeProfile {
+                    small: 0.50,
+                    medium: 0.25,
+                    large: 0.25,
+                    mtu: 1470,
+                })
+                .flows(64)
+                .flow_skew(0.95)
+                .url_fraction(0.35)
+                .seed(0x5355_4431)
+                .build(),
+            NetworkPreset::DartmouthWhittemore => TraceSpec::builder(self.to_string())
+                .nodes(35)
+                .mean_rate_pps(400.0)
+                .sizes(SizeProfile {
+                    small: 0.55,
+                    medium: 0.30,
+                    large: 0.15,
+                    mtu: 1470,
+                })
+                .flows(48)
+                .flow_skew(0.8)
+                .url_fraction(0.3)
+                .seed(0x5748_5431)
+                .build(),
+            NetworkPreset::DartmouthLibrary => TraceSpec::builder(self.to_string())
+                .nodes(80)
+                .mean_rate_pps(1_600.0)
+                .sizes(SizeProfile {
+                    small: 0.40,
+                    medium: 0.35,
+                    large: 0.25,
+                    mtu: 1470,
+                })
+                .flows(144)
+                .flow_skew(1.2)
+                .url_fraction(0.55)
+                .seed(0x4c49_4231)
+                .build(),
+            NetworkPreset::DartmouthDorm => TraceSpec::builder(self.to_string())
+                .nodes(150)
+                .mean_rate_pps(2_400.0)
+                .sizes(SizeProfile {
+                    small: 0.30,
+                    medium: 0.30,
+                    large: 0.40,
+                    mtu: 1470,
+                })
+                .flows(256)
+                .flow_skew(1.05)
+                .url_fraction(0.35)
+                .seed(0x444f_5231)
+                .build(),
+            NetworkPreset::DartmouthAcad => TraceSpec::builder(self.to_string())
+                .nodes(70)
+                .mean_rate_pps(1_100.0)
+                .sizes(SizeProfile {
+                    small: 0.45,
+                    medium: 0.35,
+                    large: 0.20,
+                    mtu: 1470,
+                })
+                .flows(112)
+                .flow_skew(0.9)
+                .url_fraction(0.4)
+                .seed(0x4143_4131)
+                .build(),
+        }
+    }
+
+    /// Generates this preset's trace with `n_packets` packets.
+    #[must_use]
+    pub fn generate(self, n_packets: usize) -> Trace {
+        TraceGenerator::new(self.spec()).generate(n_packets)
+    }
+}
+
+impl fmt::Display for NetworkPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NetworkPreset::NlanrMra => "NLANR-MRA",
+            NetworkPreset::NlanrAix => "NLANR-AIX",
+            NetworkPreset::NlanrTau => "NLANR-TAU",
+            NetworkPreset::DartmouthBerry => "BWY-I",
+            NetworkPreset::DartmouthBerry2 => "BWY-II",
+            NetworkPreset::DartmouthSudikoff => "SUD",
+            NetworkPreset::DartmouthWhittemore => "WHT",
+            NetworkPreset::DartmouthLibrary => "LIB",
+            NetworkPreset::DartmouthDorm => "DRM",
+            NetworkPreset::DartmouthAcad => "ACA",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for NetworkPreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_uppercase();
+        NetworkPreset::ALL
+            .iter()
+            .copied()
+            .find(|p| p.to_string() == norm)
+            .ok_or_else(|| format!("unknown network preset `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_presets_eight_networks() {
+        assert_eq!(NetworkPreset::ALL.len(), 10);
+        // BWY I and II share the Berry network; everything else distinct.
+        let names: Vec<String> = NetworkPreset::ALL.iter().map(|p| p.to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn specs_are_valid_and_distinct() {
+        let mut seeds = Vec::new();
+        for p in NetworkPreset::ALL {
+            let s = p.spec();
+            s.validate().expect("preset spec valid");
+            seeds.push(s.seed);
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10, "each preset must have a distinct seed");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for p in NetworkPreset::ALL {
+            assert_eq!(p.to_string().parse::<NetworkPreset>().unwrap(), p);
+        }
+        assert!("NOPE".parse::<NetworkPreset>().is_err());
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_preset() {
+        let a = NetworkPreset::DartmouthBerry.generate(100);
+        let b = NetworkPreset::DartmouthBerry.generate(100);
+        assert_eq!(a, b);
+        let c = NetworkPreset::DartmouthBerry2.generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subsets_are_drawn_from_all() {
+        for p in NetworkPreset::ROUTE_SEVEN {
+            assert!(NetworkPreset::ALL.contains(&p));
+        }
+        for p in NetworkPreset::FIVE {
+            assert!(NetworkPreset::ALL.contains(&p));
+        }
+    }
+
+    #[test]
+    fn satellite_preset_is_small_packet_heavy() {
+        let aix = NetworkPreset::NlanrAix.spec();
+        let mra = NetworkPreset::NlanrMra.spec();
+        assert!(aix.sizes.mean_bytes() < mra.sizes.mean_bytes());
+    }
+}

@@ -1,0 +1,339 @@
+//! Trace specifications — the network parameters of the methodology.
+
+use serde::{Deserialize, Serialize};
+
+/// Mixture weights of the classic trimodal Internet packet-size
+/// distribution (ACK-sized, default-MTU-sized and full-MTU-sized packets).
+///
+/// Weights need not be normalised; the generator normalises them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeProfile {
+    /// Weight of 40-byte (ACK/control) packets.
+    pub small: f64,
+    /// Weight of 576-byte (default MTU) packets.
+    pub medium: f64,
+    /// Weight of full-MTU packets.
+    pub large: f64,
+    /// The maximum transmission unit of the network, in bytes.
+    pub mtu: u32,
+}
+
+impl SizeProfile {
+    /// Mean packet size implied by the mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    #[must_use]
+    pub fn mean_bytes(&self) -> f64 {
+        let total = self.small + self.medium + self.large;
+        assert!(total > 0.0, "size profile must have positive weight");
+        (self.small * 40.0 + self.medium * 576.0 + self.large * f64::from(self.mtu)) / total
+    }
+}
+
+impl Default for SizeProfile {
+    fn default() -> Self {
+        // Classic wide-area mix: ~50% ACKs, ~25% default-MTU, ~25% full-MTU.
+        SizeProfile {
+            small: 0.5,
+            medium: 0.25,
+            large: 0.25,
+            mtu: 1500,
+        }
+    }
+}
+
+/// ON/OFF burstiness of the packet process.
+///
+/// Real campus/wireless traces are not smooth Poisson streams: packets
+/// arrive in *trains* from the same flow separated by silent gaps. The
+/// burst model matters to DDT exploration because packet trains reward the
+/// roving-pointer implementations (repeated lookups of one key) while the
+/// silent gaps let caches cool down.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::{BurstProfile, TraceSpec};
+///
+/// let spec = TraceSpec::builder("bursty")
+///     .burstiness(BurstProfile::default())
+///     .build();
+/// assert!(spec.burstiness.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstProfile {
+    /// Mean packets per ON burst (geometric burst lengths).
+    pub mean_burst_pkts: f64,
+    /// Mean OFF-gap length as a multiple of the mean inter-arrival gap.
+    pub off_gap_factor: f64,
+    /// Probability that the next packet of a burst stays on the same flow
+    /// (packet-train locality).
+    pub locality: f64,
+}
+
+impl BurstProfile {
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mean_burst_pkts < 1.0 {
+            return Err("mean burst length must be at least one packet".into());
+        }
+        if self.off_gap_factor < 0.0 {
+            return Err("off-gap factor must be non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&self.locality) {
+            return Err(format!("burst locality {} outside [0,1]", self.locality));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BurstProfile {
+    fn default() -> Self {
+        // Trains of ~8 packets with strong flow locality, separated by
+        // gaps an order of magnitude longer than the in-burst spacing.
+        BurstProfile {
+            mean_burst_pkts: 8.0,
+            off_gap_factor: 20.0,
+            locality: 0.85,
+        }
+    }
+}
+
+/// The parameter set describing one network configuration.
+///
+/// These are exactly the parameters the paper's trace parser extracts and
+/// the network-level exploration (step 2) varies: number of nodes,
+/// throughput, typical packet sizes — plus the workload-shape parameters
+/// (flow count and popularity skew, share of HTTP payloads) that govern the
+/// dynamic access pattern of the applications.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::TraceSpec;
+///
+/// let spec = TraceSpec::builder("lab")
+///     .nodes(32)
+///     .mean_rate_pps(2_000.0)
+///     .seed(7)
+///     .build();
+/// assert_eq!(spec.nodes, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Network name.
+    pub name: String,
+    /// Number of distinct hosts in the network.
+    pub nodes: u32,
+    /// Mean packet arrival rate, packets per second.
+    pub mean_rate_pps: f64,
+    /// Packet-size mixture.
+    pub sizes: SizeProfile,
+    /// Number of concurrently active flows.
+    pub flows: u32,
+    /// Zipf skew of flow popularity (0 = uniform; ~1 = strongly skewed).
+    pub flow_skew: f64,
+    /// Fraction of packets carrying an HTTP URL payload, in `[0, 1]`.
+    pub url_fraction: f64,
+    /// Optional ON/OFF burst structure (smooth Poisson when `None`).
+    #[serde(default)]
+    pub burstiness: Option<BurstProfile>,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Starts building a spec with sensible campus-network defaults.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> TraceSpecBuilder {
+        TraceSpecBuilder {
+            spec: TraceSpec {
+                name: name.into(),
+                nodes: 64,
+                mean_rate_pps: 1_000.0,
+                sizes: SizeProfile::default(),
+                flows: 128,
+                flow_skew: 0.8,
+                url_fraction: 0.2,
+                burstiness: None,
+                seed: 0xDD7,
+            },
+        }
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("a network needs at least two nodes".into());
+        }
+        if self.mean_rate_pps <= 0.0 {
+            return Err("mean rate must be positive".into());
+        }
+        if self.flows == 0 {
+            return Err("flow count must be non-zero".into());
+        }
+        if !(0.0..=1.0).contains(&self.url_fraction) {
+            return Err(format!("url fraction {} outside [0,1]", self.url_fraction));
+        }
+        if self.flow_skew < 0.0 {
+            return Err("flow skew must be non-negative".into());
+        }
+        if self.sizes.small + self.sizes.medium + self.sizes.large <= 0.0 {
+            return Err("size profile must have positive weight".into());
+        }
+        if let Some(b) = &self.burstiness {
+            b.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TraceSpec`].
+#[derive(Debug, Clone)]
+pub struct TraceSpecBuilder {
+    spec: TraceSpec,
+}
+
+impl TraceSpecBuilder {
+    /// Sets the node count.
+    #[must_use]
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.spec.nodes = nodes;
+        self
+    }
+
+    /// Sets the mean packet rate (packets per second).
+    #[must_use]
+    pub fn mean_rate_pps(mut self, pps: f64) -> Self {
+        self.spec.mean_rate_pps = pps;
+        self
+    }
+
+    /// Sets the packet-size mixture.
+    #[must_use]
+    pub fn sizes(mut self, sizes: SizeProfile) -> Self {
+        self.spec.sizes = sizes;
+        self
+    }
+
+    /// Sets the number of active flows.
+    #[must_use]
+    pub fn flows(mut self, flows: u32) -> Self {
+        self.spec.flows = flows;
+        self
+    }
+
+    /// Sets the Zipf skew of flow popularity.
+    #[must_use]
+    pub fn flow_skew(mut self, skew: f64) -> Self {
+        self.spec.flow_skew = skew;
+        self
+    }
+
+    /// Sets the fraction of packets carrying URLs.
+    #[must_use]
+    pub fn url_fraction(mut self, fraction: f64) -> Self {
+        self.spec.url_fraction = fraction;
+        self
+    }
+
+    /// Enables ON/OFF burst structure.
+    #[must_use]
+    pub fn burstiness(mut self, burst: BurstProfile) -> Self {
+        self.spec.burstiness = Some(burst);
+        self
+    }
+
+    /// Sets the generation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting spec fails [`TraceSpec::validate`].
+    #[must_use]
+    pub fn build(self) -> TraceSpec {
+        self.spec.validate().expect("invalid trace spec");
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_mean_is_reasonable() {
+        let mean = SizeProfile::default().mean_bytes();
+        assert!(mean > 400.0 && mean < 600.0, "mean {mean}");
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let spec = TraceSpec::builder("x")
+            .nodes(10)
+            .mean_rate_pps(500.0)
+            .flows(20)
+            .flow_skew(1.1)
+            .url_fraction(0.5)
+            .seed(42)
+            .build();
+        assert_eq!(spec.name, "x");
+        assert_eq!(spec.nodes, 10);
+        assert_eq!(spec.flows, 20);
+        assert_eq!(spec.seed, 42);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let base = TraceSpec::builder("x").build();
+        let mut s = base.clone();
+        s.nodes = 1;
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.mean_rate_pps = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.url_fraction = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.flows = 0;
+        assert!(s.validate().is_err());
+        let mut s = base;
+        s.flow_skew = -1.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trace spec")]
+    fn builder_panics_on_invalid() {
+        let _ = TraceSpec::builder("x").nodes(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_profile_panics_on_mean() {
+        let p = SizeProfile {
+            small: 0.0,
+            medium: 0.0,
+            large: 0.0,
+            mtu: 1500,
+        };
+        let _ = p.mean_bytes();
+    }
+}

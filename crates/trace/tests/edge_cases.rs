@@ -1,0 +1,112 @@
+//! Edge-case tests for the trace substrate: degenerate inputs, I/O
+//! failures and boundary parameters.
+
+use ddtr_trace::{
+    NetworkParams, ParseTraceError, TraceGenerator, TraceReader, TraceSpec, TraceWriter,
+};
+use std::io;
+
+/// A writer that fails after a configurable number of bytes — injects
+/// mid-stream I/O failure.
+struct FailingWriter {
+    budget: usize,
+}
+
+impl io::Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+        }
+        let n = buf.len().min(self.budget);
+        self.budget -= n;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn writer_propagates_io_errors() {
+    let trace = TraceGenerator::new(TraceSpec::builder("io").build()).generate(50);
+    let err = TraceWriter::write(&trace, FailingWriter { budget: 64 }).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+}
+
+/// A reader that fails mid-stream.
+struct FailingReader {
+    served: bool,
+}
+
+impl io::Read for FailingReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.served {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "link lost"));
+        }
+        self.served = true;
+        let header = b"# ddtr-trace net\n";
+        buf[..header.len()].copy_from_slice(header);
+        Ok(header.len())
+    }
+}
+
+#[test]
+fn reader_propagates_io_errors() {
+    let reader = io::BufReader::new(FailingReader { served: false });
+    let err = TraceReader::read(reader).unwrap_err();
+    assert!(matches!(err, ParseTraceError::Io(_)), "{err}");
+}
+
+#[test]
+fn zero_packet_generation_is_valid() {
+    let trace = TraceGenerator::new(TraceSpec::builder("empty").build()).generate(0);
+    assert!(trace.is_empty());
+    let params = NetworkParams::extract(&trace);
+    assert!(!params.is_usable());
+    // And it round-trips through the text format.
+    let text = TraceWriter::to_string(&trace);
+    let back = TraceReader::parse_str(&text).expect("parses");
+    assert_eq!(trace, back);
+}
+
+#[test]
+fn single_packet_trace_has_zero_throughput() {
+    let trace = TraceGenerator::new(TraceSpec::builder("one").build()).generate(1);
+    let params = NetworkParams::extract(&trace);
+    assert_eq!(params.duration_s, 0.0);
+    assert_eq!(params.throughput_pps, 0.0);
+    assert!(!params.is_usable());
+}
+
+#[test]
+fn minimal_two_node_network_generates() {
+    let spec = TraceSpec::builder("mini").nodes(2).flows(1).build();
+    let trace = TraceGenerator::new(spec).generate(100);
+    let params = NetworkParams::extract(&trace);
+    assert_eq!(params.nodes_observed, 2);
+    assert_eq!(params.flows_observed, 1);
+}
+
+#[test]
+fn network_name_with_spaces_survives_round_trip() {
+    let mut trace = TraceGenerator::new(TraceSpec::builder("two words").build()).generate(5);
+    trace.network = "two words".into();
+    let text = TraceWriter::to_string(&trace);
+    let back = TraceReader::parse_str(&text).expect("parses");
+    assert_eq!(back.network, "two words");
+}
+
+#[test]
+fn huge_skew_concentrates_on_one_flow() {
+    let spec = TraceSpec::builder("skewed").flows(64).flow_skew(4.0).build();
+    let trace = TraceGenerator::new(spec).generate(500);
+    let mut counts = std::collections::HashMap::new();
+    for p in &trace {
+        *counts.entry(p.flow_key()).or_insert(0u32) += 1;
+    }
+    let top = counts.values().copied().max().expect("non-empty");
+    assert!(
+        u64::from(top) * 10 > 500 * 9,
+        "skew 4.0 should put ~all packets on one flow, top={top}"
+    );
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for trace generation, serialisation and parameter
+//! extraction.
+
+use ddtr_trace::{
+    NetworkParams, Packet, Payload, Protocol, SizeProfile, Trace, TraceGenerator, TraceReader,
+    TraceSpec, TraceWriter,
+};
+use proptest::prelude::*;
+
+fn arb_packet(ts: u64) -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![
+            Just(Protocol::Tcp),
+            Just(Protocol::Udp),
+            Just(Protocol::Icmp)
+        ],
+        1u32..9000,
+        prop_oneof![
+            3 => Just(Payload::Empty),
+            1 => "[a-z/._-]{1,24}".prop_map(|s| Payload::Http { url: format!("/{s}") }),
+        ],
+    )
+        .prop_map(move |(src, dst, sport, dport, proto, bytes, payload)| Packet {
+            ts_us: ts,
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+            bytes,
+            payload,
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(1u64..1000, 0..60).prop_flat_map(|gaps| {
+        let mut ts = 0;
+        let stamps: Vec<u64> = gaps
+            .iter()
+            .map(|g| {
+                ts += g;
+                ts
+            })
+            .collect();
+        let pkts: Vec<_> = stamps.into_iter().map(arb_packet).collect();
+        pkts.prop_map(|packets| Trace::new("prop-net", packets))
+    })
+}
+
+proptest! {
+    /// Serialisation round-trips exactly for arbitrary traces.
+    #[test]
+    fn text_format_round_trips(trace in arb_trace()) {
+        let text = TraceWriter::to_string(&trace);
+        let back = TraceReader::parse_str(&text).expect("parses back");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Generation is deterministic in the seed and honours the packet count.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>(), n in 1usize..300) {
+        let spec = TraceSpec::builder("gen").seed(seed).build();
+        let a = TraceGenerator::new(spec.clone()).generate(n);
+        let b = TraceGenerator::new(spec).generate(n);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+    }
+
+    /// Extracted parameters are internally consistent for any generated
+    /// trace: node/flow counts bounded by spec, histogram total matches,
+    /// MTU never exceeds the configured MTU.
+    #[test]
+    fn extraction_is_consistent(
+        seed in any::<u64>(),
+        nodes in 2u32..64,
+        flows in 1u32..64,
+        skew in 0.0f64..1.5,
+    ) {
+        let spec = TraceSpec::builder("cons")
+            .seed(seed)
+            .nodes(nodes)
+            .flows(flows)
+            .flow_skew(skew)
+            .sizes(SizeProfile { small: 0.4, medium: 0.3, large: 0.3, mtu: 1500 })
+            .build();
+        let trace = TraceGenerator::new(spec).generate(200);
+        let p = NetworkParams::extract(&trace);
+        prop_assert!(p.nodes_observed <= nodes.max(2) * 2);
+        prop_assert!(p.flows_observed <= flows);
+        prop_assert_eq!(p.sizes.total(), 200);
+        prop_assert!(p.mtu_bytes <= 1500);
+        prop_assert!(p.mean_packet_bytes >= 40.0);
+        prop_assert!(p.is_usable());
+    }
+
+    /// Stronger skew concentrates more traffic on the top flow.
+    #[test]
+    fn skew_orders_concentration(seed in 0u64..1000) {
+        let count_top = |skew: f64| {
+            let spec = TraceSpec::builder("skew")
+                .seed(seed)
+                .flows(40)
+                .flow_skew(skew)
+                .build();
+            let t = TraceGenerator::new(spec).generate(800);
+            let mut counts = std::collections::HashMap::new();
+            for p in &t {
+                *counts.entry(p.flow_key()).or_insert(0u32) += 1;
+            }
+            counts.values().copied().max().unwrap_or(0)
+        };
+        // With strongly different skews the ordering must hold.
+        prop_assert!(count_top(1.4) >= count_top(0.0));
+    }
+}

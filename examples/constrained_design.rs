@@ -1,0 +1,68 @@
+//! Pick a DDT implementation under embedded design constraints: run the
+//! exploration once, then query the Pareto set with different budgets —
+//! the designer workflow the paper's step 3 enables.
+//!
+//! ```sh
+//! cargo run --example constrained_design --release
+//! ```
+
+use ddtr::apps::AppKind;
+use ddtr::core::{DesignConstraints, Methodology, MethodologyConfig, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let outcome = Methodology::new(MethodologyConfig::paper(AppKind::Route)).run()?;
+    println!(
+        "Route exploration done: {} Pareto-optimal combinations\n",
+        outcome.pareto.global_front.len()
+    );
+    for p in &outcome.pareto.global_front {
+        println!("  {:20} {}", p.combo, p.report);
+    }
+
+    // Scenario 1: battery-powered node — hard energy budget, fastest
+    // admissible point.
+    let median_energy = {
+        let mut e: Vec<f64> = outcome
+            .pareto
+            .global_front
+            .iter()
+            .map(|p| p.report.energy_nj)
+            .collect();
+        e.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        e[e.len() / 2]
+    };
+    let battery = DesignConstraints::none().with_max_energy_nj(median_energy);
+    match outcome.pareto.select(&battery, Objective::Time) {
+        Some(p) => println!(
+            "\nbattery node (energy <= {median_energy:.0} nJ), fastest admissible:\n  {:20} {}",
+            p.combo, p.report
+        ),
+        None => println!("\nbattery node: infeasible with these DDTs"),
+    }
+
+    // Scenario 2: RAM-starved node — footprint budget, lowest energy.
+    let min_footprint = outcome
+        .pareto
+        .global_front
+        .iter()
+        .map(|p| p.report.peak_footprint_bytes)
+        .min()
+        .expect("front is non-empty");
+    let ram = DesignConstraints::none().with_max_footprint_bytes(min_footprint + 1024);
+    match outcome.pareto.select(&ram, Objective::Energy) {
+        Some(p) => println!(
+            "\nRAM-starved node (footprint <= {} B), most frugal admissible:\n  {:20} {}",
+            min_footprint + 1024,
+            p.combo,
+            p.report
+        ),
+        None => println!("\nRAM-starved node: infeasible with these DDTs"),
+    }
+
+    // Scenario 3: impossible budgets — the API reports infeasibility
+    // instead of silently picking something.
+    let impossible = DesignConstraints::none().with_max_cycles(1);
+    assert!(outcome.pareto.select(&impossible, Objective::Energy).is_none());
+    println!("\nimpossible budget correctly reported as infeasible");
+    Ok(())
+}

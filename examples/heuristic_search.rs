@@ -1,0 +1,85 @@
+//! Heuristic exploration: search the DDT combination space with the
+//! seeded NSGA-II engine instead of exhaustive simulation, including the
+//! extended 12-kind candidate library.
+//!
+//! ```sh
+//! cargo run --example heuristic_search --release
+//! ```
+
+use ddtr::apps::AppKind;
+use ddtr::core::{explore_heuristic, GaConfig};
+use ddtr::ddt::DdtKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Search the paper's ten-kind library for the firewall application.
+    let cfg = GaConfig::quick(AppKind::Ipchains);
+    let outcome = explore_heuristic(&cfg)?;
+    println!("== NSGA-II over the paper's 10-kind library (IPchains) ==");
+    println!(
+        "{} simulations instead of {} exhaustive ({:.0}% saved)",
+        outcome.evaluations,
+        cfg.candidates.len().pow(2),
+        100.0 * (1.0 - outcome.evaluations as f64 / cfg.candidates.len().pow(2) as f64)
+    );
+    for log in &outcome.front {
+        println!("  {:20} {}", log.combo, log.report);
+    }
+
+    // 2. Re-run over the extended library: the hash and AVL candidates
+    //    compete for front membership where key search dominates.
+    let mut cfg = GaConfig::quick(AppKind::Ipchains);
+    cfg.candidates = DdtKind::EXTENDED.to_vec();
+    let extended = explore_heuristic(&cfg)?;
+    println!("\n== same search over the extended 12-kind library ==");
+    println!(
+        "{} simulations instead of {} exhaustive",
+        extended.evaluations,
+        cfg.candidates.len().pow(2)
+    );
+    let ext_members: Vec<&str> = extended
+        .front
+        .iter()
+        .map(|l| l.combo.as_str())
+        .filter(|c| c.contains("HSH") || c.contains("AVL"))
+        .collect();
+    for log in &extended.front {
+        println!("  {:20} {}", log.combo, log.report);
+    }
+    println!(
+        "\nextension DDTs on the front: {}",
+        if ext_members.is_empty() {
+            "none (the classic library suffices here)".to_string()
+        } else {
+            ext_members.join(", ")
+        }
+    );
+
+    // 3. Convergence: watch the archive grow per generation.
+    println!("\n== convergence (extended library) ==");
+    for h in &extended.history {
+        println!(
+            "generation {:2}: {:3} simulations, archive front {:2}",
+            h.generation, h.evaluations, h.front_size
+        );
+    }
+
+    // 4. Designer constraints work on heuristic fronts exactly like on
+    //    exhaustive ones: state budgets, minimise one objective.
+    use ddtr::core::{DesignConstraints, Objective};
+    let median_footprint = {
+        let mut fps: Vec<u64> = extended
+            .front
+            .iter()
+            .map(|l| l.report.peak_footprint_bytes)
+            .collect();
+        fps.sort_unstable();
+        fps[fps.len() / 2]
+    };
+    let constraints = DesignConstraints::none().with_max_footprint_bytes(median_footprint);
+    println!("\n== constrained selection (footprint <= {median_footprint} B, minimise time) ==");
+    match extended.select(&constraints, Objective::Time) {
+        Some(choice) => println!("  chosen: {:18} {}", choice.combo, choice.report),
+        None => println!("  no front point fits the budget"),
+    }
+    Ok(())
+}

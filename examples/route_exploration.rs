@@ -1,0 +1,41 @@
+//! Reproduce the paper's Route case study: explore the IPv4 radix routing
+//! application over seven networks and two radix-table sizes, then draw
+//! the Berry-trace Pareto chart (Figure 4).
+//!
+//! ```sh
+//! cargo run --example route_exploration --release
+//! ```
+
+use ddtr::apps::AppKind;
+use ddtr::core::{render_pareto_chart, Methodology, MethodologyConfig, ParetoChartPlane};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MethodologyConfig::paper(AppKind::Route);
+    println!(
+        "exploring Route: {} combos x {} configurations (exhaustive would be {} simulations)",
+        100,
+        cfg.configurations(),
+        cfg.exhaustive_simulations()
+    );
+    let outcome = Methodology::new(cfg).run()?;
+    println!(
+        "ran {} simulations instead ({:.0}% reduction)\n",
+        outcome.counts.reduced,
+        outcome.counts.reduction() * 100.0
+    );
+
+    // Profiling found the dominant structures the paper names.
+    println!("dominant structures: {:?}\n", outcome.profile.dominant);
+
+    // The per-configuration Pareto curve for the Berry (BWY I) trace.
+    let key = "BWY-I/radix256";
+    let logs = outcome.step2.logs_for(key);
+    println!("time-energy exploration space, {key}:");
+    println!("{}", render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy));
+
+    println!("global Pareto-optimal DDT choices for Route:");
+    for p in &outcome.pareto.global_front {
+        println!("  {:20} {}", p.combo, p.report);
+    }
+    Ok(())
+}

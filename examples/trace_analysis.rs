@@ -1,0 +1,42 @@
+//! Exercise the trace substrate on its own: generate the ten network
+//! traces, serialise one to the text format, parse it back, and extract
+//! the network parameters the methodology feeds to step 2.
+//!
+//! ```sh
+//! cargo run --example trace_analysis --release
+//! ```
+
+use ddtr::trace::{NetworkParams, NetworkPreset, TraceReader, TraceWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:10} {:>6} {:>10} {:>8} {:>7} {:>7} {:>6}",
+        "trace", "nodes", "pps", "mean B", "MTU", "flows", "url%"
+    );
+    for preset in NetworkPreset::ALL {
+        let trace = preset.generate(2000);
+        let p = NetworkParams::extract(&trace);
+        println!(
+            "{:10} {:>6} {:>10.0} {:>8.1} {:>7} {:>7} {:>6.1}",
+            p.network,
+            p.nodes_observed,
+            p.throughput_pps,
+            p.mean_packet_bytes,
+            p.mtu_bytes,
+            p.flows_observed,
+            p.url_share * 100.0
+        );
+    }
+
+    // The text round trip the original Perl parser performed on raw files.
+    let berry = NetworkPreset::DartmouthBerry.generate(500);
+    let text = TraceWriter::to_string(&berry);
+    let parsed = TraceReader::parse_str(&text)?;
+    assert_eq!(berry, parsed);
+    println!(
+        "\nBWY-I text round trip: {} packets, {} bytes of text, lossless",
+        parsed.len(),
+        text.len()
+    );
+    Ok(())
+}

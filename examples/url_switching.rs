@@ -1,0 +1,46 @@
+//! Inspect the URL-based context switch at packet level: profile its
+//! containers on a wireless-campus trace, then reproduce the paper's
+//! Figure 3 exploration space for one network.
+//!
+//! ```sh
+//! cargo run --example url_switching --release
+//! ```
+
+use ddtr::apps::AppKind;
+use ddtr::core::{explore_application_level, profile_application, MethodologyConfig};
+use ddtr::pareto::ScatterChart;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MethodologyConfig::paper(AppKind::Url);
+
+    // Step 1a — which containers dominate the accesses?
+    let profile = profile_application(&cfg)?;
+    println!("container access profile on {}:", cfg.reference_network);
+    for slot in &profile.slots {
+        println!(
+            "  {:16} {:>10} accesses {}",
+            slot.name,
+            slot.counts.accesses,
+            if slot.dominant { "(dominant)" } else { "" }
+        );
+    }
+
+    // Step 1b — the 100-combination exploration space (Figure 3a).
+    let step1 = explore_application_level(&cfg)?;
+    let points: Vec<[f64; 2]> = step1
+        .measurements
+        .iter()
+        .map(|l| [l.report.cycles as f64, l.report.energy_nj])
+        .collect();
+    println!("\ntime-energy exploration space (100 DDT combinations):");
+    println!(
+        "{}",
+        ScatterChart::new("time [cycles]", "energy [nJ]").render(&points)
+    );
+    println!(
+        "step 1 keeps {} of {} combinations for the network-level exploration",
+        step1.survivors.len(),
+        step1.measurements.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! `ddtr` — Dynamic Data Type Refinement for network applications.
+//!
+//! Facade crate re-exporting the whole workspace. See the individual crates
+//! for details:
+//!
+//! * [`mem`] — simulated embedded memory subsystem (allocator, cache, DRAM,
+//!   CACTI-like energy model),
+//! * [`ddt`] — the ten-implementation dynamic-data-type library,
+//! * [`trace`] — synthetic network traces and parameter extraction,
+//! * [`apps`] — the four NetBench-style applications (Route, URL, IPchains,
+//!   DRR),
+//! * [`pareto`] — multi-objective pruning and charting,
+//! * [`core`] — the three-step refinement methodology itself.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ddtr::core::{Methodology, MethodologyConfig};
+//! use ddtr::apps::AppKind;
+//!
+//! let cfg = MethodologyConfig::quick(AppKind::Drr);
+//! let outcome = Methodology::new(cfg).run()?;
+//! assert!(!outcome.pareto.global_front.is_empty());
+//! # Ok::<(), ddtr::core::ExploreError>(())
+//! ```
+
+pub use ddtr_apps as apps;
+pub use ddtr_core as core;
+pub use ddtr_ddt as ddt;
+pub use ddtr_mem as mem;
+pub use ddtr_pareto as pareto;
+pub use ddtr_trace as trace;

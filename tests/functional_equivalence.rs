@@ -1,0 +1,146 @@
+//! The central soundness property of the methodology: swapping the DDT
+//! implementations behind the instrumentation interface "does not alter
+//! the actual functionality of the application" (paper, §3.1).
+//!
+//! For every application we replay the same trace under several DDT
+//! combinations and require the *functional* outputs — routing hits,
+//! context switches, firewall verdicts, scheduler transmissions — to be
+//! bit-identical. Only the cost metrics may differ.
+
+use ddtr::apps::{AppParams, DrrApp, IpchainsApp, NatApp, NetworkApp, RouteApp, UrlApp};
+use ddtr::ddt::DdtKind;
+use ddtr::mem::{MemoryConfig, MemorySystem};
+use ddtr::trace::NetworkPreset;
+
+/// A representative sample of the combination space, including every
+/// structural family (extensions too) and both uniform and mixed pairings.
+fn combos() -> Vec<[DdtKind; 2]> {
+    vec![
+        [DdtKind::Array, DdtKind::Array],
+        [DdtKind::ArrayPtr, DdtKind::Sll],
+        [DdtKind::Sll, DdtKind::Dll],
+        [DdtKind::Dll, DdtKind::ArrayPtr],
+        [DdtKind::SllRov, DdtKind::DllRov],
+        [DdtKind::SllChunk, DdtKind::DllChunk],
+        [DdtKind::SllChunkRov, DdtKind::DllChunkRov],
+        [DdtKind::DllChunkRov, DdtKind::Array],
+        [DdtKind::Hash, DdtKind::Avl],
+        [DdtKind::Avl, DdtKind::SllChunk],
+    ]
+}
+
+fn params() -> AppParams {
+    AppParams {
+        route_table_size: 64,
+        firewall_rules: 16,
+        table_cap: 24,
+        ..AppParams::default()
+    }
+}
+
+#[test]
+fn route_functionality_is_ddt_invariant() {
+    let trace = NetworkPreset::DartmouthBerry.generate(250);
+    let mut outputs = Vec::new();
+    for combo in combos() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = RouteApp::new(combo, &params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        outputs.push((app.lookups(), app.hits()));
+    }
+    outputs.dedup();
+    assert_eq!(outputs.len(), 1, "routing outcomes diverged: {outputs:?}");
+}
+
+#[test]
+fn url_functionality_is_ddt_invariant() {
+    let trace = NetworkPreset::DartmouthLibrary.generate(250);
+    let mut outputs = Vec::new();
+    for combo in combos() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = UrlApp::new(combo, &params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        outputs.push((app.switches(), app.unmatched()));
+    }
+    outputs.dedup();
+    assert_eq!(outputs.len(), 1, "URL outcomes diverged: {outputs:?}");
+}
+
+#[test]
+fn ipchains_functionality_is_ddt_invariant() {
+    let trace = NetworkPreset::NlanrTau.generate(250);
+    let mut outputs = Vec::new();
+    for combo in combos() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = IpchainsApp::new(combo, &params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        outputs.push((app.accepted(), app.denied(), app.conn_hits()));
+    }
+    outputs.dedup();
+    assert_eq!(outputs.len(), 1, "firewall verdicts diverged: {outputs:?}");
+}
+
+#[test]
+fn drr_functionality_is_ddt_invariant() {
+    let trace = NetworkPreset::DartmouthDorm.generate(250);
+    let mut outputs = Vec::new();
+    for combo in combos() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = DrrApp::new(combo, &params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        outputs.push((
+            app.enqueued(),
+            app.transmitted(),
+            app.backlog(),
+            app.service_rounds(),
+        ));
+    }
+    outputs.dedup();
+    assert_eq!(outputs.len(), 1, "scheduler outcomes diverged: {outputs:?}");
+}
+
+#[test]
+fn nat_functionality_is_ddt_invariant() {
+    let trace = NetworkPreset::NlanrAix.generate(250);
+    let mut outputs = Vec::new();
+    for combo in combos() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = NatApp::new(combo, &params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        outputs.push((app.translated(), app.dropped(), app.expired()));
+    }
+    outputs.dedup();
+    assert_eq!(outputs.len(), 1, "NAT outcomes diverged: {outputs:?}");
+}
+
+/// While functionality is invariant, the cost metrics must NOT be — that
+/// difference is the whole design space.
+#[test]
+fn cost_metrics_do_differ_across_combos() {
+    let trace = NetworkPreset::DartmouthBerry.generate(150);
+    let mut access_counts = Vec::new();
+    for combo in combos() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = RouteApp::new(combo, &params(), &mut mem);
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        access_counts.push(mem.report().accesses);
+    }
+    access_counts.sort_unstable();
+    access_counts.dedup();
+    assert!(
+        access_counts.len() >= combos().len() - 1,
+        "combos should spread in cost: {access_counts:?}"
+    );
+}

@@ -1,0 +1,103 @@
+//! Property-based integration tests over the methodology's invariants.
+
+use ddtr::apps::{AppKind, AppParams};
+use ddtr::core::{explore_network_level, explore_pareto_level, MethodologyConfig};
+use ddtr::ddt::DdtKind;
+use ddtr::trace::NetworkPreset;
+use proptest::prelude::*;
+
+fn arb_combo() -> impl Strategy<Value = [DdtKind; 2]> {
+    // Sample from the full extended library so the hash/tree extensions
+    // flow through the whole pipeline too.
+    (0usize..12, 0usize..12).prop_map(|(a, b)| [DdtKind::EXTENDED[a], DdtKind::EXTENDED[b]])
+}
+
+fn tiny_cfg(app: AppKind) -> MethodologyConfig {
+    let mut cfg = MethodologyConfig::quick(app);
+    cfg.packets_per_sim = 40;
+    cfg.networks = vec![NetworkPreset::DartmouthBerry];
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Steps 2+3 never crash and always yield a non-empty, mutually
+    /// non-dominated front, for arbitrary survivor sets.
+    #[test]
+    fn steps_2_3_hold_for_arbitrary_survivors(
+        combos in prop::collection::vec(arb_combo(), 1..8),
+        app_idx in 0usize..5,
+    ) {
+        let app = AppKind::EXTENDED_ALL[app_idx];
+        let cfg = tiny_cfg(app);
+        let step2 = explore_network_level(&cfg, &combos).expect("step 2 runs");
+        prop_assert_eq!(step2.simulations(), combos.len() * cfg.configurations());
+        let pareto = explore_pareto_level(&step2).expect("step 3 runs");
+        prop_assert!(!pareto.global_front.is_empty());
+        for a in &pareto.global_front {
+            for b in &pareto.global_front {
+                if a.combo != b.combo {
+                    prop_assert!(!a.report.dominates(&b.report));
+                }
+            }
+        }
+        // The front never exceeds the number of distinct combinations.
+        let mut distinct: Vec<String> = step2.logs.iter().map(|l| l.combo.clone()).collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert!(pareto.global_front.len() <= distinct.len());
+    }
+
+    /// Simulations scale monotonically with trace length: more packets
+    /// never reduce accesses or cycles.
+    #[test]
+    fn metrics_grow_with_trace_length(
+        combo in arb_combo(),
+        app_idx in 0usize..5,
+    ) {
+        use ddtr::mem::{MemoryConfig, MemorySystem};
+        let app = AppKind::EXTENDED_ALL[app_idx];
+        let params = AppParams {
+            route_table_size: 32,
+            firewall_rules: 8,
+            table_cap: 16,
+            ..AppParams::default()
+        };
+        let trace = NetworkPreset::DartmouthBerry.generate(120);
+        let run = |n: usize| {
+            let mut mem = MemorySystem::new(MemoryConfig::default());
+            let mut instance = app.instantiate(combo, &params, &mut mem);
+            for pkt in trace.packets.iter().take(n) {
+                instance.process(pkt, &mut mem);
+            }
+            mem.report()
+        };
+        let short = run(40);
+        let long = run(120);
+        prop_assert!(long.accesses >= short.accesses);
+        prop_assert!(long.cycles >= short.cycles);
+        prop_assert!(long.energy_nj >= short.energy_nj);
+        prop_assert!(long.peak_footprint_bytes >= short.peak_footprint_bytes);
+    }
+
+    /// The trade-off ranges always bound the global front.
+    #[test]
+    fn tradeoffs_bound_the_front(
+        combos in prop::collection::vec(arb_combo(), 2..6),
+    ) {
+        let cfg = tiny_cfg(AppKind::Drr);
+        let step2 = explore_network_level(&cfg, &combos).expect("step 2 runs");
+        let pareto = explore_pareto_level(&step2).expect("step 3 runs");
+        // Per-config front points live inside the pooled trade-off ranges.
+        for cf in &pareto.per_config {
+            for p in &cf.front {
+                let o = p.report.as_array();
+                for (d, range) in pareto.tradeoffs.iter().enumerate() {
+                    prop_assert!(o[d] >= range.min - 1e-9);
+                    prop_assert!(o[d] <= range.max + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Soak tests: long traces (an order of magnitude beyond the paper-sized
+//! sweeps) through every application, checking the invariants that only
+//! show up under sustained load — heap hygiene over thousands of
+//! alloc/free cycles, cache sanity, monotone counters and bit-exact
+//! determinism.
+
+use ddtr::apps::{AppKind, AppParams};
+use ddtr::ddt::DdtKind;
+use ddtr::mem::{MemoryConfig, MemorySystem};
+use ddtr::trace::NetworkPreset;
+
+const SOAK_PACKETS: usize = 5_000;
+
+fn params() -> AppParams {
+    AppParams::default()
+}
+
+#[test]
+fn every_app_survives_a_long_trace_with_exact_heap_accounting() {
+    let trace = NetworkPreset::DartmouthBerry.generate(SOAK_PACKETS);
+    for app in AppKind::EXTENDED_ALL {
+        // A churn-heavy mixed combo: linked bindings, chunked secondary.
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut instance =
+            app.instantiate([DdtKind::Dll, DdtKind::SllChunkRov], &params(), &mut mem);
+        for pkt in &trace {
+            instance.process(pkt, &mut mem);
+        }
+        assert_eq!(instance.packets_processed(), SOAK_PACKETS as u64, "{app}");
+        let stats = mem.alloc_stats();
+        // Block-level accounting must balance exactly after thousands of
+        // allocations and frees.
+        assert_eq!(
+            stats.allocs - stats.frees,
+            u64::try_from(mem.allocator().live_blocks()).expect("fits"),
+            "{app}: alloc/free imbalance after soak"
+        );
+        assert!(stats.failed_allocs == 0, "{app}: heap exhausted under soak");
+        // Peak is a true high-water mark.
+        assert!(stats.peak_gross_bytes >= stats.live_gross_bytes, "{app}");
+        // Cache counters stay internally consistent.
+        let cache = mem.cache_stats();
+        assert!(cache.writebacks <= cache.read_misses + cache.write_misses, "{app}");
+        assert!(cache.miss_ratio() <= 1.0, "{app}");
+    }
+}
+
+#[test]
+fn soak_runs_are_bit_exact_across_repetitions() {
+    let trace = NetworkPreset::NlanrAix.generate(SOAK_PACKETS);
+    let run = || {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut app = AppKind::Ipchains.instantiate(
+            [DdtKind::Hash, DdtKind::SllChunk],
+            &params(),
+            &mut mem,
+        );
+        for pkt in &trace {
+            app.process(pkt, &mut mem);
+        }
+        mem.report()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.accesses, b.accesses);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.peak_footprint_bytes, b.peak_footprint_bytes);
+    assert!((a.energy_nj - b.energy_nj).abs() < 1e-9);
+}
+
+#[test]
+fn footprint_stabilises_for_capped_containers() {
+    // The session/conn/binding tables are capacity-capped, so after the
+    // warm-up phase the live heap must stop growing even as packets keep
+    // flowing — the steady-state property the footprint metric reports.
+    let trace = NetworkPreset::DartmouthBerry.generate(SOAK_PACKETS);
+    for app in [AppKind::Url, AppKind::Ipchains, AppKind::Nat] {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut instance = app.instantiate([DdtKind::Sll, DdtKind::Sll], &params(), &mut mem);
+        let mut live_at_half = 0;
+        for (i, pkt) in trace.iter().enumerate() {
+            instance.process(pkt, &mut mem);
+            if i == SOAK_PACKETS / 2 {
+                live_at_half = mem.alloc_stats().live_gross_bytes;
+            }
+        }
+        let live_at_end = mem.alloc_stats().live_gross_bytes;
+        assert!(
+            live_at_end <= live_at_half * 2,
+            "{app}: heap kept growing after warm-up ({live_at_half} -> {live_at_end})"
+        );
+    }
+}
+
+#[test]
+fn bursty_soak_exercises_the_same_invariants() {
+    use ddtr::trace::{BurstProfile, TraceGenerator, TraceSpec};
+    let mut spec = TraceSpec::builder("soak-burst").seed(0x50AB).build();
+    spec.burstiness = Some(BurstProfile::default());
+    let trace = TraceGenerator::new(spec).generate(SOAK_PACKETS);
+    let mut mem = MemorySystem::new(MemoryConfig::with_spm());
+    let mut app = AppKind::Drr.instantiate(
+        [DdtKind::SllRov, DdtKind::DllChunkRov],
+        &params(),
+        &mut mem,
+    );
+    for pkt in &trace {
+        app.process(pkt, &mut mem);
+    }
+    assert_eq!(app.packets_processed(), SOAK_PACKETS as u64);
+    let stats = mem.alloc_stats();
+    assert_eq!(
+        stats.allocs - stats.frees,
+        u64::try_from(mem.allocator().live_blocks()).expect("fits"),
+    );
+    // Descriptors went to the scratchpad.
+    assert!(mem.spm_used() > 0, "descriptors should sit in the SPM");
+}
