@@ -251,10 +251,7 @@ impl DrrApp {
             self.backlog -= 1;
             self.transmitted += 1;
         }
-        let still_backlogged = self
-            .fifos
-            .get(&fk)
-            .is_some_and(|f| !f.is_empty());
+        let still_backlogged = self.fifos.get(&fk).is_some_and(|f| !f.is_empty());
         if still_backlogged {
             self.active.push_back(fk);
         } else {
@@ -441,8 +438,14 @@ mod tests {
         for i in 0..200u32 {
             app.process(&pkt(i % 2, 576), &mut mem);
         }
-        let f0 = app.flows.get(pkt(0, 576).flow_key(), &mut mem).expect("flow 0");
-        let f1 = app.flows.get(pkt(1, 576).flow_key(), &mut mem).expect("flow 1");
+        let f0 = app
+            .flows
+            .get(pkt(0, 576).flow_key(), &mut mem)
+            .expect("flow 0");
+        let f1 = app
+            .flows
+            .get(pkt(1, 576).flow_key(), &mut mem)
+            .expect("flow 1");
         let (a, b) = (f0.sent, f1.sent);
         assert!(a > 0 && b > 0);
         // Per visit a flow may send floor(quantum/bytes)+carry packets, so
@@ -462,7 +465,11 @@ mod tests {
             for p in &NetworkPreset::DartmouthBerry.generate(250) {
                 app.process(p, &mut mem);
             }
-            (mem.report().accesses, app.transmitted(), app.service_rounds())
+            (
+                mem.report().accesses,
+                app.transmitted(),
+                app.service_rounds(),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -46,7 +46,12 @@ pub enum AppKind {
 
 impl AppKind {
     /// The paper's four applications in its table order.
-    pub const ALL: [AppKind; 4] = [AppKind::Route, AppKind::Url, AppKind::Ipchains, AppKind::Drr];
+    pub const ALL: [AppKind; 4] = [
+        AppKind::Route,
+        AppKind::Url,
+        AppKind::Ipchains,
+        AppKind::Drr,
+    ];
 
     /// The paper's four plus the NAT extension case study.
     pub const EXTENDED_ALL: [AppKind; 5] = [

@@ -457,7 +457,10 @@ mod tests {
         let profiles = nat.slot_profiles();
         assert_eq!(profiles.iter().filter(|s| s.dominant).count(), 2);
         assert_eq!(profiles.len(), 3);
-        let binding = profiles.iter().find(|s| s.name == "binding_table").expect("slot");
+        let binding = profiles
+            .iter()
+            .find(|s| s.name == "binding_table")
+            .expect("slot");
         assert!(binding.counts.accesses > 0);
     }
 }

@@ -202,10 +202,22 @@ mod tests {
     #[test]
     fn validation_rejects_degenerate_values() {
         let cases = [
-            AppParams { route_table_size: 1, ..AppParams::default() },
-            AppParams { firewall_rules: 0, ..AppParams::default() },
-            AppParams { drr_quantum: 0, ..AppParams::default() },
-            AppParams { table_cap: 1, ..AppParams::default() },
+            AppParams {
+                route_table_size: 1,
+                ..AppParams::default()
+            },
+            AppParams {
+                firewall_rules: 0,
+                ..AppParams::default()
+            },
+            AppParams {
+                drr_quantum: 0,
+                ..AppParams::default()
+            },
+            AppParams {
+                table_cap: 1,
+                ..AppParams::default()
+            },
         ];
         for p in cases {
             assert!(p.validate().is_err(), "{p}");

@@ -59,13 +59,20 @@ fn route_flaps_never_lose_routes() {
     // 2000 packets = ~62 flap cycles over 32 entries (each entry flapped
     // at least once).
     for i in 0..2000u32 {
-        app.process(&pkt(1, 0x0a00_0000 + (i % 16), 80, Protocol::Tcp, 40), &mut m);
+        app.process(
+            &pkt(1, 0x0a00_0000 + (i % 16), 80, Protocol::Tcp, 40),
+            &mut m,
+        );
     }
     let hits_before = app.hits();
     for host in 0..16u32 {
         app.process(&pkt(1, 0x0a00_0000 + host, 80, Protocol::Tcp, 40), &mut m);
     }
-    assert_eq!(app.hits(), hits_before + 16, "all host routes survive flaps");
+    assert_eq!(
+        app.hits(),
+        hits_before + 16,
+        "all host routes survive flaps"
+    );
 }
 
 // ------------------------------------------------------------------ URL --
@@ -75,7 +82,11 @@ fn route_flaps_never_lose_routes() {
 #[test]
 fn url_accounting_reconciles() {
     let mut m = mem();
-    let mut app = UrlApp::new([DdtKind::SllChunk, DdtKind::Dll], &AppParams::default(), &mut m);
+    let mut app = UrlApp::new(
+        [DdtKind::SllChunk, DdtKind::Dll],
+        &AppParams::default(),
+        &mut m,
+    );
     let known = ["/index.html", "/login", "/feed.rss", "/search?q=5"];
     let unknown = ["/nope", "/also/nope"];
     for (i, url) in known.iter().chain(unknown.iter()).enumerate() {
@@ -85,7 +96,10 @@ fn url_accounting_reconciles() {
     }
     assert_eq!(app.switches(), known.len() as u64);
     assert_eq!(app.unmatched(), unknown.len() as u64);
-    assert_eq!(app.packets_processed(), (known.len() + unknown.len()) as u64);
+    assert_eq!(
+        app.packets_processed(),
+        (known.len() + unknown.len()) as u64
+    );
 }
 
 /// Session eviction is FIFO: the oldest flow is dropped first.
@@ -100,7 +114,9 @@ fn url_session_eviction_is_fifo() {
     // 9 distinct flows: flow 0 must be evicted when flow 8 arrives.
     for src in 0..9u32 {
         let mut p = pkt(src, 9, 80, Protocol::Tcp, 100);
-        p.payload = Payload::Http { url: "/login".into() };
+        p.payload = Payload::Http {
+            url: "/login".into(),
+        };
         app.process(&p, &mut m);
     }
     // Re-sending flow 0 re-inserts it (a miss), pushing out flow 1.
@@ -112,7 +128,9 @@ fn url_session_eviction_is_fifo() {
         .counts
         .inserts;
     let mut p = pkt(0, 9, 80, Protocol::Tcp, 100);
-    p.payload = Payload::Http { url: "/login".into() };
+    p.payload = Payload::Http {
+        url: "/login".into(),
+    };
     app.process(&p, &mut m);
     let inserts_after = app
         .slot_profiles()
@@ -121,7 +139,11 @@ fn url_session_eviction_is_fifo() {
         .expect("slot")
         .counts
         .inserts;
-    assert_eq!(inserts_after, inserts_before + 1, "flow 0 was evicted and re-inserted");
+    assert_eq!(
+        inserts_after,
+        inserts_before + 1,
+        "flow 0 was evicted and re-inserted"
+    );
 }
 
 // ------------------------------------------------------------- IPchains --
@@ -156,12 +178,30 @@ fn ipchains_verdicts_match_reference_chain() {
         app.process(&pkt(src, 9, port, proto, 100), m);
         app.denied() == before // true = accepted
     };
-    assert!(!verdict(&mut probe, &mut m2, 100, 25, Protocol::Tcp), "smtp denied");
-    assert!(!verdict(&mut probe, &mut m2, 101, 110, Protocol::Tcp), "pop3 denied");
-    assert!(!verdict(&mut probe, &mut m2, 102, 0, Protocol::Icmp), "icmp denied");
-    assert!(verdict(&mut probe, &mut m2, 103, 53, Protocol::Udp), "dns accepted");
-    assert!(verdict(&mut probe, &mut m2, 104, 80, Protocol::Tcp), "http accepted");
-    assert!(verdict(&mut probe, &mut m2, 105, 31337, Protocol::Tcp), "catch-all accepts");
+    assert!(
+        !verdict(&mut probe, &mut m2, 100, 25, Protocol::Tcp),
+        "smtp denied"
+    );
+    assert!(
+        !verdict(&mut probe, &mut m2, 101, 110, Protocol::Tcp),
+        "pop3 denied"
+    );
+    assert!(
+        !verdict(&mut probe, &mut m2, 102, 0, Protocol::Icmp),
+        "icmp denied"
+    );
+    assert!(
+        verdict(&mut probe, &mut m2, 103, 53, Protocol::Udp),
+        "dns accepted"
+    );
+    assert!(
+        verdict(&mut probe, &mut m2, 104, 80, Protocol::Tcp),
+        "http accepted"
+    );
+    assert!(
+        verdict(&mut probe, &mut m2, 105, 31337, Protocol::Tcp),
+        "catch-all accepts"
+    );
 }
 
 /// Conntrack caches the verdict: a denied flow keeps being denied via the
@@ -233,8 +273,11 @@ fn all_slots_see_traffic_on_long_traces() {
     let apps: Vec<Box<dyn NetworkApp>> = {
         let mut v: Vec<Box<dyn NetworkApp>> = Vec::new();
         let mut m1 = mem();
-        let mut a: Box<dyn NetworkApp> =
-            Box::new(RouteApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut m1));
+        let mut a: Box<dyn NetworkApp> = Box::new(RouteApp::new(
+            [DdtKind::Sll, DdtKind::Sll],
+            &params,
+            &mut m1,
+        ));
         for p in &trace {
             a.process(p, &mut m1);
         }
@@ -247,8 +290,11 @@ fn all_slots_see_traffic_on_long_traces() {
         }
         v.push(a);
         let mut m3 = mem();
-        let mut a: Box<dyn NetworkApp> =
-            Box::new(IpchainsApp::new([DdtKind::Sll, DdtKind::Sll], &params, &mut m3));
+        let mut a: Box<dyn NetworkApp> = Box::new(IpchainsApp::new(
+            [DdtKind::Sll, DdtKind::Sll],
+            &params,
+            &mut m3,
+        ));
         for p in &trace {
             a.process(p, &mut m3);
         }
@@ -343,5 +389,9 @@ fn nat_matches_a_brute_force_reference_gateway() {
     assert_eq!(nat.translated(), translated, "translated diverged");
     assert_eq!(nat.dropped(), dropped, "dropped diverged");
     assert_eq!(nat.expired(), expired, "expired diverged");
-    assert_eq!(nat.active_bindings(), bindings.len(), "live bindings diverged");
+    assert_eq!(
+        nat.active_bindings(),
+        bindings.len(),
+        "live bindings diverged"
+    );
 }

@@ -42,8 +42,7 @@ fn sweep(policy: FitPolicy) -> (BTreeSet<String>, f64, f64) {
         .map(|r| r.peak_footprint_bytes as f64)
         .sum::<f64>()
         / reports.len() as f64;
-    let mean_cycles =
-        reports.iter().map(|r| r.cycles as f64).sum::<f64>() / reports.len() as f64;
+    let mean_cycles = reports.iter().map(|r| r.cycles as f64).sum::<f64>() / reports.len() as f64;
     (front, mean_fp, mean_cycles)
 }
 

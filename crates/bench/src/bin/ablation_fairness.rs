@@ -13,7 +13,10 @@ use ddtr_trace::NetworkPreset;
 fn main() {
     let trace = NetworkPreset::DartmouthDorm.generate(400);
     let sim = Simulator::new(MemoryConfig::embedded_default());
-    println!("Ablation — DRR quantum (level of fairness) sweep, {} trace\n", trace.network);
+    println!(
+        "Ablation — DRR quantum (level of fairness) sweep, {} trace\n",
+        trace.network
+    );
     println!(
         "{:>8} | {:>20} | {:>12} | {:>12} | {:>14}",
         "quantum", "best-energy combo", "energy nJ", "cycles", "sched. accesses"
@@ -39,9 +42,7 @@ fn main() {
             }
         }
         let (combo, energy, cycles, accesses) = best.expect("combos were simulated");
-        println!(
-            "{quantum:>8} | {combo:>20} | {energy:>12.1} | {cycles:>12} | {accesses:>14}"
-        );
+        println!("{quantum:>8} | {combo:>20} | {energy:>12.1} | {cycles:>12} | {accesses:>14}");
     }
     println!("\nShape check: a finer level of fairness (smaller quantum) costs");
     println!("more scheduler rounds — more flow-table and queue traffic — so the");

@@ -36,8 +36,7 @@ fn main() {
         let mut cfg = base.clone();
         cfg.survivor_fraction = fraction;
         let step1 = explore_application_level(&cfg).expect("step 1 runs");
-        let step2 =
-            explore_network_level(&cfg, &step1.survivor_combos()).expect("step 2 runs");
+        let step2 = explore_network_level(&cfg, &step1.survivor_combos()).expect("step 2 runs");
         let front: BTreeSet<String> = explore_pareto_level(&step2)
             .expect("step 3 runs")
             .global_front

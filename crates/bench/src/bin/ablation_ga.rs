@@ -58,20 +58,36 @@ fn main() {
     println!("{:<26} {:>10} {:>9}", "setting", "mean sims", "recall");
 
     let (e, r) = sweep(&truth, |_| {});
-    println!("{:<26} {e:>10.1} {:>8.0}%", "defaults (pop 16, mut .15)", r * 100.0);
+    println!(
+        "{:<26} {e:>10.1} {:>8.0}%",
+        "defaults (pop 16, mut .15)",
+        r * 100.0
+    );
 
     for pop in [8usize, 24] {
         let (e, r) = sweep(&truth, |c| c.population = pop);
-        println!("{:<26} {e:>10.1} {:>8.0}%", format!("population {pop}"), r * 100.0);
+        println!(
+            "{:<26} {e:>10.1} {:>8.0}%",
+            format!("population {pop}"),
+            r * 100.0
+        );
     }
     for mutation in [0.05f64, 0.30] {
         let (e, r) = sweep(&truth, |c| c.mutation_rate = mutation);
-        println!("{:<26} {e:>10.1} {:>8.0}%", format!("mutation {mutation}"), r * 100.0);
+        println!(
+            "{:<26} {e:>10.1} {:>8.0}%",
+            format!("mutation {mutation}"),
+            r * 100.0
+        );
     }
     let (e, r) = sweep(&truth, |c| c.crossover_rate = 0.5);
     println!("{:<26} {e:>10.1} {:>8.0}%", "crossover 0.5", r * 100.0);
     let (e, r) = sweep(&truth, |c| c.stall_generations = Some(2));
-    println!("{:<26} {e:>10.1} {:>8.0}%", "early stop (stall 2)", r * 100.0);
+    println!(
+        "{:<26} {e:>10.1} {:>8.0}%",
+        "early stop (stall 2)",
+        r * 100.0
+    );
 
     println!("\nShape check: recall scales smoothly with the simulation budget");
     println!("(population and mutation buy recall roughly linearly in extra");

@@ -12,7 +12,12 @@ use std::collections::BTreeSet;
 
 fn main() {
     println!("Ablation — step-1 pruning fidelity (methodology vs exhaustive)\n");
-    for app in [AppKind::Url, AppKind::Drr, AppKind::Route, AppKind::Ipchains] {
+    for app in [
+        AppKind::Url,
+        AppKind::Drr,
+        AppKind::Route,
+        AppKind::Ipchains,
+    ] {
         let cfg = MethodologyConfig::paper(app);
         // Methodology flow (pruned).
         let outcome = Methodology::new(cfg.clone()).run().expect("pipeline runs");
@@ -25,8 +30,11 @@ fn main() {
         // Exhaustive flow: all 100 combos through steps 2-3.
         let step2 = explore_network_level(&cfg, &all_combos()).expect("exhaustive step 2");
         let pareto = explore_pareto_level(&step2).expect("exhaustive step 3");
-        let full_front: BTreeSet<String> =
-            pareto.global_front.iter().map(|p| p.combo.clone()).collect();
+        let full_front: BTreeSet<String> = pareto
+            .global_front
+            .iter()
+            .map(|p| p.combo.clone())
+            .collect();
         let missed: Vec<&String> = full_front.difference(&pruned_front).collect();
         let spurious: Vec<&String> = pruned_front.difference(&full_front).collect();
         println!("{app}:");

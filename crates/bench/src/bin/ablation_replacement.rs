@@ -40,8 +40,7 @@ fn sweep(replacement: ReplacementPolicy) -> (BTreeSet<String>, f64, f64) {
         .into_iter()
         .map(|i| labels[i].clone())
         .collect();
-    let mean_cycles =
-        reports.iter().map(|r| r.cycles as f64).sum::<f64>() / reports.len() as f64;
+    let mean_cycles = reports.iter().map(|r| r.cycles as f64).sum::<f64>() / reports.len() as f64;
     let mean_energy = reports.iter().map(|r| r.energy_nj).sum::<f64>() / reports.len() as f64;
     (front, mean_cycles, mean_energy)
 }

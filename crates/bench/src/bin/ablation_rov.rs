@@ -19,7 +19,9 @@ fn positions(random_pct: usize) -> Vec<usize> {
     let mut pos = 0usize;
     let mut noise = 13usize;
     for i in 0..OPS {
-        noise = noise.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        noise = noise
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let _ = i;
         if noise % 100 < random_pct {
             pos = noise / 7 % N;

@@ -49,16 +49,19 @@ fn main() {
     let full = explore_network_level(&bwy_cfg, &all_combos()).expect("full sweep runs");
     let logs: Vec<&SimLog> = full.logs_for(bwy_key);
     println!("\nFigure 4b — time-energy space, radix 256, Berry trace ({bwy_key})\n");
-    print!("{}", render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy));
+    print!(
+        "{}",
+        render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy)
+    );
 
     // The paper highlights a balanced Pareto point (AR + DLL in their run):
     // pick the front point minimising the normalised energy+time sum.
     let points: Vec<[f64; 4]> = logs.iter().map(|l| l.objectives()).collect();
     let te: Vec<[f64; 2]> = points.iter().map(|p| [p[1], p[0]]).collect();
     let front = curve_2d(&te, 0, 1);
-    let (max_t, max_e) = te.iter().fold((f64::MIN, f64::MIN), |(t, e), p| {
-        (t.max(p[0]), e.max(p[1]))
-    });
+    let (max_t, max_e) = te
+        .iter()
+        .fold((f64::MIN, f64::MIN), |(t, e), p| (t.max(p[0]), e.max(p[1])));
     let balanced = front
         .iter()
         .copied()
@@ -86,15 +89,18 @@ fn main() {
             .iter()
             .map(|&i| points[i][dim])
             .fold(f64::INFINITY, f64::min);
-        let worst_any = points
-            .iter()
-            .map(|p| p[dim])
-            .fold(f64::MIN, f64::max);
+        let worst_any = points.iter().map(|p| p[dim]).fold(f64::MIN, f64::max);
         worst_any / best_front
     };
     println!("\nfactors: worst non-Pareto point vs best Pareto point ({bwy_key})");
-    println!("  energy    x{:>5.1}   (paper: up to x11)", metric_factor(0));
+    println!(
+        "  energy    x{:>5.1}   (paper: up to x11)",
+        metric_factor(0)
+    );
     println!("  time      x{:>5.1}   (paper: up to x2)", metric_factor(1));
     println!("  accesses  x{:>5.1}   (paper: up to x8)", metric_factor(2));
-    println!("  footprint x{:>5.1}   (paper: up to x12)", metric_factor(3));
+    println!(
+        "  footprint x{:>5.1}   (paper: up to x12)",
+        metric_factor(3)
+    );
 }

@@ -61,9 +61,7 @@ fn main() {
         });
         let ga_points: Vec<[f64; 4]> = outcome.front.iter().map(|l| l.objectives()).collect();
 
-        let te = |pts: &[[f64; 4]]| -> Vec<[f64; 2]> {
-            pts.iter().map(|p| [p[0], p[1]]).collect()
-        };
+        let te = |pts: &[[f64; 4]]| -> Vec<[f64; 2]> { pts.iter().map(|p| [p[0], p[1]]).collect() };
         let hv2 = hypervolume_2d(&te(&ga_points), [reference[0], reference[1]])
             / hypervolume_2d(&te(&points4), [reference[0], reference[1]]);
         let hv4 = hypervolume(&ga_points, &reference) / hypervolume(&points4, &reference);

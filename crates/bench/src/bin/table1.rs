@@ -10,9 +10,20 @@ fn main() {
     println!("Table 1 — Reduction of total simulations (measured vs paper)\n");
     println!(
         "| {:20} | {:>24} | {:>24} | {:>16} | {:>10} |",
-        "Network application", "Exhaustive simulations", "Reduced simulations", "Pareto optimal", "Reduction"
+        "Network application",
+        "Exhaustive simulations",
+        "Reduced simulations",
+        "Pareto optimal",
+        "Reduction"
     );
-    println!("|{}|{}|{}|{}|{}|", "-".repeat(22), "-".repeat(26), "-".repeat(26), "-".repeat(18), "-".repeat(12));
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(22),
+        "-".repeat(26),
+        "-".repeat(26),
+        "-".repeat(18),
+        "-".repeat(12)
+    );
     for (i, app) in AppKind::ALL.iter().enumerate() {
         let outcome = paper_outcome(*app).expect("paper exploration runs");
         let (_, p_exh, p_red, p_par) = PAPER_TABLE1[i];

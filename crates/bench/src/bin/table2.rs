@@ -13,7 +13,14 @@ fn main() {
         "| {:14} | {:>16} | {:>16} | {:>16} | {:>16} |",
         "Application", "Energy", "Exec. Time", "Mem. Accesses", "Mem. Footprint"
     );
-    println!("|{}|{}|{}|{}|{}|", "-".repeat(16), "-".repeat(18), "-".repeat(18), "-".repeat(18), "-".repeat(18));
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(16),
+        "-".repeat(18),
+        "-".repeat(18),
+        "-".repeat(18),
+        "-".repeat(18)
+    );
     for (i, app) in AppKind::ALL.iter().enumerate() {
         let outcome = paper_outcome(*app).expect("paper exploration runs");
         let [e, t, a, f] = tradeoff_percentages(&outcome);

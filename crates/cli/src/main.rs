@@ -124,9 +124,7 @@ fn explore(rest: &[&String]) -> Result<(), String> {
     let (app, cfg) = parse_app(rest)?;
     let outcome = Methodology::new(cfg).run().map_err(|e| e.to_string())?;
     if let Some(pos) = rest.iter().position(|a| a.as_str() == "--logs") {
-        let path = rest
-            .get(pos + 1)
-            .ok_or("--logs needs a file path")?;
+        let path = rest.get(pos + 1).ok_or("--logs needs a file path")?;
         let file = std::fs::File::create(path.as_str()).map_err(|e| e.to_string())?;
         write_logs(&outcome.step2.logs, std::io::BufWriter::new(file))
             .map_err(|e| e.to_string())?;
@@ -174,7 +172,10 @@ fn pareto(rest: &[&String]) -> Result<(), String> {
     for front in &outcome.pareto.per_config {
         let logs = outcome.step2.logs_for(&front.config_key);
         println!("\n== {} ==", front.config_key);
-        println!("{}", render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy));
+        println!(
+            "{}",
+            render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy)
+        );
         println!("Pareto-optimal: {}", front.front.len());
         for p in &front.front {
             println!("  {:20} {}", p.combo, p.report);
@@ -227,10 +228,21 @@ fn params(rest: &[&String]) -> Result<(), String> {
     println!("network        : {}", p.network);
     println!("nodes observed : {}", p.nodes_observed);
     println!("duration       : {:.3} s", p.duration_s);
-    println!("throughput     : {:.0} pps / {:.0} bps", p.throughput_pps, p.throughput_bps);
-    println!("mean pkt size  : {:.1} B (MTU {})", p.mean_packet_bytes, p.mtu_bytes);
+    println!(
+        "throughput     : {:.0} pps / {:.0} bps",
+        p.throughput_pps, p.throughput_bps
+    );
+    println!(
+        "mean pkt size  : {:.1} B (MTU {})",
+        p.mean_packet_bytes, p.mtu_bytes
+    );
     let [s, m, l] = p.sizes.shares();
-    println!("size mix       : {:.0}% small / {:.0}% medium / {:.0}% large", s * 100.0, m * 100.0, l * 100.0);
+    println!(
+        "size mix       : {:.0}% small / {:.0}% medium / {:.0}% large",
+        s * 100.0,
+        m * 100.0,
+        l * 100.0
+    );
     println!("flows observed : {}", p.flows_observed);
     println!("url share      : {:.1}%", p.url_share * 100.0);
     println!("mean train len : {:.2} pkts", p.mean_train_len);

@@ -144,9 +144,7 @@ impl MethodologyConfig {
         for p in &self.param_variants {
             p.validate().map_err(ExploreError::InvalidConfig)?;
         }
-        self.mem
-            .validate()
-            .map_err(ExploreError::InvalidConfig)?;
+        self.mem.validate().map_err(ExploreError::InvalidConfig)?;
         Ok(())
     }
 }

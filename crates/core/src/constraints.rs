@@ -204,10 +204,16 @@ mod tests {
         };
         assert!(c.admits(&ok));
         for (i, bad) in [
-            CostReport { energy_nj: 10.1, ..ok },
+            CostReport {
+                energy_nj: 10.1,
+                ..ok
+            },
             CostReport { cycles: 11, ..ok },
             CostReport { accesses: 11, ..ok },
-            CostReport { peak_footprint_bytes: 11, ..ok },
+            CostReport {
+                peak_footprint_bytes: 11,
+                ..ok
+            },
         ]
         .into_iter()
         .enumerate()

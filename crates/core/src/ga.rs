@@ -142,7 +142,9 @@ impl GaConfig {
                 "stall window must be at least one generation".into(),
             ));
         }
-        self.params.validate().map_err(ExploreError::InvalidConfig)?;
+        self.params
+            .validate()
+            .map_err(ExploreError::InvalidConfig)?;
         self.mem.validate().map_err(ExploreError::InvalidConfig)?;
         Ok(())
     }
@@ -218,9 +220,10 @@ struct Evaluator {
 impl Evaluator {
     fn evaluate(&mut self, combo: Combo) -> [f64; 4] {
         let label = combo_label(combo);
-        let log = self.cache.entry(label).or_insert_with(|| {
-            self.sim.run(self.app, combo, &self.params, &self.trace)
-        });
+        let log = self
+            .cache
+            .entry(label)
+            .or_insert_with(|| self.sim.run(self.app, combo, &self.params, &self.trace));
         log.objectives()
     }
 }
@@ -270,24 +273,22 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
     let mut history = Vec::new();
     // Records progress and returns the archive front's identity (sorted
     // combo labels) for the early-stop check.
-    let record = |history: &mut Vec<GenerationStats>,
-                      eval: &Evaluator,
-                      generation: usize|
-     -> Vec<String> {
-        let logs: Vec<&SimLog> = eval.cache.values().collect();
-        let points: Vec<[f64; 4]> = logs.iter().map(|l| l.objectives()).collect();
-        let mut labels: Vec<String> = pareto_front_indices(&points)
-            .into_iter()
-            .map(|i| logs[i].combo.clone())
-            .collect();
-        labels.sort();
-        history.push(GenerationStats {
-            generation,
-            evaluations: eval.cache.len(),
-            front_size: labels.len(),
-        });
-        labels
-    };
+    let record =
+        |history: &mut Vec<GenerationStats>, eval: &Evaluator, generation: usize| -> Vec<String> {
+            let logs: Vec<&SimLog> = eval.cache.values().collect();
+            let points: Vec<[f64; 4]> = logs.iter().map(|l| l.objectives()).collect();
+            let mut labels: Vec<String> = pareto_front_indices(&points)
+                .into_iter()
+                .map(|i| logs[i].combo.clone())
+                .collect();
+            labels.sort();
+            history.push(GenerationStats {
+                generation,
+                evaluations: eval.cache.len(),
+                front_size: labels.len(),
+            });
+            labels
+        };
 
     for g in &population {
         eval.evaluate(to_combo(g));
@@ -296,7 +297,10 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
     let mut stale = 0usize;
 
     for generation in 1..=cfg.generations {
-        let fitness: Vec<[f64; 4]> = population.iter().map(|g| eval.evaluate(to_combo(g))).collect();
+        let fitness: Vec<[f64; 4]> = population
+            .iter()
+            .map(|g| eval.evaluate(to_combo(g)))
+            .collect();
         let ranks = pareto_ranks(&fitness);
         let crowding = crowding_distances(&fitness, &ranks);
 
@@ -575,9 +579,10 @@ mod tests {
             .collect();
         fps.sort_unstable();
         let budget = fps[fps.len() / 2];
-        if let Some(choice) =
-            outcome.select(&DesignConstraints::none().with_max_footprint_bytes(budget), Objective::Time)
-        {
+        if let Some(choice) = outcome.select(
+            &DesignConstraints::none().with_max_footprint_bytes(budget),
+            Objective::Time,
+        ) {
             assert!(choice.report.peak_footprint_bytes <= budget);
         }
     }

@@ -49,8 +49,7 @@ const DOMINANCE_COVERAGE: f64 = 0.95;
 /// validation.
 pub fn profile_application(cfg: &MethodologyConfig) -> Result<ProfileReport, ExploreError> {
     cfg.validate()?;
-    let trace =
-        TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
+    let trace = TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
     let params = cfg
         .param_variants
         .first()

@@ -30,9 +30,7 @@ impl ParetoChartPlane {
     pub fn labels(self) -> (&'static str, &'static str) {
         match self {
             ParetoChartPlane::TimeEnergy => ("execution time [cycles]", "energy [nJ]"),
-            ParetoChartPlane::AccessesFootprint => {
-                ("memory accesses", "memory footprint [bytes]")
-            }
+            ParetoChartPlane::AccessesFootprint => ("memory accesses", "memory footprint [bytes]"),
         }
     }
 }
@@ -125,7 +123,10 @@ mod tests {
         let o = outcome();
         let key = o.step2.logs[0].config_key();
         let logs = o.step2.logs_for(&key);
-        for plane in [ParetoChartPlane::TimeEnergy, ParetoChartPlane::AccessesFootprint] {
+        for plane in [
+            ParetoChartPlane::TimeEnergy,
+            ParetoChartPlane::AccessesFootprint,
+        ] {
             let chart = render_pareto_chart(&logs, plane);
             assert!(chart.contains('o'), "chart must mark Pareto points");
         }

@@ -48,7 +48,7 @@ impl Step1Result {
 /// the 4-D Pareto front, topped up (or capped) to the configured survivor
 /// fraction by normalised overall score.
 ///
-/// With `cfg.parallel`, combinations are simulated by a crossbeam worker
+/// With `cfg.parallel`, combinations are simulated by a `std::thread::scope` worker
 /// pool (each simulation is independent); results are identical either way
 /// because measurements are re-ordered canonically.
 ///
@@ -58,8 +58,7 @@ impl Step1Result {
 /// validation.
 pub fn explore_application_level(cfg: &MethodologyConfig) -> Result<Step1Result, ExploreError> {
     cfg.validate()?;
-    let trace =
-        TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
+    let trace = TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
     let params = cfg
         .param_variants
         .first()
@@ -73,9 +72,9 @@ pub fn explore_application_level(cfg: &MethodologyConfig) -> Result<Step1Result,
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .min(combos.len().max(1));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = {
                         let mut guard = next.lock();
                         let i = *guard;
@@ -89,8 +88,7 @@ pub fn explore_application_level(cfg: &MethodologyConfig) -> Result<Step1Result,
                     slots.lock()[i] = Some(log);
                 });
             }
-        })
-        .expect("exploration workers do not panic");
+        });
         slots
             .into_inner()
             .into_iter()
@@ -137,9 +135,7 @@ pub(crate) fn select_survivors(measurements: &[SimLog], fraction: f64) -> Vec<St
                     .map(|(v, m)| v / m)
                     .sum()
             };
-            score(a)
-                .partial_cmp(&score(b))
-                .expect("metrics are finite")
+            score(a).partial_cmp(&score(b)).expect("metrics are finite")
         });
         keep.extend(rest.into_iter().take(target - keep.len()));
     }

@@ -52,7 +52,7 @@ impl Step2Result {
 /// parameters), parse the trace to extract its network parameters, then
 /// simulate each surviving combination on it.
 ///
-/// With `cfg.parallel`, configurations are processed by a crossbeam worker
+/// With `cfg.parallel`, configurations are processed by a `std::thread::scope` worker
 /// pool; results are deterministic either way because each simulation is
 /// independent and logs are re-sorted canonically.
 ///
@@ -121,9 +121,9 @@ fn run_parallel(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(tasks.len().max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
                     let mut guard = next.lock();
                     let i = *guard;
@@ -138,8 +138,7 @@ fn run_parallel(
                 logs.lock().push(log);
             });
         }
-    })
-    .expect("exploration workers do not panic");
+    });
     logs.into_inner()
 }
 
@@ -208,8 +207,7 @@ mod tests {
         // The same combination must measure differently on different
         // networks — the reason step 2 exists at all.
         let cfg = MethodologyConfig::quick(AppKind::Url);
-        let result =
-            explore_network_level(&cfg, &[[DdtKind::Sll, DdtKind::Sll]]).expect("step 2");
+        let result = explore_network_level(&cfg, &[[DdtKind::Sll, DdtKind::Sll]]).expect("step 2");
         let accesses: Vec<u64> = result.logs.iter().map(|l| l.report.accesses).collect();
         assert_eq!(accesses.len(), 2);
         assert_ne!(accesses[0], accesses[1]);

@@ -92,7 +92,10 @@ pub fn explore_pareto_level(step2: &Step2Result) -> Result<ParetoReport, Explore
     // Global front over per-combination averages across configurations.
     let mut by_combo: BTreeMap<String, Vec<CostReport>> = BTreeMap::new();
     for log in &step2.logs {
-        by_combo.entry(log.combo.clone()).or_default().push(log.report);
+        by_combo
+            .entry(log.combo.clone())
+            .or_default()
+            .push(log.report);
     }
     let averaged: Vec<(String, CostReport)> = by_combo
         .into_iter()
@@ -102,10 +105,8 @@ pub fn explore_pareto_level(step2: &Step2Result) -> Result<ParetoReport, Explore
                 accesses: (reports.iter().map(|r| r.accesses).sum::<u64>() as f64 / n) as u64,
                 cycles: (reports.iter().map(|r| r.cycles).sum::<u64>() as f64 / n) as u64,
                 energy_nj: reports.iter().map(|r| r.energy_nj).sum::<f64>() / n,
-                peak_footprint_bytes: (reports
-                    .iter()
-                    .map(|r| r.peak_footprint_bytes)
-                    .sum::<u64>() as f64
+                peak_footprint_bytes: (reports.iter().map(|r| r.peak_footprint_bytes).sum::<u64>()
+                    as f64
                     / n) as u64,
             };
             (combo, mean)
@@ -184,7 +185,11 @@ mod tests {
         let report = explore_pareto_level(&step2_fixture()).expect("step 3");
         // Averages: A=(3,30,30,30), B=(1.5,10.5,10.5,10.5), C=(9.5,5,50,50)
         // B dominates A; C survives on time.
-        let combos: Vec<&str> = report.global_front.iter().map(|p| p.combo.as_str()).collect();
+        let combos: Vec<&str> = report
+            .global_front
+            .iter()
+            .map(|p| p.combo.as_str())
+            .collect();
         assert_eq!(combos, vec!["B+B", "C+C"]);
     }
 

@@ -288,7 +288,9 @@ mod tests {
         }
         assert_eq!(arr.remove(2, &mut mem), Some(rec(2)));
         assert_eq!(arr.len(), 4);
-        let order: Vec<u64> = (0..4).map(|i| arr.get_nth(i, &mut mem).unwrap().id).collect();
+        let order: Vec<u64> = (0..4)
+            .map(|i| arr.get_nth(i, &mut mem).unwrap().id)
+            .collect();
         assert_eq!(order, vec![0, 1, 3, 4]);
     }
 
@@ -329,8 +331,8 @@ mod tests {
         for i in 0..5 {
             arr.insert(rec(i), &mut mem);
         }
-        let expected = SimAllocator::gross_size(DESCRIPTOR_BYTES)
-            + SimAllocator::gross_size(8 * Rec::SIZE);
+        let expected =
+            SimAllocator::gross_size(DESCRIPTOR_BYTES) + SimAllocator::gross_size(8 * Rec::SIZE);
         assert_eq!(arr.footprint_bytes(), expected);
     }
 

@@ -301,7 +301,10 @@ impl<R: Record> Ddt<R> for ChunkedDdt<R> {
                 recs: Vec::with_capacity(self.chunk_capacity),
             });
         } else {
-            mem.read(self.chunks.last().expect("non-empty").addr, self.header_bytes());
+            mem.read(
+                self.chunks.last().expect("non-empty").addr,
+                self.header_bytes(),
+            );
         }
         let c = self.chunks.len() - 1;
         let s = self.chunks[c].recs.len();
@@ -449,10 +452,22 @@ mod tests {
     #[test]
     fn four_kinds_report_correctly() {
         let mut m = mem();
-        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, false, false).kind(), DdtKind::SllChunk);
-        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, true, false).kind(), DdtKind::DllChunk);
-        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, false, true).kind(), DdtKind::SllChunkRov);
-        assert_eq!(ChunkedDdt::<Rec>::new(&mut m, true, true).kind(), DdtKind::DllChunkRov);
+        assert_eq!(
+            ChunkedDdt::<Rec>::new(&mut m, false, false).kind(),
+            DdtKind::SllChunk
+        );
+        assert_eq!(
+            ChunkedDdt::<Rec>::new(&mut m, true, false).kind(),
+            DdtKind::DllChunk
+        );
+        assert_eq!(
+            ChunkedDdt::<Rec>::new(&mut m, false, true).kind(),
+            DdtKind::SllChunkRov
+        );
+        assert_eq!(
+            ChunkedDdt::<Rec>::new(&mut m, true, true).kind(),
+            DdtKind::DllChunkRov
+        );
     }
 
     #[test]
@@ -462,7 +477,11 @@ mod tests {
             let mut list = ChunkedDdt::new(&mut m, doubly, roving);
             fill(&mut list, &mut m, 30);
             for i in 0..30 {
-                assert_eq!(list.get(i, &mut m), Some(rec(i)), "doubly={doubly} roving={roving}");
+                assert_eq!(
+                    list.get(i, &mut m),
+                    Some(rec(i)),
+                    "doubly={doubly} roving={roving}"
+                );
                 assert_eq!(list.get_nth(i as usize, &mut m), Some(rec(i)));
             }
             assert_eq!(list.get(1000, &mut m), None);
@@ -490,7 +509,10 @@ mod tests {
         let cost = access_cost(&mut m, |m| {
             chunked.get_nth(63, m);
         });
-        assert!(cost < 20, "chunk walk should be ~n/8 header reads, got {cost}");
+        assert!(
+            cost < 20,
+            "chunk walk should be ~n/8 header reads, got {cost}"
+        );
     }
 
     #[test]
@@ -510,7 +532,10 @@ mod tests {
                 rov.get_nth(i, m);
             }
         });
-        assert!(rov_cost < plain_cost, "roving {rov_cost} vs plain {plain_cost}");
+        assert!(
+            rov_cost < plain_cost,
+            "roving {rov_cost} vs plain {plain_cost}"
+        );
     }
 
     #[test]
@@ -521,7 +546,9 @@ mod tests {
         assert_eq!(list.remove(4, &mut m), Some(rec(4)));
         assert_eq!(list.len(), 23);
         // order preserved
-        let order: Vec<u64> = (0..23).map(|i| list.get_nth(i, &mut m).unwrap().id).collect();
+        let order: Vec<u64> = (0..23)
+            .map(|i| list.get_nth(i, &mut m).unwrap().id)
+            .collect();
         let expected: Vec<u64> = (0..24).filter(|&i| i != 4).collect();
         assert_eq!(order, expected);
         // chunk sizes: first chunk lost one record, others untouched

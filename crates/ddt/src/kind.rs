@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive_and_trims() {
-        assert_eq!(" sll(aro) ".parse::<DdtKind>().unwrap(), DdtKind::SllChunkRov);
+        assert_eq!(
+            " sll(aro) ".parse::<DdtKind>().unwrap(),
+            DdtKind::SllChunkRov
+        );
     }
 
     #[test]

@@ -234,7 +234,11 @@ impl<R: Record> LinkedDdt<R> {
     fn unlink(&mut self, idx: usize, mem: &mut MemorySystem) -> R {
         let (addr, _) = self.nodes[idx];
         // Read the victim's link fields to splice around it.
-        let link_bytes = if self.doubly { 2 * PTR_BYTES } else { PTR_BYTES };
+        let link_bytes = if self.doubly {
+            2 * PTR_BYTES
+        } else {
+            PTR_BYTES
+        };
         mem.read(self.next_field(addr), link_bytes);
         if idx == 0 {
             mem.write(self.desc, PTR_BYTES); // head
@@ -429,7 +433,11 @@ mod tests {
             fill(&mut list, &mut m, 20);
             assert_eq!(list.len(), 20);
             for i in 0..20 {
-                assert_eq!(list.get(i, &mut m), Some(rec(i)), "doubly={doubly} roving={roving}");
+                assert_eq!(
+                    list.get(i, &mut m),
+                    Some(rec(i)),
+                    "doubly={doubly} roving={roving}"
+                );
             }
             assert_eq!(list.get(99, &mut m), None);
         }
@@ -446,7 +454,10 @@ mod tests {
         let c63 = access_cost(&mut m, |m| {
             list.get_nth(63, m);
         });
-        assert!(c63 > c0 + 50, "walking 63 links must cost more: {c0} vs {c63}");
+        assert!(
+            c63 > c0 + 50,
+            "walking 63 links must cost more: {c0} vs {c63}"
+        );
     }
 
     #[test]
@@ -508,7 +519,9 @@ mod tests {
             let live = m.alloc_stats().live_gross_bytes;
             assert_eq!(list.remove(3, &mut m), Some(rec(3)));
             assert!(m.alloc_stats().live_gross_bytes < live);
-            let order: Vec<u64> = (0..5).map(|i| list.get_nth(i, &mut m).unwrap().id).collect();
+            let order: Vec<u64> = (0..5)
+                .map(|i| list.get_nth(i, &mut m).unwrap().id)
+                .collect();
             assert_eq!(order, vec![0, 1, 2, 4, 5]);
         }
     }

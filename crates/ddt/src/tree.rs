@@ -114,7 +114,10 @@ impl<R: Record> TreeDdt<R> {
         let nh = 1 + self.h(self.slab[i].left).max(self.h(self.slab[i].right));
         if nh != self.slab[i].height {
             self.slab[i].height = nh;
-            mem.write(self.slab[i].addr.offset(R::SIZE + 4 * PTR_BYTES), HEIGHT_BYTES);
+            mem.write(
+                self.slab[i].addr.offset(R::SIZE + 4 * PTR_BYTES),
+                HEIGHT_BYTES,
+            );
         }
         mem.touch_cpu(1);
     }
@@ -122,9 +125,13 @@ impl<R: Record> TreeDdt<R> {
     /// One rotation: three child-pointer rewrites plus two height updates.
     fn rotate(&mut self, i: usize, left_rotation: bool, mem: &mut MemorySystem) -> usize {
         let pivot = if left_rotation {
-            self.slab[i].right.expect("left rotation needs a right child")
+            self.slab[i]
+                .right
+                .expect("left rotation needs a right child")
         } else {
-            self.slab[i].left.expect("right rotation needs a left child")
+            self.slab[i]
+                .left
+                .expect("right rotation needs a left child")
         };
         mem.read(self.slab[pivot].addr.offset(R::SIZE), 2 * PTR_BYTES);
         if left_rotation {

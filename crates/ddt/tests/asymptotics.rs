@@ -34,7 +34,10 @@ fn tail_read_cost(kind: DdtKind, n: u64) -> u64 {
 
 #[test]
 fn array_positional_access_is_constant() {
-    assert_eq!(tail_read_cost(DdtKind::Array, 32), tail_read_cost(DdtKind::Array, 256));
+    assert_eq!(
+        tail_read_cost(DdtKind::Array, 32),
+        tail_read_cost(DdtKind::Array, 256)
+    );
     assert_eq!(
         tail_read_cost(DdtKind::ArrayPtr, 32),
         tail_read_cost(DdtKind::ArrayPtr, 256)
@@ -53,7 +56,10 @@ fn sll_positional_access_is_linear() {
 fn dll_positional_access_from_tail_is_constant() {
     // The DLL walks from the nearest end: the last element is one hop from
     // the tail pointer regardless of n.
-    assert_eq!(tail_read_cost(DdtKind::Dll, 32), tail_read_cost(DdtKind::Dll, 256));
+    assert_eq!(
+        tail_read_cost(DdtKind::Dll, 32),
+        tail_read_cost(DdtKind::Dll, 256)
+    );
 }
 
 #[test]
@@ -71,7 +77,12 @@ fn chunked_positional_access_divides_by_chunk_capacity() {
 
 #[test]
 fn mid_element_search_is_linear_for_lists_and_arrays() {
-    for kind in [DdtKind::Array, DdtKind::ArrayPtr, DdtKind::Sll, DdtKind::Dll] {
+    for kind in [
+        DdtKind::Array,
+        DdtKind::ArrayPtr,
+        DdtKind::Sll,
+        DdtKind::Dll,
+    ] {
         let probe = |n: u64| {
             let (mut mem, mut ddt) = filled(kind, n);
             cost(&mut mem, |m| {

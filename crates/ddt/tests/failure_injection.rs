@@ -84,7 +84,13 @@ fn containers_fit_exactly_while_the_arena_allows() {
         if live + 128 > 4096 {
             break;
         }
-        ddt.insert(Rec { id: inserted, tag: 0 }, &mut mem);
+        ddt.insert(
+            Rec {
+                id: inserted,
+                tag: 0,
+            },
+            &mut mem,
+        );
         inserted += 1;
         assert_eq!(ddt.footprint_bytes(), mem.alloc_stats().live_gross_bytes);
     }

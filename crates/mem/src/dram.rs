@@ -92,7 +92,13 @@ mod tests {
         let mut d = DramModel::new(cfg);
         assert_eq!(d.read_line(), 42);
         assert_eq!(d.write_line(), 42);
-        assert_eq!(d.stats(), DramStats { reads: 1, writes: 1 });
+        assert_eq!(
+            d.stats(),
+            DramStats {
+                reads: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]

@@ -104,7 +104,8 @@ fn writeback_goes_to_the_victims_address() {
     let b = a.offset(512);
     mem.write(a, 8); // miss, dirty A in L1 (L2 sees the fill read)
     mem.read(b, 8); // evicts dirty A -> writeback lands at A in L2
-    let l2_before = mem.l2_stats().expect("l2").write_hits + mem.l2_stats().expect("l2").write_misses;
+    let l2_before =
+        mem.l2_stats().expect("l2").write_hits + mem.l2_stats().expect("l2").write_misses;
     assert!(l2_before > 0, "the writeback reached the L2");
     // A is now resident (and dirty) in the L2: re-reading A misses L1 but
     // hits L2.

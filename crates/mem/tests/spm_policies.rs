@@ -1,9 +1,7 @@
 //! Integration tests of the platform extension knobs: scratchpad memory,
 //! allocator fit policies and cache replacement policies.
 
-use ddtr_mem::{
-    CacheConfig, FitPolicy, MemoryConfig, MemorySystem, ReplacementPolicy, SpmConfig,
-};
+use ddtr_mem::{CacheConfig, FitPolicy, MemoryConfig, MemorySystem, ReplacementPolicy, SpmConfig};
 
 #[test]
 fn alloc_hot_lands_in_the_scratchpad_when_configured() {
@@ -156,7 +154,7 @@ fn replacement_policy_changes_the_miss_profile() {
         let base = m.alloc(8192).expect("fits");
         for round in 0..50u64 {
             m.read(base, 8); // the hot line
-            // two conflicting lines mapping to the same set (stride = sets*line)
+                             // two conflicting lines mapping to the same set (stride = sets*line)
             m.read(base.offset(4 * 32 * (1 + round % 2)), 8);
         }
         m.cache_stats().miss_ratio()
@@ -183,7 +181,10 @@ fn reports_stay_deterministic_with_all_knobs_enabled() {
         let block = m.alloc(4096).expect("heap");
         for i in 0..500u64 {
             m.read(hot, 8);
-            m.write(block.offset((i * 37) % 4000), 16.min(4096 - (i * 37) % 4000));
+            m.write(
+                block.offset((i * 37) % 4000),
+                16.min(4096 - (i * 37) % 4000),
+            );
         }
         m.report()
     };

@@ -201,10 +201,7 @@ fn hv_recursive(front: &mut [Vec<f64>], reference: &[f64]) -> f64 {
         return 0.0;
     }
     if dims == 1 {
-        let best = front
-            .iter()
-            .map(|p| p[0])
-            .fold(f64::INFINITY, f64::min);
+        let best = front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
         return (reference[0] - best).max(0.0);
     }
     // Sort descending by the last objective: slabs sweep from the
@@ -221,10 +218,8 @@ fn hv_recursive(front: &mut [Vec<f64>], reference: &[f64]) -> f64 {
         let z = front[i][dims - 1];
         if z < upper {
             // All points from index i on reach into this slab.
-            let mut projected: Vec<Vec<f64>> = front[i..]
-                .iter()
-                .map(|p| p[..dims - 1].to_vec())
-                .collect();
+            let mut projected: Vec<Vec<f64>> =
+                front[i..].iter().map(|p| p[..dims - 1].to_vec()).collect();
             let keep = pareto_front_indices(&projected);
             projected = keep.into_iter().map(|j| projected[j].clone()).collect();
             volume += (upper - z) * hv_recursive(&mut projected, &reference[..dims - 1]);
@@ -330,7 +325,10 @@ mod tests {
     #[test]
     fn bigger_front_has_bigger_hypervolume() {
         let small = hypervolume_2d(&[vec![2.0, 2.0]], [4.0, 4.0]);
-        let big = hypervolume_2d(&[vec![2.0, 2.0], vec![1.0, 3.0], vec![3.0, 1.0]], [4.0, 4.0]);
+        let big = hypervolume_2d(
+            &[vec![2.0, 2.0], vec![1.0, 3.0], vec![3.0, 1.0]],
+            [4.0, 4.0],
+        );
         assert!(big > small);
     }
 
@@ -365,7 +363,7 @@ mod tests {
         // Two overlapping boxes in 3-D: |A| + |B| - |A ∩ B|.
         let a = [1.0, 1.0, 3.0]; // box 3 x 3 x 1 = 9
         let b = [3.0, 3.0, 1.0]; // box 1 x 1 x 3 = 3
-        // intersection: max coords (3,3,3) -> 1 x 1 x 1 = 1
+                                 // intersection: max coords (3,3,3) -> 1 x 1 x 1 = 1
         let hv = hypervolume(&[a, b], &[4.0, 4.0, 4.0]);
         assert!((hv - (9.0 + 3.0 - 1.0)).abs() < 1e-12, "got {hv}");
     }

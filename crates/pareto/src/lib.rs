@@ -44,5 +44,7 @@ mod front;
 mod tradeoff;
 
 pub use chart::ScatterChart;
-pub use front::{curve_2d, dominates, hypervolume, hypervolume_2d, pareto_front_indices, pareto_ranks};
+pub use front::{
+    curve_2d, dominates, hypervolume, hypervolume_2d, pareto_front_indices, pareto_ranks,
+};
 pub use tradeoff::{tradeoff_ranges, TradeoffRange};

@@ -7,10 +7,7 @@ use ddtr_pareto::{
 use proptest::prelude::*;
 
 fn arb_points(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..100.0, dims..=dims),
-        1..40,
-    )
+    prop::collection::vec(prop::collection::vec(0.0f64..100.0, dims..=dims), 1..40)
 }
 
 proptest! {

@@ -180,7 +180,9 @@ impl TraceReader {
                 .map_err(|e| malformed(&format!("bad `bytes`: {e}")))?
         };
         let payload = match fields.next() {
-            Some(url) => Payload::Http { url: url.to_owned() },
+            Some(url) => Payload::Http {
+                url: url.to_owned(),
+            },
             None => Payload::Empty,
         };
         Ok(Packet {

@@ -92,8 +92,7 @@ impl TraceGenerator {
                     // Silent OFF gap before the next train (not before the
                     // very first packet).
                     if i > 0 {
-                        ts_us +=
-                            exponential_gap_us(burst.off_gap_factor * mean_gap_us, &mut rng);
+                        ts_us += exponential_gap_us(burst.off_gap_factor * mean_gap_us, &mut rng);
                     }
                     burst_remaining = geometric_len(burst.mean_burst_pkts, &mut rng);
                     burst_flow = sample_cdf(&self.flow_cdf, &mut rng);
@@ -110,15 +109,14 @@ impl TraceGenerator {
             };
             let flow = &flows[flow_idx];
             let bytes = self.sample_size(&mut rng);
-            let payload = if flow.proto == Protocol::Tcp
-                && rng.gen::<f64>() < self.spec.url_fraction
-            {
-                Payload::Http {
-                    url: synth_url(&mut rng),
-                }
-            } else {
-                Payload::Empty
-            };
+            let payload =
+                if flow.proto == Protocol::Tcp && rng.gen::<f64>() < self.spec.url_fraction {
+                    Payload::Http {
+                        url: synth_url(&mut rng),
+                    }
+                } else {
+                    Payload::Empty
+                };
             packets.push(Packet {
                 ts_us,
                 src: flow.src,

@@ -162,7 +162,11 @@ impl NetworkParams {
             mtu_bytes: mtu,
             sizes,
             flows_observed: flows.len() as u32,
-            url_share: if trace.is_empty() { 0.0 } else { urls as f64 / n },
+            url_share: if trace.is_empty() {
+                0.0
+            } else {
+                urls as f64 / n
+            },
             mean_train_len,
             gap_p99_over_median,
         }
@@ -207,7 +211,14 @@ mod tests {
         let p = NetworkParams::extract(&t);
         assert_eq!(p.nodes_observed, 3);
         assert_eq!(p.mtu_bytes, 1500);
-        assert_eq!(p.sizes, SizeHistogram { small: 1, medium: 1, large: 1 });
+        assert_eq!(
+            p.sizes,
+            SizeHistogram {
+                small: 1,
+                medium: 1,
+                large: 1
+            }
+        );
         assert!((p.duration_s - 1.0).abs() < 1e-9);
         assert!((p.throughput_pps - 3.0).abs() < 1e-9);
         assert!((p.url_share - 1.0 / 3.0).abs() < 1e-9);

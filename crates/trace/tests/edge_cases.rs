@@ -98,7 +98,10 @@ fn network_name_with_spaces_survives_round_trip() {
 
 #[test]
 fn huge_skew_concentrates_on_one_flow() {
-    let spec = TraceSpec::builder("skewed").flows(64).flow_skew(4.0).build();
+    let spec = TraceSpec::builder("skewed")
+        .flows(64)
+        .flow_skew(4.0)
+        .build();
     let trace = TraceGenerator::new(spec).generate(500);
     let mut counts = std::collections::HashMap::new();
     for p in &trace {

@@ -24,16 +24,18 @@ fn arb_packet(ts: u64) -> impl Strategy<Value = Packet> {
             1 => "[a-z/._-]{1,24}".prop_map(|s| Payload::Http { url: format!("/{s}") }),
         ],
     )
-        .prop_map(move |(src, dst, sport, dport, proto, bytes, payload)| Packet {
-            ts_us: ts,
-            src,
-            dst,
-            sport,
-            dport,
-            proto,
-            bytes,
-            payload,
-        })
+        .prop_map(
+            move |(src, dst, sport, dport, proto, bytes, payload)| Packet {
+                ts_us: ts,
+                src,
+                dst,
+                sport,
+                dport,
+                proto,
+                bytes,
+                payload,
+            },
+        )
 }
 
 fn arb_trace() -> impl Strategy<Value = Trace> {

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scenario 3: impossible budgets — the API reports infeasibility
     // instead of silently picking something.
     let impossible = DesignConstraints::none().with_max_cycles(1);
-    assert!(outcome.pareto.select(&impossible, Objective::Energy).is_none());
+    assert!(outcome
+        .pareto
+        .select(&impossible, Objective::Energy)
+        .is_none());
     println!("\nimpossible budget correctly reported as infeasible");
     Ok(())
 }

@@ -38,9 +38,15 @@ fn main() {
     let combos = [
         ("SLL+SLL (orig)", [DdtKind::Sll, DdtKind::Sll]),
         ("AR+SLL(ARO)", [DdtKind::Array, DdtKind::SllChunkRov]),
-        ("SLL(ARO)+SLL(AR)", [DdtKind::SllChunkRov, DdtKind::SllChunk]),
+        (
+            "SLL(ARO)+SLL(AR)",
+            [DdtKind::SllChunkRov, DdtKind::SllChunk],
+        ),
     ];
-    println!("Route (radix 256) on {} — cycles per platform\n", trace.network);
+    println!(
+        "Route (radix 256) on {} — cycles per platform\n",
+        trace.network
+    );
     println!(
         "{:18} | {:>12} {:>12} {:>12} {:>12} {:>12}",
         "combo", "L1 8K", "L1 32K", "L1 8K+L2", "L1 32K+L2", "L1 32K+SPM"

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = "BWY-I/radix256";
     let logs = outcome.step2.logs_for(key);
     println!("time-energy exploration space, {key}:");
-    println!("{}", render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy));
+    println!(
+        "{}",
+        render_pareto_chart(&logs, ParetoChartPlane::TimeEnergy)
+    );
 
     println!("global Pareto-optimal DDT choices for Route:");
     for p in &outcome.pareto.global_front {

@@ -123,8 +123,11 @@ fn heap_attribution_is_exact() {
     let trace = NetworkPreset::DartmouthBerry.generate(150);
     for app in AppKind::EXTENDED_ALL {
         let mut mem = MemorySystem::new(MemoryConfig::default());
-        let mut instance =
-            app.instantiate([DdtKind::SllChunk, DdtKind::ArrayPtr], &quick_params(), &mut mem);
+        let mut instance = app.instantiate(
+            [DdtKind::SllChunk, DdtKind::ArrayPtr],
+            &quick_params(),
+            &mut mem,
+        );
         for pkt in &trace {
             instance.process(pkt, &mut mem);
         }

@@ -4,8 +4,7 @@
 
 use ddtr::apps::AppKind;
 use ddtr::core::{
-    all_combos, combo_label, explore_heuristic, GaConfig, Methodology, MethodologyConfig,
-    Simulator,
+    all_combos, combo_label, explore_heuristic, GaConfig, Methodology, MethodologyConfig, Simulator,
 };
 use ddtr::ddt::DdtKind;
 use ddtr::mem::MemoryConfig;
@@ -73,7 +72,11 @@ fn heuristic_results_agree_with_exhaustive_simulation() {
     for log in &outcome.front {
         let combo = ddtr::core::parse_combo(&log.combo).expect("front label parses");
         let reference = sim.run(cfg.app, combo, &cfg.params, &trace);
-        assert_eq!(log.report.accesses, reference.report.accesses, "{}", log.combo);
+        assert_eq!(
+            log.report.accesses, reference.report.accesses,
+            "{}",
+            log.combo
+        );
         assert_eq!(log.report.cycles, reference.report.cycles, "{}", log.combo);
     }
 }
@@ -98,10 +101,7 @@ fn heuristic_front_is_non_dominated_within_the_true_space() {
         .collect();
     for log in &outcome.front {
         let ga_point = log.objectives();
-        let dominators = full
-            .iter()
-            .filter(|(_, p)| dominates(p, &ga_point))
-            .count();
+        let dominators = full.iter().filter(|(_, p)| dominates(p, &ga_point)).count();
         // The dominating combos (if any) were necessarily unvisited; the
         // GA found a locally optimal archive.
         let visited_dominators = outcome
@@ -109,7 +109,11 @@ fn heuristic_front_is_non_dominated_within_the_true_space() {
             .iter()
             .filter(|other| dominates(&other.objectives(), &ga_point))
             .count();
-        assert_eq!(visited_dominators, 0, "{} dominated within archive", log.combo);
+        assert_eq!(
+            visited_dominators, 0,
+            "{} dominated within archive",
+            log.combo
+        );
         assert!(
             dominators <= full.len() / 4,
             "{} dominated by {dominators} combos — archive far from the front",
@@ -185,12 +189,8 @@ fn scratchpad_lowers_costs_without_reordering_the_reference_combo() {
     let trace = NetworkPreset::DartmouthBerry.generate(200);
     let params = ddtr::apps::AppParams::default();
     let combo = [DdtKind::Sll, DdtKind::Sll];
-    let plain = Simulator::new(MemoryConfig::embedded_default()).run(
-        AppKind::Url,
-        combo,
-        &params,
-        &trace,
-    );
+    let plain =
+        Simulator::new(MemoryConfig::embedded_default()).run(AppKind::Url, combo, &params, &trace);
     let spm = Simulator::new(MemoryConfig::with_spm()).run(AppKind::Url, combo, &params, &trace);
     assert!(
         spm.report.cycles < plain.report.cycles,

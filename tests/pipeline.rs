@@ -103,8 +103,7 @@ fn outcome_round_trips_through_json() {
         .run()
         .expect("pipeline runs");
     let json = serde_json::to_string(&outcome).expect("serialises");
-    let back: ddtr::core::MethodologyOutcome =
-        serde_json::from_str(&json).expect("deserialises");
+    let back: ddtr::core::MethodologyOutcome = serde_json::from_str(&json).expect("deserialises");
     assert_eq!(
         back.pareto.global_front.len(),
         outcome.pareto.global_front.len()

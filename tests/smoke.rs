@@ -1,0 +1,19 @@
+//! Workspace smoke test: one quick end-to-end run through the facade.
+//!
+//! This is deliberately the smallest possible "does the whole pipeline
+//! hang together" check — the detailed end-to-end assertions live in
+//! `tests/pipeline.rs`.
+
+use ddtr::apps::AppKind;
+use ddtr::core::{Methodology, MethodologyConfig};
+
+#[test]
+fn quick_run_produces_a_global_pareto_front() {
+    let outcome = Methodology::new(MethodologyConfig::quick(AppKind::Drr))
+        .run()
+        .expect("quick methodology run succeeds");
+    assert!(
+        !outcome.pareto.global_front.is_empty(),
+        "global Pareto front must not be empty"
+    );
+}

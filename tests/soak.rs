@@ -40,7 +40,10 @@ fn every_app_survives_a_long_trace_with_exact_heap_accounting() {
         assert!(stats.peak_gross_bytes >= stats.live_gross_bytes, "{app}");
         // Cache counters stay internally consistent.
         let cache = mem.cache_stats();
-        assert!(cache.writebacks <= cache.read_misses + cache.write_misses, "{app}");
+        assert!(
+            cache.writebacks <= cache.read_misses + cache.write_misses,
+            "{app}"
+        );
         assert!(cache.miss_ratio() <= 1.0, "{app}");
     }
 }
@@ -50,11 +53,8 @@ fn soak_runs_are_bit_exact_across_repetitions() {
     let trace = NetworkPreset::NlanrAix.generate(SOAK_PACKETS);
     let run = || {
         let mut mem = MemorySystem::new(MemoryConfig::default());
-        let mut app = AppKind::Ipchains.instantiate(
-            [DdtKind::Hash, DdtKind::SllChunk],
-            &params(),
-            &mut mem,
-        );
+        let mut app =
+            AppKind::Ipchains.instantiate([DdtKind::Hash, DdtKind::SllChunk], &params(), &mut mem);
         for pkt in &trace {
             app.process(pkt, &mut mem);
         }
@@ -99,11 +99,8 @@ fn bursty_soak_exercises_the_same_invariants() {
     spec.burstiness = Some(BurstProfile::default());
     let trace = TraceGenerator::new(spec).generate(SOAK_PACKETS);
     let mut mem = MemorySystem::new(MemoryConfig::with_spm());
-    let mut app = AppKind::Drr.instantiate(
-        [DdtKind::SllRov, DdtKind::DllChunkRov],
-        &params(),
-        &mut mem,
-    );
+    let mut app =
+        AppKind::Drr.instantiate([DdtKind::SllRov, DdtKind::DllChunkRov], &params(), &mut mem);
     for pkt in &trace {
         app.process(pkt, &mut mem);
     }

@@ -1,0 +1,556 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io dependency is unavailable in this build environment
+//! (no network), so this crate provides `#[derive(Serialize, Deserialize)]`
+//! for the vendored value-tree `serde` in `vendor/serde`. It supports the
+//! shapes this workspace actually uses:
+//!
+//! * named-field structs (with `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes),
+//! * tuple structs (newtype structs serialise transparently),
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde).
+//!
+//! Generics are intentionally unsupported — no serialisable type in the
+//! workspace is generic — and hitting an unsupported shape is a compile
+//! error rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+/// How a missing field deserialises.
+#[derive(Clone)]
+enum FieldDefault {
+    /// Hard error (no `#[serde(default)]` and not an `Option`).
+    Required,
+    /// `Option<T>` field without an explicit default — `None`, matching
+    /// real serde's missing-field behaviour for options.
+    OptionNone,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_and_generate(input, dir) {
+        Ok(out) => out
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive stub emitted bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+fn parse_and_generate(input: TokenStream, dir: Direction) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = parse_struct_shape(&tokens, &mut pos)?;
+            Ok(generate_struct(&name, &shape, dir))
+        }
+        "enum" => {
+            let body = expect_brace_group(&tokens, &mut pos)?;
+            let variants = parse_variants(&body)?;
+            Ok(generate_enum(&name, &variants, dir))
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers
+// ---------------------------------------------------------------------------
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+            *pos += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn expect_brace_group(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            *pos += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("expected `{{ ... }}`, found {other:?}")),
+    }
+}
+
+fn parse_struct_shape(tokens: &[TokenTree], pos: &mut usize) -> Result<Shape, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Shape::Named(parse_named_fields(&body)?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Shape::Tuple(count_tuple_fields(&body)))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit),
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+/// Parses `#[serde(...)]`-decorated named fields, skipping types entirely
+/// (the generated code lets inference pick the right trait impl).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = parse_field_attributes(tokens, &mut pos)?;
+        skip_visibility(tokens, &mut pos);
+        let name = expect_ident(tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Like real serde, `Option<T>` fields are detected syntactically
+        // and fall back to `None` when the key is missing.
+        let default = match default {
+            FieldDefault::Required if type_is_option(tokens, pos) => FieldDefault::OptionNone,
+            other => other,
+        };
+        skip_until_top_level_comma(tokens, &mut pos);
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Consumes leading attributes on a field/variant; returns the field's
+/// default policy from any `#[serde(...)]` attribute among them.
+fn parse_field_attributes(tokens: &[TokenTree], pos: &mut usize) -> Result<FieldDefault, String> {
+    let mut default = FieldDefault::Required;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+            return Err("malformed attribute".to_string());
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let Some(TokenTree::Ident(attr_name)) = inner.first() else {
+            continue;
+        };
+        if attr_name.to_string() != "serde" {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut k = 0;
+        while k < args.len() {
+            match &args[k] {
+                TokenTree::Ident(i) if i.to_string() == "default" => {
+                    if matches!(args.get(k + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        match args.get(k + 2) {
+                            Some(TokenTree::Literal(l)) => {
+                                let raw = l.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                default = FieldDefault::Path(path);
+                                k += 3;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "expected string literal after `default =`, found {other:?}"
+                                ))
+                            }
+                        }
+                    } else {
+                        default = FieldDefault::Std;
+                        k += 1;
+                    }
+                }
+                TokenTree::Punct(_) => k += 1,
+                other => {
+                    return Err(format!(
+                        "unsupported `#[serde(...)]` argument {other:?}; the vendored \
+                         serde_derive only understands `default`"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(default)
+}
+
+/// Whether the type starting at `pos` is (syntactically) an `Option` —
+/// the last path segment before `<` or the end of the field is `Option`.
+fn type_is_option(tokens: &[TokenTree], pos: usize) -> bool {
+    let mut last_segment = None;
+    for tok in &tokens[pos..] {
+        match tok {
+            TokenTree::Ident(i) => last_segment = Some(i.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => {}
+            _ => break,
+        }
+    }
+    last_segment.as_deref() == Some("Option")
+}
+
+fn skip_until_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Each field: attrs, vis, then a type up to the next top-level comma.
+        let _ = parse_field_attributes(tokens, &mut pos);
+        skip_visibility(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_until_top_level_comma(tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _ = parse_field_attributes(tokens, &mut pos)?;
+        let name = expect_ident(tokens, &mut pos)?;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Shape::Named(parse_named_fields(&body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(&body))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip any explicit discriminant (`= expr`) up to the separating comma.
+        skip_until_top_level_comma(tokens, &mut pos);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn missing_field_expr(ty: &str, field: &Field) -> String {
+    match &field.default {
+        FieldDefault::Required => format!(
+            "return ::core::result::Result::Err(::serde::DeError::new(\
+             \"missing field `{}` in `{}`\"))",
+            field.name, ty
+        ),
+        FieldDefault::OptionNone => "::core::option::Option::None".to_string(),
+        FieldDefault::Std => "::core::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    }
+}
+
+fn generate_struct(name: &str, shape: &Shape, dir: Direction) -> String {
+    match dir {
+        Direction::Serialize => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                    for f in fields {
+                        s.push_str(&format!(
+                            "m.insert({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                            n = f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Map(m)");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Direction::Deserialize => {
+            let body = match shape {
+                Shape::Unit => format!("::core::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let s = v.as_seq().ok_or_else(|| ::serde::DeError::new(\
+                         \"expected sequence for `{name}`\"))?;\n\
+                         if s.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::DeError::new(\"wrong tuple arity for `{name}`\")); }}\n\
+                         ::core::result::Result::Ok({name}({elems}))",
+                        elems = elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let mut s = format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::DeError::new(\
+                         \"expected map for `{name}`\"))?;\n\
+                         ::core::result::Result::Ok({name} {{\n"
+                    );
+                    for f in fields {
+                        s.push_str(&format!(
+                            "{n}: match m.get({n:?}) {{\n\
+                             ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                             ::core::option::Option::None => {{ {miss} }},\n\
+                             }},\n",
+                            n = f.name,
+                            miss = missing_field_expr(name, f)
+                        ));
+                    }
+                    s.push_str("})");
+                    s
+                }
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_enum(name: &str, variants: &[Variant], dir: Direction) -> String {
+    match dir {
+        Direction::Serialize => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert({vn:?}.to_string(), ::serde::Serialize::to_value(x0));\n\
+                         ::serde::Value::Map(m)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({vn:?}.to_string(), ::serde::Value::Seq(::std::vec![{elems}]));\n\
+                             ::serde::Value::Map(m)\n}}\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert({n:?}.to_string(), ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({vn:?}.to_string(), ::serde::Value::Map(fm));\n\
+                             ::serde::Value::Map(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Direction::Deserialize => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    unit_arms.push_str(&format!(
+                        "{vn:?} => return ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let s = inner.as_seq().ok_or_else(|| ::serde::DeError::new(\
+                             \"expected sequence for `{name}::{vn}`\"))?;\n\
+                             if s.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::DeError::new(\"wrong arity for `{name}::{vn}`\")); }}\n\
+                             ::core::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner_src = format!(
+                            "let fm = inner.as_map().ok_or_else(|| ::serde::DeError::new(\
+                             \"expected map for `{name}::{vn}`\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner_src.push_str(&format!(
+                                "{n}: match fm.get({n:?}) {{\n\
+                                 ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                 ::core::option::Option::None => {{ {miss} }},\n\
+                                 }},\n",
+                                n = f.name,
+                                miss = missing_field_expr(&format!("{name}::{vn}"), f)
+                            ));
+                        }
+                        inner_src.push_str("})");
+                        tagged_arms.push_str(&format!("{vn:?} => {{ {inner_src} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::core::option::Option::Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 _ => return ::core::result::Result::Err(::serde::DeError::new(\
+                 \"unknown variant of `{name}`\")),\n}}\n\
+                 }}\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::DeError::new(\
+                 \"expected string or map for `{name}`\"))?;\n\
+                 let (tag, inner) = m.single().ok_or_else(|| ::serde::DeError::new(\
+                 \"expected single-key map for `{name}`\"))?;\n\
+                 match tag {{\n{tagged_arms}\
+                 _ => ::core::result::Result::Err(::serde::DeError::new(\
+                 \"unknown variant of `{name}`\")),\n}}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
