@@ -1,0 +1,63 @@
+//! Criterion benchmarks over the execution engine: one 25-unit batch
+//! (quarter of the application-level space) evaluated cold at one worker,
+//! cold at auto workers, and warm from the cache — the three regimes the
+//! `--jobs`/`--cache-dir` flags expose.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddtr_apps::{AppKind, AppParams};
+use ddtr_ddt::DdtKind;
+use ddtr_engine::{combos_from, fingerprint_trace, ExploreEngine, SimUnit};
+use ddtr_mem::MemoryConfig;
+use ddtr_trace::NetworkPreset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engine(c: &mut Criterion) {
+    let trace = NetworkPreset::DartmouthBerry.generate(120);
+    let trace_fp = fingerprint_trace(&trace);
+    let params = AppParams::default();
+    let combos = combos_from(&DdtKind::ALL);
+    let units: Vec<SimUnit> = combos[..25]
+        .iter()
+        .map(|&combo| {
+            SimUnit::with_fingerprint(
+                AppKind::Drr,
+                combo,
+                &params,
+                &trace,
+                trace_fp,
+                MemoryConfig::embedded_default(),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine_batch_25_units");
+    for jobs in [1usize, 0] {
+        group.bench_with_input(BenchmarkId::new("cold", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut engine = ExploreEngine::with_jobs(jobs);
+                black_box(engine.evaluate_batch(&units).len())
+            });
+        });
+    }
+    group.bench_function("warm", |b| {
+        let mut engine = ExploreEngine::in_memory();
+        engine.evaluate_batch(&units);
+        b.iter(|| black_box(engine.evaluate_batch(&units).len()));
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_engine
+}
+criterion_main!(benches);

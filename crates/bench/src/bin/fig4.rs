@@ -10,8 +10,8 @@
 use ddtr_apps::{AppKind, AppParams};
 use ddtr_bench::paper_outcome;
 use ddtr_core::{
-    all_combos, explore_network_level, render_pareto_chart, MethodologyConfig, ParetoChartPlane,
-    SimLog,
+    all_combos, explore_network_level, render_pareto_chart, ConfigKey, MethodologyConfig,
+    ParetoChartPlane, SimLog,
 };
 use ddtr_pareto::curve_2d;
 use ddtr_trace::NetworkPreset;
@@ -21,7 +21,7 @@ fn main() {
 
     println!("Figure 4a — Route time-energy Pareto curves, radix 128, 7 networks\n");
     for front in &outcome.pareto.per_config {
-        if !front.config_key.ends_with("/radix128") {
+        if front.config_key.params != "radix128" {
             continue;
         }
         println!("network {}:", front.config_key);
@@ -39,7 +39,7 @@ fn main() {
     // Figures 4b/4c and the factor comparison span the FULL 100-combo
     // space on the Berry radix-256 configuration: the paper compares the
     // Pareto curve against the points off it, which step 1 pruned away.
-    let bwy_key = "BWY-I/radix256";
+    let bwy_key = ConfigKey::new("BWY-I", "radix256");
     let mut bwy_cfg = MethodologyConfig::paper(AppKind::Route);
     bwy_cfg.networks = vec![NetworkPreset::DartmouthBerry];
     bwy_cfg.param_variants = AppParams::variants_for(AppKind::Route)
@@ -47,7 +47,7 @@ fn main() {
         .filter(|p| p.route_table_size == 256)
         .collect();
     let full = explore_network_level(&bwy_cfg, &all_combos()).expect("full sweep runs");
-    let logs: Vec<&SimLog> = full.logs_for(bwy_key);
+    let logs: Vec<&SimLog> = full.logs_for(&bwy_key);
     println!("\nFigure 4b — time-energy space, radix 256, Berry trace ({bwy_key})\n");
     print!(
         "{}",

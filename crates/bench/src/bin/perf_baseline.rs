@@ -1,0 +1,88 @@
+//! Times the exploration hot path and records the numbers the perf
+//! trajectory tracks, writing `BENCH_explore.json` at the repository root:
+//!
+//! * quick explores of all five applications, cold cache versus warm cache
+//!   (the engine's persist/replay path end to end), and
+//! * a full (paper-sized) DRR explore at `--jobs 1` versus `--jobs 4`,
+//!   asserting the Pareto front is byte-identical across worker counts.
+//!
+//! Run with `cargo run -p ddtr_bench --bin perf_baseline --release`.
+
+use ddtr_apps::AppKind;
+use ddtr_core::{EngineConfig, ExploreEngine, Methodology, MethodologyConfig, MethodologyOutcome};
+use ddtr_engine::timing::{time_secs, BenchReport};
+use std::path::Path;
+
+fn explore(engine: &mut ExploreEngine, cfg: &MethodologyConfig) -> MethodologyOutcome {
+    Methodology::new(cfg.clone())
+        .run_with(engine)
+        .expect("exploration runs")
+}
+
+fn main() {
+    let mut report = BenchReport::new("explore wall-clock (engine)");
+    println!("# exploration timing baseline\n");
+
+    // Cold versus warm persistent cache, quick explores, all five apps.
+    println!("## quick explores, cold vs warm cache\n");
+    for app in AppKind::EXTENDED_ALL {
+        let dir = std::env::temp_dir().join(format!("ddtr-perf-{app}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine_cfg = EngineConfig {
+            jobs: 0,
+            cache_dir: Some(dir.clone()),
+            no_cache: false,
+        };
+        let cfg = MethodologyConfig::quick(app);
+        let mut cold_engine = ExploreEngine::new(engine_cfg.clone()).expect("cold engine");
+        let (_, cold) = time_secs(|| explore(&mut cold_engine, &cfg));
+        // A fresh engine over the same directory exercises the on-disk
+        // replay, not just the in-memory map.
+        let mut warm_engine = ExploreEngine::new(engine_cfg).expect("warm engine");
+        let (warm_outcome, warm) = time_secs(|| explore(&mut warm_engine, &cfg));
+        assert_eq!(
+            warm_outcome.engine.executed, 0,
+            "warm explore must answer from the cache"
+        );
+        println!(
+            "{app:10} cold {cold:8.3}s   warm {warm:8.3}s   speedup {:6.1}x",
+            cold / warm
+        );
+        report.push(format!("{app} quick cold"), cold);
+        report.push(format!("{app} quick warm"), warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Worker scaling on a full paper-sized explore (no cache, so both
+    // runs execute every simulation).
+    println!("\n## full DRR explore, worker scaling\n");
+    let cfg = MethodologyConfig::paper(AppKind::Drr);
+    let mut fronts: Vec<String> = Vec::new();
+    let mut seconds: Vec<f64> = Vec::new();
+    for jobs in [1usize, 4] {
+        let mut engine = ExploreEngine::with_jobs(jobs);
+        let (outcome, secs) = time_secs(|| explore(&mut engine, &cfg));
+        fronts.push(serde_json::to_string(&outcome.pareto.global_front).expect("front serialises"));
+        seconds.push(secs);
+        println!("jobs={jobs}   {secs:8.3}s");
+        report.push(format!("drr paper jobs={jobs}"), secs);
+    }
+    assert_eq!(
+        fronts[0], fronts[1],
+        "Pareto front must be byte-identical at any worker count"
+    );
+    println!(
+        "jobs=4 speedup over jobs=1: {:.2}x (byte-identical Pareto front)",
+        seconds[0] / seconds[1]
+    );
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_explore.json");
+    let json = report.to_json().expect("report serialises");
+    std::fs::write(&path, format!("{json}\n")).expect("BENCH_explore.json is writable");
+    println!(
+        "\nwrote {} ({} samples, host parallelism {})",
+        path.display(),
+        report.samples.len(),
+        report.host_parallelism
+    );
+}

@@ -11,7 +11,19 @@
 //! ddtr params   <preset> <packets>    # extract network parameters
 //! ddtr replay   <logs.jsonl>          # step 3 from persisted step-2 logs
 //! ddtr ga       <app> [--extended]    # heuristic (NSGA-II) exploration
+//! ddtr cache    stats|clear           # inspect / drop the result cache
 //! ```
+//!
+//! Every simulating subcommand (`explore`, `pareto`, `report`, `ga`) runs
+//! on the [`ddtr_engine`] execution engine and accepts:
+//!
+//! * `--jobs N` — worker threads (default: one per core),
+//! * `--cache-dir <dir>` — persistent result cache (default
+//!   `.ddtr-cache`),
+//! * `--no-cache` — disable the persistent cache for this run.
+//!
+//! A second `explore` over an unchanged configuration answers from the
+//! cache and is near-instant.
 //!
 //! `explore --logs <path>` persists the step-2 simulation logs as JSON
 //! lines, which `replay` turns back into Pareto sets without
@@ -19,12 +31,14 @@
 
 use ddtr_apps::AppKind;
 use ddtr_core::{
-    explore_heuristic, explore_pareto_level, headline_comparison, profile_application, read_logs,
-    render_pareto_chart, step2_from_logs, table1_markdown, table2_markdown, write_logs, GaConfig,
-    Methodology, MethodologyConfig, ParetoChartPlane,
+    explore_heuristic_with, explore_pareto_level, headline_comparison, profile_application,
+    read_logs, render_pareto_chart, step2_from_logs, table1_markdown, table2_markdown, write_logs,
+    EngineConfig, ExploreEngine, GaConfig, Methodology, MethodologyConfig, ParetoChartPlane,
 };
 use ddtr_ddt::DdtKind;
+use ddtr_engine::SimCache;
 use ddtr_trace::{NetworkParams, NetworkPreset, TraceWriter};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -42,14 +56,24 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   ddtr profile <route|url|ipchains|drr|nat> [--quick]
-  ddtr explore <route|url|ipchains|drr|nat> [--quick] [--extended] [--json]
-  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended]
-  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended]
+  ddtr explore <route|url|ipchains|drr|nat> [--quick] [--extended] [--json] [engine flags]
+  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended] [engine flags]
+  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended] [engine flags]
   ddtr trace   <preset> <packets>
   ddtr params  <preset> <packets>
   ddtr replay  <logs.jsonl>
   ddtr ga      <route|url|ipchains|drr|nat> [--quick] [--extended] [--seed N] [--stall N]
-  ddtr presets";
+               [engine flags]
+  ddtr cache   stats|clear [--cache-dir <dir>]
+  ddtr presets
+
+engine flags (simulating subcommands):
+  --jobs N           worker threads per batch (default: one per core)
+  --cache-dir <dir>  persistent result cache (default: .ddtr-cache)
+  --no-cache         do not read or write the persistent cache";
+
+/// Default location of the persistent result cache.
+const DEFAULT_CACHE_DIR: &str = ".ddtr-cache";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -64,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "params" => params(&rest),
         "replay" => replay(&rest),
         "ga" => ga(&rest),
+        "cache" => cache(&rest),
         "presets" => {
             for p in NetworkPreset::ALL {
                 let s = p.spec();
@@ -76,6 +101,53 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Parses the value following a `--flag`, if the flag is present. A
+/// following token that is itself a flag does not count as a value, so a
+/// forgotten argument errors instead of silently consuming the next flag.
+fn flag_value<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a String>, String> {
+    match rest.iter().position(|a| a.as_str() == flag) {
+        Some(pos) => match rest.get(pos + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(*v)),
+            _ => Err(format!("{flag} needs a value")),
+        },
+        None => Ok(None),
+    }
+}
+
+/// The cache directory a command addresses: `--cache-dir` or the default.
+fn cache_dir_of(rest: &[&String]) -> Result<PathBuf, String> {
+    Ok(flag_value(rest, "--cache-dir")?
+        .map_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR), PathBuf::from))
+}
+
+/// Builds the execution engine from the shared engine flags.
+fn engine_from(rest: &[&String]) -> Result<ExploreEngine, String> {
+    let jobs: usize = match flag_value(rest, "--jobs")? {
+        Some(v) => v.parse().map_err(|e| format!("bad --jobs value: {e}"))?,
+        None => 0,
+    };
+    let no_cache = rest.iter().any(|a| a.as_str() == "--no-cache");
+    let cache_dir = if no_cache {
+        None
+    } else {
+        Some(cache_dir_of(rest)?)
+    };
+    ExploreEngine::new(EngineConfig {
+        jobs,
+        cache_dir,
+        no_cache,
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// The one-line engine summary printed after a simulating run.
+fn engine_summary(report: &ddtr_core::EngineReport) -> String {
+    format!(
+        "engine: jobs={} cache_hits={} executed={}",
+        report.jobs, report.cache_hits, report.executed
+    )
 }
 
 fn parse_app(rest: &[&String]) -> Result<(AppKind, MethodologyConfig), String> {
@@ -122,9 +194,11 @@ fn profile(rest: &[&String]) -> Result<(), String> {
 
 fn explore(rest: &[&String]) -> Result<(), String> {
     let (app, cfg) = parse_app(rest)?;
-    let outcome = Methodology::new(cfg).run().map_err(|e| e.to_string())?;
-    if let Some(pos) = rest.iter().position(|a| a.as_str() == "--logs") {
-        let path = rest.get(pos + 1).ok_or("--logs needs a file path")?;
+    let mut engine = engine_from(rest)?;
+    let outcome = Methodology::new(cfg)
+        .run_with(&mut engine)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = flag_value(rest, "--logs")? {
         let file = std::fs::File::create(path.as_str()).map_err(|e| e.to_string())?;
         write_logs(&outcome.step2.logs, std::io::BufWriter::new(file))
             .map_err(|e| e.to_string())?;
@@ -162,12 +236,16 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         outcome.counts.exhaustive,
         outcome.counts.reduction() * 100.0
     );
+    println!("{}", engine_summary(&outcome.engine));
     Ok(())
 }
 
 fn pareto(rest: &[&String]) -> Result<(), String> {
     let (app, cfg) = parse_app(rest)?;
-    let outcome = Methodology::new(cfg).run().map_err(|e| e.to_string())?;
+    let mut engine = engine_from(rest)?;
+    let outcome = Methodology::new(cfg)
+        .run_with(&mut engine)
+        .map_err(|e| e.to_string())?;
     println!("# Pareto exploration spaces of {app}");
     for front in &outcome.pareto.per_config {
         let logs = outcome.step2.logs_for(&front.config_key);
@@ -186,8 +264,9 @@ fn pareto(rest: &[&String]) -> Result<(), String> {
 
 fn report(rest: &[&String]) -> Result<(), String> {
     let (app, cfg) = parse_app(rest)?;
+    let mut engine = engine_from(rest)?;
     let outcome = Methodology::new(cfg.clone())
-        .run()
+        .run_with(&mut engine)
         .map_err(|e| e.to_string())?;
     println!("{}", table1_markdown(&[&outcome]));
     println!("{}", table2_markdown(&[&outcome]));
@@ -278,23 +357,19 @@ fn ga(rest: &[&String]) -> Result<(), String> {
     if rest.iter().any(|a| a.as_str() == "--extended") {
         cfg.candidates = DdtKind::EXTENDED.to_vec();
     }
-    if let Some(pos) = rest.iter().position(|a| a.as_str() == "--seed") {
-        cfg.seed = rest
-            .get(pos + 1)
-            .ok_or("--seed needs a value")?
-            .parse()
-            .map_err(|e| format!("bad seed: {e}"))?;
+    if let Some(seed) = flag_value(rest, "--seed")? {
+        cfg.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
     }
-    if let Some(pos) = rest.iter().position(|a| a.as_str() == "--stall") {
+    if let Some(stall) = flag_value(rest, "--stall")? {
         cfg.stall_generations = Some(
-            rest.get(pos + 1)
-                .ok_or("--stall needs a value")?
+            stall
                 .parse()
                 .map_err(|e| format!("bad stall window: {e}"))?,
         );
     }
     let space = cfg.candidates.len().pow(2);
-    let outcome = explore_heuristic(&cfg).map_err(|e| e.to_string())?;
+    let mut engine = engine_from(rest)?;
+    let outcome = explore_heuristic_with(&mut engine, &cfg).map_err(|e| e.to_string())?;
     println!("# heuristic (NSGA-II) exploration of {app}");
     println!(
         "candidates: {} kinds ({} combinations), seed {}",
@@ -317,7 +392,44 @@ fn ga(rest: &[&String]) -> Result<(), String> {
     for log in &outcome.front {
         println!("  {:20} {}", log.combo, log.report);
     }
+    let stats = engine.stats();
+    println!(
+        "{}",
+        engine_summary(&ddtr_core::EngineReport {
+            jobs: engine.jobs(),
+            cache_hits: stats.hits,
+            executed: stats.misses,
+        })
+    );
     Ok(())
+}
+
+fn cache(rest: &[&String]) -> Result<(), String> {
+    let action = rest.first().ok_or("cache needs `stats` or `clear`")?;
+    let dir = cache_dir_of(rest)?;
+    match action.as_str() {
+        "stats" => {
+            let (entries, bytes) = SimCache::inspect(&dir).map_err(|e| e.to_string())?;
+            println!("cache dir : {}", dir.display());
+            println!(
+                "store     : {}",
+                Path::new(ddtr_engine::CACHE_FILE).display()
+            );
+            println!("entries   : {entries}");
+            println!("size      : {bytes} bytes");
+            Ok(())
+        }
+        "clear" => {
+            let existed = SimCache::clear(&dir).map_err(|e| e.to_string())?;
+            if existed {
+                println!("cleared result cache under {}", dir.display());
+            } else {
+                println!("no result cache under {}", dir.display());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown cache action `{other}`")),
+    }
 }
 
 #[cfg(test)]
@@ -391,7 +503,15 @@ mod tests {
 
     #[test]
     fn ga_quick_runs_end_to_end() {
-        run(&args(&["ga", "drr", "--quick", "--seed", "7"])).expect("heuristic runs");
+        run(&args(&[
+            "ga",
+            "drr",
+            "--quick",
+            "--seed",
+            "7",
+            "--no-cache",
+        ]))
+        .expect("heuristic runs");
     }
 
     #[test]
@@ -402,7 +522,15 @@ mod tests {
 
     #[test]
     fn ga_accepts_stall_window() {
-        run(&args(&["ga", "drr", "--quick", "--stall", "2"])).expect("runs with early stop");
+        run(&args(&[
+            "ga",
+            "drr",
+            "--quick",
+            "--stall",
+            "2",
+            "--no-cache",
+        ]))
+        .expect("runs with early stop");
         let err = run(&args(&["ga", "drr", "--quick", "--stall", "zero"])).unwrap_err();
         assert!(err.contains("bad stall window"));
     }
@@ -411,8 +539,88 @@ mod tests {
     fn explore_writes_logs_and_replay_reads_them() {
         let path = std::env::temp_dir().join("ddtr_cli_test_logs.jsonl");
         let path_str = path.to_string_lossy().into_owned();
-        run(&args(&["explore", "drr", "--quick", "--logs", &path_str])).expect("explores");
+        run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--no-cache",
+            "--logs",
+            &path_str,
+        ]))
+        .expect("explores");
         run(&args(&["replay", &path_str])).expect("replays");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_jobs_value_is_reported() {
+        let err = run(&args(&["explore", "drr", "--quick", "--jobs", "banana"])).unwrap_err();
+        assert!(err.contains("bad --jobs"), "{err}");
+        let err = run(&args(&["explore", "drr", "--quick", "--jobs"])).unwrap_err();
+        assert!(err.contains("--jobs needs a value"), "{err}");
+    }
+
+    #[test]
+    fn flag_followed_by_another_flag_is_a_missing_value() {
+        let err = run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--cache-dir",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--cache-dir needs a value"), "{err}");
+    }
+
+    #[test]
+    fn explicit_jobs_run_end_to_end() {
+        run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--jobs",
+            "2",
+            "--no-cache",
+        ]))
+        .expect("explores on two workers");
+    }
+
+    #[test]
+    fn cache_dir_persists_across_runs_and_cache_subcommand_manages_it() {
+        use ddtr_engine::SimCache;
+        let dir = std::env::temp_dir().join(format!("ddtr-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+        run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--cache-dir",
+            &dir_str,
+        ]))
+        .expect("cold run");
+        let (entries, bytes) = SimCache::inspect(&dir).expect("inspect");
+        assert!(entries > 0, "cold run must persist results");
+        // A warm run answers from the cache: nothing executes, so nothing
+        // is appended to the store.
+        run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--cache-dir",
+            &dir_str,
+        ]))
+        .expect("warm run");
+        let (entries_after, bytes_after) = SimCache::inspect(&dir).expect("inspect");
+        assert_eq!(entries, entries_after);
+        assert_eq!(bytes, bytes_after, "warm run must not re-execute");
+        run(&args(&["cache", "stats", "--cache-dir", &dir_str])).expect("stats");
+        run(&args(&["cache", "clear", "--cache-dir", &dir_str])).expect("clear");
+        assert_eq!(SimCache::inspect(&dir).expect("inspect"), (0, 0));
+        let err = run(&args(&["cache", "frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

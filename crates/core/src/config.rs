@@ -3,6 +3,7 @@
 use crate::error::ExploreError;
 use ddtr_apps::{AppKind, AppParams};
 use ddtr_ddt::DdtKind;
+use ddtr_engine::ExploreEngine;
 use ddtr_mem::MemoryConfig;
 use ddtr_trace::NetworkPreset;
 use serde::{Deserialize, Serialize};
@@ -92,6 +93,16 @@ impl MethodologyConfig {
             param_variants: vec![params],
             parallel: false,
         }
+    }
+
+    /// Builds the engine the plain (engine-less) entry points run on: one
+    /// worker per core when `parallel` is set, a single worker otherwise,
+    /// with in-memory caching only. Callers wanting persistent caching or
+    /// an explicit `--jobs` build their own [`ExploreEngine`] and use the
+    /// `*_with` variants.
+    #[must_use]
+    pub fn default_engine(&self) -> ExploreEngine {
+        ExploreEngine::with_jobs(usize::from(!self.parallel))
     }
 
     /// Number of step-2 configurations (networks × parameter variants).

@@ -9,6 +9,8 @@ pub enum ExploreError {
     InvalidConfig(String),
     /// A serialisation or log-handling failure.
     Log(String),
+    /// The execution engine failed (e.g. its cache store is unusable).
+    Engine(String),
 }
 
 impl fmt::Display for ExploreError {
@@ -16,11 +18,18 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::InvalidConfig(why) => write!(f, "invalid exploration config: {why}"),
             ExploreError::Log(why) => write!(f, "exploration log error: {why}"),
+            ExploreError::Engine(why) => write!(f, "{why}"),
         }
     }
 }
 
 impl std::error::Error for ExploreError {}
+
+impl From<ddtr_engine::EngineError> for ExploreError {
+    fn from(e: ddtr_engine::EngineError) -> Self {
+        ExploreError::Engine(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -10,19 +10,18 @@
 //! simulations. The `heuristic` bench quantifies the trade
 //! (`cargo run -p ddtr-bench --bin heuristic --release`).
 
-use crate::combo::{combo_label, Combo};
 use crate::error::ExploreError;
-use crate::sim::{SimLog, Simulator};
 use ddtr_apps::{AppKind, AppParams, DOMINANT_SLOTS_PER_APP};
 use ddtr_ddt::DdtKind;
+use ddtr_engine::{combo_label, fingerprint_trace, Combo, ExploreEngine, SimLog, SimUnit};
 use ddtr_mem::MemoryConfig;
 use ddtr_pareto::{pareto_front_indices, pareto_ranks};
-use ddtr_trace::{NetworkPreset, Trace};
+use ddtr_trace::NetworkPreset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of one [`explore_heuristic`] run.
 ///
@@ -208,24 +207,74 @@ impl GaOutcome {
 /// A genome: one candidate-set index per dominant slot.
 type Genome = [usize; DOMINANT_SLOTS_PER_APP];
 
-/// Memoising fitness evaluator: one simulation per distinct combination.
-struct Evaluator {
-    sim: Simulator,
-    app: AppKind,
-    params: AppParams,
-    trace: Trace,
-    cache: HashMap<String, SimLog>,
+/// Everything the GA ever evaluated, memoised per distinct combination and
+/// kept in first-evaluation order so iteration is deterministic at any
+/// engine worker count.
+#[derive(Default)]
+struct Archive {
+    memo: HashMap<String, SimLog>,
+    order: Vec<String>,
 }
 
-impl Evaluator {
-    fn evaluate(&mut self, combo: Combo) -> [f64; 4] {
-        let label = combo_label(combo);
-        let log = self
-            .cache
-            .entry(label)
-            .or_insert_with(|| self.sim.run(self.app, combo, &self.params, &self.trace));
-        log.objectives()
+impl Archive {
+    /// Batch-evaluates every combination not yet in the archive on the
+    /// engine (one parallel batch per generation instead of the seed's one
+    /// serial simulation per lookup).
+    fn ensure(
+        &mut self,
+        engine: &mut ExploreEngine,
+        cfg: &GaConfig,
+        eval: &Eval,
+        combos: &[Combo],
+    ) {
+        let mut batch_seen: HashSet<String> = HashSet::new();
+        let fresh: Vec<Combo> = combos
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let label = combo_label(c);
+                !self.memo.contains_key(&label) && batch_seen.insert(label)
+            })
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        let units: Vec<SimUnit> = fresh
+            .iter()
+            .map(|&combo| {
+                SimUnit::with_fingerprint(
+                    cfg.app,
+                    combo,
+                    &cfg.params,
+                    eval.trace,
+                    eval.trace_fp,
+                    cfg.mem,
+                )
+            })
+            .collect();
+        for log in engine.evaluate_batch(&units) {
+            self.order.push(log.combo.clone());
+            self.memo.insert(log.combo.clone(), log);
+        }
     }
+
+    fn objectives(&self, combo: Combo) -> [f64; 4] {
+        self.memo[&combo_label(combo)].objectives()
+    }
+
+    fn logs(&self) -> impl Iterator<Item = &SimLog> {
+        self.order.iter().map(|label| &self.memo[label])
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// The shared per-run evaluation inputs.
+struct Eval<'a> {
+    trace: &'a ddtr_trace::Trace,
+    trace_fp: u64,
 }
 
 /// Runs the seeded NSGA-II exploration.
@@ -246,16 +295,31 @@ impl Evaluator {
 /// # Ok::<(), ddtr_core::ExploreError>(())
 /// ```
 pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
+    explore_heuristic_with(&mut ExploreEngine::in_memory(), cfg)
+}
+
+/// Runs the seeded NSGA-II exploration on an explicit engine: each
+/// generation's unseen combinations are evaluated as one parallel batch,
+/// and a warm cache (e.g. from a previous exhaustive sweep over the same
+/// trace) eliminates simulations entirely. The search trajectory — and
+/// therefore the outcome — depends only on the seed, never on the worker
+/// count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidConfig`] when `cfg` fails validation.
+pub fn explore_heuristic_with(
+    engine: &mut ExploreEngine,
+    cfg: &GaConfig,
+) -> Result<GaOutcome, ExploreError> {
     cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let trace = cfg.network.generate(cfg.packets_per_sim);
-    let mut eval = Evaluator {
-        sim: Simulator::new(cfg.mem),
-        app: cfg.app,
-        params: cfg.params.clone(),
-        trace,
-        cache: HashMap::new(),
+    let eval = Eval {
+        trace_fp: fingerprint_trace(&trace),
+        trace: &trace,
     };
+    let mut archive = Archive::default();
     let to_combo = |g: &Genome| -> Combo { [cfg.candidates[g[0]], cfg.candidates[g[1]]] };
 
     // Initial population: distinct random genomes (repetition would only
@@ -274,8 +338,8 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
     // Records progress and returns the archive front's identity (sorted
     // combo labels) for the early-stop check.
     let record =
-        |history: &mut Vec<GenerationStats>, eval: &Evaluator, generation: usize| -> Vec<String> {
-            let logs: Vec<&SimLog> = eval.cache.values().collect();
+        |history: &mut Vec<GenerationStats>, archive: &Archive, generation: usize| -> Vec<String> {
+            let logs: Vec<&SimLog> = archive.logs().collect();
             let points: Vec<[f64; 4]> = logs.iter().map(|l| l.objectives()).collect();
             let mut labels: Vec<String> = pareto_front_indices(&points)
                 .into_iter()
@@ -284,22 +348,21 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
             labels.sort();
             history.push(GenerationStats {
                 generation,
-                evaluations: eval.cache.len(),
+                evaluations: archive.len(),
                 front_size: labels.len(),
             });
             labels
         };
 
-    for g in &population {
-        eval.evaluate(to_combo(g));
-    }
-    let mut last_front = record(&mut history, &eval, 0);
+    let initial: Vec<Combo> = population.iter().map(&to_combo).collect();
+    archive.ensure(engine, cfg, &eval, &initial);
+    let mut last_front = record(&mut history, &archive, 0);
     let mut stale = 0usize;
 
     for generation in 1..=cfg.generations {
         let fitness: Vec<[f64; 4]> = population
             .iter()
-            .map(|g| eval.evaluate(to_combo(g)))
+            .map(|g| archive.objectives(to_combo(g)))
             .collect();
         let ranks = pareto_ranks(&fitness);
         let crowding = crowding_distances(&fitness, &ranks);
@@ -348,9 +411,13 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
 
         // Environmental selection over parents + offspring.
         let mut pool: Vec<Genome> = population.iter().chain(offspring.iter()).copied().collect();
+        pool.sort_unstable();
+        pool.dedup(); // all duplicates, not only adjacent ones
         pool.shuffle(&mut rng); // tie-breaking independent of insertion order
-        pool.dedup();
-        let pool_fitness: Vec<[f64; 4]> = pool.iter().map(|g| eval.evaluate(to_combo(g))).collect();
+        let pool_combos: Vec<Combo> = pool.iter().map(&to_combo).collect();
+        archive.ensure(engine, cfg, &eval, &pool_combos);
+        let pool_fitness: Vec<[f64; 4]> =
+            pool_combos.iter().map(|&c| archive.objectives(c)).collect();
         let pool_ranks = pareto_ranks(&pool_fitness);
         let pool_crowding = crowding_distances(&pool_fitness, &pool_ranks);
         let mut order: Vec<usize> = (0..pool.len()).collect();
@@ -366,7 +433,7 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
             .take(cfg.population)
             .map(|i| pool[i])
             .collect();
-        let front_now = record(&mut history, &eval, generation);
+        let front_now = record(&mut history, &archive, generation);
         if front_now == last_front {
             stale += 1;
             if cfg.stall_generations.is_some_and(|w| stale >= w) {
@@ -379,7 +446,7 @@ pub fn explore_heuristic(cfg: &GaConfig) -> Result<GaOutcome, ExploreError> {
     }
 
     // The archive front: non-dominated over everything ever evaluated.
-    let logs: Vec<SimLog> = eval.cache.into_values().collect();
+    let logs: Vec<SimLog> = archive.logs().cloned().collect();
     let points: Vec<[f64; 4]> = logs.iter().map(SimLog::objectives).collect();
     let mut front: Vec<SimLog> = pareto_front_indices(&points)
         .into_iter()
@@ -460,6 +527,30 @@ mod tests {
         let mut cfg = GaConfig::quick(AppKind::Drr);
         cfg.packets_per_sim = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn heuristic_outcome_is_independent_of_worker_count() {
+        let cfg = GaConfig::quick(AppKind::Drr);
+        let a = explore_heuristic_with(&mut ExploreEngine::with_jobs(1), &cfg).expect("1 worker");
+        let b = explore_heuristic_with(&mut ExploreEngine::with_jobs(8), &cfg).expect("8 workers");
+        assert_eq!(a.front_labels(), b.front_labels());
+        assert_eq!(a.evaluations, b.evaluations);
+        let objectives =
+            |o: &GaOutcome| -> Vec<[f64; 4]> { o.front.iter().map(SimLog::objectives).collect() };
+        assert_eq!(objectives(&a), objectives(&b));
+    }
+
+    #[test]
+    fn warm_engine_reruns_without_simulating() {
+        let cfg = GaConfig::quick(AppKind::Url);
+        let mut engine = ExploreEngine::in_memory();
+        let first = explore_heuristic_with(&mut engine, &cfg).expect("cold");
+        let executed = engine.stats().misses;
+        assert_eq!(executed, first.evaluations);
+        let second = explore_heuristic_with(&mut engine, &cfg).expect("warm");
+        assert_eq!(engine.stats().misses, executed, "warm run executes nothing");
+        assert_eq!(first.front_labels(), second.front_labels());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
 use crate::pipeline::MethodologyOutcome;
-use crate::sim::Simulator;
 use ddtr_ddt::DdtKind;
+use ddtr_engine::Simulator;
 use ddtr_mem::CostReport;
 use ddtr_trace::TraceGenerator;
 use serde::{Deserialize, Serialize};

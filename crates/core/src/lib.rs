@@ -21,6 +21,13 @@
 //! [`headline_comparison`] helper reproduces the paper's comparison against
 //! the original NetBench implementation.
 //!
+//! Simulation *execution* — parallel scheduling, result caching, batched
+//! evaluation — is owned by the [`ddtr_engine`] crate; every step accepts
+//! an [`ExploreEngine`] through its `*_with` variant, and the plain entry
+//! points build a default engine from the configuration. The engine's
+//! primitive types ([`Simulator`], [`SimLog`], [`Combo`], the combination
+//! helpers) are re-exported here for compatibility.
+//!
 //! # Example
 //!
 //! ```
@@ -38,7 +45,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod combo;
 mod config;
 mod constraints;
 mod error;
@@ -48,24 +54,25 @@ mod log;
 mod pipeline;
 mod profile;
 mod report;
-mod sim;
 mod step1;
 mod step2;
 mod step3;
 
-pub use combo::{all_combos, combo_label, combos_from, parse_combo};
 pub use config::MethodologyConfig;
 pub use constraints::{DesignConstraints, Objective};
+pub use ddtr_engine::{
+    all_combos, combo_label, combos_from, parse_combo, CacheKey, CacheStats, Combo, ConfigKey,
+    EngineConfig, ExploreEngine, SimLog, SimUnit, Simulator,
+};
 pub use error::ExploreError;
-pub use ga::{explore_heuristic, GaConfig, GaOutcome, GenerationStats};
+pub use ga::{explore_heuristic, explore_heuristic_with, GaConfig, GaOutcome, GenerationStats};
 pub use headline::{headline_comparison, HeadlineReport};
 pub use log::{read_logs, step2_from_logs, write_logs};
-pub use pipeline::{Methodology, MethodologyOutcome, SimCounts};
+pub use pipeline::{EngineReport, Methodology, MethodologyOutcome, SimCounts};
 pub use profile::{profile_application, ProfileReport};
 pub use report::{
     render_pareto_chart, table1_markdown, table2_markdown, tradeoff_percentages, ParetoChartPlane,
 };
-pub use sim::{SimLog, Simulator};
-pub use step1::{explore_application_level, Step1Result};
-pub use step2::{explore_network_level, NetworkConfig, Step2Result};
+pub use step1::{explore_application_level, explore_application_level_with, Step1Result};
+pub use step2::{explore_network_level, explore_network_level_with, NetworkConfig, Step2Result};
 pub use step3::{explore_pareto_level, ConfigFront, ParetoPoint, ParetoReport};

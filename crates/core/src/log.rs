@@ -6,8 +6,8 @@
 //! can be re-run later from the file alone.
 
 use crate::error::ExploreError;
-use crate::sim::SimLog;
 use crate::step2::Step2Result;
+use ddtr_engine::SimLog;
 use std::io::{BufRead, Write};
 
 /// Writes `logs` as one JSON object per line.

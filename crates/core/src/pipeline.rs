@@ -3,9 +3,10 @@
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
 use crate::profile::{profile_application, ProfileReport};
-use crate::step1::{explore_application_level, Step1Result};
-use crate::step2::{explore_network_level, Step2Result};
+use crate::step1::{explore_application_level_with, Step1Result};
+use crate::step2::{explore_network_level_with, Step2Result};
 use crate::step3::{explore_pareto_level, ParetoReport};
+use ddtr_engine::ExploreEngine;
 use serde::{Deserialize, Serialize};
 
 /// Simulation accounting, reproducing the paper's Table 1 columns.
@@ -31,6 +32,17 @@ impl SimCounts {
     }
 }
 
+/// How the execution engine served one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Worker threads the engine's batches ran on.
+    pub jobs: usize,
+    /// Simulations answered from the result cache.
+    pub cache_hits: usize,
+    /// Simulations actually executed.
+    pub executed: usize,
+}
+
 /// Everything the methodology produces for one application.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MethodologyOutcome {
@@ -46,6 +58,10 @@ pub struct MethodologyOutcome {
     pub pareto: ParetoReport,
     /// Simulation accounting.
     pub counts: SimCounts,
+    /// Execution-engine accounting for this run (absent in logs persisted
+    /// before the engine existed).
+    #[serde(default)]
+    pub engine: EngineReport,
 }
 
 /// The automated tool flow: profile → step 1 → step 2 → step 3.
@@ -80,24 +96,46 @@ impl Methodology {
         &self.config
     }
 
-    /// Runs all three steps, propagating restrictions from each step to
-    /// the next (the point of the stepwise procedure: "decrease the number
-    /// of total simulations needed").
+    /// Runs all three steps on a default engine built from the
+    /// configuration (see [`MethodologyConfig::default_engine`]),
+    /// propagating restrictions from each step to the next (the point of
+    /// the stepwise procedure: "decrease the number of total simulations
+    /// needed").
     ///
     /// # Errors
     ///
     /// Returns [`ExploreError`] if the configuration is invalid or a step
     /// receives unusable input.
     pub fn run(&self) -> Result<MethodologyOutcome, ExploreError> {
+        self.run_with(&mut self.config.default_engine())
+    }
+
+    /// Runs all three steps on an explicit execution engine: `--jobs`
+    /// parallelism, cross-step result reuse (step 2 revisits step 1's
+    /// reference configuration for free) and, when the engine carries a
+    /// cache directory, persistence that makes a re-run near-instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError`] if the configuration is invalid or a step
+    /// receives unusable input.
+    pub fn run_with(&self, engine: &mut ExploreEngine) -> Result<MethodologyOutcome, ExploreError> {
         self.config.validate()?;
+        let before = engine.stats();
         let profile = profile_application(&self.config)?;
-        let step1 = explore_application_level(&self.config)?;
-        let step2 = explore_network_level(&self.config, &step1.survivor_combos())?;
+        let step1 = explore_application_level_with(engine, &self.config)?;
+        let step2 = explore_network_level_with(engine, &self.config, &step1.survivor_combos())?;
         let pareto = explore_pareto_level(&step2)?;
         let counts = SimCounts {
             exhaustive: self.config.exhaustive_simulations(),
             reduced: step1.measurements.len() + step2.simulations(),
             pareto_optimal: pareto.global_front.len(),
+        };
+        let after = engine.stats();
+        let engine_report = EngineReport {
+            jobs: engine.jobs(),
+            cache_hits: after.hits - before.hits,
+            executed: after.misses - before.misses,
         };
         Ok(MethodologyOutcome {
             config: self.config.clone(),
@@ -106,6 +144,7 @@ impl Methodology {
             step2,
             pareto,
             counts,
+            engine: engine_report,
         })
     }
 }
@@ -141,6 +180,25 @@ mod tests {
         assert!((1..=20).contains(&p), "pareto set size {p}");
         // Profiling identified the declared dominant slots.
         assert!(outcome.profile.matches_declared());
+    }
+
+    #[test]
+    fn rerun_on_a_warm_engine_is_pure_cache_and_identical() {
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let mut engine = ExploreEngine::in_memory();
+        let cold = Methodology::new(cfg.clone())
+            .run_with(&mut engine)
+            .expect("cold run");
+        assert!(cold.engine.executed > 0);
+        let warm = Methodology::new(cfg)
+            .run_with(&mut engine)
+            .expect("warm run");
+        assert_eq!(warm.engine.executed, 0, "warm run must be pure cache");
+        assert!(warm.engine.cache_hits >= warm.counts.reduced);
+        let front = |o: &MethodologyOutcome| {
+            serde_json::to_string(&o.pareto.global_front).expect("serialise")
+        };
+        assert_eq!(front(&cold), front(&warm), "byte-identical Pareto front");
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
-use crate::sim::Simulator;
 use ddtr_apps::SlotProfile;
 use ddtr_ddt::DdtKind;
+use ddtr_engine::Simulator;
 use ddtr_trace::TraceGenerator;
 use serde::{Deserialize, Serialize};
 

@@ -1,7 +1,7 @@
 //! Report formatting: the paper's tables and figure data.
 
 use crate::pipeline::MethodologyOutcome;
-use crate::sim::SimLog;
+use ddtr_engine::SimLog;
 use ddtr_pareto::ScatterChart;
 use std::fmt::Write as _;
 

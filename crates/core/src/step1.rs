@@ -1,12 +1,12 @@
 //! Step 1 — application-level DDT exploration.
 
-use crate::combo::{combos_from, parse_combo, Combo};
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
-use crate::sim::{SimLog, Simulator};
+use ddtr_engine::{
+    combos_from, fingerprint_trace, parse_combo, Combo, ExploreEngine, SimLog, SimUnit,
+};
 use ddtr_pareto::pareto_front_indices;
 use ddtr_trace::TraceGenerator;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Result of the application-level exploration.
@@ -43,63 +43,49 @@ impl Step1Result {
     }
 }
 
-/// Runs step 1: simulate **all** DDT combinations on the reference
-/// configuration and keep only those that are best in at least one metric —
-/// the 4-D Pareto front, topped up (or capped) to the configured survivor
-/// fraction by normalised overall score.
-///
-/// With `cfg.parallel`, combinations are simulated by a `std::thread::scope` worker
-/// pool (each simulation is independent); results are identical either way
-/// because measurements are re-ordered canonically.
+/// Runs step 1 on a default engine built from the configuration
+/// (`cfg.parallel` selects auto worker count versus one). See
+/// [`explore_application_level_with`].
 ///
 /// # Errors
 ///
 /// Returns [`ExploreError::InvalidConfig`] when the configuration fails
 /// validation.
 pub fn explore_application_level(cfg: &MethodologyConfig) -> Result<Step1Result, ExploreError> {
+    explore_application_level_with(&mut cfg.default_engine(), cfg)
+}
+
+/// Runs step 1: simulate **all** DDT combinations on the reference
+/// configuration and keep only those that are best in at least one metric —
+/// the 4-D Pareto front, topped up (or capped) to the configured survivor
+/// fraction by normalised overall score.
+///
+/// The whole combination space is handed to `engine` as one batch: the
+/// engine spreads it over its worker pool and answers repeat points from
+/// its cache, while the returned measurements keep canonical combination
+/// order at any worker count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidConfig`] when the configuration fails
+/// validation.
+pub fn explore_application_level_with(
+    engine: &mut ExploreEngine,
+    cfg: &MethodologyConfig,
+) -> Result<Step1Result, ExploreError> {
     cfg.validate()?;
     let trace = TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
+    let trace_fp = fingerprint_trace(&trace);
     let params = cfg
         .param_variants
         .first()
         .expect("validated config has at least one variant");
-    let sim = Simulator::new(cfg.mem);
     let combos = combos_from(&cfg.candidates);
-    let measurements: Vec<SimLog> = if cfg.parallel {
-        let next = Mutex::new(0usize);
-        let slots: Mutex<Vec<Option<SimLog>>> = Mutex::new(vec![None; combos.len()]);
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(combos.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = {
-                        let mut guard = next.lock();
-                        let i = *guard;
-                        *guard += 1;
-                        i
-                    };
-                    let Some(&combo) = combos.get(i) else {
-                        break;
-                    };
-                    let log = sim.run(cfg.app, combo, params, &trace);
-                    slots.lock()[i] = Some(log);
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .into_iter()
-            .map(|s| s.expect("every combination was simulated"))
-            .collect()
-    } else {
-        combos
-            .iter()
-            .map(|&combo| sim.run(cfg.app, combo, params, &trace))
-            .collect()
-    };
+    let units: Vec<SimUnit> = combos
+        .iter()
+        .map(|&combo| SimUnit::with_fingerprint(cfg.app, combo, params, &trace, trace_fp, cfg.mem))
+        .collect();
+    let measurements = engine.evaluate_batch(&units);
     let survivors = select_survivors(&measurements, cfg.survivor_fraction);
     Ok(Step1Result {
         survivors,
@@ -237,15 +223,26 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_step1_agree() {
-        let mut cfg = MethodologyConfig::quick(AppKind::Url);
-        cfg.parallel = false;
-        let seq = explore_application_level(&cfg).expect("sequential");
-        cfg.parallel = true;
-        let par = explore_application_level(&cfg).expect("parallel");
+        let cfg = MethodologyConfig::quick(AppKind::Url);
+        let seq = explore_application_level_with(&mut ExploreEngine::with_jobs(1), &cfg)
+            .expect("sequential");
+        let par = explore_application_level_with(&mut ExploreEngine::with_jobs(4), &cfg)
+            .expect("parallel");
         assert_eq!(seq.survivors, par.survivors);
         let key = |l: &SimLog| (l.combo.clone(), l.report.accesses, l.report.cycles);
         let a: Vec<_> = seq.measurements.iter().map(key).collect();
         let b: Vec<_> = par.measurements.iter().map(key).collect();
         assert_eq!(a, b, "parallel step 1 must be order-preserving");
+    }
+
+    #[test]
+    fn warm_engine_skips_re_simulation() {
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let mut engine = ExploreEngine::in_memory();
+        let first = explore_application_level_with(&mut engine, &cfg).expect("cold");
+        assert_eq!(engine.stats().misses, 100);
+        let second = explore_application_level_with(&mut engine, &cfg).expect("warm");
+        assert_eq!(engine.stats().misses, 100, "warm step 1 executes nothing");
+        assert_eq!(first.survivors, second.survivors);
     }
 }

@@ -1,12 +1,10 @@
 //! Step 2 — network-level DDT exploration.
 
-use crate::combo::Combo;
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
-use crate::sim::{SimLog, Simulator};
 use ddtr_apps::AppParams;
+use ddtr_engine::{fingerprint_trace, Combo, ConfigKey, ExploreEngine, SimLog, SimUnit};
 use ddtr_trace::{NetworkParams, NetworkPreset, Trace, TraceGenerator};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// One network configuration of step 2: a network preset combined with an
@@ -38,29 +36,48 @@ impl Step2Result {
         self.logs.len()
     }
 
-    /// The logs belonging to one configuration key (`network/params`).
+    /// The logs belonging to one configuration (network × parameter
+    /// variant).
     #[must_use]
-    pub fn logs_for(&self, config_key: &str) -> Vec<&SimLog> {
+    pub fn logs_for(&self, key: &ConfigKey) -> Vec<&SimLog> {
         self.logs
             .iter()
-            .filter(|l| l.config_key() == config_key)
+            .filter(|l| &l.config_key() == key)
             .collect()
     }
 }
 
-/// Runs step 2: for every network configuration (network × application
-/// parameters), parse the trace to extract its network parameters, then
-/// simulate each surviving combination on it.
-///
-/// With `cfg.parallel`, configurations are processed by a `std::thread::scope` worker
-/// pool; results are deterministic either way because each simulation is
-/// independent and logs are re-sorted canonically.
+/// Runs step 2 on a default engine built from the configuration
+/// (`cfg.parallel` selects auto worker count versus one). See
+/// [`explore_network_level_with`].
 ///
 /// # Errors
 ///
 /// Returns [`ExploreError::InvalidConfig`] when the configuration fails
 /// validation.
 pub fn explore_network_level(
+    cfg: &MethodologyConfig,
+    survivors: &[Combo],
+) -> Result<Step2Result, ExploreError> {
+    explore_network_level_with(&mut cfg.default_engine(), cfg, survivors)
+}
+
+/// Runs step 2: for every network configuration (network × application
+/// parameters), parse the trace to extract its network parameters, then
+/// simulate each surviving combination on it.
+///
+/// The whole `(configuration × survivor)` cross product is one engine
+/// batch: the engine's work-stealing pool spreads it over `--jobs` workers
+/// and its cache answers points simulated before (by step 1, a previous
+/// run, or another application sharing a trace). Logs are re-sorted
+/// canonically, so the result is byte-identical at any worker count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::InvalidConfig`] when the configuration fails
+/// validation.
+pub fn explore_network_level_with(
+    engine: &mut ExploreEngine,
     cfg: &MethodologyConfig,
     survivors: &[Combo],
 ) -> Result<Step2Result, ExploreError> {
@@ -71,75 +88,34 @@ pub fn explore_network_level(
         ));
     }
     // Build every configuration's trace once and extract its parameters.
-    let mut jobs: Vec<(NetworkPreset, AppParams, Trace)> = Vec::new();
+    let mut jobs: Vec<(NetworkPreset, AppParams, Trace, u64)> = Vec::new();
     for &network in &cfg.networks {
         let trace = TraceGenerator::new(network.spec()).generate(cfg.packets_per_sim);
+        let trace_fp = fingerprint_trace(&trace);
         for params in &cfg.param_variants {
-            jobs.push((network, params.clone(), trace.clone()));
+            jobs.push((network, params.clone(), trace.clone(), trace_fp));
         }
     }
     let configs: Vec<NetworkConfig> = jobs
         .iter()
-        .map(|(network, params, trace)| NetworkConfig {
+        .map(|(network, params, trace, _)| NetworkConfig {
             network: *network,
             params_label: params.label(cfg.app),
             extracted: NetworkParams::extract(trace),
         })
         .collect();
 
-    let sim = Simulator::new(cfg.mem);
-    let mut logs: Vec<SimLog> = if cfg.parallel {
-        run_parallel(cfg, &sim, &jobs, survivors)
-    } else {
-        let mut out = Vec::with_capacity(jobs.len() * survivors.len());
-        for (_, params, trace) in &jobs {
-            for &combo in survivors {
-                out.push(sim.run(cfg.app, combo, params, trace));
-            }
-        }
-        out
-    };
+    let units: Vec<SimUnit> = jobs
+        .iter()
+        .flat_map(|(_, params, trace, trace_fp)| {
+            survivors.iter().map(move |&combo| {
+                SimUnit::with_fingerprint(cfg.app, combo, params, trace, *trace_fp, cfg.mem)
+            })
+        })
+        .collect();
+    let mut logs = engine.evaluate_batch(&units);
     logs.sort_by(|a, b| (a.config_key(), &a.combo).cmp(&(b.config_key(), &b.combo)));
     Ok(Step2Result { configs, logs })
-}
-
-/// Worker-pool execution over (configuration, combination) tasks.
-fn run_parallel(
-    cfg: &MethodologyConfig,
-    sim: &Simulator,
-    jobs: &[(NetworkPreset, AppParams, Trace)],
-    survivors: &[Combo],
-) -> Vec<SimLog> {
-    let tasks: Vec<(usize, Combo)> = jobs
-        .iter()
-        .enumerate()
-        .flat_map(|(j, _)| survivors.iter().map(move |&c| (j, c)))
-        .collect();
-    let next = Mutex::new(0usize);
-    let logs = Mutex::new(Vec::with_capacity(tasks.len()));
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(tasks.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let Some(&(job_idx, combo)) = tasks.get(i) else {
-                    break;
-                };
-                let (_, params, trace) = &jobs[job_idx];
-                let log = sim.run(cfg.app, combo, params, trace);
-                logs.lock().push(log);
-            });
-        }
-    });
-    logs.into_inner()
 }
 
 #[cfg(test)]
@@ -177,11 +153,11 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        let mut cfg = MethodologyConfig::quick(AppKind::Drr);
-        cfg.parallel = false;
-        let seq = explore_network_level(&cfg, &survivors()).expect("sequential");
-        cfg.parallel = true;
-        let par = explore_network_level(&cfg, &survivors()).expect("parallel");
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let seq = explore_network_level_with(&mut ExploreEngine::with_jobs(1), &cfg, &survivors())
+            .expect("sequential");
+        let par = explore_network_level_with(&mut ExploreEngine::with_jobs(8), &cfg, &survivors())
+            .expect("parallel");
         let key = |l: &SimLog| (l.config_key(), l.combo.clone(), l.report.accesses);
         let a: Vec<_> = seq.logs.iter().map(key).collect();
         let b: Vec<_> = par.logs.iter().map(key).collect();
@@ -211,5 +187,22 @@ mod tests {
         let accesses: Vec<u64> = result.logs.iter().map(|l| l.report.accesses).collect();
         assert_eq!(accesses.len(), 2);
         assert_ne!(accesses[0], accesses[1]);
+    }
+
+    #[test]
+    fn step1_results_warm_the_step2_cache() {
+        // Step 1 simulates the reference network; step 2 revisits it for
+        // the same combinations — with a shared engine those points are
+        // pure cache hits.
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let mut engine = ExploreEngine::in_memory();
+        crate::step1::explore_application_level_with(&mut engine, &cfg).expect("step 1");
+        let before = engine.stats();
+        explore_network_level_with(&mut engine, &cfg, &survivors()).expect("step 2");
+        let after = engine.stats();
+        assert!(
+            after.hits > before.hits,
+            "step 2 must reuse step-1 simulations of the reference network"
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Step 3 — Pareto-level DDT exploration.
 
 use crate::error::ExploreError;
-use crate::sim::SimLog;
 use crate::step2::Step2Result;
+use ddtr_engine::{ConfigKey, SimLog};
 use ddtr_mem::CostReport;
 use ddtr_pareto::{pareto_front_indices, tradeoff_ranges, TradeoffRange};
 use serde::{Deserialize, Serialize};
@@ -21,8 +21,8 @@ pub struct ParetoPoint {
 /// The Pareto-optimal set of one network configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConfigFront {
-    /// Configuration key (`network/params`).
-    pub config_key: String,
+    /// Configuration key (renders as `network/params`).
+    pub config_key: ConfigKey,
     /// The non-dominated points, in log order.
     pub front: Vec<ParetoPoint>,
 }
@@ -68,7 +68,7 @@ pub fn explore_pareto_level(step2: &Step2Result) -> Result<ParetoReport, Explore
         ));
     }
     // Per-configuration fronts.
-    let mut grouped: BTreeMap<String, Vec<&SimLog>> = BTreeMap::new();
+    let mut grouped: BTreeMap<ConfigKey, Vec<&SimLog>> = BTreeMap::new();
     for log in &step2.logs {
         grouped.entry(log.config_key()).or_default().push(log);
     }

@@ -1,0 +1,311 @@
+//! Content-addressed simulation-result cache with a JSON-lines disk store.
+//!
+//! Every executed simulation is stored under its [`CacheKey`] identity.
+//! With a cache directory attached, entries are also appended to
+//! `sim-cache.jsonl` (one `{"key": …, "log": …}` object per line), so a
+//! later process — a re-run of `ddtr explore`, a resumed sweep, the bench
+//! harness — replays hits instead of re-simulating. The store is
+//! append-only and keyed by content, so concurrent writers and repeated
+//! runs are safe: duplicate lines collapse to one entry on load.
+
+use crate::key::CacheKey;
+use crate::sim::SimLog;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the on-disk store inside the cache directory.
+pub const CACHE_FILE: &str = "sim-cache.jsonl";
+
+/// One persisted cache line: the structured key plus its result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEntry {
+    /// The structured content address.
+    key: CacheKey,
+    /// The cached simulation log.
+    log: SimLog,
+}
+
+/// Counters describing what the cache did for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Results currently held (in memory, including those loaded from
+    /// disk).
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to execute a simulation.
+    pub misses: usize,
+    /// Entries read from the on-disk store when the cache was opened.
+    pub loaded: usize,
+}
+
+/// The engine's result cache: an in-memory map plus an optional appending
+/// JSONL store.
+#[derive(Debug)]
+pub struct SimCache {
+    map: HashMap<String, SimLog>,
+    store: Option<File>,
+    dir: Option<PathBuf>,
+    hits: usize,
+    misses: usize,
+    loaded: usize,
+}
+
+impl SimCache {
+    /// A purely in-memory cache (no persistence).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        SimCache {
+            map: HashMap::new(),
+            store: None,
+            dir: None,
+            hits: 0,
+            misses: 0,
+            loaded: 0,
+        }
+    }
+
+    /// Opens (creating if needed) the on-disk store under `dir` and loads
+    /// every existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created, or the
+    /// store cannot be read or opened for appending. Malformed lines
+    /// (truncated by a crash mid-append) are skipped, not fatal.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE);
+        let mut map = HashMap::new();
+        let mut loaded = 0;
+        if path.exists() {
+            for line in BufReader::new(File::open(&path)?).lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Ok(entry) = serde_json::from_str::<CacheEntry>(&line) else {
+                    continue;
+                };
+                if map.insert(entry.key.id(), entry.log).is_none() {
+                    loaded += 1;
+                }
+            }
+        }
+        let store = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(SimCache {
+            map,
+            store: Some(store),
+            dir: Some(dir.to_path_buf()),
+            hits: 0,
+            misses: 0,
+            loaded,
+        })
+    }
+
+    /// The cache directory, when persistence is attached.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks up a result by key identity, counting a hit when present.
+    pub fn get(&mut self, id: &str) -> Option<SimLog> {
+        match self.map.get(id) {
+            Some(log) => {
+                self.hits += 1;
+                Some(log.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Counts an executed simulation whose result is *not* retained — used
+    /// when caching is disabled, so the miss accounting stays truthful.
+    pub fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records one executed simulation, appending it to the disk store when
+    /// one is attached. Persistence failures degrade to in-memory caching
+    /// (the run's results stay correct either way).
+    pub fn insert(&mut self, key: &CacheKey, log: SimLog) {
+        self.misses += 1;
+        if let Some(store) = &mut self.store {
+            let entry = CacheEntry {
+                key: key.clone(),
+                log: log.clone(),
+            };
+            if let Ok(line) = serde_json::to_string(&entry) {
+                let _ = writeln!(store, "{line}");
+            }
+        }
+        self.map.insert(key.id(), log);
+    }
+
+    /// The cache's counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            hits: self.hits,
+            misses: self.misses,
+            loaded: self.loaded,
+        }
+    }
+
+    /// Inspects a cache directory without opening it for writing: number
+    /// of distinct entries and the store's size in bytes. Both are zero
+    /// when no store exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if an existing store cannot be read.
+    pub fn inspect(dir: &Path) -> std::io::Result<(usize, u64)> {
+        let path = dir.join(CACHE_FILE);
+        if !path.exists() {
+            return Ok((0, 0));
+        }
+        let bytes = std::fs::metadata(&path)?.len();
+        let mut ids = std::collections::HashSet::new();
+        for line in BufReader::new(File::open(&path)?).lines() {
+            let line = line?;
+            if let Ok(entry) = serde_json::from_str::<CacheEntry>(&line) {
+                ids.insert(entry.key.id());
+            }
+        }
+        Ok((ids.len(), bytes))
+    }
+
+    /// Deletes the on-disk store under `dir` (the directory itself is
+    /// kept). Returns whether a store existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store exists but cannot be removed.
+    pub fn clear(dir: &Path) -> std::io::Result<bool> {
+        let path = dir.join(CACHE_FILE);
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::fingerprint_trace;
+    use ddtr_apps::{AppKind, AppParams};
+    use ddtr_ddt::DdtKind;
+    use ddtr_mem::MemoryConfig;
+    use ddtr_trace::NetworkPreset;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ddtr-engine-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> (CacheKey, SimLog) {
+        let trace = NetworkPreset::DartmouthBerry.generate(20);
+        let params = AppParams::default();
+        let combo = [DdtKind::Array, DdtKind::Dll];
+        let key = CacheKey::new(
+            AppKind::Drr,
+            combo,
+            &params,
+            &trace,
+            fingerprint_trace(&trace),
+            &MemoryConfig::embedded_default(),
+        );
+        let log = crate::Simulator::new(MemoryConfig::embedded_default()).run(
+            AppKind::Drr,
+            combo,
+            &params,
+            &trace,
+        );
+        (key, log)
+    }
+
+    #[test]
+    fn in_memory_cache_hits_after_insert() {
+        let (key, log) = sample();
+        let mut cache = SimCache::in_memory();
+        assert!(cache.get(&key.id()).is_none());
+        cache.insert(&key, log.clone());
+        let back = cache.get(&key.id()).expect("hit");
+        assert_eq!(back.report.accesses, log.report.accesses);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn disk_store_round_trips_across_instances() {
+        let dir = temp_dir("roundtrip");
+        let (key, log) = sample();
+        {
+            let mut cache = SimCache::open(&dir).expect("open");
+            assert_eq!(cache.stats().loaded, 0);
+            cache.insert(&key, log.clone());
+        }
+        let mut reopened = SimCache::open(&dir).expect("reopen");
+        assert_eq!(reopened.stats().loaded, 1);
+        let back = reopened.get(&key.id()).expect("persisted hit");
+        assert_eq!(back.report.cycles, log.report.cycles);
+        assert_eq!(back.combo, log.combo);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_lines_collapse_and_garbage_is_skipped() {
+        let dir = temp_dir("dedup");
+        let (key, log) = sample();
+        {
+            let mut cache = SimCache::open(&dir).expect("open");
+            cache.insert(&key, log.clone());
+        }
+        {
+            // A second writer appends the same entry plus a torn line.
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(CACHE_FILE))
+                .expect("append");
+            let entry = CacheEntry {
+                key: key.clone(),
+                log,
+            };
+            writeln!(f, "{}", serde_json::to_string(&entry).expect("ser")).expect("write");
+            writeln!(f, "{{\"torn").expect("write");
+        }
+        let cache = SimCache::open(&dir).expect("reopen");
+        assert_eq!(cache.stats().loaded, 1, "duplicates collapse");
+        let (entries, bytes) = SimCache::inspect(&dir).expect("inspect");
+        assert_eq!(entries, 1);
+        assert!(bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_the_store() {
+        let dir = temp_dir("clear");
+        let (key, log) = sample();
+        {
+            let mut cache = SimCache::open(&dir).expect("open");
+            cache.insert(&key, log);
+        }
+        assert!(SimCache::clear(&dir).expect("clear"));
+        assert!(
+            !SimCache::clear(&dir).expect("second clear"),
+            "already gone"
+        );
+        assert_eq!(SimCache::inspect(&dir).expect("inspect"), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,7 +13,7 @@ pub type Combo = [DdtKind; DOMINANT_SLOTS_PER_APP];
 /// # Example
 ///
 /// ```
-/// use ddtr_core::all_combos;
+/// use ddtr_engine::all_combos;
 ///
 /// let combos = all_combos();
 /// assert_eq!(combos.len(), 100);
@@ -37,7 +37,7 @@ pub fn all_combos() -> Vec<Combo> {
 /// # Example
 ///
 /// ```
-/// use ddtr_core::combos_from;
+/// use ddtr_engine::combos_from;
 /// use ddtr_ddt::DdtKind;
 ///
 /// assert_eq!(combos_from(&DdtKind::EXTENDED).len(), 144);

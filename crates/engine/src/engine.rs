@@ -1,0 +1,385 @@
+//! The exploration engine: batched, parallel, cached simulation execution.
+
+use crate::cache::{CacheStats, SimCache};
+use crate::combo::Combo;
+use crate::key::{fingerprint_trace, CacheKey};
+use crate::scheduler::{effective_jobs, run_ordered};
+use crate::sim::{SimLog, Simulator};
+use ddtr_apps::{AppKind, AppParams};
+use ddtr_mem::MemoryConfig;
+use ddtr_trace::Trace;
+use std::fmt;
+use std::path::PathBuf;
+
+/// An engine failure (today: cache I/O on open).
+#[derive(Debug)]
+pub struct EngineError(String);
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// How an [`ExploreEngine`] executes its batches.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads per batch; `0` means one per available core.
+    pub jobs: usize,
+    /// Attach a persistent result store under this directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Disable result caching entirely (batches still deduplicate
+    /// internally; nothing is remembered across batches).
+    pub no_cache: bool,
+}
+
+impl EngineConfig {
+    /// A configuration with an explicit worker count and no persistence.
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        EngineConfig {
+            jobs,
+            ..Self::default()
+        }
+    }
+}
+
+/// One `(application, combination, configuration)` simulation unit — the
+/// atom the engine schedules, caches and orders.
+#[derive(Debug, Clone)]
+pub struct SimUnit<'a> {
+    /// Application to simulate.
+    pub app: AppKind,
+    /// DDT combination under test.
+    pub combo: Combo,
+    /// Application parameters of the run.
+    pub params: &'a AppParams,
+    /// Input trace driving the run.
+    pub trace: &'a Trace,
+    /// Fingerprint of `trace` (compute once per trace with
+    /// [`fingerprint_trace`] and share across the batch).
+    pub trace_fp: u64,
+    /// Platform memory configuration.
+    pub mem: MemoryConfig,
+}
+
+impl<'a> SimUnit<'a> {
+    /// Builds a unit, fingerprinting the trace. When many units share one
+    /// trace, prefer [`SimUnit::with_fingerprint`] with a precomputed
+    /// fingerprint.
+    #[must_use]
+    pub fn new(
+        app: AppKind,
+        combo: Combo,
+        params: &'a AppParams,
+        trace: &'a Trace,
+        mem: MemoryConfig,
+    ) -> Self {
+        Self::with_fingerprint(app, combo, params, trace, fingerprint_trace(trace), mem)
+    }
+
+    /// Builds a unit with a precomputed trace fingerprint.
+    #[must_use]
+    pub fn with_fingerprint(
+        app: AppKind,
+        combo: Combo,
+        params: &'a AppParams,
+        trace: &'a Trace,
+        trace_fp: u64,
+        mem: MemoryConfig,
+    ) -> Self {
+        SimUnit {
+            app,
+            combo,
+            params,
+            trace,
+            trace_fp,
+            mem,
+        }
+    }
+
+    /// The unit's content-addressed cache key.
+    #[must_use]
+    pub fn key(&self) -> CacheKey {
+        CacheKey::new(
+            self.app,
+            self.combo,
+            self.params,
+            self.trace,
+            self.trace_fp,
+            &self.mem,
+        )
+    }
+}
+
+/// The simulation-execution engine: owns the worker pool and the result
+/// cache, and evaluates batches of [`SimUnit`]s with deterministic result
+/// ordering.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_engine::{EngineConfig, ExploreEngine, SimUnit};
+/// use ddtr_apps::{AppKind, AppParams};
+/// use ddtr_ddt::DdtKind;
+/// use ddtr_mem::MemoryConfig;
+/// use ddtr_trace::NetworkPreset;
+///
+/// let trace = NetworkPreset::DartmouthBerry.generate(40);
+/// let params = AppParams::default();
+/// let units = vec![
+///     SimUnit::new(AppKind::Drr, [DdtKind::Array, DdtKind::Sll], &params, &trace,
+///                  MemoryConfig::embedded_default()),
+///     SimUnit::new(AppKind::Drr, [DdtKind::Array, DdtKind::Sll], &params, &trace,
+///                  MemoryConfig::embedded_default()),
+/// ];
+/// let mut engine = ExploreEngine::in_memory();
+/// let logs = engine.evaluate_batch(&units);
+/// assert_eq!(logs.len(), 2);
+/// assert_eq!(engine.stats().misses, 1, "duplicate unit deduplicated");
+/// ```
+#[derive(Debug)]
+pub struct ExploreEngine {
+    cfg: EngineConfig,
+    cache: SimCache,
+}
+
+impl ExploreEngine {
+    /// Creates an engine, opening the persistent cache when the
+    /// configuration names a directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the cache directory cannot be created
+    /// or its store cannot be read.
+    pub fn new(cfg: EngineConfig) -> Result<Self, EngineError> {
+        let cache = match (&cfg.cache_dir, cfg.no_cache) {
+            (Some(dir), false) => SimCache::open(dir)
+                .map_err(|e| EngineError(format!("cache dir {}: {e}", dir.display())))?,
+            _ => SimCache::in_memory(),
+        };
+        Ok(ExploreEngine { cfg, cache })
+    }
+
+    /// An engine with default parallelism and a purely in-memory cache —
+    /// never fails.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::new(EngineConfig::default()).expect("in-memory engine cannot fail")
+    }
+
+    /// An in-memory engine with an explicit worker count (`0` = auto).
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self::new(EngineConfig::with_jobs(jobs)).expect("in-memory engine cannot fail")
+    }
+
+    /// The worker count batches will use (resolved from the configured
+    /// `jobs`).
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        effective_jobs(self.cfg.jobs)
+    }
+
+    /// The cache counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Evaluates a batch of simulation units and returns one log per unit,
+    /// **in input order**.
+    ///
+    /// Cached units are answered without simulating; duplicate units within
+    /// the batch execute once; the remaining misses run on the engine's
+    /// work-stealing pool. Equal batches therefore produce byte-identical
+    /// results at any worker count, and a warm cache turns re-exploration
+    /// into pure lookups.
+    pub fn evaluate_batch(&mut self, units: &[SimUnit]) -> Vec<SimLog> {
+        let keys: Vec<CacheKey> = units.iter().map(SimUnit::key).collect();
+        let ids: Vec<String> = keys.iter().map(CacheKey::id).collect();
+        let mut results: Vec<Option<SimLog>> = vec![None; units.len()];
+        // Resolve cross-batch hits and pick one executor per distinct id.
+        let mut to_run: Vec<usize> = Vec::new();
+        let mut scheduled: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (i, id) in ids.iter().enumerate() {
+            if !self.cfg.no_cache {
+                if let Some(log) = self.cache.get(id) {
+                    results[i] = Some(log);
+                    continue;
+                }
+            }
+            if scheduled.insert(id.as_str()) {
+                to_run.push(i);
+            }
+        }
+        // Execute the misses in parallel, deterministically ordered.
+        let executed: Vec<SimLog> = run_ordered(&to_run, self.cfg.jobs, |&i| {
+            let u = &units[i];
+            Simulator::new(u.mem).run(u.app, u.combo, u.params, u.trace)
+        });
+        // Record the executions, then satisfy duplicates by identity. With
+        // caching disabled, executions are counted but never retained.
+        let mut fresh: std::collections::HashMap<&str, SimLog> = std::collections::HashMap::new();
+        for (&i, log) in to_run.iter().zip(executed) {
+            if self.cfg.no_cache {
+                self.cache.note_miss();
+            } else {
+                self.cache.insert(&keys[i], log.clone());
+            }
+            fresh.insert(ids[i].as_str(), log);
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(log) => log,
+                None => fresh[ids[i].as_str()].clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddtr_ddt::DdtKind;
+    use ddtr_trace::NetworkPreset;
+
+    fn units_for<'a>(
+        trace: &'a Trace,
+        params: &'a AppParams,
+        combos: &[Combo],
+    ) -> Vec<SimUnit<'a>> {
+        let fp = fingerprint_trace(trace);
+        combos
+            .iter()
+            .map(|&combo| {
+                SimUnit::with_fingerprint(
+                    AppKind::Drr,
+                    combo,
+                    params,
+                    trace,
+                    fp,
+                    MemoryConfig::embedded_default(),
+                )
+            })
+            .collect()
+    }
+
+    fn combos() -> Vec<Combo> {
+        vec![
+            [DdtKind::Array, DdtKind::Array],
+            [DdtKind::Sll, DdtKind::Sll],
+            [DdtKind::Array, DdtKind::Dll],
+            [DdtKind::DllRov, DdtKind::SllChunk],
+        ]
+    }
+
+    #[test]
+    fn batch_results_match_direct_simulation_in_order() {
+        let trace = NetworkPreset::DartmouthBerry.generate(50);
+        let params = AppParams::default();
+        let units = units_for(&trace, &params, &combos());
+        let mut engine = ExploreEngine::with_jobs(3);
+        let logs = engine.evaluate_batch(&units);
+        let sim = Simulator::new(MemoryConfig::embedded_default());
+        for (unit, log) in units.iter().zip(&logs) {
+            let direct = sim.run(unit.app, unit.combo, unit.params, unit.trace);
+            assert_eq!(log.combo, direct.combo);
+            assert_eq!(log.report.accesses, direct.report.accesses);
+            assert_eq!(log.report.cycles, direct.report.cycles);
+        }
+    }
+
+    #[test]
+    fn second_batch_is_all_hits() {
+        let trace = NetworkPreset::NlanrAix.generate(40);
+        let params = AppParams::default();
+        let units = units_for(&trace, &params, &combos());
+        let mut engine = ExploreEngine::in_memory();
+        let first = engine.evaluate_batch(&units);
+        assert_eq!(engine.stats().misses, units.len());
+        let second = engine.evaluate_batch(&units);
+        let stats = engine.stats();
+        assert_eq!(stats.misses, units.len(), "no re-execution");
+        assert_eq!(stats.hits, units.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.report.accesses, b.report.accesses);
+        }
+    }
+
+    #[test]
+    fn no_cache_engine_still_deduplicates_within_a_batch() {
+        let trace = NetworkPreset::DartmouthBerry.generate(30);
+        let params = AppParams::default();
+        let mut both = combos();
+        both.extend(combos()); // every unit duplicated
+        let units = units_for(&trace, &params, &both);
+        let mut engine = ExploreEngine::new(EngineConfig {
+            no_cache: true,
+            ..EngineConfig::default()
+        })
+        .expect("engine");
+        let logs = engine.evaluate_batch(&units);
+        assert_eq!(logs.len(), 8);
+        assert_eq!(engine.stats().misses, 4, "four distinct units executed");
+        for (a, b) in logs[..4].iter().zip(&logs[4..]) {
+            assert_eq!(a.report.accesses, b.report.accesses);
+        }
+        // And across batches nothing is remembered.
+        engine.evaluate_batch(&units);
+        assert_eq!(engine.stats().hits, 0);
+        assert_eq!(engine.stats().entries, 0, "no_cache retains nothing");
+        assert_eq!(engine.stats().misses, 8, "both batches executed in full");
+    }
+
+    #[test]
+    fn results_are_identical_at_any_worker_count() {
+        let trace = NetworkPreset::DartmouthBerry.generate(60);
+        let params = AppParams::default();
+        let units = units_for(&trace, &params, &combos());
+        let reference: Vec<String> = ExploreEngine::with_jobs(1)
+            .evaluate_batch(&units)
+            .iter()
+            .map(|l| serde_json::to_string(l).expect("ser"))
+            .collect();
+        for jobs in [2, 8] {
+            let got: Vec<String> = ExploreEngine::with_jobs(jobs)
+                .evaluate_batch(&units)
+                .iter()
+                .map(|l| serde_json::to_string(l).expect("ser"))
+                .collect();
+            assert_eq!(got, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn persistent_engine_replays_across_instances() {
+        let dir = std::env::temp_dir().join(format!("ddtr-engine-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = NetworkPreset::DartmouthBerry.generate(40);
+        let params = AppParams::default();
+        let units = units_for(&trace, &params, &combos());
+        let cfg = EngineConfig {
+            cache_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        let cold = ExploreEngine::new(cfg.clone())
+            .expect("cold engine")
+            .evaluate_batch(&units);
+        let mut warm_engine = ExploreEngine::new(cfg).expect("warm engine");
+        let warm = warm_engine.evaluate_batch(&units);
+        let stats = warm_engine.stats();
+        assert_eq!(stats.loaded, units.len());
+        assert_eq!(stats.misses, 0, "warm run executes nothing");
+        assert_eq!(stats.hits, units.len());
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.report.accesses, b.report.accesses);
+            assert_eq!(a.report.energy_nj, b.report.energy_nj);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

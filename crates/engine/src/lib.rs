@@ -1,0 +1,63 @@
+//! `ddtr_engine` — the simulation-execution engine of the exploration
+//! pipeline.
+//!
+//! The paper's central cost is the exhaustive simulation sweep: thousands
+//! of `(application, DDT combination, network configuration)` runs whose
+//! logs feed the Pareto analysis. This crate owns *how* those runs are
+//! executed, so the methodology layers above it ([`ddtr_core`]'s steps and
+//! NSGA-II) only say *what* to run:
+//!
+//! * [`run_ordered`] — a work-stealing scheduler with deterministic result
+//!   ordering: the same batch yields byte-identical output at any worker
+//!   count (`--jobs N` on the CLI).
+//! * [`CacheKey`] / [`SimCache`] — a content-addressed result cache with a
+//!   JSON-lines disk store, making re-exploration incremental: a warm
+//!   re-run answers from the cache instead of re-simulating.
+//! * [`ExploreEngine::evaluate_batch`] — the batched evaluation API the
+//!   steps, the GA population loop and the bench harness all share.
+//! * [`timing`] — the wall-clock harness behind `BENCH_explore.json`.
+//!
+//! The primitive simulation types ([`Simulator`], [`SimLog`], [`Combo`])
+//! live here too and are re-exported by `ddtr_core` for compatibility.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_engine::{ExploreEngine, SimUnit, all_combos};
+//! use ddtr_apps::{AppKind, AppParams};
+//! use ddtr_mem::MemoryConfig;
+//! use ddtr_trace::NetworkPreset;
+//!
+//! let trace = NetworkPreset::DartmouthBerry.generate(30);
+//! let params = AppParams::default();
+//! let units: Vec<SimUnit> = all_combos()[..5].iter()
+//!     .map(|&c| SimUnit::new(AppKind::Drr, c, &params, &trace,
+//!                            MemoryConfig::embedded_default()))
+//!     .collect();
+//! let mut engine = ExploreEngine::in_memory();
+//! let logs = engine.evaluate_batch(&units);
+//! assert_eq!(logs.len(), 5);
+//! // The same batch again costs nothing.
+//! engine.evaluate_batch(&units);
+//! assert_eq!(engine.stats().misses, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod combo;
+mod engine;
+mod key;
+mod scheduler;
+mod sim;
+pub mod timing;
+
+pub use cache::{CacheStats, SimCache, CACHE_FILE};
+pub use combo::{all_combos, combo_label, combos_from, parse_combo, Combo};
+pub use engine::{EngineConfig, EngineError, ExploreEngine, SimUnit};
+pub use key::{
+    fingerprint_trace, fingerprint_value, fnv1a64, CacheKey, ConfigKey, CACHE_FORMAT_VERSION,
+};
+pub use scheduler::{effective_jobs, run_ordered};
+pub use sim::{SimLog, Simulator};

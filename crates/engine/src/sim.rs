@@ -1,6 +1,7 @@
 //! Single-simulation runner and the simulation log record.
 
 use crate::combo::{combo_label, Combo};
+use crate::key::ConfigKey;
 use ddtr_apps::{AppKind, AppParams, SlotProfile};
 use ddtr_mem::{CostReport, MemoryConfig, MemorySystem};
 use ddtr_trace::Trace;
@@ -30,11 +31,12 @@ impl SimLog {
         self.report.as_array()
     }
 
-    /// Configuration key (`network/params`) grouping logs per step-2
-    /// configuration.
+    /// Structured configuration key (network × parameter variant) grouping
+    /// logs per step-2 configuration. Its [`std::fmt::Display`] renders the
+    /// familiar `network/params` log form.
     #[must_use]
-    pub fn config_key(&self) -> String {
-        format!("{}/{}", self.network, self.params)
+    pub fn config_key(&self) -> ConfigKey {
+        ConfigKey::new(self.network.clone(), self.params.clone())
     }
 }
 
@@ -115,7 +117,14 @@ mod tests {
             assert!(log.report.cycles > 0, "{app}");
             assert!(log.report.energy_nj > 0.0, "{app}");
             assert!(log.report.peak_footprint_bytes > 0, "{app}");
-            assert_eq!(log.config_key(), format!("BWY-I/{}", log.params));
+            assert_eq!(
+                log.config_key(),
+                ConfigKey::new("BWY-I", log.params.clone())
+            );
+            assert_eq!(
+                log.config_key().to_string(),
+                format!("BWY-I/{}", log.params)
+            );
         }
     }
 

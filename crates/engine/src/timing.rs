@@ -1,0 +1,103 @@
+//! Wall-clock measurement for the exploration hot path.
+//!
+//! The ROADMAP's perf trajectory needs numbers, not vibes: this module is
+//! the tiny harness the `perf_baseline` bench binary (and anything else)
+//! uses to time explorations and serialise the result as
+//! `BENCH_explore.json`.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Times a closure, returning its result and the elapsed seconds.
+pub fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// One timed measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSample {
+    /// What was measured (e.g. `"drr quick cold"`).
+    pub label: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// A set of timed measurements destined for a `BENCH_*.json` file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// What this report measures.
+    pub benchmark: String,
+    /// Worker threads available on the measuring host.
+    pub host_parallelism: usize,
+    /// The measurements, in recording order.
+    pub samples: Vec<BenchSample>,
+}
+
+impl BenchReport {
+    /// Creates an empty report, recording the host's parallelism.
+    #[must_use]
+    pub fn new(benchmark: impl Into<String>) -> Self {
+        BenchReport {
+            benchmark: benchmark.into(),
+            host_parallelism: crate::scheduler::effective_jobs(0),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, label: impl Into<String>, seconds: f64) {
+        self.samples.push(BenchSample {
+            label: label.into(),
+            seconds,
+        });
+    }
+
+    /// The seconds recorded under `label`, if any.
+    #[must_use]
+    pub fn seconds_of(&self, label: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.seconds)
+    }
+
+    /// Serialises the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serialisation error message.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_secs_measures_something() {
+        let (value, secs) = time_secs(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(secs >= 0.004, "measured {secs}s");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new("explore");
+        report.push("cold", 1.5);
+        report.push("warm", 0.1);
+        let json = report.to_json().expect("serialise");
+        let back: BenchReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.benchmark, "explore");
+        assert_eq!(back.samples.len(), 2);
+        assert_eq!(back.seconds_of("warm"), Some(0.1));
+        assert_eq!(back.seconds_of("missing"), None);
+        assert!(back.host_parallelism >= 1);
+    }
+}

@@ -7,7 +7,9 @@
 //! ```
 
 use ddtr::apps::AppKind;
-use ddtr::core::{render_pareto_chart, Methodology, MethodologyConfig, ParetoChartPlane};
+use ddtr::core::{
+    render_pareto_chart, ConfigKey, Methodology, MethodologyConfig, ParetoChartPlane,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MethodologyConfig::paper(AppKind::Route);
@@ -28,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dominant structures: {:?}\n", outcome.profile.dominant);
 
     // The per-configuration Pareto curve for the Berry (BWY I) trace.
-    let key = "BWY-I/radix256";
-    let logs = outcome.step2.logs_for(key);
+    let key = ConfigKey::new("BWY-I", "radix256");
+    let logs = outcome.step2.logs_for(&key);
     println!("time-energy exploration space, {key}:");
     println!(
         "{}",

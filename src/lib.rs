@@ -10,6 +10,7 @@
 //! * [`apps`] — the four NetBench-style applications (Route, URL, IPchains,
 //!   DRR),
 //! * [`pareto`] — multi-objective pruning and charting,
+//! * [`engine`] — parallel, cached, resumable simulation execution,
 //! * [`core`] — the three-step refinement methodology itself.
 //!
 //! # Quickstart
@@ -27,6 +28,7 @@
 pub use ddtr_apps as apps;
 pub use ddtr_core as core;
 pub use ddtr_ddt as ddt;
+pub use ddtr_engine as engine;
 pub use ddtr_mem as mem;
 pub use ddtr_pareto as pareto;
 pub use ddtr_trace as trace;
