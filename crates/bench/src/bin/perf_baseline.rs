@@ -2,15 +2,23 @@
 //! trajectory tracks, writing `BENCH_explore.json` at the repository root:
 //!
 //! * quick explores of all five applications, cold cache versus warm cache
-//!   (the engine's persist/replay path end to end), and
+//!   (the engine's persist/replay path end to end),
 //! * a full (paper-sized) DRR explore at `--jobs 1` versus `--jobs 4`,
-//!   asserting the Pareto front is byte-identical across worker counts.
+//!   asserting the Pareto front is byte-identical across worker counts, and
+//! * streamed single DRR simulations at 100k and 1M packets — the
+//!   constant-memory scaling path (packets generated on the fly, never
+//!   materialized).
 //!
 //! Run with `cargo run -p ddtr_bench --bin perf_baseline --release`.
 
-use ddtr_apps::AppKind;
-use ddtr_core::{EngineConfig, ExploreEngine, Methodology, MethodologyConfig, MethodologyOutcome};
+use ddtr_apps::{AppKind, AppParams};
+use ddtr_core::{
+    EngineConfig, ExploreEngine, Methodology, MethodologyConfig, MethodologyOutcome, Simulator,
+};
+use ddtr_ddt::DdtKind;
 use ddtr_engine::timing::{time_secs, BenchReport};
+use ddtr_mem::MemoryConfig;
+use ddtr_trace::{NetworkPreset, StreamSpec};
 use std::path::Path;
 
 fn explore(engine: &mut ExploreEngine, cfg: &MethodologyConfig) -> MethodologyOutcome {
@@ -75,6 +83,24 @@ fn main() {
         "jobs=4 speedup over jobs=1: {:.2}x (byte-identical Pareto front)",
         seconds[0] / seconds[1]
     );
+
+    // Streamed packet-count scaling: one DRR simulation per size, packets
+    // generated on the fly — memory stays O(flows) at any length.
+    println!("\n## streamed DRR simulation, packet-count scaling\n");
+    let sim = Simulator::new(MemoryConfig::embedded_default());
+    let params = AppParams::default();
+    for packets in [100_000usize, 1_000_000] {
+        let spec = StreamSpec::single(NetworkPreset::DartmouthDorm.spec(), packets)
+            .expect("preset specs are valid");
+        let (log, secs) =
+            time_secs(|| sim.run_spec(AppKind::Drr, [DdtKind::Sll, DdtKind::Dll], &params, &spec));
+        println!(
+            "{packets:>9} packets   {secs:8.3}s   {:.0} pkts/s",
+            packets as f64 / secs
+        );
+        assert!(log.report.accesses > 0);
+        report.push(format!("drr streamed {packets} packets"), secs);
+    }
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_explore.json");
     let json = report.to_json().expect("report serialises");

@@ -11,16 +11,22 @@
 //! ddtr params   <preset> <packets>    # extract network parameters
 //! ddtr replay   <logs.jsonl>          # step 3 from persisted step-2 logs
 //! ddtr ga       <app> [--extended]    # heuristic (NSGA-II) exploration
+//! ddtr scenarios [<app>]              # app x scenario Pareto matrix
 //! ddtr cache    stats|clear           # inspect / drop the result cache
 //! ```
 //!
-//! Every simulating subcommand (`explore`, `pareto`, `report`, `ga`) runs
-//! on the [`ddtr_engine`] execution engine and accepts:
+//! Every simulating subcommand (`explore`, `pareto`, `report`, `ga`,
+//! `scenarios`) runs on the [`ddtr_engine`] execution engine and accepts:
 //!
 //! * `--jobs N` — worker threads (default: one per core),
 //! * `--cache-dir <dir>` — persistent result cache (default
 //!   `.ddtr-cache`),
 //! * `--no-cache` — disable the persistent cache for this run.
+//!
+//! `explore`, `pareto`, `report` and `ga` additionally take `--stream`:
+//! packets are then generated into each simulation on the fly (constant
+//! memory regardless of trace length, byte-identical results) instead of
+//! materializing traces up front. `scenarios` always streams.
 //!
 //! A second `explore` over an unchanged configuration answers from the
 //! cache and is near-instant.
@@ -31,13 +37,14 @@
 
 use ddtr_apps::AppKind;
 use ddtr_core::{
-    explore_heuristic_with, explore_pareto_level, headline_comparison, profile_application,
-    read_logs, render_pareto_chart, step2_from_logs, table1_markdown, table2_markdown, write_logs,
-    EngineConfig, ExploreEngine, GaConfig, Methodology, MethodologyConfig, ParetoChartPlane,
+    explore_heuristic_with, explore_pareto_level, explore_scenarios_with, headline_comparison,
+    profile_application, read_logs, render_pareto_chart, step2_from_logs, table1_markdown,
+    table2_markdown, write_logs, EngineConfig, ExploreEngine, GaConfig, Methodology,
+    MethodologyConfig, ParetoChartPlane, ScenarioConfig,
 };
 use ddtr_ddt::DdtKind;
 use ddtr_engine::SimCache;
-use ddtr_trace::{NetworkParams, NetworkPreset, TraceWriter};
+use ddtr_trace::{NetworkParams, NetworkPreset, Scenario, TraceWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -56,24 +63,44 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   ddtr profile <route|url|ipchains|drr|nat> [--quick]
-  ddtr explore <route|url|ipchains|drr|nat> [--quick] [--extended] [--json] [engine flags]
-  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended] [engine flags]
-  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended] [engine flags]
+  ddtr explore <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [--json]
+               [engine flags]
+  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [engine flags]
+  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [engine flags]
   ddtr trace   <preset> <packets>
   ddtr params  <preset> <packets>
   ddtr replay  <logs.jsonl>
-  ddtr ga      <route|url|ipchains|drr|nat> [--quick] [--extended] [--seed N] [--stall N]
-               [engine flags]
+  ddtr ga      <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [--seed N]
+               [--stall N] [engine flags]
+  ddtr scenarios [<route|url|ipchains|drr|nat>] [--quick] [--extended] [--base <preset>]
+               [--packets N] [engine flags]
   ddtr cache   stats|clear [--cache-dir <dir>]
   ddtr presets
 
 engine flags (simulating subcommands):
   --jobs N           worker threads per batch (default: one per core)
   --cache-dir <dir>  persistent result cache (default: .ddtr-cache)
-  --no-cache         do not read or write the persistent cache";
+  --no-cache         do not read or write the persistent cache
+
+--stream generates packets into each simulation on the fly: constant
+memory at any trace length, byte-identical results. `ddtr scenarios`
+runs the app x scenario matrix (baseline, bursty, flash-crowd, ddos-syn,
+phase-shift) over the base network and always streams.";
 
 /// Default location of the persistent result cache.
 const DEFAULT_CACHE_DIR: &str = ".ddtr-cache";
+
+/// The `--jobs` engine flag (worker threads per batch).
+const FLAG_JOBS: &str = "--jobs";
+
+/// The `--cache-dir` engine flag (persistent result cache location).
+const FLAG_CACHE_DIR: &str = "--cache-dir";
+
+/// Engine flags that consume a value. `engine_from`/`cache_dir_of` parse
+/// exactly these constants and the `scenarios` positional scanner skips
+/// them, so adding a value-taking engine flag cannot desynchronise the
+/// two.
+const ENGINE_VALUE_FLAGS: [&str; 2] = [FLAG_JOBS, FLAG_CACHE_DIR];
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -88,6 +115,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "params" => params(&rest),
         "replay" => replay(&rest),
         "ga" => ga(&rest),
+        "scenarios" => scenarios(&rest),
         "cache" => cache(&rest),
         "presets" => {
             for p in NetworkPreset::ALL {
@@ -118,13 +146,13 @@ fn flag_value<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a String>,
 
 /// The cache directory a command addresses: `--cache-dir` or the default.
 fn cache_dir_of(rest: &[&String]) -> Result<PathBuf, String> {
-    Ok(flag_value(rest, "--cache-dir")?
+    Ok(flag_value(rest, FLAG_CACHE_DIR)?
         .map_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR), PathBuf::from))
 }
 
 /// Builds the execution engine from the shared engine flags.
 fn engine_from(rest: &[&String]) -> Result<ExploreEngine, String> {
-    let jobs: usize = match flag_value(rest, "--jobs")? {
+    let jobs: usize = match flag_value(rest, FLAG_JOBS)? {
         Some(v) => v.parse().map_err(|e| format!("bad --jobs value: {e}"))?,
         None => 0,
     };
@@ -150,6 +178,17 @@ fn engine_summary(report: &ddtr_core::EngineReport) -> String {
     )
 }
 
+/// [`engine_summary`] over an engine's lifetime counters (for subcommands
+/// without a pipeline [`ddtr_core::EngineReport`]).
+fn engine_stats_line(engine: &ExploreEngine) -> String {
+    let stats = engine.stats();
+    engine_summary(&ddtr_core::EngineReport {
+        jobs: engine.jobs(),
+        cache_hits: stats.hits,
+        executed: stats.misses,
+    })
+}
+
 fn parse_app(rest: &[&String]) -> Result<(AppKind, MethodologyConfig), String> {
     let app: AppKind = rest
         .first()
@@ -164,6 +203,9 @@ fn parse_app(rest: &[&String]) -> Result<(AppKind, MethodologyConfig), String> {
     };
     if rest.iter().any(|a| a.as_str() == "--extended") {
         cfg.candidates = DdtKind::EXTENDED.to_vec();
+    }
+    if rest.iter().any(|a| a.as_str() == "--stream") {
+        cfg.streaming = true;
     }
     Ok((app, cfg))
 }
@@ -357,6 +399,9 @@ fn ga(rest: &[&String]) -> Result<(), String> {
     if rest.iter().any(|a| a.as_str() == "--extended") {
         cfg.candidates = DdtKind::EXTENDED.to_vec();
     }
+    if rest.iter().any(|a| a.as_str() == "--stream") {
+        cfg.streaming = true;
+    }
     if let Some(seed) = flag_value(rest, "--seed")? {
         cfg.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
     }
@@ -392,15 +437,105 @@ fn ga(rest: &[&String]) -> Result<(), String> {
     for log in &outcome.front {
         println!("  {:20} {}", log.combo, log.report);
     }
-    let stats = engine.stats();
+    println!("{}", engine_stats_line(&engine));
+    Ok(())
+}
+
+fn scenarios(rest: &[&String]) -> Result<(), String> {
+    let base: NetworkPreset = match flag_value(rest, "--base")? {
+        Some(v) => v.parse()?,
+        None => NetworkPreset::DartmouthBerry,
+    };
+    let mut cfg = if rest.iter().any(|a| a.as_str() == "--quick") {
+        ScenarioConfig::quick(base)
+    } else {
+        ScenarioConfig::paper(base)
+    };
+    if rest.iter().any(|a| a.as_str() == "--extended") {
+        cfg.candidates = DdtKind::EXTENDED.to_vec();
+    }
+    // An optional application argument (anywhere among the flags)
+    // restricts the matrix to one row; stray positionals and unknown
+    // flags are errors, not silently ignored full-matrix runs.
+    let mut value_flags = vec!["--base", "--packets"];
+    value_flags.extend(ENGINE_VALUE_FLAGS);
+    // `--stream` is accepted as a no-op: scenarios always streams, and
+    // scripts uniformly appending it to simulating subcommands should
+    // not break here.
+    let bool_flags = ["--quick", "--extended", "--no-cache", "--stream"];
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        if value_flags.contains(&arg) {
+            i += 2;
+        } else if bool_flags.contains(&arg) {
+            i += 1;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown scenarios flag `{arg}`"));
+        } else {
+            positionals.push(rest[i]);
+            i += 1;
+        }
+    }
+    match positionals.as_slice() {
+        [] => {}
+        [app] => cfg.apps = vec![app.parse().map_err(|e| format!("{e}"))?],
+        more => {
+            return Err(format!(
+                "scenarios takes at most one application, got {}",
+                more.len()
+            ))
+        }
+    }
+    if let Some(packets) = flag_value(rest, "--packets")? {
+        cfg.packets_per_sim = packets
+            .parse()
+            .map_err(|e| format!("bad packet count: {e}"))?;
+    }
+    let mut engine = engine_from(rest)?;
+    let matrix = explore_scenarios_with(&mut engine, &cfg).map_err(|e| e.to_string())?;
     println!(
-        "{}",
-        engine_summary(&ddtr_core::EngineReport {
-            jobs: engine.jobs(),
-            cache_hits: stats.hits,
-            executed: stats.misses,
-        })
+        "# scenario matrix over {base}: {} apps x {} scenarios, {} packets/sim (streamed)",
+        cfg.apps.len(),
+        cfg.scenarios.len(),
+        cfg.packets_per_sim
     );
+    for cell in &matrix.cells {
+        println!(
+            "\n== {} under {} ({}) ==",
+            cell.app, cell.scenario, cell.network
+        );
+        println!(
+            "{} combinations evaluated, {} Pareto-optimal:",
+            cell.evaluations,
+            cell.front.len()
+        );
+        for log in &cell.front {
+            println!("  {:20} {}", log.combo, log.report);
+        }
+    }
+    // Scenario columns often shift the front — summarise the shift per app.
+    for &app in &cfg.apps {
+        let mut fronts: Vec<(Scenario, Vec<String>)> = Vec::new();
+        for &scenario in &cfg.scenarios {
+            if let Some(cell) = matrix.cell(app, scenario) {
+                fronts.push((scenario, cell.front_labels()));
+            }
+        }
+        if let Some((_, baseline)) = fronts.first() {
+            let shifted = fronts[1..]
+                .iter()
+                .filter(|(_, labels)| labels != baseline)
+                .count();
+            println!(
+                "\n{app}: {shifted} of {} scenarios shift the Pareto front vs {}",
+                fronts.len().saturating_sub(1),
+                fronts[0].0
+            );
+        }
+    }
+    println!("\n{}", engine_stats_line(&engine));
     Ok(())
 }
 
@@ -550,6 +685,94 @@ mod tests {
         .expect("explores");
         run(&args(&["replay", &path_str])).expect("replays");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn parse_app_honours_stream_flag() {
+        let binding = args(&["drr", "--quick", "--stream"]);
+        let rest: Vec<&String> = binding.iter().collect();
+        let (_, cfg) = parse_app(&rest).expect("parses");
+        assert!(cfg.streaming);
+        let binding = args(&["drr", "--quick"]);
+        let rest: Vec<&String> = binding.iter().collect();
+        let (_, cfg) = parse_app(&rest).expect("parses");
+        assert!(!cfg.streaming);
+    }
+
+    #[test]
+    fn streamed_explore_runs_end_to_end() {
+        run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--stream",
+            "--no-cache",
+        ]))
+        .expect("streamed explore");
+    }
+
+    #[test]
+    fn scenarios_single_app_runs_end_to_end() {
+        run(&args(&[
+            "scenarios",
+            "drr",
+            "--quick",
+            "--packets",
+            "40",
+            "--no-cache",
+        ]))
+        .expect("scenario matrix");
+    }
+
+    #[test]
+    fn scenarios_rejects_bad_inputs() {
+        let err = run(&args(&["scenarios", "nfs", "--quick"])).unwrap_err();
+        assert!(err.contains("nfs"));
+        let err = run(&args(&["scenarios", "drr", "--base", "NOPE"])).unwrap_err();
+        assert!(err.contains("NOPE"));
+        let err = run(&args(&["scenarios", "drr", "--packets", "many"])).unwrap_err();
+        assert!(err.contains("bad packet count"));
+        // The application may follow flags — it must not be silently
+        // ignored (which would run the full matrix instead of one row).
+        let err = run(&args(&["scenarios", "--quick", "nfs"])).unwrap_err();
+        assert!(err.contains("nfs"), "{err}");
+        let err = run(&args(&["scenarios", "drr", "url", "--quick"])).unwrap_err();
+        assert!(err.contains("at most one application"), "{err}");
+        // Unknown flags (and typos of value flags) are rejected, not
+        // silently swallowed.
+        let err = run(&args(&["scenarios", "drr", "--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        let err = run(&args(&["scenarios", "drr", "--packet", "40"])).unwrap_err();
+        assert!(err.contains("--packet"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_honours_extended_candidates() {
+        // --extended must enlarge the per-cell space (12^2 = 144), like
+        // every other simulating subcommand.
+        run(&args(&[
+            "scenarios",
+            "drr",
+            "--quick",
+            "--extended",
+            "--packets",
+            "20",
+            "--no-cache",
+        ]))
+        .expect("extended scenario matrix runs");
+    }
+
+    #[test]
+    fn scenarios_accepts_app_after_flags() {
+        run(&args(&[
+            "scenarios",
+            "--quick",
+            "--packets",
+            "30",
+            "--no-cache",
+            "url",
+        ]))
+        .expect("app after flags restricts the matrix to one row");
     }
 
     #[test]

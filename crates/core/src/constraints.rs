@@ -130,8 +130,7 @@ impl ParetoReport {
             .filter(|p| constraints.admits(&p.report))
             .min_by(|a, b| {
                 a.report.as_array()[objective.dim()]
-                    .partial_cmp(&b.report.as_array()[objective.dim()])
-                    .expect("metrics are finite")
+                    .total_cmp(&b.report.as_array()[objective.dim()])
             })
     }
 }

@@ -11,9 +11,10 @@
 //! (`cargo run -p ddtr-bench --bin heuristic --release`).
 
 use crate::error::ExploreError;
+use crate::workload::Workload;
 use ddtr_apps::{AppKind, AppParams, DOMINANT_SLOTS_PER_APP};
 use ddtr_ddt::DdtKind;
-use ddtr_engine::{combo_label, fingerprint_trace, Combo, ExploreEngine, SimLog, SimUnit};
+use ddtr_engine::{combo_label, Combo, ExploreEngine, SimLog, SimUnit, TraceSource};
 use ddtr_mem::MemoryConfig;
 use ddtr_pareto::{pareto_front_indices, pareto_ranks};
 use ddtr_trace::NetworkPreset;
@@ -60,6 +61,11 @@ pub struct GaConfig {
     pub stall_generations: Option<usize>,
     /// Packets simulated per fitness evaluation.
     pub packets_per_sim: usize,
+    /// Stream packets into each evaluation instead of materializing the
+    /// trace (byte-identical results, constant memory in
+    /// `packets_per_sim`).
+    #[serde(default)]
+    pub streaming: bool,
     /// Network whose trace drives the evaluations.
     pub network: NetworkPreset,
     /// Application parameters of the evaluations.
@@ -88,6 +94,7 @@ impl GaConfig {
             seed: 0xDD7,
             stall_generations: None,
             packets_per_sim: 80,
+            streaming: false,
             network: NetworkPreset::DartmouthBerry,
             params,
             mem: MemoryConfig::embedded_default(),
@@ -197,9 +204,10 @@ impl GaOutcome {
             .iter()
             .filter(|l| constraints.admits(&l.report))
             .min_by(|a, b| {
-                a.objectives()[objective.dim()]
-                    .partial_cmp(&b.objectives()[objective.dim()])
-                    .expect("metrics are finite")
+                // total_cmp: a NaN objective cannot panic the selection;
+                // IEEE total order places positive NaN after +inf (negative
+                // NaN before -inf), so the pick stays deterministic.
+                a.objectives()[objective.dim()].total_cmp(&b.objectives()[objective.dim()])
             })
     }
 }
@@ -242,11 +250,11 @@ impl Archive {
         let units: Vec<SimUnit> = fresh
             .iter()
             .map(|&combo| {
-                SimUnit::with_fingerprint(
+                SimUnit::from_source(
                     cfg.app,
                     combo,
                     &cfg.params,
-                    eval.trace,
+                    eval.source,
                     eval.trace_fp,
                     cfg.mem,
                 )
@@ -273,7 +281,7 @@ impl Archive {
 
 /// The shared per-run evaluation inputs.
 struct Eval<'a> {
-    trace: &'a ddtr_trace::Trace,
+    source: TraceSource<'a>,
     trace_fp: u64,
 }
 
@@ -314,10 +322,10 @@ pub fn explore_heuristic_with(
 ) -> Result<GaOutcome, ExploreError> {
     cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let trace = cfg.network.generate(cfg.packets_per_sim);
+    let workload = Workload::build(cfg.network.spec(), cfg.packets_per_sim, cfg.streaming)?;
     let eval = Eval {
-        trace_fp: fingerprint_trace(&trace),
-        trace: &trace,
+        trace_fp: workload.source().fingerprint(),
+        source: workload.source(),
     };
     let mut archive = Archive::default();
     let to_combo = |g: &Genome| -> Combo { [cfg.candidates[g[0]], cfg.candidates[g[1]]] };
@@ -422,11 +430,9 @@ pub fn explore_heuristic_with(
         let pool_crowding = crowding_distances(&pool_fitness, &pool_ranks);
         let mut order: Vec<usize> = (0..pool.len()).collect();
         order.sort_by(|&a, &b| {
-            pool_ranks[a].cmp(&pool_ranks[b]).then(
-                pool_crowding[b]
-                    .partial_cmp(&pool_crowding[a])
-                    .expect("crowding distances are not NaN"),
-            )
+            pool_ranks[a]
+                .cmp(&pool_ranks[b])
+                .then(pool_crowding[b].total_cmp(&pool_crowding[a]))
         });
         population = order
             .into_iter()
@@ -479,11 +485,10 @@ fn crowding_distances(points: &[[f64; 4]], ranks: &[usize]) -> Vec<f64> {
         #[allow(clippy::needless_range_loop)]
         for dim in 0..4 {
             let mut sorted = members.clone();
-            sorted.sort_by(|&a, &b| {
-                points[a][dim]
-                    .partial_cmp(&points[b][dim])
-                    .expect("objectives are not NaN")
-            });
+            // total_cmp: a NaN objective gets a deterministic position
+            // (IEEE total order) instead of panicking or silently
+            // corrupting the crowding order.
+            sorted.sort_by(|&a, &b| points[a][dim].total_cmp(&points[b][dim]));
             let lo = points[sorted[0]][dim];
             let hi = points[*sorted.last().expect("non-empty front")][dim];
             distance[sorted[0]] = f64::INFINITY;
@@ -694,6 +699,37 @@ mod tests {
         assert!(d[3].is_infinite());
         assert!(d[1].is_finite() && d[1] > 0.0);
         assert!((d[1] - d[2]).abs() < 1e-12, "symmetric interior points");
+    }
+
+    #[test]
+    fn streamed_ga_is_byte_identical_to_materialized() {
+        let cfg = GaConfig::quick(AppKind::Drr);
+        let mut streamed_cfg = cfg.clone();
+        streamed_cfg.streaming = true;
+        let materialized = explore_heuristic(&cfg).expect("materialized");
+        let streamed = explore_heuristic(&streamed_cfg).expect("streamed");
+        assert_eq!(streamed.front_labels(), materialized.front_labels());
+        assert_eq!(streamed.evaluations, materialized.evaluations);
+        assert_eq!(
+            serde_json::to_string(&streamed.front).expect("ser"),
+            serde_json::to_string(&materialized.front).expect("ser"),
+        );
+    }
+
+    #[test]
+    fn crowding_tolerates_nan_objectives() {
+        // A NaN objective must not panic the sort; the NaN point simply
+        // sorts last in that dimension.
+        let points = [
+            [0.0, 3.0, 0.0, 0.0],
+            [1.0, f64::NAN, 0.0, 0.0],
+            [2.0, 1.0, 0.0, 0.0],
+            [3.0, 0.0, 0.0, 0.0],
+        ];
+        let ranks = vec![0, 0, 0, 0];
+        let d = crowding_distances(&points, &ranks);
+        assert_eq!(d.len(), 4);
+        assert!(d[0].is_infinite());
     }
 
     #[test]

@@ -54,15 +54,18 @@ mod log;
 mod pipeline;
 mod profile;
 mod report;
+mod scenarios;
 mod step1;
 mod step2;
 mod step3;
+mod workload;
 
 pub use config::MethodologyConfig;
 pub use constraints::{DesignConstraints, Objective};
 pub use ddtr_engine::{
-    all_combos, combo_label, combos_from, parse_combo, CacheKey, CacheStats, Combo, ConfigKey,
-    EngineConfig, ExploreEngine, SimLog, SimUnit, Simulator,
+    all_combos, combo_label, combos_from, fingerprint_stream_spec, parse_combo, CacheKey,
+    CacheStats, Combo, ConfigKey, EngineConfig, ExploreEngine, SimLog, SimUnit, Simulator,
+    TraceSource,
 };
 pub use error::ExploreError;
 pub use ga::{explore_heuristic, explore_heuristic_with, GaConfig, GaOutcome, GenerationStats};
@@ -72,6 +75,9 @@ pub use pipeline::{EngineReport, Methodology, MethodologyOutcome, SimCounts};
 pub use profile::{profile_application, ProfileReport};
 pub use report::{
     render_pareto_chart, table1_markdown, table2_markdown, tradeoff_percentages, ParetoChartPlane,
+};
+pub use scenarios::{
+    explore_scenarios, explore_scenarios_with, ScenarioCell, ScenarioConfig, ScenarioMatrix,
 };
 pub use step1::{explore_application_level, explore_application_level_with, Step1Result};
 pub use step2::{explore_network_level, explore_network_level_with, NetworkConfig, Step2Result};

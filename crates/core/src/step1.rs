@@ -2,11 +2,9 @@
 
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
-use ddtr_engine::{
-    combos_from, fingerprint_trace, parse_combo, Combo, ExploreEngine, SimLog, SimUnit,
-};
+use crate::workload::Workload;
+use ddtr_engine::{combos_from, parse_combo, Combo, ExploreEngine, SimLog, SimUnit};
 use ddtr_pareto::pareto_front_indices;
-use ddtr_trace::TraceGenerator;
 use serde::{Deserialize, Serialize};
 
 /// Result of the application-level exploration.
@@ -74,8 +72,12 @@ pub fn explore_application_level_with(
     cfg: &MethodologyConfig,
 ) -> Result<Step1Result, ExploreError> {
     cfg.validate()?;
-    let trace = TraceGenerator::new(cfg.reference_network.spec()).generate(cfg.packets_per_sim);
-    let trace_fp = fingerprint_trace(&trace);
+    let workload = Workload::build(
+        cfg.reference_network.spec(),
+        cfg.packets_per_sim,
+        cfg.streaming,
+    )?;
+    let trace_fp = workload.source().fingerprint();
     let params = cfg
         .param_variants
         .first()
@@ -83,7 +85,9 @@ pub fn explore_application_level_with(
     let combos = combos_from(&cfg.candidates);
     let units: Vec<SimUnit> = combos
         .iter()
-        .map(|&combo| SimUnit::with_fingerprint(cfg.app, combo, params, &trace, trace_fp, cfg.mem))
+        .map(|&combo| {
+            SimUnit::from_source(cfg.app, combo, params, workload.source(), trace_fp, cfg.mem)
+        })
         .collect();
     let measurements = engine.evaluate_batch(&units);
     let survivors = select_survivors(&measurements, cfg.survivor_fraction);
@@ -121,7 +125,10 @@ pub(crate) fn select_survivors(measurements: &[SimLog], fraction: f64) -> Vec<St
                     .map(|(v, m)| v / m)
                     .sum()
             };
-            score(a).partial_cmp(&score(b)).expect("metrics are finite")
+            // total_cmp: a NaN score gets a deterministic position (IEEE
+            // total order: after +inf, or before -inf when negative)
+            // instead of panicking mid-sort.
+            score(a).total_cmp(&score(b))
         });
         keep.extend(rest.into_iter().take(target - keep.len()));
     }
@@ -233,6 +240,20 @@ mod tests {
         let a: Vec<_> = seq.measurements.iter().map(key).collect();
         let b: Vec<_> = par.measurements.iter().map(key).collect();
         assert_eq!(a, b, "parallel step 1 must be order-preserving");
+    }
+
+    #[test]
+    fn streamed_step1_is_byte_identical_to_materialized() {
+        let cfg = MethodologyConfig::quick(AppKind::Drr);
+        let mut streamed_cfg = cfg.clone();
+        streamed_cfg.streaming = true;
+        let materialized = explore_application_level(&cfg).expect("materialized");
+        let streamed = explore_application_level(&streamed_cfg).expect("streamed");
+        assert_eq!(streamed.survivors, materialized.survivors);
+        assert_eq!(
+            serde_json::to_string(&streamed.measurements).expect("ser"),
+            serde_json::to_string(&materialized.measurements).expect("ser"),
+        );
     }
 
     #[test]

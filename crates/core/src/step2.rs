@@ -2,9 +2,9 @@
 
 use crate::config::MethodologyConfig;
 use crate::error::ExploreError;
-use ddtr_apps::AppParams;
-use ddtr_engine::{fingerprint_trace, Combo, ConfigKey, ExploreEngine, SimLog, SimUnit};
-use ddtr_trace::{NetworkParams, NetworkPreset, Trace, TraceGenerator};
+use crate::workload::Workload;
+use ddtr_engine::{Combo, ConfigKey, ExploreEngine, SimLog, SimUnit};
+use ddtr_trace::{NetworkParams, NetworkPreset};
 use serde::{Deserialize, Serialize};
 
 /// One network configuration of step 2: a network preset combined with an
@@ -87,29 +87,36 @@ pub fn explore_network_level_with(
             "step 2 needs at least one surviving combination".into(),
         ));
     }
-    // Build every configuration's trace once and extract its parameters.
-    let mut jobs: Vec<(NetworkPreset, AppParams, Trace, u64)> = Vec::new();
+    // Build every network's workload once (materialized or streamed, per
+    // `cfg.streaming`) and extract its parameters in a single pass —
+    // once per network, shared across its parameter variants (a streamed
+    // extraction regenerates the whole packet stream, so repeating it
+    // per variant would multiply that cost for an identical result).
+    let mut workloads: Vec<(NetworkPreset, Workload, u64, NetworkParams)> = Vec::new();
     for &network in &cfg.networks {
-        let trace = TraceGenerator::new(network.spec()).generate(cfg.packets_per_sim);
-        let trace_fp = fingerprint_trace(&trace);
-        for params in &cfg.param_variants {
-            jobs.push((network, params.clone(), trace.clone(), trace_fp));
-        }
+        let workload = Workload::build(network.spec(), cfg.packets_per_sim, cfg.streaming)?;
+        let fp = workload.source().fingerprint();
+        let extracted = workload.extract_params();
+        workloads.push((network, workload, fp, extracted));
     }
-    let configs: Vec<NetworkConfig> = jobs
+    let configs: Vec<NetworkConfig> = workloads
         .iter()
-        .map(|(network, params, trace, _)| NetworkConfig {
-            network: *network,
-            params_label: params.label(cfg.app),
-            extracted: NetworkParams::extract(trace),
+        .flat_map(|(network, _, _, extracted)| {
+            cfg.param_variants.iter().map(move |params| NetworkConfig {
+                network: *network,
+                params_label: params.label(cfg.app),
+                extracted: extracted.clone(),
+            })
         })
         .collect();
 
-    let units: Vec<SimUnit> = jobs
+    let units: Vec<SimUnit> = workloads
         .iter()
-        .flat_map(|(_, params, trace, trace_fp)| {
-            survivors.iter().map(move |&combo| {
-                SimUnit::with_fingerprint(cfg.app, combo, params, trace, *trace_fp, cfg.mem)
+        .flat_map(|(_, workload, fp, _)| {
+            cfg.param_variants.iter().flat_map(move |params| {
+                survivors.iter().map(move |&combo| {
+                    SimUnit::from_source(cfg.app, combo, params, workload.source(), *fp, cfg.mem)
+                })
             })
         })
         .collect();
@@ -187,6 +194,24 @@ mod tests {
         let accesses: Vec<u64> = result.logs.iter().map(|l| l.report.accesses).collect();
         assert_eq!(accesses.len(), 2);
         assert_ne!(accesses[0], accesses[1]);
+    }
+
+    #[test]
+    fn streamed_step2_is_byte_identical_to_materialized() {
+        let cfg = MethodologyConfig::quick(AppKind::Url);
+        let mut streamed_cfg = cfg.clone();
+        streamed_cfg.streaming = true;
+        let materialized = explore_network_level(&cfg, &survivors()).expect("materialized");
+        let streamed = explore_network_level(&streamed_cfg, &survivors()).expect("streamed");
+        assert_eq!(
+            serde_json::to_string(&streamed.logs).expect("ser"),
+            serde_json::to_string(&materialized.logs).expect("ser"),
+        );
+        assert_eq!(
+            serde_json::to_string(&streamed.configs).expect("ser"),
+            serde_json::to_string(&materialized.configs).expect("ser"),
+            "extracted parameters must match the single-pass streamed extraction"
+        );
     }
 
     #[test]

@@ -46,11 +46,9 @@ impl ParetoReport {
     /// (0 energy, 1 time, 2 accesses, 3 footprint).
     #[must_use]
     pub fn best_by(&self, dim: usize) -> Option<&ParetoPoint> {
-        self.global_front.iter().min_by(|a, b| {
-            a.report.as_array()[dim]
-                .partial_cmp(&b.report.as_array()[dim])
-                .expect("metrics are finite")
-        })
+        self.global_front
+            .iter()
+            .min_by(|a, b| a.report.as_array()[dim].total_cmp(&b.report.as_array()[dim]))
     }
 }
 

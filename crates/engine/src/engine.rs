@@ -2,12 +2,12 @@
 
 use crate::cache::{CacheStats, SimCache};
 use crate::combo::Combo;
-use crate::key::{fingerprint_trace, CacheKey};
+use crate::key::{fingerprint_stream_spec, fingerprint_trace, CacheKey};
 use crate::scheduler::{effective_jobs, run_ordered};
 use crate::sim::{SimLog, Simulator};
 use ddtr_apps::{AppKind, AppParams};
 use ddtr_mem::MemoryConfig;
-use ddtr_trace::Trace;
+use ddtr_trace::{StreamSpec, Trace};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -46,6 +46,42 @@ impl EngineConfig {
     }
 }
 
+/// Where a simulation unit's packets come from.
+///
+/// The engine treats both forms identically for scheduling, ordering and
+/// caching; they differ only in what gets fingerprinted (packets versus
+/// workload description) and how the simulator consumes them.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceSource<'a> {
+    /// A fully materialized trace, shared by reference across the batch.
+    Materialized(&'a Trace),
+    /// A streamed workload description: packets are generated on the fly
+    /// in constant memory, and the cache key fingerprints the *spec*
+    /// instead of millions of packets.
+    Streamed(&'a StreamSpec),
+}
+
+impl TraceSource<'_> {
+    /// The network name the resulting log is filed under.
+    #[must_use]
+    pub fn network(&self) -> &str {
+        match self {
+            TraceSource::Materialized(trace) => &trace.network,
+            TraceSource::Streamed(spec) => spec.name(),
+        }
+    }
+
+    /// Content fingerprint of the source ([`fingerprint_trace`] or
+    /// [`fingerprint_stream_spec`]); the two domains never collide.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            TraceSource::Materialized(trace) => fingerprint_trace(trace),
+            TraceSource::Streamed(spec) => fingerprint_stream_spec(spec),
+        }
+    }
+}
+
 /// One `(application, combination, configuration)` simulation unit — the
 /// atom the engine schedules, caches and orders.
 #[derive(Debug, Clone)]
@@ -56,19 +92,20 @@ pub struct SimUnit<'a> {
     pub combo: Combo,
     /// Application parameters of the run.
     pub params: &'a AppParams,
-    /// Input trace driving the run.
-    pub trace: &'a Trace,
-    /// Fingerprint of `trace` (compute once per trace with
-    /// [`fingerprint_trace`] and share across the batch).
+    /// Packet source driving the run (materialized trace or streamed
+    /// workload).
+    pub source: TraceSource<'a>,
+    /// Fingerprint of the source (compute once per trace/spec with
+    /// [`TraceSource::fingerprint`] and share across the batch).
     pub trace_fp: u64,
     /// Platform memory configuration.
     pub mem: MemoryConfig,
 }
 
 impl<'a> SimUnit<'a> {
-    /// Builds a unit, fingerprinting the trace. When many units share one
-    /// trace, prefer [`SimUnit::with_fingerprint`] with a precomputed
-    /// fingerprint.
+    /// Builds a materialized-trace unit, fingerprinting the trace. When
+    /// many units share one trace, prefer [`SimUnit::with_fingerprint`]
+    /// with a precomputed fingerprint.
     #[must_use]
     pub fn new(
         app: AppKind,
@@ -80,7 +117,8 @@ impl<'a> SimUnit<'a> {
         Self::with_fingerprint(app, combo, params, trace, fingerprint_trace(trace), mem)
     }
 
-    /// Builds a unit with a precomputed trace fingerprint.
+    /// Builds a materialized-trace unit with a precomputed trace
+    /// fingerprint.
     #[must_use]
     pub fn with_fingerprint(
         app: AppKind,
@@ -90,11 +128,53 @@ impl<'a> SimUnit<'a> {
         trace_fp: u64,
         mem: MemoryConfig,
     ) -> Self {
+        Self::from_source(
+            app,
+            combo,
+            params,
+            TraceSource::Materialized(trace),
+            trace_fp,
+            mem,
+        )
+    }
+
+    /// Builds a streamed unit, fingerprinting the workload spec (cheap —
+    /// constant in the packet count). When many units share one spec,
+    /// prefer [`SimUnit::from_source`] with a precomputed fingerprint.
+    #[must_use]
+    pub fn streamed(
+        app: AppKind,
+        combo: Combo,
+        params: &'a AppParams,
+        spec: &'a StreamSpec,
+        mem: MemoryConfig,
+    ) -> Self {
+        Self::from_source(
+            app,
+            combo,
+            params,
+            TraceSource::Streamed(spec),
+            fingerprint_stream_spec(spec),
+            mem,
+        )
+    }
+
+    /// Builds a unit from an explicit source and its precomputed
+    /// fingerprint.
+    #[must_use]
+    pub fn from_source(
+        app: AppKind,
+        combo: Combo,
+        params: &'a AppParams,
+        source: TraceSource<'a>,
+        trace_fp: u64,
+        mem: MemoryConfig,
+    ) -> Self {
         SimUnit {
             app,
             combo,
             params,
-            trace,
+            source,
             trace_fp,
             mem,
         }
@@ -103,14 +183,23 @@ impl<'a> SimUnit<'a> {
     /// The unit's content-addressed cache key.
     #[must_use]
     pub fn key(&self) -> CacheKey {
-        CacheKey::new(
+        CacheKey::for_network(
             self.app,
             self.combo,
             self.params,
-            self.trace,
+            self.source.network(),
             self.trace_fp,
             &self.mem,
         )
+    }
+
+    /// Runs this unit's simulation (used by the engine's worker pool).
+    fn simulate(&self) -> SimLog {
+        let sim = Simulator::new(self.mem);
+        match self.source {
+            TraceSource::Materialized(trace) => sim.run(self.app, self.combo, self.params, trace),
+            TraceSource::Streamed(spec) => sim.run_spec(self.app, self.combo, self.params, spec),
+        }
     }
 }
 
@@ -216,10 +305,7 @@ impl ExploreEngine {
             }
         }
         // Execute the misses in parallel, deterministically ordered.
-        let executed: Vec<SimLog> = run_ordered(&to_run, self.cfg.jobs, |&i| {
-            let u = &units[i];
-            Simulator::new(u.mem).run(u.app, u.combo, u.params, u.trace)
-        });
+        let executed: Vec<SimLog> = run_ordered(&to_run, self.cfg.jobs, |&i| units[i].simulate());
         // Record the executions, then satisfy duplicates by identity. With
         // caching disabled, executions are counted but never retained.
         let mut fresh: std::collections::HashMap<&str, SimLog> = std::collections::HashMap::new();
@@ -287,11 +373,73 @@ mod tests {
         let logs = engine.evaluate_batch(&units);
         let sim = Simulator::new(MemoryConfig::embedded_default());
         for (unit, log) in units.iter().zip(&logs) {
-            let direct = sim.run(unit.app, unit.combo, unit.params, unit.trace);
+            let direct = sim.run(unit.app, unit.combo, unit.params, &trace);
             assert_eq!(log.combo, direct.combo);
             assert_eq!(log.report.accesses, direct.report.accesses);
             assert_eq!(log.report.cycles, direct.report.cycles);
         }
+    }
+
+    #[test]
+    fn streamed_units_match_materialized_units_and_cache_by_spec() {
+        use ddtr_trace::StreamSpec;
+        let preset = NetworkPreset::DartmouthBerry;
+        let trace = preset.generate(50);
+        let params = AppParams::default();
+        let materialized = units_for(&trace, &params, &combos());
+        let mut spec = preset.spec();
+        spec.name = trace.network.clone();
+        let stream = StreamSpec::single(spec, 50).expect("valid");
+        let streamed: Vec<SimUnit> = combos()
+            .iter()
+            .map(|&combo| {
+                SimUnit::streamed(
+                    AppKind::Drr,
+                    combo,
+                    &params,
+                    &stream,
+                    MemoryConfig::embedded_default(),
+                )
+            })
+            .collect();
+        let mut engine = ExploreEngine::with_jobs(2);
+        let a = engine.evaluate_batch(&materialized);
+        let b = engine.evaluate_batch(&streamed);
+        assert_eq!(
+            serde_json::to_string(&a).expect("ser"),
+            serde_json::to_string(&b).expect("ser"),
+            "streamed batch must be byte-identical to the materialized one"
+        );
+        // The two paths have distinct (domain-separated) cache keys, so
+        // the streamed batch executed rather than replaying trace entries…
+        assert_eq!(engine.stats().misses, 2 * combos().len());
+        // …but a second streamed batch is answered purely from the cache.
+        engine.evaluate_batch(&streamed);
+        assert_eq!(engine.stats().misses, 2 * combos().len());
+        assert_eq!(engine.stats().hits, combos().len());
+    }
+
+    #[test]
+    fn streamed_unit_key_is_constant_in_packet_count() {
+        use ddtr_trace::StreamSpec;
+        let params = AppParams::default();
+        let spec_small =
+            StreamSpec::single(NetworkPreset::DartmouthBerry.spec(), 100).expect("valid");
+        let spec_large =
+            StreamSpec::single(NetworkPreset::DartmouthBerry.spec(), 1_000_000).expect("valid");
+        let unit = |s| {
+            SimUnit::streamed(
+                AppKind::Drr,
+                [DdtKind::Array, DdtKind::Sll],
+                &params,
+                s,
+                MemoryConfig::embedded_default(),
+            )
+        };
+        // Keying a million-packet workload is instant — nothing is
+        // generated or hashed per packet — and the packet count is still
+        // part of the identity.
+        assert_ne!(unit(&spec_small).key().id(), unit(&spec_large).key().id());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::combo::{combo_label, Combo};
 use ddtr_apps::{AppKind, AppParams};
 use ddtr_mem::MemoryConfig;
-use ddtr_trace::Trace;
+use ddtr_trace::{StreamSpec, Trace};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -123,10 +123,26 @@ impl CacheKey {
         trace_fp: u64,
         mem: &MemoryConfig,
     ) -> Self {
+        Self::for_network(app, combo, params, &trace.network, trace_fp, mem)
+    }
+
+    /// Builds the key from a network name and a precomputed trace/stream
+    /// fingerprint — the constructor shared by the materialized and
+    /// streamed paths (a streamed simulation has no [`Trace`] to name the
+    /// network from, only its [`StreamSpec`]).
+    #[must_use]
+    pub fn for_network(
+        app: AppKind,
+        combo: Combo,
+        params: &AppParams,
+        network: &str,
+        trace_fp: u64,
+        mem: &MemoryConfig,
+    ) -> Self {
         CacheKey {
             app,
             combo: combo_label(combo),
-            config: ConfigKey::new(trace.network.clone(), params.label(app)),
+            config: ConfigKey::new(network, params.label(app)),
             params_fp: fingerprint_value(params),
             trace_fp,
             mem_fp: fingerprint_value(mem),
@@ -189,6 +205,17 @@ pub fn fingerprint_value<T: Serialize>(value: &T) -> u64 {
 #[must_use]
 pub fn fingerprint_trace(trace: &Trace) -> u64 {
     fingerprint_value(trace)
+}
+
+/// Content fingerprint of a [`StreamSpec`]: its name and every phase's
+/// full parameter set. Constant-time in the stream's packet count — this
+/// is what lets the cache address million-packet workloads without ever
+/// hashing (or holding) their packets. Domain-separated from trace
+/// fingerprints so a spec hash can never collide with a packet hash.
+#[must_use]
+pub fn fingerprint_stream_spec(spec: &StreamSpec) -> u64 {
+    let json = serde_json::to_string(spec).expect("stream specs serialise");
+    fnv1a64(format!("stream:{json}").as_bytes())
 }
 
 #[cfg(test)]

@@ -55,9 +55,10 @@ pub mod timing;
 
 pub use cache::{CacheStats, SimCache, CACHE_FILE};
 pub use combo::{all_combos, combo_label, combos_from, parse_combo, Combo};
-pub use engine::{EngineConfig, EngineError, ExploreEngine, SimUnit};
+pub use engine::{EngineConfig, EngineError, ExploreEngine, SimUnit, TraceSource};
 pub use key::{
-    fingerprint_trace, fingerprint_value, fnv1a64, CacheKey, ConfigKey, CACHE_FORMAT_VERSION,
+    fingerprint_stream_spec, fingerprint_trace, fingerprint_value, fnv1a64, CacheKey, ConfigKey,
+    CACHE_FORMAT_VERSION,
 };
 pub use scheduler::{effective_jobs, run_ordered};
 pub use sim::{SimLog, Simulator};

@@ -4,7 +4,7 @@ use crate::combo::{combo_label, Combo};
 use crate::key::ConfigKey;
 use ddtr_apps::{AppKind, AppParams, SlotProfile};
 use ddtr_mem::{CostReport, MemoryConfig, MemorySystem};
-use ddtr_trace::Trace;
+use ddtr_trace::{Packet, StreamSpec, Trace};
 use serde::{Deserialize, Serialize};
 
 /// One simulation's log record — the unit the paper's "Gigabytes of log
@@ -80,12 +80,79 @@ impl Simulator {
         params: &AppParams,
         trace: &Trace,
     ) -> (CostReport, Vec<SlotProfile>) {
+        self.simulate(app, combo, params, trace.iter())
+    }
+
+    /// The one simulation loop both the materialized and streamed entry
+    /// points drain — their byte-identical metrics come from sharing this
+    /// body, not from keeping two copies in sync.
+    fn simulate<B: std::borrow::Borrow<Packet>>(
+        &self,
+        app: AppKind,
+        combo: Combo,
+        params: &AppParams,
+        packets: impl IntoIterator<Item = B>,
+    ) -> (CostReport, Vec<SlotProfile>) {
         let mut mem = MemorySystem::new(self.mem_cfg);
         let mut instance = app.instantiate(combo, params, &mut mem);
-        for pkt in trace {
-            instance.process(pkt, &mut mem);
+        for pkt in packets {
+            instance.process(pkt.borrow(), &mut mem);
         }
         (mem.report(), instance.slot_profiles())
+    }
+
+    /// Simulates `app` over a packet *stream* instead of a materialized
+    /// trace: packets are consumed as they are produced, so memory stays
+    /// constant regardless of workload length. For the same packets this
+    /// yields exactly the metrics of [`Simulator::run`].
+    ///
+    /// `network` names the configuration in the resulting log (streams
+    /// carry no [`Trace`] to take it from).
+    #[must_use]
+    pub fn run_stream(
+        &self,
+        app: AppKind,
+        combo: Combo,
+        params: &AppParams,
+        network: &str,
+        packets: impl IntoIterator<Item = Packet>,
+    ) -> SimLog {
+        let (report, _) = self.run_stream_with_profiles(app, combo, params, packets);
+        SimLog {
+            app,
+            combo: combo_label(combo),
+            network: network.to_owned(),
+            params: params.label(app),
+            report,
+        }
+    }
+
+    /// Like [`Simulator::run_stream`] but returns the cost report and the
+    /// per-slot access profiles — the streamed counterpart of
+    /// [`Simulator::run_with_profiles`], so the profiling substep also
+    /// runs in constant memory.
+    #[must_use]
+    pub fn run_stream_with_profiles(
+        &self,
+        app: AppKind,
+        combo: Combo,
+        params: &AppParams,
+        packets: impl IntoIterator<Item = Packet>,
+    ) -> (CostReport, Vec<SlotProfile>) {
+        self.simulate(app, combo, params, packets)
+    }
+
+    /// Simulates `app` over a [`StreamSpec`] workload, streaming its
+    /// (possibly multi-phase) packets in constant memory.
+    #[must_use]
+    pub fn run_spec(
+        &self,
+        app: AppKind,
+        combo: Combo,
+        params: &AppParams,
+        spec: &StreamSpec,
+    ) -> SimLog {
+        self.run_stream(app, combo, params, spec.name(), spec.stream())
     }
 }
 
@@ -166,6 +233,36 @@ mod tests {
             a.report.accesses, b.report.accesses,
             "AR+AR vs SLL+SLL must differ"
         );
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_run_exactly() {
+        use ddtr_trace::{StreamSpec, TraceGenerator};
+        let preset = NetworkPreset::DartmouthBerry;
+        let trace = preset.generate(120);
+        for combo in [
+            [DdtKind::Array, DdtKind::Sll],
+            [DdtKind::DllRov, DdtKind::SllChunk],
+        ] {
+            let direct = sim().run(AppKind::Drr, combo, &quick_params(), &trace);
+            let generator = TraceGenerator::new(preset.spec());
+            let streamed = sim().run_stream(
+                AppKind::Drr,
+                combo,
+                &quick_params(),
+                &trace.network,
+                generator.stream(120),
+            );
+            assert_eq!(
+                serde_json::to_string(&streamed).expect("ser"),
+                serde_json::to_string(&direct).expect("ser"),
+                "streamed and materialized logs must be byte-identical"
+            );
+            let spec = StreamSpec::single(preset.spec(), 120).expect("valid");
+            let via_spec = sim().run_spec(AppKind::Drr, combo, &quick_params(), &spec);
+            assert_eq!(via_spec.report.accesses, direct.report.accesses);
+            assert_eq!(via_spec.report.cycles, direct.report.cycles);
+        }
     }
 
     #[test]

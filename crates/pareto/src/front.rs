@@ -105,21 +105,19 @@ pub fn curve_2d<P: AsRef<[f64]>>(points: &[P], x_dim: usize, y_dim: usize) -> Ve
         })
         .collect();
     let mut front = pareto_front_indices(&projected);
-    front.sort_by(|&a, &b| {
-        projected[a][0]
-            .partial_cmp(&projected[b][0])
-            .expect("objectives must not be NaN")
-    });
+    // total_cmp: a NaN coordinate gets a deterministic position (IEEE
+    // total order: positive NaN after +inf, negative NaN before -inf)
+    // instead of panicking or corrupting the order.
+    front.sort_by(|&a, &b| projected[a][0].total_cmp(&projected[b][0]));
     front
 }
 
 /// 2-D hypervolume (area dominated by the front, bounded by `reference`),
 /// a scalar quality indicator used by the ablation benches. Points worse
-/// than the reference in either objective contribute nothing.
-///
-/// # Panics
-///
-/// Panics if any coordinate is NaN.
+/// than the reference in either objective contribute nothing; a NaN
+/// coordinate fails the reference-box comparison, so NaN points are
+/// silently excluded rather than panicking (the n-dimensional
+/// [`hypervolume`] instead rejects NaN input with an assertion).
 #[must_use]
 pub fn hypervolume_2d<P: AsRef<[f64]>>(points: &[P], reference: [f64; 2]) -> f64 {
     let mut front: Vec<[f64; 2]> = {
@@ -140,7 +138,7 @@ pub fn hypervolume_2d<P: AsRef<[f64]>>(points: &[P], reference: [f64; 2]) -> f64
             .filter(|p| p[0] < reference[0] && p[1] < reference[1])
             .collect()
     };
-    front.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("objectives must not be NaN"));
+    front.sort_by(|a, b| a[0].total_cmp(&b[0]));
     let mut volume = 0.0;
     let mut prev_y = reference[1];
     for p in front {
@@ -207,11 +205,7 @@ fn hv_recursive(front: &mut [Vec<f64>], reference: &[f64]) -> f64 {
     // Sort descending by the last objective: slabs sweep from the
     // reference towards the best point, accumulating the points whose last
     // coordinate is below the slab.
-    front.sort_by(|a, b| {
-        b[dims - 1]
-            .partial_cmp(&a[dims - 1])
-            .expect("objectives are not NaN")
-    });
+    front.sort_by(|a, b| b[dims - 1].total_cmp(&a[dims - 1]));
     let mut volume = 0.0;
     let mut upper = reference[dims - 1];
     for i in 0..front.len() {
@@ -301,6 +295,30 @@ mod tests {
         let pts = vec![vec![1.0, 9.0, 5.0], vec![9.0, 1.0, 4.0]];
         // In the (2, 2) degenerate plane the smaller third coord wins.
         assert_eq!(curve_2d(&pts, 2, 2), vec![1]);
+    }
+
+    #[test]
+    fn curve_2d_with_nan_point_does_not_panic() {
+        // A single NaN objective used to panic the sort's
+        // `partial_cmp(..).expect(..)`; with total_cmp the NaN point sorts
+        // last and the finite curve stays intact and ordered.
+        let pts = vec![
+            vec![3.0, 1.0],
+            vec![f64::NAN, 2.0],
+            vec![1.0, 3.0],
+            vec![2.0, 2.0],
+        ];
+        let curve = curve_2d(&pts, 0, 1);
+        let xs: Vec<f64> = curve
+            .iter()
+            .filter(|&&i| pts[i][0].is_finite())
+            .map(|&i| pts[i][0])
+            .collect();
+        assert!(!xs.is_empty());
+        assert!(
+            xs.windows(2).all(|w| w[0] <= w[1]),
+            "finite points stay x-sorted: {xs:?}"
+        );
     }
 
     #[test]

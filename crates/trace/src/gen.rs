@@ -1,9 +1,10 @@
 //! Deterministic synthetic packet-stream generation.
 
-use crate::packet::{Packet, Payload, Protocol, Trace};
-use crate::spec::TraceSpec;
+use crate::packet::{Protocol, Trace};
+use crate::spec::{TraceError, TraceSpec};
+use crate::stream::PacketStream;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// A pool of URL path templates the generator draws from; the URL-switching
 /// application's pattern table is built from the same stems, so lookups hit
@@ -48,16 +49,29 @@ pub struct TraceGenerator {
 }
 
 impl TraceGenerator {
-    /// Creates a generator for `spec`.
+    /// Creates a generator for `spec`, validating it first.
+    ///
+    /// This is the constructor the CLI and engine use: an invalid spec
+    /// surfaces as an error message instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when `spec` fails [`TraceSpec::validate`].
+    pub fn try_new(spec: TraceSpec) -> Result<Self, TraceError> {
+        spec.validate()?;
+        let flow_cdf = zipf_cdf(spec.flows as usize, spec.flow_skew);
+        Ok(TraceGenerator { spec, flow_cdf })
+    }
+
+    /// Creates a generator for `spec` (thin panicking wrapper over
+    /// [`TraceGenerator::try_new`], for tests and known-valid presets).
     ///
     /// # Panics
     ///
     /// Panics if `spec` fails [`TraceSpec::validate`].
     #[must_use]
     pub fn new(spec: TraceSpec) -> Self {
-        spec.validate().expect("invalid trace spec");
-        let flow_cdf = zipf_cdf(spec.flows as usize, spec.flow_skew);
-        TraceGenerator { spec, flow_cdf }
+        Self::try_new(spec).expect("invalid trace spec")
     }
 
     /// The spec driving this generator.
@@ -66,7 +80,14 @@ impl TraceGenerator {
         &self.spec
     }
 
-    /// Generates a trace of exactly `n_packets` packets.
+    /// The Zipf flow-popularity CDF this generator samples from.
+    pub(crate) fn flow_cdf(&self) -> &[f64] {
+        &self.flow_cdf
+    }
+
+    /// Generates a trace of exactly `n_packets` packets by draining a
+    /// [`PacketStream`] — the materialized and streamed paths share one
+    /// code path and are packet-for-packet identical.
     ///
     /// With [`TraceSpec::burstiness`] set, packets arrive in geometric
     /// ON-trains with per-train flow locality, separated by long OFF gaps
@@ -74,88 +95,39 @@ impl TraceGenerator {
     /// stream is a smooth Poisson process.
     #[must_use]
     pub fn generate(&self, n_packets: usize) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.spec.seed);
-        let mut ts_us = 0u64;
-        let mean_gap_us = 1e6 / self.spec.mean_rate_pps;
-        // Pre-assign each flow its endpoints and ports so a flow's packets
-        // are self-consistent across the trace.
-        let flows: Vec<FlowDef> = (0..self.spec.flows)
-            .map(|i| FlowDef::synthesise(i, self.spec.nodes, &mut rng))
-            .collect();
-        let mut packets = Vec::with_capacity(n_packets);
-        // ON/OFF burst state.
-        let mut burst_remaining = 0u64;
-        let mut burst_flow = 0usize;
-        for i in 0..n_packets {
-            let flow_idx = if let Some(burst) = &self.spec.burstiness {
-                if burst_remaining == 0 {
-                    // Silent OFF gap before the next train (not before the
-                    // very first packet).
-                    if i > 0 {
-                        ts_us += exponential_gap_us(burst.off_gap_factor * mean_gap_us, &mut rng);
-                    }
-                    burst_remaining = geometric_len(burst.mean_burst_pkts, &mut rng);
-                    burst_flow = sample_cdf(&self.flow_cdf, &mut rng);
-                } else if rng.gen::<f64>() >= burst.locality {
-                    // Train occasionally interleaves a foreign flow.
-                    burst_flow = sample_cdf(&self.flow_cdf, &mut rng);
-                }
-                ts_us += exponential_gap_us(mean_gap_us, &mut rng);
-                burst_remaining -= 1;
-                burst_flow
-            } else {
-                ts_us += exponential_gap_us(mean_gap_us, &mut rng);
-                sample_cdf(&self.flow_cdf, &mut rng)
-            };
-            let flow = &flows[flow_idx];
-            let bytes = self.sample_size(&mut rng);
-            let payload =
-                if flow.proto == Protocol::Tcp && rng.gen::<f64>() < self.spec.url_fraction {
-                    Payload::Http {
-                        url: synth_url(&mut rng),
-                    }
-                } else {
-                    Payload::Empty
-                };
-            packets.push(Packet {
-                ts_us,
-                src: flow.src,
-                dst: flow.dst,
-                sport: flow.sport,
-                dport: flow.dport,
-                proto: flow.proto,
-                bytes,
-                payload,
-            });
-        }
-        Trace::new(self.spec.name.clone(), packets)
+        Trace::new(self.spec.name.clone(), self.stream(n_packets).collect())
     }
 
-    fn sample_size(&self, rng: &mut StdRng) -> u32 {
-        let s = &self.spec.sizes;
-        let total = s.small + s.medium + s.large;
-        let x = rng.gen::<f64>() * total;
-        if x < s.small {
-            40
-        } else if x < s.small + s.medium {
-            576
-        } else {
-            s.mtu
-        }
+    /// Returns an iterator yielding exactly `n_packets` seeded packets on
+    /// the fly. Memory use is `O(flows)`, independent of `n_packets` —
+    /// this is the entry point for million-packet workloads.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ddtr_trace::{TraceGenerator, TraceSpec};
+    ///
+    /// let g = TraceGenerator::new(TraceSpec::builder("lab").seed(1).build());
+    /// let streamed: Vec<_> = g.stream(100).collect();
+    /// assert_eq!(streamed, g.generate(100).packets, "byte-identical");
+    /// ```
+    #[must_use]
+    pub fn stream(&self, n_packets: usize) -> PacketStream {
+        PacketStream::new(self, n_packets)
     }
 }
 
 #[derive(Debug, Clone)]
-struct FlowDef {
-    src: u32,
-    dst: u32,
-    sport: u16,
-    dport: u16,
-    proto: Protocol,
+pub(crate) struct FlowDef {
+    pub(crate) src: u32,
+    pub(crate) dst: u32,
+    pub(crate) sport: u16,
+    pub(crate) dport: u16,
+    pub(crate) proto: Protocol,
 }
 
 impl FlowDef {
-    fn synthesise(index: u32, nodes: u32, rng: &mut StdRng) -> Self {
+    pub(crate) fn synthesise(index: u32, nodes: u32, rng: &mut StdRng) -> Self {
         let src = 0x0a00_0000 + rng.gen_range(0..nodes);
         let mut dst = 0x0a00_0000 + rng.gen_range(0..nodes);
         if dst == src {
@@ -178,8 +150,11 @@ impl FlowDef {
     }
 }
 
-/// Cumulative Zipf distribution over `n` ranks with skew `s`.
-fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+/// Cumulative Zipf distribution over `n` ranks with skew `s`. The last
+/// bucket is clamped to exactly 1.0: floating-point normalisation can
+/// leave it a few ULP short, and a uniform draw of ~1.0 must never fall
+/// past the final flow rank.
+pub(crate) fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
     let mut cdf = Vec::with_capacity(n);
     let mut acc = 0.0;
     for rank in 1..=n {
@@ -190,31 +165,34 @@ fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
     for v in &mut cdf {
         *v /= total;
     }
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
     cdf
 }
 
 /// Draws an index from a cumulative distribution by binary search.
-fn sample_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+pub(crate) fn sample_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
     let x = rng.gen::<f64>();
     cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
 }
 
 /// Exponential inter-arrival gap (Poisson process), at least 1 us so
 /// timestamps strictly increase on average workloads.
-fn exponential_gap_us(mean_us: f64, rng: &mut StdRng) -> u64 {
+pub(crate) fn exponential_gap_us(mean_us: f64, rng: &mut StdRng) -> u64 {
     let u: f64 = rng.gen::<f64>().max(1e-12);
     let gap = -mean_us * u.ln();
     gap.max(1.0) as u64
 }
 
 /// Geometric burst length with the given mean, at least one packet.
-fn geometric_len(mean_pkts: f64, rng: &mut StdRng) -> u64 {
+pub(crate) fn geometric_len(mean_pkts: f64, rng: &mut StdRng) -> u64 {
     let p = (1.0 / mean_pkts).clamp(1e-6, 1.0);
     let u: f64 = rng.gen::<f64>().max(1e-12);
     (1.0 + u.ln() / (1.0 - p).max(1e-12).ln()).max(1.0) as u64
 }
 
-fn synth_url(rng: &mut StdRng) -> String {
+pub(crate) fn synth_url(rng: &mut StdRng) -> String {
     let stem = URL_STEMS[rng.gen_range(0..URL_STEMS.len())];
     if stem.ends_with('=') {
         format!("{stem}{}", rng.gen_range(0..1000))
@@ -227,6 +205,7 @@ fn synth_url(rng: &mut StdRng) -> String {
 mod tests {
     use super::*;
     use crate::spec::SizeProfile;
+    use rand::SeedableRng;
     use std::collections::BTreeMap;
 
     fn spec() -> TraceSpec {
@@ -410,6 +389,43 @@ mod tests {
         let cdf = zipf_cdf(20, 0.9);
         assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
         assert!((cdf.last().copied().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_cdf_tail_is_exactly_one() {
+        // A uniform draw of ~1.0 must never fall past the last rank, so
+        // the final bucket is clamped to exactly 1.0 — not merely within
+        // rounding distance of it.
+        for (n, s) in [(1, 0.0), (7, 0.3), (50, 0.9), (512, 1.3), (1000, 2.0)] {
+            let cdf = zipf_cdf(n, s);
+            assert_eq!(cdf.last().copied().unwrap(), 1.0, "n={n} s={s}");
+            assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_specs_without_panicking() {
+        let mut s = spec();
+        s.nodes = 1;
+        let err = TraceGenerator::try_new(s).unwrap_err();
+        assert!(err.to_string().contains("two nodes"), "{err}");
+        let mut s = spec();
+        s.mean_rate_pps = -1.0;
+        assert!(TraceGenerator::try_new(s).is_err());
+        assert!(TraceGenerator::try_new(spec()).is_ok());
+    }
+
+    #[test]
+    fn stream_matches_generate_packet_for_packet() {
+        for preset_spec in [spec(), {
+            let mut s = spec();
+            s.burstiness = Some(crate::spec::BurstProfile::default());
+            s
+        }] {
+            let g = TraceGenerator::new(preset_spec);
+            let streamed: Vec<_> = g.stream(700).collect();
+            assert_eq!(streamed, g.generate(700).packets);
+        }
     }
 
     #[test]

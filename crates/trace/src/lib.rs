@@ -16,7 +16,12 @@
 //! * [`TraceWriter`]/[`TraceReader`] — a text serialisation so the
 //!   parameter-extraction path parses real files exactly like the original
 //!   tool flow,
-//! * [`NetworkParams`] — the extractor itself.
+//! * [`NetworkParams`] — the extractor itself,
+//! * [`PacketStream`]/[`StreamSpec`] — constant-memory streaming
+//!   generation for million-packet workloads, packet-for-packet identical
+//!   to the materializing path,
+//! * [`Scenario`] — the workload-scenario catalog (bursty, flash-crowd,
+//!   ddos-syn, phase-shift) layered over the presets.
 //!
 //! # Example
 //!
@@ -38,10 +43,12 @@ mod packet;
 mod params;
 mod presets;
 mod spec;
+mod stream;
 
 pub use format::{ParseTraceError, TraceReader, TraceWriter};
 pub use gen::{TraceGenerator, URL_STEMS};
 pub use packet::{Packet, Payload, Protocol, Trace};
 pub use params::{NetworkParams, SizeHistogram};
-pub use presets::NetworkPreset;
-pub use spec::{BurstProfile, SizeProfile, TraceSpec};
+pub use presets::{NetworkPreset, Scenario};
+pub use spec::{BurstProfile, SizeProfile, TraceError, TraceSpec};
+pub use stream::{PacketStream, StreamChain, StreamPhase, StreamSpec};

@@ -1,8 +1,9 @@
 //! Network-parameter extraction — the Rust port of the paper's Perl trace
 //! parser.
 
-use crate::packet::Trace;
+use crate::packet::{Packet, Trace};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
 /// Histogram of packet sizes over the classic trimodal buckets.
@@ -93,17 +94,63 @@ impl NetworkParams {
     /// which downstream validation rejects before exploration.
     #[must_use]
     pub fn extract(trace: &Trace) -> Self {
+        Self::extract_inner(trace.network.clone(), trace.iter())
+    }
+
+    /// Extracts all parameters from a packet stream without materializing
+    /// it — same single pass and identical results as
+    /// [`NetworkParams::extract`] over the equivalent trace.
+    ///
+    /// Note on memory: the exact `gap_p99_over_median` quantile keeps one
+    /// `u64` per inter-arrival gap, so extraction is `O(packets)` in that
+    /// one accumulator (~8 MB per million packets) even when the packets
+    /// themselves are streamed. Extract at a representative length rather
+    /// than the full workload length; a bounded quantile sketch is a
+    /// ROADMAP follow-up.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ddtr_trace::{NetworkParams, NetworkPreset};
+    ///
+    /// let preset = NetworkPreset::NlanrAix;
+    /// let generator = ddtr_trace::TraceGenerator::new(preset.spec());
+    /// let streamed = NetworkParams::extract_stream("NLANR-AIX", generator.stream(400));
+    /// assert_eq!(streamed, NetworkParams::extract(&preset.generate(400)));
+    /// ```
+    #[must_use]
+    pub fn extract_stream(
+        network: impl Into<String>,
+        packets: impl IntoIterator<Item = Packet>,
+    ) -> Self {
+        Self::extract_inner(network.into(), packets)
+    }
+
+    fn extract_inner<B: Borrow<Packet>>(
+        network: String,
+        packets: impl IntoIterator<Item = B>,
+    ) -> Self {
+        let packets = packets.into_iter();
         let mut hosts = BTreeSet::new();
         let mut flows = BTreeSet::new();
         let mut sizes = SizeHistogram::default();
         let mut mtu = 0u32;
         let mut urls = 0u64;
-        // Burst-structure accumulators.
+        let mut count = 0u64;
+        let mut total_bytes = 0u64;
+        let mut first_ts: Option<u64> = None;
+        // Burst-structure accumulators. Slices and the exact-size packet
+        // streams report their length via size_hint, so the gap vector is
+        // allocated once.
         let mut runs = 0u64;
         let mut last_flow: Option<u64> = None;
-        let mut gaps: Vec<u64> = Vec::with_capacity(trace.len().saturating_sub(1));
+        let mut gaps: Vec<u64> = Vec::with_capacity(packets.size_hint().0.saturating_sub(1));
         let mut last_ts: Option<u64> = None;
-        for p in trace {
+        for p in packets {
+            let p = p.borrow();
+            count += 1;
+            total_bytes += u64::from(p.bytes);
+            first_ts.get_or_insert(p.ts_us);
             hosts.insert(p.src);
             hosts.insert(p.dst);
             flows.insert(p.flow_key());
@@ -128,7 +175,7 @@ impl NetworkParams {
         let mean_train_len = if runs == 0 {
             0.0
         } else {
-            trace.len() as f64 / runs as f64
+            count as f64 / runs as f64
         };
         gaps.sort_unstable();
         let gap_p99_over_median = if gaps.is_empty() {
@@ -138,35 +185,32 @@ impl NetworkParams {
             let p99 = gaps[(gaps.len() * 99 / 100).min(gaps.len() - 1)];
             p99 as f64 / median as f64
         };
-        let n = trace.len() as f64;
-        let duration_s = trace.duration_us() as f64 / 1e6;
+        let n = count as f64;
+        let duration_us = match (first_ts, last_ts) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        };
+        let duration_s = duration_us as f64 / 1e6;
         let (pps, bps) = if duration_s > 0.0 {
-            (
-                n / duration_s,
-                trace.total_bytes() as f64 * 8.0 / duration_s,
-            )
+            (n / duration_s, total_bytes as f64 * 8.0 / duration_s)
         } else {
             (0.0, 0.0)
         };
         NetworkParams {
-            network: trace.network.clone(),
+            network,
             nodes_observed: hosts.len() as u32,
             duration_s,
             throughput_pps: pps,
             throughput_bps: bps,
-            mean_packet_bytes: if trace.is_empty() {
+            mean_packet_bytes: if count == 0 {
                 0.0
             } else {
-                trace.total_bytes() as f64 / n
+                total_bytes as f64 / n
             },
             mtu_bytes: mtu,
             sizes,
             flows_observed: flows.len() as u32,
-            url_share: if trace.is_empty() {
-                0.0
-            } else {
-                urls as f64 / n
-            },
+            url_share: if count == 0 { 0.0 } else { urls as f64 / n },
             mean_train_len,
             gap_p99_over_median,
         }
@@ -292,6 +336,16 @@ mod tests {
             smooth.gap_p99_over_median,
             bursty.gap_p99_over_median
         );
+    }
+
+    #[test]
+    fn streamed_extraction_matches_materialized() {
+        use crate::TraceGenerator;
+        let preset = NetworkPreset::DartmouthLibrary;
+        let materialized = NetworkParams::extract(&preset.generate(1200));
+        let g = TraceGenerator::new(preset.spec());
+        let streamed = NetworkParams::extract_stream(preset.to_string(), g.stream(1200));
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Named network presets standing in for the paper's ten traces.
+//! Named network presets standing in for the paper's ten traces, plus the
+//! scenario catalog layered on top of them.
 
 use crate::gen::TraceGenerator;
 use crate::packet::Trace;
-use crate::spec::{SizeProfile, TraceSpec};
+use crate::spec::{BurstProfile, SizeProfile, TraceSpec};
+use crate::stream::StreamSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -271,6 +273,162 @@ impl FromStr for NetworkPreset {
     }
 }
 
+/// A traffic *scenario*: a named transformation of a base network preset
+/// into a (possibly multi-phase) streamed workload.
+///
+/// The ten [`NetworkPreset`]s fix *where* the traffic was captured; the
+/// scenarios vary *what the network is going through* — the workload
+/// diversity axis of the exploration. Every scenario is a pure function of
+/// `(base preset, packet count)`, so scenario runs are deterministic and
+/// cacheable by their [`StreamSpec`] description.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_trace::{NetworkPreset, Scenario};
+///
+/// let spec = Scenario::FlashCrowd.stream_spec(NetworkPreset::DartmouthBerry, 1000);
+/// assert_eq!(spec.name(), "BWY-I#flash-crowd");
+/// assert_eq!(spec.total_packets(), 1000);
+/// let packets: Vec<_> = spec.stream().collect();
+/// assert_eq!(packets.len(), 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// The unmodified base preset — the comparison point of the matrix.
+    Baseline,
+    /// ON/OFF packet trains with strong flow locality: the base network
+    /// under heavy packet-train traffic.
+    Bursty,
+    /// A flash crowd: arrival rate and client population jump, flow
+    /// popularity concentrates, almost every TCP packet carries a URL.
+    FlashCrowd,
+    /// A SYN flood: minimum-size packets from a spoofed (uniform, very
+    /// wide) source population at a rate far above the capture's norm.
+    DdosSyn,
+    /// Two phases: the calm base network, then a flash crowd — the
+    /// mid-run workload shift that punishes statically-tuned DDTs.
+    PhaseShift,
+}
+
+impl Scenario {
+    /// All scenarios in canonical matrix order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Baseline,
+        Scenario::Bursty,
+        Scenario::FlashCrowd,
+        Scenario::DdosSyn,
+        Scenario::PhaseShift,
+    ];
+
+    /// The streamed workload of this scenario over `base`, totalling
+    /// exactly `packets` packets.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in presets: every derived spec stays
+    /// within [`TraceSpec::validate`]'s ranges.
+    #[must_use]
+    pub fn stream_spec(self, base: NetworkPreset, packets: usize) -> StreamSpec {
+        let name = format!("{base}#{self}");
+        match self {
+            Scenario::Baseline => {
+                let mut spec = base.spec();
+                spec.name = name;
+                StreamSpec::single(spec, packets)
+            }
+            Scenario::Bursty => {
+                let mut spec = base.spec();
+                spec.name = name;
+                spec.seed ^= 0x4255_5253; // "BURS"
+                spec.burstiness = Some(BurstProfile {
+                    mean_burst_pkts: 12.0,
+                    off_gap_factor: 30.0,
+                    locality: 0.9,
+                });
+                StreamSpec::single(spec, packets)
+            }
+            Scenario::FlashCrowd => {
+                let mut spec = flash_crowd_of(base.spec());
+                spec.name = name;
+                StreamSpec::single(spec, packets)
+            }
+            Scenario::DdosSyn => {
+                let mut spec = base.spec();
+                spec.name = name;
+                spec.seed ^= 0x5359_4e46; // "SYNF"
+                spec.mean_rate_pps *= 20.0;
+                // Spoofed sources: a very wide, uniformly-popular flow
+                // population of minimum-size control packets.
+                spec.nodes = spec.nodes.saturating_mul(4);
+                spec.flows = spec.flows.saturating_mul(8);
+                spec.flow_skew = 0.0;
+                spec.url_fraction = 0.0;
+                spec.burstiness = None;
+                spec.sizes = SizeProfile {
+                    small: 1.0,
+                    medium: 0.0,
+                    large: 0.0,
+                    mtu: spec.sizes.mtu,
+                };
+                StreamSpec::single(spec, packets)
+            }
+            Scenario::PhaseShift => {
+                let calm = base.spec();
+                let mut crowd = flash_crowd_of(base.spec());
+                crowd.name = format!("{base}#phase-shift/crowd");
+                let head = packets - packets / 2;
+                StreamSpec::phased(name, vec![(calm, head), (crowd, packets / 2)])
+            }
+        }
+        .expect("derived scenario specs are valid")
+    }
+}
+
+/// The flash-crowd transformation shared by [`Scenario::FlashCrowd`] and
+/// the second phase of [`Scenario::PhaseShift`].
+fn flash_crowd_of(mut spec: TraceSpec) -> TraceSpec {
+    spec.seed ^= 0x464c_4153; // "FLAS"
+    spec.mean_rate_pps *= 8.0;
+    spec.nodes = spec.nodes.saturating_mul(2);
+    spec.flows = spec.flows.saturating_mul(4);
+    spec.flow_skew = 1.4;
+    spec.url_fraction = 0.8;
+    spec.sizes = SizeProfile {
+        small: 0.30,
+        medium: 0.45,
+        large: 0.25,
+        mtu: spec.sizes.mtu,
+    };
+    spec
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scenario::Baseline => "baseline",
+            Scenario::Bursty => "bursty",
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::DdosSyn => "ddos-syn",
+            Scenario::PhaseShift => "phase-shift",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        Scenario::ALL
+            .iter()
+            .copied()
+            .find(|sc| sc.to_string() == norm)
+            .ok_or_else(|| format!("unknown scenario `{s}`"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +489,74 @@ mod tests {
         let aix = NetworkPreset::NlanrAix.spec();
         let mra = NetworkPreset::NlanrMra.spec();
         assert!(aix.sizes.mean_bytes() < mra.sizes.mean_bytes());
+    }
+
+    #[test]
+    fn scenario_display_parse_round_trip() {
+        for s in Scenario::ALL {
+            assert_eq!(s.to_string().parse::<Scenario>().unwrap(), s);
+        }
+        assert!("meteor-strike".parse::<Scenario>().is_err());
+    }
+
+    #[test]
+    fn every_scenario_streams_on_every_preset() {
+        for preset in NetworkPreset::ALL {
+            for scenario in Scenario::ALL {
+                let spec = scenario.stream_spec(preset, 200);
+                assert_eq!(spec.total_packets(), 200, "{preset}/{scenario}");
+                let packets: Vec<_> = spec.stream().collect();
+                assert_eq!(packets.len(), 200, "{preset}/{scenario}");
+                assert!(
+                    packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+                    "{preset}/{scenario} timestamps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_names_qualify_the_base_network() {
+        let spec = Scenario::DdosSyn.stream_spec(NetworkPreset::DartmouthDorm, 100);
+        assert_eq!(spec.name(), "DRM#ddos-syn");
+        let base = Scenario::Baseline.stream_spec(NetworkPreset::DartmouthDorm, 100);
+        assert_eq!(base.name(), "DRM#baseline");
+    }
+
+    #[test]
+    fn baseline_scenario_matches_the_raw_preset() {
+        let preset = NetworkPreset::DartmouthBerry;
+        let streamed: Vec<_> = Scenario::Baseline
+            .stream_spec(preset, 150)
+            .stream()
+            .collect();
+        // Same packets as the materialized preset trace — only the network
+        // name is scenario-qualified.
+        assert_eq!(streamed, preset.generate(150).packets);
+    }
+
+    #[test]
+    fn ddos_scenario_is_small_packet_uniform_traffic() {
+        let spec = Scenario::DdosSyn.stream_spec(NetworkPreset::DartmouthBerry, 300);
+        let packets: Vec<_> = spec.stream().collect();
+        assert!(packets.iter().all(|p| p.bytes == 40), "all SYN-sized");
+        assert!(packets.iter().all(|p| p.payload.url().is_none()));
+    }
+
+    #[test]
+    fn phase_shift_changes_traffic_mid_stream() {
+        let spec = Scenario::PhaseShift.stream_spec(NetworkPreset::DartmouthBerry, 1000);
+        assert_eq!(spec.phases().len(), 2);
+        let packets: Vec<_> = spec.stream().collect();
+        let urls =
+            |range: &[crate::Packet]| range.iter().filter(|p| p.payload.url().is_some()).count();
+        let head = urls(&packets[..500]);
+        let tail = urls(&packets[500..]);
+        // BWY-I is already URL-heavy (45%); the crowd phase pushes the TCP
+        // URL share to 80%, so the tail must carry clearly more.
+        assert!(
+            2 * tail > 3 * head.max(1),
+            "flash-crowd phase must carry far more URLs: {head} vs {tail}"
+        );
     }
 }

@@ -1,6 +1,26 @@
 //! Trace specifications — the network parameters of the methodology.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An invalid trace specification, reported instead of a panic so callers
+/// at the CLI/engine boundary can surface the problem as an error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(String);
+
+impl TraceError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        TraceError(reason.into())
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Mixture weights of the classic trimodal Internet packet-size
 /// distribution (ACK-sized, default-MTU-sized and full-MTU-sized packets).
@@ -79,15 +99,20 @@ impl BurstProfile {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TraceError> {
         if self.mean_burst_pkts < 1.0 {
-            return Err("mean burst length must be at least one packet".into());
+            return Err(TraceError::new(
+                "mean burst length must be at least one packet",
+            ));
         }
         if self.off_gap_factor < 0.0 {
-            return Err("off-gap factor must be non-negative".into());
+            return Err(TraceError::new("off-gap factor must be non-negative"));
         }
         if !(0.0..=1.0).contains(&self.locality) {
-            return Err(format!("burst locality {} outside [0,1]", self.locality));
+            return Err(TraceError::new(format!(
+                "burst locality {} outside [0,1]",
+                self.locality
+            )));
         }
         Ok(())
     }
@@ -172,24 +197,27 @@ impl TraceSpec {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TraceError> {
         if self.nodes < 2 {
-            return Err("a network needs at least two nodes".into());
+            return Err(TraceError::new("a network needs at least two nodes"));
         }
         if self.mean_rate_pps <= 0.0 {
-            return Err("mean rate must be positive".into());
+            return Err(TraceError::new("mean rate must be positive"));
         }
         if self.flows == 0 {
-            return Err("flow count must be non-zero".into());
+            return Err(TraceError::new("flow count must be non-zero"));
         }
         if !(0.0..=1.0).contains(&self.url_fraction) {
-            return Err(format!("url fraction {} outside [0,1]", self.url_fraction));
+            return Err(TraceError::new(format!(
+                "url fraction {} outside [0,1]",
+                self.url_fraction
+            )));
         }
         if self.flow_skew < 0.0 {
-            return Err("flow skew must be non-negative".into());
+            return Err(TraceError::new("flow skew must be non-negative"));
         }
         if self.sizes.small + self.sizes.medium + self.sizes.large <= 0.0 {
-            return Err("size profile must have positive weight".into());
+            return Err(TraceError::new("size profile must have positive weight"));
         }
         if let Some(b) = &self.burstiness {
             b.validate()?;

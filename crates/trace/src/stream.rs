@@ -1,0 +1,444 @@
+//! Streaming packet generation — constant-memory workloads of any length.
+//!
+//! The paper's methodology is trace-driven ("an execution of an application
+//! under study using as input a network trace"), but a fully materialized
+//! [`Trace`](crate::Trace) caps exploration at whatever fits in memory.
+//! This module provides the streaming equivalent:
+//!
+//! * [`PacketStream`] — an iterator yielding seeded packets on the fly,
+//!   packet-for-packet identical to [`TraceGenerator::generate`] for the
+//!   same spec, in `O(flows)` memory regardless of trace length,
+//! * [`StreamSpec`] — a serialisable description of a streamed workload
+//!   (one or more [`TraceSpec`] phases), the unit the execution engine
+//!   fingerprints for caching instead of hashing millions of packets,
+//! * [`StreamChain`] — the iterator over a multi-phase [`StreamSpec`],
+//!   with timestamps continuing monotonically across phase boundaries.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_trace::{StreamSpec, TraceGenerator, TraceSpec};
+//!
+//! let spec = TraceSpec::builder("lab").seed(7).build();
+//! let stream = StreamSpec::single(spec.clone(), 500).unwrap();
+//! let streamed: Vec<_> = stream.stream().collect();
+//! let materialized = TraceGenerator::new(spec).generate(500);
+//! assert_eq!(streamed, materialized.packets, "byte-identical");
+//! ```
+
+use crate::gen::{
+    exponential_gap_us, geometric_len, sample_cdf, synth_url, FlowDef, TraceGenerator,
+};
+use crate::packet::{Packet, Payload, Protocol, Trace};
+use crate::spec::{SizeProfile, TraceError, TraceSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An iterator yielding the packets of one [`TraceSpec`] on the fly.
+///
+/// Created by [`TraceGenerator::stream`]. Holds the generator's RNG, the
+/// per-flow endpoint table and the ON/OFF burst state — `O(flows)` memory,
+/// independent of how many packets are drawn.
+#[derive(Debug, Clone)]
+pub struct PacketStream {
+    spec: TraceSpec,
+    flow_cdf: Vec<f64>,
+    flows: Vec<FlowDef>,
+    rng: StdRng,
+    ts_us: u64,
+    mean_gap_us: f64,
+    burst_remaining: u64,
+    burst_flow: usize,
+    emitted: usize,
+    remaining: usize,
+}
+
+impl PacketStream {
+    /// Starts a stream of exactly `n_packets` packets from `generator`'s
+    /// spec, replaying the exact RNG draw order of the materializing path.
+    pub(crate) fn new(generator: &TraceGenerator, n_packets: usize) -> Self {
+        let spec = generator.spec().clone();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        // Pre-assign each flow its endpoints and ports so a flow's packets
+        // are self-consistent across the trace.
+        let flows: Vec<FlowDef> = (0..spec.flows)
+            .map(|i| FlowDef::synthesise(i, spec.nodes, &mut rng))
+            .collect();
+        let mean_gap_us = 1e6 / spec.mean_rate_pps;
+        PacketStream {
+            flow_cdf: generator.flow_cdf().to_vec(),
+            flows,
+            rng,
+            ts_us: 0,
+            mean_gap_us,
+            burst_remaining: 0,
+            burst_flow: 0,
+            emitted: 0,
+            remaining: n_packets,
+            spec,
+        }
+    }
+
+    /// The spec driving this stream.
+    #[must_use]
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    fn sample_size(sizes: &SizeProfile, rng: &mut StdRng) -> u32 {
+        let total = sizes.small + sizes.medium + sizes.large;
+        let x = rng.gen::<f64>() * total;
+        if x < sizes.small {
+            40
+        } else if x < sizes.small + sizes.medium {
+            576
+        } else {
+            sizes.mtu
+        }
+    }
+}
+
+impl Iterator for PacketStream {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let flow_idx = if let Some(burst) = &self.spec.burstiness {
+            if self.burst_remaining == 0 {
+                // Silent OFF gap before the next train (not before the
+                // very first packet).
+                if self.emitted > 0 {
+                    self.ts_us +=
+                        exponential_gap_us(burst.off_gap_factor * self.mean_gap_us, &mut self.rng);
+                }
+                self.burst_remaining = geometric_len(burst.mean_burst_pkts, &mut self.rng);
+                self.burst_flow = sample_cdf(&self.flow_cdf, &mut self.rng);
+            } else if self.rng.gen::<f64>() >= burst.locality {
+                // Train occasionally interleaves a foreign flow.
+                self.burst_flow = sample_cdf(&self.flow_cdf, &mut self.rng);
+            }
+            self.ts_us += exponential_gap_us(self.mean_gap_us, &mut self.rng);
+            self.burst_remaining -= 1;
+            self.burst_flow
+        } else {
+            self.ts_us += exponential_gap_us(self.mean_gap_us, &mut self.rng);
+            sample_cdf(&self.flow_cdf, &mut self.rng)
+        };
+        let flow = &self.flows[flow_idx];
+        let bytes = Self::sample_size(&self.spec.sizes, &mut self.rng);
+        let payload =
+            if flow.proto == Protocol::Tcp && self.rng.gen::<f64>() < self.spec.url_fraction {
+                Payload::Http {
+                    url: synth_url(&mut self.rng),
+                }
+            } else {
+                Payload::Empty
+            };
+        self.emitted += 1;
+        self.remaining -= 1;
+        Some(Packet {
+            ts_us: self.ts_us,
+            src: flow.src,
+            dst: flow.dst,
+            sport: flow.sport,
+            dport: flow.dport,
+            proto: flow.proto,
+            bytes,
+            payload,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PacketStream {}
+
+/// One phase of a streamed workload: a network spec and how many packets
+/// of it to emit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPhase {
+    /// The network parameters of this phase.
+    pub spec: TraceSpec,
+    /// Packets emitted before moving to the next phase.
+    pub packets: usize,
+}
+
+/// A serialisable description of a streamed workload — the trace analogue
+/// the execution engine caches by *description* instead of by materialized
+/// packets.
+///
+/// A `StreamSpec` is one or more validated [`TraceSpec`] phases played
+/// back-to-back: single-phase for the classic presets, multi-phase for
+/// scenarios whose traffic shape changes mid-run (see
+/// [`Scenario`](crate::Scenario)). Timestamps continue monotonically
+/// across phase boundaries.
+///
+/// The constructors ([`StreamSpec::single`], [`StreamSpec::phased`])
+/// validate every phase, so a constructed `StreamSpec` always streams
+/// without panicking. Deserialization — like [`TraceSpec`]'s — trusts
+/// its source; call [`StreamSpec::validate`] before streaming a spec
+/// ingested from untrusted JSON, as streaming an invalid phase panics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    name: String,
+    phases: Vec<StreamPhase>,
+}
+
+impl StreamSpec {
+    /// A single-phase streamed workload named after its spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the spec fails validation.
+    pub fn single(spec: TraceSpec, packets: usize) -> Result<Self, TraceError> {
+        spec.validate()?;
+        Ok(StreamSpec {
+            name: spec.name.clone(),
+            phases: vec![StreamPhase { spec, packets }],
+        })
+    }
+
+    /// A multi-phase streamed workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when no phase is given or any phase's spec
+    /// fails validation.
+    pub fn phased(
+        name: impl Into<String>,
+        phases: Vec<(TraceSpec, usize)>,
+    ) -> Result<Self, TraceError> {
+        if phases.is_empty() {
+            return Err(TraceError::new("a stream needs at least one phase"));
+        }
+        for (spec, _) in &phases {
+            spec.validate()?;
+        }
+        Ok(StreamSpec {
+            name: name.into(),
+            phases: phases
+                .into_iter()
+                .map(|(spec, packets)| StreamPhase { spec, packets })
+                .collect(),
+        })
+    }
+
+    /// Validates every phase — a no-op for constructed specs, the entry
+    /// check for deserialized ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the spec has no phase or any phase's
+    /// [`TraceSpec`] fails validation.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.phases.is_empty() {
+            return Err(TraceError::new("a stream needs at least one phase"));
+        }
+        for phase in &self.phases {
+            phase.spec.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The workload name (the network name of single-phase streams).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated phases, in playback order.
+    #[must_use]
+    pub fn phases(&self) -> &[StreamPhase] {
+        &self.phases
+    }
+
+    /// Total packets the stream will emit.
+    #[must_use]
+    pub fn total_packets(&self) -> usize {
+        self.phases.iter().map(|p| p.packets).sum()
+    }
+
+    /// Streams the workload's packets in constant memory.
+    #[must_use]
+    pub fn stream(&self) -> StreamChain<'_> {
+        StreamChain {
+            phases: &self.phases,
+            next_phase: 0,
+            current: None,
+            offset_us: 0,
+            last_ts_us: 0,
+            remaining: self.total_packets(),
+        }
+    }
+
+    /// Materializes the whole workload as a [`Trace`] (for tests,
+    /// parameter extraction on small runs, and the legacy engine path).
+    #[must_use]
+    pub fn materialize(&self) -> Trace {
+        Trace::new(self.name.clone(), self.stream().collect())
+    }
+}
+
+/// Iterator over a (possibly multi-phase) [`StreamSpec`].
+///
+/// Created by [`StreamSpec::stream`]. Each phase replays its own seeded
+/// [`PacketStream`]; timestamps of later phases are offset by the last
+/// timestamp emitted so the chain stays non-decreasing.
+#[derive(Debug, Clone)]
+pub struct StreamChain<'a> {
+    phases: &'a [StreamPhase],
+    next_phase: usize,
+    current: Option<PacketStream>,
+    offset_us: u64,
+    last_ts_us: u64,
+    remaining: usize,
+}
+
+impl Iterator for StreamChain<'_> {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        loop {
+            if let Some(stream) = &mut self.current {
+                if let Some(mut pkt) = stream.next() {
+                    pkt.ts_us += self.offset_us;
+                    self.last_ts_us = pkt.ts_us;
+                    self.remaining -= 1;
+                    return Some(pkt);
+                }
+                self.current = None;
+                self.offset_us = self.last_ts_us;
+            }
+            let phase = self.phases.get(self.next_phase)?;
+            self.next_phase += 1;
+            // Phases were validated at StreamSpec construction.
+            let generator =
+                TraceGenerator::try_new(phase.spec.clone()).expect("stream phases are validated");
+            self.current = Some(generator.stream(phase.packets));
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for StreamChain<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BurstProfile;
+
+    fn spec(name: &str, seed: u64) -> TraceSpec {
+        TraceSpec::builder(name).seed(seed).build()
+    }
+
+    #[test]
+    fn single_phase_stream_equals_generate() {
+        let s = spec("eq", 11);
+        let stream = StreamSpec::single(s.clone(), 400).expect("valid");
+        let streamed: Vec<Packet> = stream.stream().collect();
+        let materialized = TraceGenerator::new(s).generate(400);
+        assert_eq!(streamed, materialized.packets);
+        assert_eq!(stream.materialize(), materialized);
+    }
+
+    #[test]
+    fn stream_is_exact_size() {
+        let stream = StreamSpec::single(spec("n", 1), 123).expect("valid");
+        let mut it = stream.stream();
+        assert_eq!(it.len(), 123);
+        it.next();
+        assert_eq!(it.len(), 122);
+        assert_eq!(it.count(), 122);
+    }
+
+    #[test]
+    fn phased_stream_concatenates_with_monotone_timestamps() {
+        let a = spec("calm", 5);
+        let mut b = spec("storm", 6);
+        b.burstiness = Some(BurstProfile::default());
+        let stream = StreamSpec::phased("calm>storm", vec![(a.clone(), 300), (b, 300)])
+            .expect("valid phases");
+        assert_eq!(stream.total_packets(), 600);
+        let packets: Vec<Packet> = stream.stream().collect();
+        assert_eq!(packets.len(), 600);
+        assert!(
+            packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+            "timestamps must stay non-decreasing across the phase boundary"
+        );
+        // The first phase is byte-identical to its standalone stream.
+        let solo: Vec<Packet> = TraceGenerator::new(a).stream(300).collect();
+        assert_eq!(&packets[..300], &solo[..]);
+    }
+
+    #[test]
+    fn phased_stream_is_deterministic() {
+        let stream = StreamSpec::phased("two", vec![(spec("p1", 1), 100), (spec("p2", 2), 150)])
+            .expect("valid");
+        let a: Vec<Packet> = stream.stream().collect();
+        let b: Vec<Packet> = stream.stream().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_zero_packet_phases_are_handled() {
+        assert!(StreamSpec::phased("none", vec![]).is_err());
+        let stream = StreamSpec::phased(
+            "zero-mid",
+            vec![(spec("a", 1), 50), (spec("b", 2), 0), (spec("c", 3), 50)],
+        )
+        .expect("valid");
+        let packets: Vec<Packet> = stream.stream().collect();
+        assert_eq!(packets.len(), 100);
+        assert!(packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn invalid_phase_is_rejected_at_construction() {
+        let mut bad = spec("bad", 1);
+        bad.nodes = 0;
+        assert!(StreamSpec::single(bad.clone(), 10).is_err());
+        assert!(StreamSpec::phased("x", vec![(spec("ok", 1), 10), (bad, 10)]).is_err());
+    }
+
+    #[test]
+    fn deserialized_specs_are_checked_by_validate() {
+        // Deserialization trusts its source (matching TraceSpec), so a
+        // JSON spec smuggling an invalid phase passes parsing — validate()
+        // is the entry check that catches it before streaming panics.
+        let mut bad = spec("bad", 1);
+        bad.nodes = 0;
+        let json = serde_json::to_string(&StreamSpec {
+            name: "smuggled".into(),
+            phases: vec![StreamPhase {
+                spec: bad,
+                packets: 5,
+            }],
+        })
+        .expect("ser");
+        let parsed: StreamSpec = serde_json::from_str(&json).expect("parses unvalidated");
+        assert!(parsed.validate().is_err());
+        let good = StreamSpec::single(spec("good", 1), 5).expect("valid");
+        assert!(good.validate().is_ok());
+        let empty: StreamSpec = serde_json::from_str(r#"{"name":"e","phases":[]}"#).expect("parse");
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn stream_spec_serialises_round_trip() {
+        let stream = StreamSpec::phased("rt", vec![(spec("p1", 1), 10), (spec("p2", 2), 20)])
+            .expect("valid");
+        let json = serde_json::to_string(&stream).expect("ser");
+        let back: StreamSpec = serde_json::from_str(&json).expect("de");
+        assert_eq!(back, stream);
+        assert_eq!(back.name(), "rt");
+        assert_eq!(back.phases().len(), 2);
+    }
+}

@@ -2,8 +2,8 @@
 //! extraction.
 
 use ddtr_trace::{
-    NetworkParams, Packet, Payload, Protocol, SizeProfile, Trace, TraceGenerator, TraceReader,
-    TraceSpec, TraceWriter,
+    BurstProfile, NetworkParams, Packet, Payload, Protocol, SizeProfile, StreamSpec, Trace,
+    TraceGenerator, TraceReader, TraceSpec, TraceWriter,
 };
 use proptest::prelude::*;
 
@@ -97,6 +97,44 @@ proptest! {
         prop_assert!(p.mtu_bytes <= 1500);
         prop_assert!(p.mean_packet_bytes >= 40.0);
         prop_assert!(p.is_usable());
+    }
+
+    /// The streaming path is packet-for-packet identical to the
+    /// materializing path for any spec shape (smooth or bursty, any seed,
+    /// any length) — the core streaming-equivalence property.
+    #[test]
+    fn stream_matches_generate(
+        seed in any::<u64>(),
+        n in 0usize..400,
+        flows in 1u32..64,
+        bursty in any::<bool>(),
+        url_fraction in 0.0f64..1.0,
+    ) {
+        let mut spec = TraceSpec::builder("stream-eq")
+            .seed(seed)
+            .flows(flows)
+            .url_fraction(url_fraction)
+            .build();
+        if bursty {
+            spec.burstiness = Some(BurstProfile::default());
+        }
+        let generator = TraceGenerator::new(spec.clone());
+        let streamed: Vec<Packet> = generator.stream(n).collect();
+        prop_assert_eq!(&streamed, &generator.generate(n).packets);
+        // The StreamSpec wrapper takes the same path.
+        let wrapped: Vec<Packet> = StreamSpec::single(spec, n).expect("valid").stream().collect();
+        prop_assert_eq!(&wrapped, &streamed);
+    }
+
+    /// Streamed parameter extraction agrees with materialized extraction
+    /// for arbitrary hand-built traces.
+    #[test]
+    fn extract_stream_matches_extract(trace in arb_trace()) {
+        let streamed = NetworkParams::extract_stream(
+            trace.network.clone(),
+            trace.packets.iter().cloned(),
+        );
+        prop_assert_eq!(streamed, NetworkParams::extract(&trace));
     }
 
     /// Stronger skew concentrates more traffic on the top flow.

@@ -43,6 +43,60 @@ fn explore_drr_quick_is_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn streamed_explore_is_identical_at_1_2_and_8_threads_and_to_materialized() {
+    let mut cfg = MethodologyConfig::quick(AppKind::Drr);
+    cfg.streaming = true;
+    let reference = Methodology::new(cfg.clone())
+        .run_with(&mut ExploreEngine::with_jobs(1))
+        .expect("1-thread streamed explore");
+    for jobs in [2usize, 8] {
+        let outcome = Methodology::new(cfg.clone())
+            .run_with(&mut ExploreEngine::with_jobs(jobs))
+            .expect("streamed explore");
+        assert_eq!(
+            front_bytes(&outcome),
+            front_bytes(&reference),
+            "streamed front must be byte-identical at {jobs} threads"
+        );
+        let logs = |o: &MethodologyOutcome| serde_json::to_string(&o.step2.logs).expect("logs");
+        assert_eq!(logs(&outcome), logs(&reference));
+    }
+    // And the streamed pipeline reproduces the materialized pipeline
+    // byte-for-byte: streaming changes memory behaviour, never results.
+    let mut materialized_cfg = cfg;
+    materialized_cfg.streaming = false;
+    let materialized = Methodology::new(materialized_cfg)
+        .run_with(&mut ExploreEngine::with_jobs(2))
+        .expect("materialized explore");
+    assert_eq!(front_bytes(&materialized), front_bytes(&reference));
+    assert_eq!(
+        serde_json::to_string(&materialized.step2.logs).expect("logs"),
+        serde_json::to_string(&reference.step2.logs).expect("logs"),
+    );
+}
+
+#[test]
+fn scenario_matrix_is_identical_at_1_2_and_8_threads() {
+    use ddtr::core::{explore_scenarios_with, ScenarioConfig};
+    use ddtr::trace::{NetworkPreset, Scenario};
+    let mut cfg = ScenarioConfig::quick(NetworkPreset::DartmouthBerry);
+    cfg.apps = vec![AppKind::Drr];
+    cfg.scenarios = vec![Scenario::Bursty, Scenario::PhaseShift];
+    cfg.packets_per_sim = 40;
+    let reference = explore_scenarios_with(&mut ExploreEngine::with_jobs(1), &cfg)
+        .expect("1-thread scenario matrix");
+    for jobs in [2usize, 8] {
+        let matrix =
+            explore_scenarios_with(&mut ExploreEngine::with_jobs(jobs), &cfg).expect("matrix");
+        assert_eq!(
+            serde_json::to_string(&matrix.cells).expect("ser"),
+            serde_json::to_string(&reference.cells).expect("ser"),
+            "scenario cells must be byte-identical at {jobs} threads"
+        );
+    }
+}
+
+#[test]
 fn warm_disk_cache_replays_the_identical_front() {
     let dir = std::env::temp_dir().join(format!("ddtr-determinism-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
