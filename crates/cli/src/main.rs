@@ -13,6 +13,8 @@
 //! ddtr ga       <app> [--extended]    # heuristic (NSGA-II) exploration
 //! ddtr scenarios [<app>]              # app x scenario Pareto matrix
 //! ddtr cache    stats|clear           # inspect / drop the result cache
+//! ddtr serve    [--listen EP]         # resident exploration service
+//! ddtr query    <EP> <mode> [app]     # ask a running service
 //! ```
 //!
 //! Every simulating subcommand (`explore`, `pareto`, `report`, `ga`,
@@ -34,6 +36,11 @@
 //! `explore --logs <path>` persists the step-2 simulation logs as JSON
 //! lines, which `replay` turns back into Pareto sets without
 //! re-simulating — the decoupling of the original tool flow.
+//!
+//! `serve` keeps one engine session resident and answers exploration
+//! requests over a newline-delimited JSON protocol (stdio by default,
+//! `--listen tcp:<addr>` / `--listen unix:<path>` for sockets); `query`
+//! is the matching client. See `docs/PROTOCOL.md` for the wire format.
 
 use ddtr_apps::AppKind;
 use ddtr_core::{
@@ -44,6 +51,7 @@ use ddtr_core::{
 };
 use ddtr_ddt::DdtKind;
 use ddtr_engine::SimCache;
+use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, Server};
 use ddtr_trace::{NetworkParams, NetworkPreset, Scenario, TraceWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -75,6 +83,10 @@ usage:
   ddtr scenarios [<route|url|ipchains|drr|nat>] [--quick] [--extended] [--base <preset>]
                [--packets N] [engine flags]
   ddtr cache   stats|clear [--cache-dir <dir>]
+  ddtr serve   [--listen stdio|tcp:<addr>|unix:<path>] [engine flags]
+  ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|headline> [app]
+               [--quick] [--extended] [--stream] [--base <preset>] [--packets N]
+               [--seed N] [--scenario <name>]... [--id ID] [--json] [--quiet]
   ddtr presets
 
 engine flags (simulating subcommands):
@@ -85,7 +97,11 @@ engine flags (simulating subcommands):
 --stream generates packets into each simulation on the fly: constant
 memory at any trace length, byte-identical results. `ddtr scenarios`
 runs the app x scenario matrix (baseline, bursty, flash-crowd, ddos-syn,
-phase-shift) over the base network and always streams.";
+phase-shift) over the base network and always streams.
+
+`ddtr serve` answers exploration requests over newline-delimited JSON
+(docs/PROTOCOL.md) from one resident engine session; `ddtr query` is the
+matching client.";
 
 /// Default location of the persistent result cache.
 const DEFAULT_CACHE_DIR: &str = ".ddtr-cache";
@@ -117,6 +133,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "ga" => ga(&rest),
         "scenarios" => scenarios(&rest),
         "cache" => cache(&rest),
+        "serve" => serve(&rest),
+        "query" => query(&rest),
         "presets" => {
             for p in NetworkPreset::ALL {
                 let s = p.spec();
@@ -150,8 +168,8 @@ fn cache_dir_of(rest: &[&String]) -> Result<PathBuf, String> {
         .map_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR), PathBuf::from))
 }
 
-/// Builds the execution engine from the shared engine flags.
-fn engine_from(rest: &[&String]) -> Result<ExploreEngine, String> {
+/// Parses the shared engine flags into an [`EngineConfig`].
+fn engine_config_from(rest: &[&String]) -> Result<EngineConfig, String> {
     let jobs: usize = match flag_value(rest, FLAG_JOBS)? {
         Some(v) => v.parse().map_err(|e| format!("bad --jobs value: {e}"))?,
         None => 0,
@@ -162,12 +180,16 @@ fn engine_from(rest: &[&String]) -> Result<ExploreEngine, String> {
     } else {
         Some(cache_dir_of(rest)?)
     };
-    ExploreEngine::new(EngineConfig {
+    Ok(EngineConfig {
         jobs,
         cache_dir,
         no_cache,
     })
-    .map_err(|e| e.to_string())
+}
+
+/// Builds the execution engine from the shared engine flags.
+fn engine_from(rest: &[&String]) -> Result<ExploreEngine, String> {
+    ExploreEngine::new(engine_config_from(rest)?).map_err(|e| e.to_string())
 }
 
 /// The one-line engine summary printed after a simulating run.
@@ -539,6 +561,144 @@ fn scenarios(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+fn serve(rest: &[&String]) -> Result<(), String> {
+    let endpoint: Endpoint = match flag_value(rest, "--listen")? {
+        Some(raw) => raw.parse()?,
+        None => Endpoint::Stdio,
+    };
+    let server = Server::new(engine_config_from(rest)?).map_err(|e| e.to_string())?;
+    server.listen(&endpoint).map_err(|e| e.to_string())
+}
+
+/// Builds the `Run` job spec of a `ddtr query` invocation from its
+/// CLI-style arguments (everything after the endpoint).
+/// Query flags that consume a value. The positional scanner in
+/// [`query_spec`] skips exactly these constants, and the extraction below
+/// it reads the same names through [`flag_value`], so adding a
+/// value-taking query flag cannot desynchronise the two.
+const QUERY_VALUE_FLAGS: [&str; 5] = ["--base", "--packets", "--seed", "--scenario", "--id"];
+
+fn query_spec(rest: &[&String]) -> Result<JobSpec, String> {
+    let mut spec = JobSpec::default();
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => spec.quick = true,
+            "--extended" => spec.extended = true,
+            "--stream" => spec.stream = true,
+            "--json" | "--quiet" => {} // handled by `query` itself
+            flag if QUERY_VALUE_FLAGS.contains(&flag) => i += 1,
+            flag if flag.starts_with("--") => return Err(format!("unknown query flag `{flag}`")),
+            _ => positionals.push(rest[i]),
+        }
+        i += 1;
+    }
+    match positionals.as_slice() {
+        [] => return Err("query needs a mode (explore, ga, scenarios or headline)".into()),
+        [mode] => spec.mode = Some((*mode).clone()),
+        [mode, app] => {
+            spec.mode = Some((*mode).clone());
+            spec.app = Some((*app).clone());
+        }
+        more => {
+            return Err(format!(
+                "query takes mode [app], got {} positionals",
+                more.len()
+            ))
+        }
+    }
+    spec.base = flag_value(rest, "--base")?.cloned();
+    if let Some(packets) = flag_value(rest, "--packets")? {
+        spec.packets = Some(
+            packets
+                .parse()
+                .map_err(|e| format!("bad packet count: {e}"))?,
+        );
+    }
+    if let Some(seed) = flag_value(rest, "--seed")? {
+        spec.seed = Some(seed.parse().map_err(|e| format!("bad seed: {e}"))?);
+    }
+    // `--scenario` may repeat; collect every occurrence.
+    let scenarios: Vec<String> = rest
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--scenario")
+        .map(|(i, _)| match rest.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok((*v).clone()),
+            _ => Err("--scenario needs a value".to_string()),
+        })
+        .collect::<Result<_, _>>()?;
+    if !scenarios.is_empty() {
+        spec.scenarios = Some(scenarios);
+    }
+    Ok(spec)
+}
+
+fn query(rest: &[&String]) -> Result<(), String> {
+    let endpoint: Endpoint = rest
+        .first()
+        .ok_or("query needs an endpoint (tcp:<addr> or unix:<path>)")?
+        .parse()?;
+    let spec = query_spec(&rest[1..])?;
+    // Validate locally first for a fast, offline error message.
+    spec.resolve()?;
+    let id = flag_value(rest, "--id")?
+        .cloned()
+        .unwrap_or_else(|| "q1".to_string());
+    let json = rest.iter().any(|a| a.as_str() == "--json");
+    let quiet = rest.iter().any(|a| a.as_str() == "--quiet");
+    let mut client = Client::connect(&endpoint).map_err(|e| e.to_string())?;
+    let mut progressed = false;
+    let reply = client
+        .call(&Request::run(id.clone(), spec), |event| {
+            if quiet {
+                return;
+            }
+            match event {
+                Event::Hello { server, jobs, .. } => {
+                    eprintln!("connected: {server} (jobs={jobs})");
+                }
+                Event::Queued { id } => eprintln!("{id}: queued"),
+                Event::Running { id, done, total } => {
+                    eprint!("\r{id}: running {done}/{total}");
+                    progressed = true;
+                }
+                _ => {}
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if progressed && !quiet {
+        eprintln!();
+    }
+    match reply {
+        Event::Result {
+            executed,
+            cache_hits,
+            result,
+            ..
+        } => {
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!("# {} answered by {endpoint}", result.mode());
+                println!("engine: cache_hits={cache_hits} executed={executed}");
+                println!("Pareto-optimal combinations:");
+                for label in result.front_labels() {
+                    println!("  {label}");
+                }
+            }
+            Ok(())
+        }
+        Event::Cancelled { id } => Err(format!("request `{id}` was cancelled")),
+        Event::Error { error, .. } => Err(error),
+        other => Err(format!("unexpected terminal event {other:?}")),
+    }
+}
+
 fn cache(rest: &[&String]) -> Result<(), String> {
     let action = rest.first().ok_or("cache needs `stats` or `clear`")?;
     let dir = cache_dir_of(rest)?;
@@ -808,6 +968,59 @@ mod tests {
             "--no-cache",
         ]))
         .expect("explores on two workers");
+    }
+
+    #[test]
+    fn query_requires_endpoint_and_mode() {
+        let err = run(&args(&["query"])).unwrap_err();
+        assert!(err.contains("endpoint"), "{err}");
+        let err = run(&args(&["query", "tcp:127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("mode"), "{err}");
+        let err = run(&args(&["query", "smoke-signals:hill"])).unwrap_err();
+        assert!(err.contains("smoke-signals"), "{err}");
+        // Bad specs are rejected locally, before connecting anywhere.
+        let err = run(&args(&["query", "tcp:127.0.0.1:1", "frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        let err = run(&args(&["query", "tcp:127.0.0.1:1", "explore"])).unwrap_err();
+        assert!(err.contains("requires `app`"), "{err}");
+        let err = run(&args(&[
+            "query",
+            "tcp:127.0.0.1:1",
+            "explore",
+            "drr",
+            "--frobnicate",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_listen_endpoints() {
+        let err = run(&args(&["serve", "--listen", "carrier-pigeon:coop"])).unwrap_err();
+        assert!(err.contains("carrier-pigeon"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_query_round_trip_over_tcp() {
+        use std::net::TcpListener;
+        // Bind first so the query below cannot race the server's setup.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let endpoint = format!("tcp:{}", listener.local_addr().expect("addr"));
+        let server = Server::new(ddtr_core::EngineConfig::with_jobs(1)).expect("server");
+        std::thread::scope(|scope| {
+            let server = &server;
+            scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+            run(&args(&[
+                "query", &endpoint, "explore", "drr", "--quick", "--quiet",
+            ]))
+            .expect("query answers");
+            // Shut the server down so the scope can join.
+            let mut client =
+                Client::connect(&endpoint.parse().expect("endpoint")).expect("connect");
+            client
+                .send(&Request::new("bye", ddtr_serve::RequestBody::Shutdown))
+                .expect("shutdown");
+        });
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub enum ExploreError {
     Log(String),
     /// The execution engine failed (e.g. its cache store is unusable).
     Engine(String),
+    /// The exploration was cancelled mid-run (its engine's
+    /// [`ddtr_engine::BatchControl`] token fired). Completed simulations
+    /// stay in the result cache, so a re-submitted run resumes.
+    Cancelled,
 }
 
 impl fmt::Display for ExploreError {
@@ -19,6 +23,7 @@ impl fmt::Display for ExploreError {
             ExploreError::InvalidConfig(why) => write!(f, "invalid exploration config: {why}"),
             ExploreError::Log(why) => write!(f, "exploration log error: {why}"),
             ExploreError::Engine(why) => write!(f, "{why}"),
+            ExploreError::Cancelled => write!(f, "exploration cancelled"),
         }
     }
 }
@@ -28,6 +33,12 @@ impl std::error::Error for ExploreError {}
 impl From<ddtr_engine::EngineError> for ExploreError {
     fn from(e: ddtr_engine::EngineError) -> Self {
         ExploreError::Engine(e.to_string())
+    }
+}
+
+impl From<ddtr_engine::Cancelled> for ExploreError {
+    fn from(_: ddtr_engine::Cancelled) -> Self {
+        ExploreError::Cancelled
     }
 }
 

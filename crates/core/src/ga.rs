@@ -234,7 +234,7 @@ impl Archive {
         cfg: &GaConfig,
         eval: &Eval,
         combos: &[Combo],
-    ) {
+    ) -> Result<(), ExploreError> {
         let mut batch_seen: HashSet<String> = HashSet::new();
         let fresh: Vec<Combo> = combos
             .iter()
@@ -245,7 +245,7 @@ impl Archive {
             })
             .collect();
         if fresh.is_empty() {
-            return;
+            return Ok(());
         }
         let units: Vec<SimUnit> = fresh
             .iter()
@@ -260,10 +260,11 @@ impl Archive {
                 )
             })
             .collect();
-        for log in engine.evaluate_batch(&units) {
+        for log in engine.try_evaluate_batch(&units)? {
             self.order.push(log.combo.clone());
             self.memo.insert(log.combo.clone(), log);
         }
+        Ok(())
     }
 
     fn objectives(&self, combo: Combo) -> [f64; 4] {
@@ -363,7 +364,7 @@ pub fn explore_heuristic_with(
         };
 
     let initial: Vec<Combo> = population.iter().map(&to_combo).collect();
-    archive.ensure(engine, cfg, &eval, &initial);
+    archive.ensure(engine, cfg, &eval, &initial)?;
     let mut last_front = record(&mut history, &archive, 0);
     let mut stale = 0usize;
 
@@ -423,7 +424,7 @@ pub fn explore_heuristic_with(
         pool.dedup(); // all duplicates, not only adjacent ones
         pool.shuffle(&mut rng); // tie-breaking independent of insertion order
         let pool_combos: Vec<Combo> = pool.iter().map(&to_combo).collect();
-        archive.ensure(engine, cfg, &eval, &pool_combos);
+        archive.ensure(engine, cfg, &eval, &pool_combos)?;
         let pool_fitness: Vec<[f64; 4]> =
             pool_combos.iter().map(|&c| archive.objectives(c)).collect();
         let pool_ranks = pareto_ranks(&pool_fitness);

@@ -47,6 +47,7 @@
 
 mod config;
 mod constraints;
+mod dispatch;
 mod error;
 mod ga;
 mod headline;
@@ -63,10 +64,11 @@ mod workload;
 pub use config::MethodologyConfig;
 pub use constraints::{DesignConstraints, Objective};
 pub use ddtr_engine::{
-    all_combos, combo_label, combos_from, fingerprint_stream_spec, parse_combo, CacheKey,
-    CacheStats, Combo, ConfigKey, EngineConfig, ExploreEngine, SimLog, SimUnit, Simulator,
-    TraceSource,
+    all_combos, combo_label, combos_from, fingerprint_stream_spec, parse_combo, BatchControl,
+    BatchProgress, CacheKey, CacheStats, CancelToken, Combo, ConfigKey, EngineConfig,
+    EngineSession, ExploreEngine, SimLog, SimUnit, Simulator, TraceSource,
 };
+pub use dispatch::{dispatch, dispatch_with, ExploreRequest, ExploreResult};
 pub use error::ExploreError;
 pub use ga::{explore_heuristic, explore_heuristic_with, GaConfig, GaOutcome, GenerationStats};
 pub use headline::{headline_comparison, HeadlineReport};

@@ -222,7 +222,7 @@ pub fn explore_scenarios_with(
                     )
                 })
                 .collect();
-            let logs = engine.evaluate_batch(&units);
+            let logs = engine.try_evaluate_batch(&units)?;
             let points: Vec<[f64; 4]> = logs.iter().map(SimLog::objectives).collect();
             let front: Vec<SimLog> = pareto_front_indices(&points)
                 .into_iter()

@@ -89,7 +89,7 @@ pub fn explore_application_level_with(
             SimUnit::from_source(cfg.app, combo, params, workload.source(), trace_fp, cfg.mem)
         })
         .collect();
-    let measurements = engine.evaluate_batch(&units);
+    let measurements = engine.try_evaluate_batch(&units)?;
     let survivors = select_survivors(&measurements, cfg.survivor_fraction);
     Ok(Step1Result {
         survivors,

@@ -120,7 +120,7 @@ pub fn explore_network_level_with(
             })
         })
         .collect();
-    let mut logs = engine.evaluate_batch(&units);
+    let mut logs = engine.try_evaluate_batch(&units)?;
     logs.sort_by(|a, b| (a.config_key(), &a.combo).cmp(&(b.config_key(), &b.combo)));
     Ok(Step2Result { configs, logs })
 }

@@ -4,12 +4,14 @@ use crate::cache::{CacheStats, SimCache};
 use crate::combo::Combo;
 use crate::key::{fingerprint_stream_spec, fingerprint_trace, CacheKey};
 use crate::scheduler::{effective_jobs, run_ordered};
+use crate::session::{BatchControl, Cancelled, JobsPool};
 use crate::sim::{SimLog, Simulator};
 use ddtr_apps::{AppKind, AppParams};
 use ddtr_mem::MemoryConfig;
 use ddtr_trace::{StreamSpec, Trace};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// An engine failure (today: cache I/O on open).
 #[derive(Debug)]
@@ -229,13 +231,34 @@ impl<'a> SimUnit<'a> {
 /// assert_eq!(logs.len(), 2);
 /// assert_eq!(engine.stats().misses, 1, "duplicate unit deduplicated");
 /// ```
-#[derive(Debug)]
 pub struct ExploreEngine {
     cfg: EngineConfig,
-    cache: SimCache,
+    cache: Arc<Mutex<SimCache>>,
+    pool: Option<Arc<JobsPool>>,
+    control: BatchControl,
+}
+
+impl fmt::Debug for ExploreEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExploreEngine")
+            .field("cfg", &self.cfg)
+            .field("pooled", &self.pool.is_some())
+            .field("control", &self.control)
+            .finish()
+    }
 }
 
 impl ExploreEngine {
+    /// Opens the cache an [`EngineConfig`] describes (persistent when it
+    /// names a directory, in-memory otherwise).
+    pub(crate) fn open_cache(cfg: &EngineConfig) -> Result<SimCache, EngineError> {
+        match (&cfg.cache_dir, cfg.no_cache) {
+            (Some(dir), false) => SimCache::open(dir)
+                .map_err(|e| EngineError(format!("cache dir {}: {e}", dir.display()))),
+            _ => Ok(SimCache::in_memory()),
+        }
+    }
+
     /// Creates an engine, opening the persistent cache when the
     /// configuration names a directory.
     ///
@@ -244,12 +267,29 @@ impl ExploreEngine {
     /// Returns [`EngineError`] when the cache directory cannot be created
     /// or its store cannot be read.
     pub fn new(cfg: EngineConfig) -> Result<Self, EngineError> {
-        let cache = match (&cfg.cache_dir, cfg.no_cache) {
-            (Some(dir), false) => SimCache::open(dir)
-                .map_err(|e| EngineError(format!("cache dir {}: {e}", dir.display())))?,
-            _ => SimCache::in_memory(),
-        };
-        Ok(ExploreEngine { cfg, cache })
+        let cache = Self::open_cache(&cfg)?;
+        Ok(ExploreEngine {
+            cfg,
+            cache: Arc::new(Mutex::new(cache)),
+            pool: None,
+            control: BatchControl::new(),
+        })
+    }
+
+    /// An engine bound to a session's shared cache and jobs pool (see
+    /// [`crate::EngineSession`]).
+    pub(crate) fn for_session(
+        cfg: EngineConfig,
+        cache: &Arc<Mutex<SimCache>>,
+        pool: &Arc<JobsPool>,
+        control: BatchControl,
+    ) -> Self {
+        ExploreEngine {
+            cfg,
+            cache: Arc::clone(cache),
+            pool: Some(Arc::clone(pool)),
+            control,
+        }
     }
 
     /// An engine with default parallelism and a purely in-memory cache —
@@ -272,10 +312,23 @@ impl ExploreEngine {
         effective_jobs(self.cfg.jobs)
     }
 
-    /// The cache counters so far.
+    /// The cache counters so far (shared across every engine of a session).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.cache.lock().expect("engine cache poisoned").stats()
+    }
+
+    /// The engine's batch controller (cancellation + progress counters).
+    #[must_use]
+    pub fn control(&self) -> &BatchControl {
+        &self.control
+    }
+
+    /// Replaces the engine's batch controller. Subsequent batches honour
+    /// the new controller's cancellation token and report progress to its
+    /// observer.
+    pub fn set_control(&mut self, control: BatchControl) {
+        self.control = control;
     }
 
     /// Evaluates a batch of simulation units and returns one log per unit,
@@ -286,45 +339,112 @@ impl ExploreEngine {
     /// work-stealing pool. Equal batches therefore produce byte-identical
     /// results at any worker count, and a warm cache turns re-exploration
     /// into pure lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's [`BatchControl`] is cancelled — callers that
+    /// attach a cancellable control must use [`Self::try_evaluate_batch`].
     pub fn evaluate_batch(&mut self, units: &[SimUnit]) -> Vec<SimLog> {
+        self.try_evaluate_batch(units)
+            .expect("batch cancelled: use try_evaluate_batch with a cancellable control")
+    }
+
+    /// [`Self::evaluate_batch`], abandoning the batch early when the
+    /// engine's [`BatchControl`] is cancelled.
+    ///
+    /// Cancellation is cooperative and unit-granular: the in-flight
+    /// simulations finish, no further ones start, and `Err(`[`Cancelled`]`)`
+    /// is returned. Results executed before the cancellation are still
+    /// recorded in the (session-shared) cache, so a re-submitted request
+    /// resumes instead of starting over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the control's token fired before or
+    /// during the batch.
+    pub fn try_evaluate_batch(&mut self, units: &[SimUnit]) -> Result<Vec<SimLog>, Cancelled> {
+        if self.control.is_cancelled() {
+            return Err(Cancelled);
+        }
         let keys: Vec<CacheKey> = units.iter().map(SimUnit::key).collect();
         let ids: Vec<String> = keys.iter().map(CacheKey::id).collect();
         let mut results: Vec<Option<SimLog>> = vec![None; units.len()];
+        self.control.add_total(units.len());
         // Resolve cross-batch hits and pick one executor per distinct id.
         let mut to_run: Vec<usize> = Vec::new();
         let mut scheduled: std::collections::HashSet<&str> = std::collections::HashSet::new();
-        for (i, id) in ids.iter().enumerate() {
-            if !self.cfg.no_cache {
-                if let Some(log) = self.cache.get(id) {
-                    results[i] = Some(log);
-                    continue;
+        let mut hits = 0;
+        {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            for (i, id) in ids.iter().enumerate() {
+                if !self.cfg.no_cache {
+                    if let Some(log) = cache.get(id) {
+                        results[i] = Some(log);
+                        hits += 1;
+                        continue;
+                    }
+                }
+                if scheduled.insert(id.as_str()) {
+                    to_run.push(i);
                 }
             }
-            if scheduled.insert(id.as_str()) {
-                to_run.push(i);
-            }
         }
-        // Execute the misses in parallel, deterministically ordered.
-        let executed: Vec<SimLog> = run_ordered(&to_run, self.cfg.jobs, |&i| units[i].simulate());
-        // Record the executions, then satisfy duplicates by identity. With
+        self.control.add_hits(hits);
+        // Execute the misses in parallel, deterministically ordered. Each
+        // unit takes a permit from the session's FIFO pool (when bound to
+        // one), so concurrent requests interleave at unit granularity, and
+        // checks the cancel token so an abandoned batch stops promptly.
+        let control = &self.control;
+        let pool = self.pool.as_deref();
+        let executed: Vec<Option<SimLog>> = run_ordered(&to_run, self.cfg.jobs, |&i| {
+            if control.is_cancelled() {
+                return None;
+            }
+            let permit = pool.map(JobsPool::acquire);
+            if control.is_cancelled() {
+                return None;
+            }
+            let log = units[i].simulate();
+            // Release the session permit before reporting progress: the
+            // observer may block (e.g. writing to a slow client), and a
+            // held permit would stall every other request of the session.
+            drop(permit);
+            control.add_executed();
+            Some(log)
+        });
+        // Record the executions (even on a cancelled batch — completed work
+        // stays reusable), then satisfy duplicates by identity. With
         // caching disabled, executions are counted but never retained.
+        let mut cancelled = false;
         let mut fresh: std::collections::HashMap<&str, SimLog> = std::collections::HashMap::new();
-        for (&i, log) in to_run.iter().zip(executed) {
-            if self.cfg.no_cache {
-                self.cache.note_miss();
-            } else {
-                self.cache.insert(&keys[i], log.clone());
+        {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            for (&i, log) in to_run.iter().zip(executed) {
+                let Some(log) = log else {
+                    cancelled = true;
+                    continue;
+                };
+                if self.cfg.no_cache {
+                    cache.note_miss();
+                } else {
+                    cache.insert(&keys[i], log.clone());
+                }
+                fresh.insert(ids[i].as_str(), log);
             }
-            fresh.insert(ids[i].as_str(), log);
         }
-        results
+        if cancelled {
+            return Err(Cancelled);
+        }
+        // Duplicates of executed units resolve now; count them done.
+        self.control.add_resolved(units.len() - hits - to_run.len());
+        Ok(results
             .into_iter()
             .enumerate()
             .map(|(i, slot)| match slot {
                 Some(log) => log,
                 None => fresh[ids[i].as_str()].clone(),
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -502,6 +622,63 @@ mod tests {
                 .collect();
             assert_eq!(got, reference, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn cancelled_control_aborts_batches_but_session_stays_usable() {
+        use crate::session::{BatchControl, EngineSession};
+        let trace = NetworkPreset::DartmouthBerry.generate(30);
+        let params = AppParams::default();
+        let units = units_for(&trace, &params, &combos());
+        let session = EngineSession::new(EngineConfig::with_jobs(1)).expect("session");
+        let control = BatchControl::new();
+        let mut engine = session.engine_with(control.clone());
+        control.cancel();
+        assert!(matches!(
+            engine.try_evaluate_batch(&units),
+            Err(crate::Cancelled)
+        ));
+        // A fresh engine on the same session is unaffected.
+        let logs = session.engine().evaluate_batch(&units);
+        assert_eq!(logs.len(), units.len());
+    }
+
+    #[test]
+    fn control_counts_progress_including_cache_hits_and_duplicates() {
+        use crate::session::{BatchControl, BatchProgress, EngineSession};
+        let trace = NetworkPreset::DartmouthBerry.generate(30);
+        let params = AppParams::default();
+        let mut both = combos();
+        both.extend(combos()); // duplicates resolve without executing
+        let units = units_for(&trace, &params, &both);
+        let session = EngineSession::new(EngineConfig::with_jobs(2)).expect("session");
+        let control = BatchControl::new();
+        let mut engine = session.engine_with(control.clone());
+        engine.evaluate_batch(&units);
+        assert_eq!(
+            control.progress(),
+            BatchProgress {
+                done: 8,
+                total: 8,
+                executed: 4,
+                hits: 0
+            }
+        );
+        // A second engine with its own control sees only its own progress —
+        // all hits this time, resolved instantly.
+        let control2 = BatchControl::new();
+        let mut warm = session.engine_with(control2.clone());
+        warm.evaluate_batch(&units);
+        assert_eq!(
+            control2.progress(),
+            BatchProgress {
+                done: 8,
+                total: 8,
+                executed: 0,
+                hits: 8
+            }
+        );
+        assert_eq!(session.stats().misses, 4, "warm batch executed nothing");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! The paper's central cost is the exhaustive simulation sweep: thousands
 //! of `(application, DDT combination, network configuration)` runs whose
 //! logs feed the Pareto analysis. This crate owns *how* those runs are
-//! executed, so the methodology layers above it ([`ddtr_core`]'s steps and
+//! executed, so the methodology layers above it (`ddtr_core`'s steps and
 //! NSGA-II) only say *what* to run:
 //!
 //! * [`run_ordered`] — a work-stealing scheduler with deterministic result
@@ -14,7 +14,12 @@
 //!   JSON-lines disk store, making re-exploration incremental: a warm
 //!   re-run answers from the cache instead of re-simulating.
 //! * [`ExploreEngine::evaluate_batch`] — the batched evaluation API the
-//!   steps, the GA population loop and the bench harness all share.
+//!   steps, the GA population loop and the bench harness all share
+//!   (cancellable via [`ExploreEngine::try_evaluate_batch`] and a
+//!   [`BatchControl`]).
+//! * [`EngineSession`] — the resident-process form: one shared result
+//!   cache and one FIFO [`JobsPool`] served to any number of concurrent
+//!   requests (the substrate of `ddtr serve`).
 //! * [`timing`] — the wall-clock harness behind `BENCH_explore.json`.
 //!
 //! The primitive simulation types ([`Simulator`], [`SimLog`], [`Combo`])
@@ -50,6 +55,7 @@ mod combo;
 mod engine;
 mod key;
 mod scheduler;
+mod session;
 mod sim;
 pub mod timing;
 
@@ -61,4 +67,7 @@ pub use key::{
     CACHE_FORMAT_VERSION,
 };
 pub use scheduler::{effective_jobs, run_ordered};
+pub use session::{
+    BatchControl, BatchProgress, CancelToken, Cancelled, EngineSession, JobsPermit, JobsPool,
+};
 pub use sim::{SimLog, Simulator};

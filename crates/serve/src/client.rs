@@ -1,0 +1,136 @@
+//! A blocking client for the serve protocol — the machinery behind
+//! `ddtr query` and the integration tests.
+
+use crate::protocol::{Event, Request};
+use crate::server::Endpoint;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a running `ddtr serve` instance.
+///
+/// The client is deliberately dumb: it writes [`Request`] lines and reads
+/// [`Event`] lines; [`Client::call`] layers the one pattern everything
+/// uses — send a request, stream its events, return its terminal event.
+pub struct Client {
+    reader: Box<dyn BufRead + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to a socket endpoint ([`Endpoint::Stdio`] cannot be
+    /// connected to — it is the server's own stdin/stdout).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error, or `InvalidInput` for `stdio`.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Stdio => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot connect to `stdio` — point the client at the server's tcp:/unix: endpoint",
+            )),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                Ok(Self::over(BufReader::new(stream.try_clone()?), stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = std::os::unix::net::UnixStream::connect(path)?;
+                Ok(Self::over(BufReader::new(stream.try_clone()?), stream))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix: endpoints need a Unix platform",
+            )),
+        }
+    }
+
+    /// Wraps an already-established duplex transport.
+    #[must_use]
+    pub fn over(
+        reader: impl BufRead + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> Self {
+        Client {
+            reader: Box::new(reader),
+            writer: Box::new(writer),
+        }
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write error.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next event line. `Ok(None)` means the server closed the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the read error, or `InvalidData` for an unparseable line.
+    pub fn next_event(&mut self) -> io::Result<Option<Event>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return serde_json::from_str(line.trim()).map(Some).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparseable event: {e}: {line}"),
+                )
+            });
+        }
+    }
+
+    /// Sends `request` and reads events until its terminal event
+    /// (`Result`, `Cancelled`, `Error`, `Pong` or `Stats`), which is
+    /// returned. Every event read on the way — including events of other
+    /// concurrent requests on this connection — is passed to `on_event`
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error, or `UnexpectedEof` if the connection
+    /// closes before the terminal event.
+    pub fn call(
+        &mut self,
+        request: &Request,
+        mut on_event: impl FnMut(&Event),
+    ) -> io::Result<Event> {
+        self.send(request)?;
+        while let Some(event) = self.next_event()? {
+            on_event(&event);
+            if event.is_terminal() && event.id() == Some(request.id.as_str()) {
+                return Ok(event);
+            }
+            // A parse failure of the request itself comes back with a
+            // null id; surface it as this call's terminal event.
+            if matches!(&event, Event::Error { id: None, .. }) {
+                return Ok(event);
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("connection closed before request `{}` finished", request.id),
+        ))
+    }
+}

@@ -1,0 +1,64 @@
+//! `ddtr_serve` — the long-running exploration service.
+//!
+//! The paper's flow is explore-once: run the methodology, read the Pareto
+//! fronts, done. At production scale the economics invert — many clients
+//! ask many overlapping exploration questions, and the expensive part
+//! (the simulation sweep) is exactly what the engine's content-addressed
+//! cache amortizes. This crate turns the workspace into a resident
+//! service around that cache:
+//!
+//! * [`protocol`] — the newline-delimited JSON wire format: [`Request`]
+//!   lines in (`Ping`/`Stats`/`Run`/`Cancel`/`Shutdown`), [`Event`] lines
+//!   out (`Hello`, `Queued`, `Running` progress, `Result`/`Cancelled`/
+//!   `Error`, `Bye`), with exploration work named either by app/mode
+//!   preset or as a full inline configuration ([`JobSpec`]).
+//! * [`Server`] — serves stdin/stdout, TCP, or Unix-socket connections
+//!   (`ddtr serve --listen …`) on one shared
+//!   [`ddtr_engine::EngineSession`]: every request gets its own engine
+//!   bound to the session's result cache and FIFO `--jobs` pool, so a
+//!   million-packet job cannot starve a small query, repeated requests
+//!   answer from cache with zero simulations, and results are
+//!   byte-identical to the CLI's regardless of request interleaving.
+//! * [`Client`] — the blocking client behind `ddtr query` and the
+//!   integration tests.
+//!
+//! See `docs/PROTOCOL.md` for the full wire schema with a worked
+//! transcript and `docs/ARCHITECTURE.md` for where the service sits in
+//! the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use ddtr_serve::{Client, Event, JobSpec, Request, RequestBody, Server};
+//! use ddtr_engine::EngineConfig;
+//! use std::net::TcpListener;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0")?;
+//! let endpoint = ddtr_serve::Endpoint::Tcp(listener.local_addr()?.to_string());
+//! let server = Server::new(EngineConfig::with_jobs(2)).expect("server");
+//! std::thread::scope(|scope| -> std::io::Result<()> {
+//!     let server = &server;
+//!     scope.spawn(move || server.serve_tcp(&listener));
+//!     let mut client = Client::connect(&endpoint)?;
+//!     let spec = JobSpec {
+//!         quick: true,
+//!         ..JobSpec::preset("explore", Some("drr"))
+//!     };
+//!     let reply = client.call(&Request::run("q1", spec), |_| {})?;
+//!     assert!(matches!(reply, Event::Result { .. }));
+//!     client.send(&Request::new("bye", RequestBody::Shutdown))?;
+//!     Ok(())
+//! })?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use protocol::{Event, JobSpec, Request, RequestBody, PROTOCOL_VERSION};
+pub use server::{Endpoint, ServeError, Server};

@@ -1,0 +1,491 @@
+//! The wire protocol of `ddtr serve`: newline-delimited JSON.
+//!
+//! Every line the client writes is one [`Request`]; every line the server
+//! writes is one [`Event`]. Values use serde's external tagging — a unit
+//! variant is its name as a string (`"Ping"`), a data-carrying variant a
+//! single-key object (`{"Run": {…}}`). The full schema, with a worked
+//! `ddtr query` transcript, is documented in `docs/PROTOCOL.md` at the
+//! workspace root.
+//!
+//! Requests carry a client-chosen `id`; every event about a request echoes
+//! that id, so events of concurrently running requests can interleave
+//! freely on one connection. Exploration work is named either *inline* —
+//! a full [`ExploreRequest`] configuration — or by *preset*: mode, app
+//! and the same flags the CLI subcommands take ([`JobSpec::resolve`] is
+//! the one place both spellings meet).
+
+use ddtr_apps::AppKind;
+use ddtr_core::{
+    CacheStats, ExploreRequest, ExploreResult, GaConfig, MethodologyConfig, ScenarioConfig,
+};
+use ddtr_ddt::DdtKind;
+use ddtr_trace::{NetworkPreset, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire protocol; servers announce it in [`Event::Hello`]
+/// and reject nothing by version yet (there is only one).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One client → server line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen identifier echoed on every event about this request.
+    pub id: String,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(id: impl Into<String>, body: RequestBody) -> Self {
+        Request {
+            id: id.into(),
+            body,
+        }
+    }
+
+    /// A `Run` request for `spec`.
+    #[must_use]
+    pub fn run(id: impl Into<String>, spec: JobSpec) -> Self {
+        Request::new(id, RequestBody::Run(Box::new(spec)))
+    }
+}
+
+/// The action a [`Request`] asks for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Liveness check; answered with [`Event::Pong`].
+    Ping,
+    /// Report the session's shared cache counters and jobs budget;
+    /// answered with [`Event::Stats`].
+    Stats,
+    /// Schedule one exploration; answered with [`Event::Queued`], a
+    /// stream of [`Event::Running`], and finally [`Event::Result`],
+    /// [`Event::Cancelled`] or [`Event::Error`]. (Boxed: a full inline
+    /// configuration dwarfs the other variants.)
+    Run(Box<JobSpec>),
+    /// Cancel the in-flight request whose id is `target`. The cancelled
+    /// request answers with [`Event::Cancelled`]; an unknown or already
+    /// finished target answers with [`Event::Error`] on *this* request's
+    /// id.
+    Cancel {
+        /// The id of the request to cancel.
+        target: String,
+    },
+    /// Finish in-flight work, close the connection and — when the server
+    /// listens on a socket — stop accepting new connections.
+    Shutdown,
+}
+
+/// One exploration to schedule: either a full inline configuration or an
+/// app/mode preset with CLI-equivalent flags.
+///
+/// Preset resolution mirrors the CLI exactly: `mode` is one of
+/// `"explore"`, `"ga"`, `"scenarios"`, `"headline"`; `quick` selects the
+/// reduced configuration; `extended` widens the DDT candidate set;
+/// `stream` generates packets on the fly. Fields that do not apply to the
+/// chosen mode are rejected, not ignored.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Full inline configuration; when present every preset field must be
+    /// absent.
+    #[serde(default)]
+    pub inline: Option<ExploreRequest>,
+    /// Exploration mode: `explore`, `ga`, `scenarios` or `headline`.
+    #[serde(default)]
+    pub mode: Option<String>,
+    /// Application preset (required for `explore`/`ga`/`headline`;
+    /// optional row restriction for `scenarios`).
+    #[serde(default)]
+    pub app: Option<String>,
+    /// Use the reduced (`--quick`) configuration.
+    #[serde(default)]
+    pub quick: bool,
+    /// Explore the extended 12-kind DDT library (`--extended`).
+    #[serde(default)]
+    pub extended: bool,
+    /// Stream packets into each simulation (`--stream`).
+    #[serde(default)]
+    pub stream: bool,
+    /// Base network preset (`scenarios` only; default `BWY-I`).
+    #[serde(default)]
+    pub base: Option<String>,
+    /// Scenario columns (`scenarios` only; default: all).
+    #[serde(default)]
+    pub scenarios: Option<Vec<String>>,
+    /// Packets per simulation override (`scenarios` only).
+    #[serde(default)]
+    pub packets: Option<usize>,
+    /// RNG seed override (`ga` only).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl JobSpec {
+    /// A preset spec for `mode` over `app`, CLI defaults.
+    #[must_use]
+    pub fn preset(mode: &str, app: Option<&str>) -> Self {
+        JobSpec {
+            mode: Some(mode.to_string()),
+            app: app.map(str::to_string),
+            ..Self::default()
+        }
+    }
+
+    /// An inline spec wrapping a full configuration.
+    #[must_use]
+    pub fn inline(request: ExploreRequest) -> Self {
+        JobSpec {
+            inline: Some(request),
+            ..Self::default()
+        }
+    }
+
+    /// Resolves the spec into the [`ExploreRequest`] to dispatch,
+    /// validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem: unknown mode, app
+    /// or scenario names, a flag that does not apply to the mode, or an
+    /// invalid resolved configuration.
+    pub fn resolve(&self) -> Result<ExploreRequest, String> {
+        let request = self.build()?;
+        request.validate().map_err(|e| e.to_string())?;
+        Ok(request)
+    }
+
+    fn build(&self) -> Result<ExploreRequest, String> {
+        if let Some(inline) = &self.inline {
+            if self.mode.is_some() || self.app.is_some() {
+                return Err("inline configs take no preset fields".into());
+            }
+            return Ok(inline.clone());
+        }
+        let mode = self.mode.as_deref().ok_or("missing `mode` (or `inline`)")?;
+        let app = |required: bool| -> Result<Option<AppKind>, String> {
+            match (&self.app, required) {
+                (Some(name), _) => name.parse().map(Some).map_err(|e| format!("{e}")),
+                (None, true) => Err(format!("mode `{mode}` requires `app`")),
+                (None, false) => Ok(None),
+            }
+        };
+        let reject = |field: &str, set: bool| -> Result<(), String> {
+            if set {
+                Err(format!("`{field}` does not apply to mode `{mode}`"))
+            } else {
+                Ok(())
+            }
+        };
+        match mode {
+            "explore" | "headline" => {
+                let app = app(true)?.expect("required");
+                reject("base", self.base.is_some())?;
+                reject("scenarios", self.scenarios.is_some())?;
+                reject("packets", self.packets.is_some())?;
+                reject("seed", self.seed.is_some())?;
+                let mut cfg = if self.quick {
+                    MethodologyConfig::quick(app)
+                } else {
+                    MethodologyConfig::paper(app)
+                };
+                if self.extended {
+                    cfg.candidates = DdtKind::EXTENDED.to_vec();
+                }
+                cfg.streaming = self.stream;
+                Ok(if mode == "explore" {
+                    ExploreRequest::Explore(cfg)
+                } else {
+                    ExploreRequest::Headline(cfg)
+                })
+            }
+            "ga" => {
+                let app = app(true)?.expect("required");
+                reject("base", self.base.is_some())?;
+                reject("scenarios", self.scenarios.is_some())?;
+                reject("packets", self.packets.is_some())?;
+                let mut cfg = if self.quick {
+                    GaConfig::quick(app)
+                } else {
+                    GaConfig::paper(app)
+                };
+                if self.extended {
+                    cfg.candidates = DdtKind::EXTENDED.to_vec();
+                }
+                cfg.streaming = self.stream;
+                if let Some(seed) = self.seed {
+                    cfg.seed = seed;
+                }
+                Ok(ExploreRequest::Ga(cfg))
+            }
+            "scenarios" => {
+                reject("seed", self.seed.is_some())?;
+                // `stream` is accepted as a no-op: scenarios always
+                // streams, mirroring the CLI.
+                let base: NetworkPreset = match &self.base {
+                    Some(name) => name.parse()?,
+                    None => NetworkPreset::DartmouthBerry,
+                };
+                let mut cfg = if self.quick {
+                    ScenarioConfig::quick(base)
+                } else {
+                    ScenarioConfig::paper(base)
+                };
+                if self.extended {
+                    cfg.candidates = DdtKind::EXTENDED.to_vec();
+                }
+                if let Some(app) = app(false)? {
+                    cfg.apps = vec![app];
+                }
+                if let Some(names) = &self.scenarios {
+                    cfg.scenarios = names
+                        .iter()
+                        .map(|n| n.parse::<Scenario>())
+                        .collect::<Result<_, _>>()?;
+                }
+                if let Some(packets) = self.packets {
+                    cfg.packets_per_sim = packets;
+                }
+                Ok(ExploreRequest::Scenarios(cfg))
+            }
+            other => Err(format!(
+                "unknown mode `{other}` (expected explore, ga, scenarios or headline)"
+            )),
+        }
+    }
+}
+
+/// One server → client line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Event {
+    /// First line of every connection: protocol version, server build and
+    /// the session's concurrent-simulation budget.
+    Hello {
+        /// [`PROTOCOL_VERSION`] of the server.
+        protocol: u32,
+        /// Server build identifier.
+        server: String,
+        /// Concurrent-simulation budget of the shared session.
+        jobs: usize,
+    },
+    /// Answer to [`RequestBody::Ping`].
+    Pong {
+        /// Echoed request id.
+        id: String,
+    },
+    /// A [`RequestBody::Run`] was accepted and scheduled.
+    Queued {
+        /// Echoed request id.
+        id: String,
+    },
+    /// Progress of a running request. `done`/`total` count simulation
+    /// units (cache hits resolve instantly); `total` grows as later
+    /// exploration phases are scheduled.
+    Running {
+        /// Echoed request id.
+        id: String,
+        /// Units resolved so far.
+        done: usize,
+        /// Units scheduled so far.
+        total: usize,
+    },
+    /// Terminal success of a request. `executed`/`cache_hits` are this
+    /// request's exact engine counters; `result` is deterministic — byte
+    /// -identical for equal requests at any jobs count and interleaving.
+    Result {
+        /// Echoed request id.
+        id: String,
+        /// Simulations this request actually executed (0 on a warm
+        /// cache).
+        executed: usize,
+        /// Simulations answered from the session's shared cache.
+        cache_hits: usize,
+        /// The typed exploration answer (boxed: it dwarfs every other
+        /// event).
+        result: Box<ExploreResult>,
+    },
+    /// Answer to [`RequestBody::Stats`].
+    Stats {
+        /// Echoed request id.
+        id: String,
+        /// Counters of the session's shared cache.
+        stats: CacheStats,
+        /// Concurrent-simulation budget of the session.
+        jobs: usize,
+    },
+    /// Terminal reply of a cancelled request.
+    Cancelled {
+        /// Echoed request id.
+        id: String,
+    },
+    /// A request failed (or a line could not be parsed — then `id` is
+    /// null and the connection stays usable).
+    Error {
+        /// Echoed request id; null for unparseable lines.
+        id: Option<String>,
+        /// Human-readable description.
+        error: String,
+    },
+    /// Last line before the server closes the connection.
+    Bye,
+}
+
+impl Event {
+    /// The request id the event concerns, if any.
+    #[must_use]
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Event::Hello { .. } | Event::Bye => None,
+            Event::Pong { id }
+            | Event::Queued { id }
+            | Event::Running { id, .. }
+            | Event::Result { id, .. }
+            | Event::Stats { id, .. }
+            | Event::Cancelled { id } => Some(id),
+            Event::Error { id, .. } => id.as_deref(),
+        }
+    }
+
+    /// Whether this event ends its request (result, cancelled or error).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Result { .. }
+                | Event::Cancelled { .. }
+                | Event::Error { .. }
+                | Event::Pong { .. }
+                | Event::Stats { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = vec![
+            Request::new("a", RequestBody::Ping),
+            Request::new("b", RequestBody::Stats),
+            Request::run("c", JobSpec::preset("explore", Some("drr"))),
+            Request::new("d", RequestBody::Cancel { target: "c".into() }),
+            Request::new("e", RequestBody::Shutdown),
+        ];
+        for request in requests {
+            let json = serde_json::to_string(&request).expect("ser");
+            let back: Request = serde_json::from_str(&json).expect("de");
+            assert_eq!(back.id, request.id);
+            assert_eq!(serde_json::to_string(&back).expect("ser"), json, "lossless");
+        }
+    }
+
+    #[test]
+    fn events_round_trip_and_classify() {
+        let events = vec![
+            Event::Hello {
+                protocol: PROTOCOL_VERSION,
+                server: "test".into(),
+                jobs: 2,
+            },
+            Event::Queued { id: "r".into() },
+            Event::Running {
+                id: "r".into(),
+                done: 3,
+                total: 10,
+            },
+            Event::Cancelled { id: "r".into() },
+            Event::Error {
+                id: None,
+                error: "bad line".into(),
+            },
+            Event::Bye,
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).expect("ser");
+            let back: Event = serde_json::from_str(&json).expect("de");
+            assert_eq!(back.id(), event.id());
+            assert_eq!(back.is_terminal(), event.is_terminal());
+        }
+        assert!(!Event::Queued { id: "r".into() }.is_terminal());
+        assert!(Event::Cancelled { id: "r".into() }.is_terminal());
+    }
+
+    #[test]
+    fn preset_specs_resolve_like_the_cli() {
+        let spec = JobSpec {
+            quick: true,
+            stream: true,
+            extended: true,
+            ..JobSpec::preset("explore", Some("drr"))
+        };
+        let request = spec.resolve().expect("resolves");
+        let ExploreRequest::Explore(cfg) = &request else {
+            panic!("wrong mode {}", request.mode());
+        };
+        assert!(cfg.streaming);
+        assert_eq!(cfg.candidates.len(), 12, "--extended");
+        assert_eq!(cfg.networks.len(), 2, "--quick");
+    }
+
+    #[test]
+    fn scenario_specs_resolve_names() {
+        let spec = JobSpec {
+            quick: true,
+            scenarios: Some(vec!["flash-crowd".into(), "ddos-syn".into()]),
+            packets: Some(64),
+            base: Some("NLANR-AIX".into()),
+            ..JobSpec::preset("scenarios", Some("url"))
+        };
+        let request = spec.resolve().expect("resolves");
+        let ExploreRequest::Scenarios(cfg) = &request else {
+            panic!("wrong mode {}", request.mode());
+        };
+        assert_eq!(cfg.scenarios, vec![Scenario::FlashCrowd, Scenario::DdosSyn]);
+        assert_eq!(cfg.packets_per_sim, 64);
+        assert_eq!(cfg.apps, vec![AppKind::Url]);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        let missing = JobSpec::default().resolve().unwrap_err();
+        assert!(missing.contains("mode"), "{missing}");
+        let unknown = JobSpec::preset("frobnicate", None).resolve().unwrap_err();
+        assert!(unknown.contains("frobnicate"), "{unknown}");
+        let no_app = JobSpec::preset("explore", None).resolve().unwrap_err();
+        assert!(no_app.contains("requires `app`"), "{no_app}");
+        let bad_app = JobSpec::preset("ga", Some("nfs")).resolve().unwrap_err();
+        assert!(bad_app.contains("nfs"), "{bad_app}");
+        let stray = JobSpec {
+            seed: Some(7),
+            ..JobSpec::preset("explore", Some("drr"))
+        }
+        .resolve()
+        .unwrap_err();
+        assert!(stray.contains("seed"), "{stray}");
+        let both = JobSpec {
+            mode: Some("explore".into()),
+            ..JobSpec::inline(ExploreRequest::Explore(MethodologyConfig::quick(
+                AppKind::Drr,
+            )))
+        }
+        .resolve()
+        .unwrap_err();
+        assert!(both.contains("preset"), "{both}");
+    }
+
+    #[test]
+    fn inline_specs_round_trip_and_resolve() {
+        let request = ExploreRequest::Ga(GaConfig::quick(AppKind::Nat));
+        let spec = JobSpec::inline(request);
+        let json = serde_json::to_string(&Request::run("q", spec)).expect("ser");
+        let back: Request = serde_json::from_str(&json).expect("de");
+        let RequestBody::Run(spec) = back.body else {
+            panic!("wrong body");
+        };
+        let resolved = spec.resolve().expect("resolves");
+        assert_eq!(resolved.mode(), "ga");
+    }
+}

@@ -1,0 +1,473 @@
+//! The resident exploration server.
+//!
+//! One [`Server`] owns one [`EngineSession`] — the shared result cache
+//! and the shared FIFO `--jobs` pool — and serves any number of
+//! connections, each speaking the JSONL protocol of [`crate::protocol`].
+//! Every `Run` request executes on its own engine bound to that session,
+//! so concurrent requests interleave fairly at simulation granularity,
+//! warm the same cache, and still produce byte-identical results
+//! regardless of what else is running (results are content-addressed,
+//! never order-dependent).
+
+use crate::protocol::{Event, Request, RequestBody, PROTOCOL_VERSION};
+use ddtr_core::{dispatch_with, ExploreError};
+use ddtr_engine::{BatchControl, EngineConfig, EngineError, EngineSession};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A server-side failure (socket setup, engine/cache construction).
+#[derive(Debug)]
+pub struct ServeError(String);
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serve error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError(e.to_string())
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError(e.to_string())
+    }
+}
+
+/// Where a server listens or a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The process's stdin/stdout — one connection, the default of
+    /// `ddtr serve`.
+    Stdio,
+    /// A TCP socket address (`tcp:127.0.0.1:7070`).
+    Tcp(String),
+    /// A Unix domain socket path (`unix:/tmp/ddtr.sock`); Unix platforms
+    /// only.
+    Unix(PathBuf),
+}
+
+impl FromStr for Endpoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "stdio" {
+            return Ok(Endpoint::Stdio);
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("tcp: endpoint needs an address".into());
+            }
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: endpoint needs a path".into());
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        Err(format!(
+            "unknown endpoint `{s}` (expected stdio, tcp:<addr> or unix:<path>)"
+        ))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Stdio => write!(f, "stdio"),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// The shared event writer of one connection: serialises events to one
+/// line each and remembers when the peer stopped accepting them.
+///
+/// A failed write means nobody is reading the answers any more; the
+/// failure is recorded (never propagated — the connection is being torn
+/// down anyway) so in-flight work can notice and cancel itself instead
+/// of simulating for a vanished client.
+struct ConnWriter<W: Write> {
+    inner: Mutex<W>,
+    peer_gone: AtomicBool,
+}
+
+impl<W: Write> ConnWriter<W> {
+    fn new(writer: W) -> Self {
+        ConnWriter {
+            inner: Mutex::new(writer),
+            peer_gone: AtomicBool::new(false),
+        }
+    }
+
+    /// Writes one event as one flushed line.
+    fn emit(&self, event: &Event) {
+        let Ok(line) = serde_json::to_string(event) else {
+            return;
+        };
+        let mut w = self.inner.lock().expect("event writer poisoned");
+        if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+            self.peer_gone.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether a write to the peer has failed.
+    fn peer_gone(&self) -> bool {
+        self.peer_gone.load(Ordering::SeqCst)
+    }
+}
+
+/// The long-running exploration server. See the crate docs for the
+/// protocol and [`EngineSession`] for the sharing/fairness model.
+#[derive(Debug)]
+pub struct Server {
+    session: EngineSession,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Builds a server, opening the session's (persistent) result cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the cache directory cannot be opened.
+    pub fn new(cfg: EngineConfig) -> Result<Self, ServeError> {
+        Ok(Server {
+            session: EngineSession::new(cfg)?,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The server's shared engine session.
+    #[must_use]
+    pub fn session(&self) -> &EngineSession {
+        &self.session
+    }
+
+    /// Whether a `Shutdown` request has been received.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Serves one connection until EOF or a `Shutdown` request: reads one
+    /// JSON [`Request`] per line, runs `Run` requests concurrently on the
+    /// shared session, and streams [`Event`] lines (interleaved across
+    /// requests, each tagged with its request id). Malformed lines get an
+    /// `Error` event with a null id and do not end the connection. All
+    /// in-flight work finishes (or is cancelled) before the final `Bye`.
+    pub fn serve_connection<R, W>(&self, reader: R, writer: W)
+    where
+        R: BufRead,
+        W: Write + Send + 'static,
+    {
+        let writer = Arc::new(ConnWriter::new(writer));
+        writer.emit(&Event::Hello {
+            protocol: PROTOCOL_VERSION,
+            server: format!("ddtr_serve {}", env!("CARGO_PKG_VERSION")),
+            jobs: self.session.jobs(),
+        });
+        let inflight: Mutex<HashMap<String, BatchControl>> = Mutex::new(HashMap::new());
+        std::thread::scope(|scope| {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let request: Request = match serde_json::from_str(&line) {
+                    Ok(request) => request,
+                    Err(e) => {
+                        writer.emit(&Event::Error {
+                            id: None,
+                            error: format!("unparseable request: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                match request.body {
+                    RequestBody::Ping => writer.emit(&Event::Pong { id: request.id }),
+                    RequestBody::Stats => writer.emit(&Event::Stats {
+                        id: request.id,
+                        stats: self.session.stats(),
+                        jobs: self.session.jobs(),
+                    }),
+                    RequestBody::Cancel { target } => {
+                        let control = inflight
+                            .lock()
+                            .expect("inflight registry poisoned")
+                            .get(&target)
+                            .cloned();
+                        match control {
+                            // The cancelled request replies `Cancelled`
+                            // on its own id.
+                            Some(control) => control.cancel(),
+                            None => writer.emit(&Event::Error {
+                                id: Some(request.id),
+                                error: format!(
+                                    "no in-flight request `{target}` (unknown or finished)"
+                                ),
+                            }),
+                        }
+                    }
+                    RequestBody::Shutdown => {
+                        self.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    RequestBody::Run(spec) => {
+                        let id = request.id;
+                        // A duplicate id would make the earlier request
+                        // uncancellable and the event streams
+                        // indistinguishable — reject it.
+                        if inflight
+                            .lock()
+                            .expect("inflight registry poisoned")
+                            .contains_key(&id)
+                        {
+                            writer.emit(&Event::Error {
+                                id: Some(id),
+                                error: "a request with this id is already in flight".into(),
+                            });
+                            continue;
+                        }
+                        let explore = match spec.resolve() {
+                            Ok(explore) => explore,
+                            Err(error) => {
+                                writer.emit(&Event::Error {
+                                    id: Some(id),
+                                    error,
+                                });
+                                continue;
+                            }
+                        };
+                        writer.emit(&Event::Queued { id: id.clone() });
+                        // Progress observer: emits monotone `Running`
+                        // lines, throttled to ~1% steps (plus every
+                        // phase completion) so huge runs don't flood the
+                        // wire; workers race between counting and
+                        // reporting, so non-increasing snapshots are
+                        // dropped. When the peer stops accepting events
+                        // the observer cancels its own request — nobody
+                        // is left to read the answer.
+                        let progress_writer = Arc::clone(&writer);
+                        let progress_id = id.clone();
+                        let last_done = AtomicUsize::new(0);
+                        let own_token: Arc<std::sync::OnceLock<ddtr_engine::CancelToken>> =
+                            Arc::new(std::sync::OnceLock::new());
+                        let observer_token = Arc::clone(&own_token);
+                        let control = BatchControl::observed(move |p| {
+                            let stride = (p.total / 100).max(1);
+                            let prev = last_done.load(Ordering::SeqCst);
+                            if p.done > 0
+                                && (p.done == p.total || p.done >= prev + stride)
+                                && last_done.fetch_max(p.done, Ordering::SeqCst) < p.done
+                            {
+                                progress_writer.emit(&Event::Running {
+                                    id: progress_id.clone(),
+                                    done: p.done,
+                                    total: p.total,
+                                });
+                            }
+                            if progress_writer.peer_gone() {
+                                if let Some(token) = observer_token.get() {
+                                    token.cancel();
+                                }
+                            }
+                        });
+                        let _ = own_token.set(control.token());
+                        inflight
+                            .lock()
+                            .expect("inflight registry poisoned")
+                            .insert(id.clone(), control.clone());
+                        let result_writer = Arc::clone(&writer);
+                        let session = &self.session;
+                        let inflight = &inflight;
+                        scope.spawn(move || {
+                            let mut engine = session.engine_with(control);
+                            let outcome = dispatch_with(&mut engine, &explore);
+                            inflight
+                                .lock()
+                                .expect("inflight registry poisoned")
+                                .remove(&id);
+                            let progress = engine.control().progress();
+                            let event = match outcome {
+                                Ok(result) => Event::Result {
+                                    id,
+                                    executed: progress.executed,
+                                    cache_hits: progress.hits,
+                                    result: Box::new(result),
+                                },
+                                Err(ExploreError::Cancelled) => Event::Cancelled { id },
+                                Err(e) => Event::Error {
+                                    id: Some(id),
+                                    error: e.to_string(),
+                                },
+                            };
+                            result_writer.emit(&event);
+                        });
+                    }
+                }
+            }
+            // Leaving the scope joins every in-flight request. Plain EOF
+            // does NOT cancel them: in stdio batch mode (`printf … |
+            // ddtr serve`) the answers are still wanted after stdin
+            // closes. Abandoned work is caught by the observers above
+            // the moment a progress write fails.
+        });
+        writer.emit(&Event::Bye);
+    }
+
+    /// Accept loop over an already-bound TCP listener; each connection is
+    /// served concurrently on the shared session. Returns after a
+    /// `Shutdown` request once every open connection has finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the listener's local address cannot be
+    /// resolved.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> io::Result<()> {
+        let local = listener.local_addr()?;
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if self.shutdown_requested() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                scope.spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    self.serve_connection(BufReader::new(read_half), stream);
+                    if self.shutdown_requested() {
+                        // Unblock the accept loop so it can observe the
+                        // flag and stop.
+                        let _ = TcpStream::connect(local);
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Accept loop over an already-bound Unix socket listener; the Unix
+    /// counterpart of [`Server::serve_tcp`].
+    #[cfg(unix)]
+    pub fn serve_unix(&self, listener: &std::os::unix::net::UnixListener) -> io::Result<()> {
+        let path = listener
+            .local_addr()?
+            .as_pathname()
+            .map(std::path::Path::to_path_buf);
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if self.shutdown_requested() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let path = path.clone();
+                scope.spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    self.serve_connection(BufReader::new(read_half), stream);
+                    if self.shutdown_requested() {
+                        if let Some(path) = path {
+                            let _ = std::os::unix::net::UnixStream::connect(path);
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Binds `endpoint` and serves it until shutdown, announcing the
+    /// bound address on stderr (useful with `tcp:127.0.0.1:0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the endpoint cannot be bound (or is a
+    /// Unix socket on a non-Unix platform).
+    pub fn listen(&self, endpoint: &Endpoint) -> Result<(), ServeError> {
+        match endpoint {
+            Endpoint::Stdio => {
+                let stdin = io::stdin();
+                eprintln!(
+                    "ddtr serve: listening on stdio (jobs={})",
+                    self.session.jobs()
+                );
+                self.serve_connection(stdin.lock(), io::stdout());
+                Ok(())
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())
+                    .map_err(|e| ServeError(format!("bind tcp:{addr}: {e}")))?;
+                eprintln!(
+                    "ddtr serve: listening on tcp:{} (jobs={})",
+                    listener.local_addr()?,
+                    self.session.jobs()
+                );
+                self.serve_tcp(&listener)?;
+                Ok(())
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let listener = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| ServeError(format!("bind unix:{}: {e}", path.display())))?;
+                eprintln!(
+                    "ddtr serve: listening on unix:{} (jobs={})",
+                    path.display(),
+                    self.session.jobs()
+                );
+                let served = self.serve_unix(&listener);
+                let _ = std::fs::remove_file(path);
+                served?;
+                Ok(())
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(path) => Err(ServeError(format!(
+                "unix:{} endpoints need a Unix platform",
+                path.display()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_parse_and_display() {
+        assert_eq!("stdio".parse::<Endpoint>().unwrap(), Endpoint::Stdio);
+        assert_eq!(
+            "tcp:127.0.0.1:7070".parse::<Endpoint>().unwrap(),
+            Endpoint::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            "unix:/tmp/ddtr.sock".parse::<Endpoint>().unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/ddtr.sock"))
+        );
+        for raw in ["tcp:", "unix:", "carrier-pigeon:coop"] {
+            assert!(raw.parse::<Endpoint>().is_err(), "{raw}");
+        }
+        assert_eq!(
+            "tcp:127.0.0.1:7070"
+                .parse::<Endpoint>()
+                .unwrap()
+                .to_string(),
+            "tcp:127.0.0.1:7070"
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! End-to-end tests of the `ddtr serve` service: protocol round trips
+//! through a live server, determinism against the direct entry points,
+//! warm-cache answering across client connections, malformed-input
+//! handling, and cancellation.
+
+use ddtr_core::{dispatch, ExploreRequest, ExploreResult, MethodologyConfig};
+use ddtr_engine::EngineConfig;
+use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink shareable with the server's writer threads.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("utf8 output")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs one in-process serve session over the given request lines and
+/// returns the emitted events in order.
+fn serve_script(jobs: usize, lines: &[String]) -> Vec<Event> {
+    let server = Server::new(EngineConfig::with_jobs(jobs)).expect("server");
+    let input = lines.join("\n");
+    let output = SharedBuf::default();
+    server.serve_connection(input.as_bytes(), output.clone());
+    output
+        .contents()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("parseable event"))
+        .collect()
+}
+
+fn run_line(id: &str, spec: &JobSpec) -> String {
+    serde_json::to_string(&Request::run(id, spec.clone())).expect("ser")
+}
+
+fn quick_explore_spec() -> JobSpec {
+    JobSpec {
+        quick: true,
+        ..JobSpec::preset("explore", Some("drr"))
+    }
+}
+
+fn quick_scenarios_spec() -> JobSpec {
+    JobSpec {
+        quick: true,
+        packets: Some(40),
+        ..JobSpec::preset("scenarios", Some("drr"))
+    }
+}
+
+/// The deterministic core of a terminal event: the Pareto front the
+/// result carries, serialised (counters like `executed` legitimately
+/// depend on cache warmth and are excluded).
+fn front_of(event: &Event) -> String {
+    let Event::Result { result, .. } = event else {
+        panic!("expected a result event, got {event:?}");
+    };
+    match result.as_ref() {
+        ExploreResult::Explore(outcome) => {
+            serde_json::to_string(&outcome.pareto.global_front).expect("ser")
+        }
+        ExploreResult::Scenarios(matrix) => serde_json::to_string(&matrix.cells).expect("ser"),
+        other => serde_json::to_string(&other.front_labels()).expect("ser"),
+    }
+}
+
+fn terminal_for<'e>(events: &'e [Event], id: &str) -> &'e Event {
+    events
+        .iter()
+        .find(|e| e.is_terminal() && e.id() == Some(id))
+        .unwrap_or_else(|| panic!("no terminal event for `{id}` in {events:?}"))
+}
+
+#[test]
+fn serve_matches_the_cli_entry_points_at_any_jobs_count() {
+    let script = vec![
+        run_line("explore", &quick_explore_spec()),
+        run_line("matrix", &quick_scenarios_spec()),
+    ];
+    // The same requests through the direct (CLI) entry points.
+    let direct_explore =
+        dispatch(&quick_explore_spec().resolve().expect("resolves")).expect("direct explore");
+    let direct_matrix =
+        dispatch(&quick_scenarios_spec().resolve().expect("resolves")).expect("direct matrix");
+    let ExploreResult::Explore(direct_explore) = direct_explore else {
+        panic!("wrong mode");
+    };
+    let ExploreResult::Scenarios(direct_matrix) = direct_matrix else {
+        panic!("wrong mode");
+    };
+    let reference_explore =
+        serde_json::to_string(&direct_explore.pareto.global_front).expect("ser");
+    let reference_matrix = serde_json::to_string(&direct_matrix.cells).expect("ser");
+    for jobs in [1, 4] {
+        let events = serve_script(jobs, &script);
+        assert!(
+            matches!(events.first(), Some(Event::Hello { .. })),
+            "jobs={jobs}: connection opens with Hello"
+        );
+        assert!(
+            matches!(events.last(), Some(Event::Bye)),
+            "jobs={jobs}: connection ends with Bye"
+        );
+        assert_eq!(
+            front_of(terminal_for(&events, "explore")),
+            reference_explore,
+            "jobs={jobs}: served explore front is byte-identical to the CLI's"
+        );
+        assert_eq!(
+            front_of(terminal_for(&events, "matrix")),
+            reference_matrix,
+            "jobs={jobs}: served scenario matrix is byte-identical to the CLI's"
+        );
+        // Progress streamed while the requests ran.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Running { id, .. } if id == "explore")),
+            "jobs={jobs}: running events were streamed"
+        );
+        // Both requests were accepted before finishing.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Queued { id } if id == "matrix")));
+    }
+}
+
+#[test]
+fn second_client_is_answered_from_cache_with_zero_simulations() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let endpoint = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
+    let server = Server::new(EngineConfig::with_jobs(2)).expect("server");
+    // Only protocol interaction happens inside the scope (a panic there
+    // would leave the server running and hang the join); all assertions
+    // run on the collected replies afterwards.
+    let (reply_a, reply_b, stats_reply) = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+
+        // Client A pays for the exploration.
+        let mut a = Client::connect(&endpoint).expect("connect A");
+        let reply_a = a
+            .call(&Request::run("warmup", quick_explore_spec()), |_| {})
+            .expect("call A");
+        drop(a);
+
+        // Client B, a separate connection, asks the same question.
+        let mut b = Client::connect(&endpoint).expect("connect B");
+        let reply_b = b
+            .call(&Request::run("replay", quick_explore_spec()), |_| {})
+            .expect("call B");
+        let stats_reply = b
+            .call(&Request::new("s", RequestBody::Stats), |_| {})
+            .expect("stats");
+        b.send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown");
+        (reply_a, reply_b, stats_reply)
+    });
+    assert!(server.shutdown_requested());
+    let Event::Result {
+        executed: executed_a,
+        ..
+    } = &reply_a
+    else {
+        panic!("client A expected a result, got {reply_a:?}");
+    };
+    assert!(*executed_a > 0, "cold request must execute simulations");
+    let Event::Result {
+        executed,
+        cache_hits,
+        ..
+    } = &reply_b
+    else {
+        panic!("client B expected a result, got {reply_b:?}");
+    };
+    // The session-shared cache answers the second client without
+    // executing anything.
+    assert_eq!(*executed, 0, "warm request must execute 0 simulations");
+    assert!(*cache_hits > 0, "warm request answers from the cache");
+    assert_eq!(
+        front_of(&reply_a),
+        front_of(&reply_b),
+        "cold and warm answers carry byte-identical fronts"
+    );
+    let Event::Stats { stats, .. } = &stats_reply else {
+        panic!("expected stats, got {stats_reply:?}");
+    };
+    // Session-wide hits cover both clients (the pipeline re-hits its own
+    // step-1 entries during step 2, so the total exceeds B's share).
+    assert!(stats.hits >= *cache_hits);
+    assert_eq!(stats.entries, stats.misses, "every execution was retained");
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_the_connection_survives() {
+    let script = vec![
+        "this is not json".to_string(),
+        r#"{"id": 42}"#.to_string(),
+        run_line("bad-spec", &JobSpec::preset("frobnicate", Some("drr"))),
+        serde_json::to_string(&Request::new("alive", RequestBody::Ping)).expect("ser"),
+    ];
+    let events = serve_script(1, &script);
+    let unparseable: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::Error { id: None, .. }))
+        .collect();
+    assert_eq!(
+        unparseable.len(),
+        2,
+        "both unparseable lines get structured null-id errors: {events:?}"
+    );
+    let Event::Error {
+        id: Some(id),
+        error,
+    } = terminal_for(&events, "bad-spec")
+    else {
+        panic!("bad spec must answer with an error");
+    };
+    assert_eq!(id, "bad-spec");
+    assert!(error.contains("frobnicate"), "{error}");
+    assert!(
+        matches!(terminal_for(&events, "alive"), Event::Pong { .. }),
+        "the connection stays usable after errors"
+    );
+    assert!(matches!(events.last(), Some(Event::Bye)));
+}
+
+#[test]
+fn cancel_aborts_a_large_request() {
+    // A paper-sized matrix (2500 units) that a cancel lands in long
+    // before completion.
+    let big = JobSpec {
+        packets: Some(5000),
+        ..JobSpec::preset("scenarios", None)
+    };
+    let script = vec![
+        run_line("big", &big),
+        serde_json::to_string(&Request::new(
+            "halt",
+            RequestBody::Cancel {
+                target: "big".into(),
+            },
+        ))
+        .expect("ser"),
+        serde_json::to_string(&Request::new(
+            "nope",
+            RequestBody::Cancel {
+                target: "ghost".into(),
+            },
+        ))
+        .expect("ser"),
+    ];
+    let events = serve_script(2, &script);
+    // The cancel raced the run; either it landed (Cancelled) or the run
+    // finished first (Result) — but never both, and the registry answers
+    // the unknown target with an error either way.
+    let terminals: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.is_terminal() && e.id() == Some("big"))
+        .collect();
+    assert_eq!(terminals.len(), 1, "exactly one terminal event: {events:?}");
+    assert!(
+        matches!(terminals[0], Event::Cancelled { .. }),
+        "cancel must land long before a 2500-unit matrix completes: {:?}",
+        terminals[0]
+    );
+    let Event::Error {
+        id: Some(id),
+        error,
+    } = terminal_for(&events, "nope")
+    else {
+        panic!("unknown cancel target must answer with an error");
+    };
+    assert_eq!(id, "nope");
+    assert!(error.contains("ghost"), "{error}");
+}
+
+/// A writer that dies after a few lines — a client whose socket closed.
+#[derive(Clone)]
+struct DyingWriter {
+    inner: SharedBuf,
+    remaining: Arc<Mutex<usize>>,
+}
+
+impl Write for DyingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut remaining = self.remaining.lock().unwrap();
+        if *remaining == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "peer gone",
+            ));
+        }
+        *remaining -= 1;
+        drop(remaining);
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn a_vanished_client_cancels_its_abandoned_work() {
+    // A paper-sized matrix (2500 units, 5000 packets each) whose client
+    // stops accepting events right after Queued: the progress observer
+    // must notice the dead peer and cancel instead of simulating the
+    // whole matrix for nobody.
+    let server = Server::new(EngineConfig::with_jobs(2)).expect("server");
+    let big = JobSpec {
+        packets: Some(5000),
+        ..JobSpec::preset("scenarios", None)
+    };
+    let output = SharedBuf::default();
+    let writer = DyingWriter {
+        inner: output.clone(),
+        // Enough for Hello + Queued + a couple of Running lines.
+        remaining: Arc::new(Mutex::new(4)),
+    };
+    let input = run_line("orphan", &big);
+    server.serve_connection(input.as_bytes(), writer);
+    // serve_connection returning at all (instead of grinding through
+    // 2500 × 5000-packet simulations) is the point; double-check almost
+    // nothing executed.
+    let stats = server.session().stats();
+    assert!(
+        stats.misses < 250,
+        "abandoned request must stop early, executed {}",
+        stats.misses
+    );
+    assert!(
+        output.contents().contains("Queued"),
+        "the request was accepted before the peer vanished"
+    );
+}
+
+#[test]
+fn duplicate_inflight_ids_are_rejected() {
+    // Two Runs under one id racing: the second must be refused while the
+    // first is still in flight, keeping the registry unambiguous.
+    let big = JobSpec {
+        packets: Some(5000),
+        ..JobSpec::preset("scenarios", None)
+    };
+    let script = vec![
+        run_line("dup", &big),
+        run_line("dup", &quick_explore_spec()),
+        serde_json::to_string(&Request::new(
+            "halt",
+            RequestBody::Cancel {
+                target: "dup".into(),
+            },
+        ))
+        .expect("ser"),
+    ];
+    let events = serve_script(2, &script);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::Error { id: Some(id), error } if id == "dup" && error.contains("in flight")
+        )),
+        "duplicate id must be rejected: {events:?}"
+    );
+    // The original request still terminates exactly once (cancelled).
+    let terminals = events
+        .iter()
+        .filter(|e| e.is_terminal() && e.id() == Some("dup"))
+        .count();
+    assert_eq!(terminals, 2, "one rejection + one terminal for the run");
+}
+
+#[test]
+fn inline_configs_round_trip_through_a_live_server() {
+    // serialize → dispatch (through the live server) → deserialize: the
+    // full protocol round trip on an inline configuration.
+    let inline = ExploreRequest::Explore(MethodologyConfig::quick(ddtr_apps::AppKind::Url));
+    let script = vec![run_line("inline", &JobSpec::inline(inline.clone()))];
+    let events = serve_script(2, &script);
+    let Event::Result { result, .. } = terminal_for(&events, "inline") else {
+        panic!("inline request must succeed: {events:?}");
+    };
+    // The served result round-trips losslessly and matches a direct
+    // dispatch of the deserialized request.
+    let json = serde_json::to_string(result).expect("ser");
+    let back: ExploreResult = serde_json::from_str(&json).expect("de");
+    assert_eq!(serde_json::to_string(&back).expect("ser"), json);
+    let direct = dispatch(&inline).expect("direct");
+    let (ExploreResult::Explore(served), ExploreResult::Explore(direct)) = (&back, &direct) else {
+        panic!("wrong modes");
+    };
+    assert_eq!(
+        serde_json::to_string(&served.pareto.global_front).expect("ser"),
+        serde_json::to_string(&direct.pareto.global_front).expect("ser"),
+    );
+}

@@ -11,7 +11,8 @@
 //!   DRR),
 //! * [`pareto`] — multi-objective pruning and charting,
 //! * [`engine`] — parallel, cached, resumable simulation execution,
-//! * [`core`] — the three-step refinement methodology itself.
+//! * [`core`] — the three-step refinement methodology itself,
+//! * [`serve`] — the long-running exploration service (`ddtr serve`).
 //!
 //! # Quickstart
 //!
@@ -31,4 +32,5 @@ pub use ddtr_ddt as ddt;
 pub use ddtr_engine as engine;
 pub use ddtr_mem as mem;
 pub use ddtr_pareto as pareto;
+pub use ddtr_serve as serve;
 pub use ddtr_trace as trace;
