@@ -12,13 +12,15 @@
 //! ddtr replay   <logs.jsonl>          # step 3 from persisted step-2 logs
 //! ddtr ga       <app> [--extended]    # heuristic (NSGA-II) exploration
 //! ddtr scenarios [<app>]              # app x scenario Pareto matrix
+//! ddtr sweep    [<app>] [--mem p,…]   # scenarios x platforms sweep
 //! ddtr cache    stats|clear           # inspect / drop the result cache
 //! ddtr serve    [--listen EP]         # resident exploration service
 //! ddtr query    <EP> <mode> [app]     # ask a running service
 //! ```
 //!
 //! Every simulating subcommand (`explore`, `pareto`, `report`, `ga`,
-//! `scenarios`) runs on the [`ddtr_engine`] execution engine and accepts:
+//! `scenarios`, `sweep`) runs on the [`ddtr_engine`] execution engine and
+//! accepts:
 //!
 //! * `--jobs N` — worker threads (default: one per core),
 //! * `--cache-dir <dir>` — persistent result cache (default
@@ -28,7 +30,12 @@
 //! `explore`, `pareto`, `report` and `ga` additionally take `--stream`:
 //! packets are then generated into each simulation on the fly (constant
 //! memory regardless of trace length, byte-identical results) instead of
-//! materializing traces up front. `scenarios` always streams.
+//! materializing traces up front. `scenarios` and `sweep` always stream.
+//!
+//! Every simulating subcommand also takes `--mem <preset>` to pick the
+//! platform from the memory-hierarchy catalog (`embedded`, `l2`,
+//! `l2-small`, `deep`, `spm`); `ddtr sweep` takes a comma-separated list
+//! and explores the whole scenarios × platforms matrix.
 //!
 //! A second `explore` over an unchanged configuration answers from the
 //! cache and is near-instant.
@@ -44,10 +51,11 @@
 
 use ddtr_apps::AppKind;
 use ddtr_core::{
-    explore_heuristic_with, explore_pareto_level, explore_scenarios_with, headline_comparison,
-    profile_application, read_logs, render_pareto_chart, step2_from_logs, table1_markdown,
-    table2_markdown, write_logs, EngineConfig, ExploreEngine, GaConfig, Methodology,
-    MethodologyConfig, ParetoChartPlane, ScenarioConfig,
+    explore_heuristic_with, explore_pareto_level, explore_scenarios_with, explore_sweep_observed,
+    headline_comparison, profile_application, read_logs, render_pareto_chart, step2_from_logs,
+    table1_markdown, table2_markdown, write_logs, EngineConfig, ExploreEngine, ExploreResult,
+    GaConfig, MemoryPreset, Methodology, MethodologyConfig, ParetoChartPlane, ScenarioConfig,
+    SweepConfig,
 };
 use ddtr_ddt::DdtKind;
 use ddtr_engine::SimCache;
@@ -72,22 +80,28 @@ const USAGE: &str = "\
 usage:
   ddtr profile <route|url|ipchains|drr|nat> [--quick]
   ddtr explore <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [--json]
-               [engine flags]
-  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [engine flags]
-  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [engine flags]
+               [--mem <preset>] [engine flags]
+  ddtr pareto  <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream]
+               [--mem <preset>] [engine flags]
+  ddtr report  <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream]
+               [--mem <preset>] [engine flags]
   ddtr trace   <preset> <packets>
   ddtr params  <preset> <packets>
   ddtr replay  <logs.jsonl>
   ddtr ga      <route|url|ipchains|drr|nat> [--quick] [--extended] [--stream] [--seed N]
-               [--stall N] [engine flags]
+               [--stall N] [--mem <preset>] [engine flags]
   ddtr scenarios [<route|url|ipchains|drr|nat>] [--quick] [--extended] [--base <preset>]
-               [--packets N] [engine flags]
+               [--packets N] [--mem <preset>] [engine flags]
+  ddtr sweep   [<route|url|ipchains|drr|nat>] [--quick] [--extended] [--base <preset>]
+               [--packets N] [--mem <preset>,...] [--scenario <name>]... [engine flags]
   ddtr cache   stats|clear [--cache-dir <dir>]
   ddtr serve   [--listen stdio|tcp:<addr>|unix:<path>] [engine flags]
-  ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|headline> [app]
+  ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|sweep|headline> [app]
                [--quick] [--extended] [--stream] [--base <preset>] [--packets N]
-               [--seed N] [--scenario <name>]... [--id ID] [--json] [--quiet]
+               [--seed N] [--scenario <name>]... [--mem <preset>[,...]]
+               [--id ID] [--json] [--quiet]
   ddtr presets
+  ddtr mem-presets
 
 engine flags (simulating subcommands):
   --jobs N           worker threads per batch (default: one per core)
@@ -98,6 +112,11 @@ engine flags (simulating subcommands):
 memory at any trace length, byte-identical results. `ddtr scenarios`
 runs the app x scenario matrix (baseline, bursty, flash-crowd, ddos-syn,
 phase-shift) over the base network and always streams.
+
+--mem picks the platform from the memory-hierarchy catalog (`ddtr
+mem-presets` lists it). `ddtr sweep` takes a comma-separated list and
+runs the scenarios x platforms matrix, reporting which DDT combinations
+stay Pareto-optimal across the platform family.
 
 `ddtr serve` answers exploration requests over newline-delimited JSON
 (docs/PROTOCOL.md) from one resident engine session; `ddtr query` is the
@@ -111,6 +130,10 @@ const FLAG_JOBS: &str = "--jobs";
 
 /// The `--cache-dir` engine flag (persistent result cache location).
 const FLAG_CACHE_DIR: &str = "--cache-dir";
+
+/// The `--mem` platform flag (memory-hierarchy preset; comma-separated
+/// list on `ddtr sweep`).
+const FLAG_MEM: &str = "--mem";
 
 /// Engine flags that consume a value. `engine_from`/`cache_dir_of` parse
 /// exactly these constants and the `scenarios` positional scanner skips
@@ -132,9 +155,16 @@ fn run(args: &[String]) -> Result<(), String> {
         "replay" => replay(&rest),
         "ga" => ga(&rest),
         "scenarios" => scenarios(&rest),
+        "sweep" => sweep(&rest),
         "cache" => cache(&rest),
         "serve" => serve(&rest),
         "query" => query(&rest),
+        "mem-presets" => {
+            for p in MemoryPreset::ALL {
+                println!("{:10} {}", p.to_string(), p.describe());
+            }
+            Ok(())
+        }
         "presets" => {
             for p in NetworkPreset::ALL {
                 let s = p.spec();
@@ -159,6 +189,61 @@ fn flag_value<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a String>,
             _ => Err(format!("{flag} needs a value")),
         },
         None => Ok(None),
+    }
+}
+
+/// The values of a repeatable `--flag`, one per occurrence (empty when
+/// the flag is absent).
+fn repeated_flag_values<'a>(rest: &[&'a String], flag: &str) -> Result<Vec<&'a String>, String> {
+    rest.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == flag)
+        .map(|(i, _)| match rest.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(*v),
+            _ => Err(format!("{flag} needs a value")),
+        })
+        .collect()
+}
+
+/// Strict argument scan for the matrix subcommands (`scenarios`,
+/// `sweep`): every flag must be a known value flag (`extra_value_flags`
+/// plus the engine flags) or a known boolean flag, and at most one bare
+/// positional — the optional application restricting the matrix to one
+/// row — is allowed. Unknown flags and stray positionals are errors, not
+/// silently ignored full-matrix runs.
+fn scan_app_positional<'a>(
+    rest: &[&'a String],
+    cmd: &str,
+    extra_value_flags: &[&str],
+) -> Result<Option<&'a String>, String> {
+    let mut value_flags = extra_value_flags.to_vec();
+    value_flags.extend(ENGINE_VALUE_FLAGS);
+    // `--stream` is accepted as a no-op: these subcommands always
+    // stream, and scripts uniformly appending it to simulating
+    // subcommands should not break here.
+    let bool_flags = ["--quick", "--extended", "--no-cache", "--stream"];
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        if value_flags.contains(&arg) {
+            i += 2;
+        } else if bool_flags.contains(&arg) {
+            i += 1;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown {cmd} flag `{arg}`"));
+        } else {
+            positionals.push(rest[i]);
+            i += 1;
+        }
+    }
+    match positionals.as_slice() {
+        [] => Ok(None),
+        [app] => Ok(Some(*app)),
+        more => Err(format!(
+            "{cmd} takes at most one application, got {}",
+            more.len()
+        )),
     }
 }
 
@@ -228,6 +313,9 @@ fn parse_app(rest: &[&String]) -> Result<(AppKind, MethodologyConfig), String> {
     }
     if rest.iter().any(|a| a.as_str() == "--stream") {
         cfg.streaming = true;
+    }
+    if let Some(name) = flag_value(rest, FLAG_MEM)? {
+        cfg.mem = name.parse::<MemoryPreset>()?.config();
     }
     Ok((app, cfg))
 }
@@ -434,6 +522,9 @@ fn ga(rest: &[&String]) -> Result<(), String> {
                 .map_err(|e| format!("bad stall window: {e}"))?,
         );
     }
+    if let Some(name) = flag_value(rest, FLAG_MEM)? {
+        cfg.mem = name.parse::<MemoryPreset>()?.config();
+    }
     let space = cfg.candidates.len().pow(2);
     let mut engine = engine_from(rest)?;
     let outcome = explore_heuristic_with(&mut engine, &cfg).map_err(|e| e.to_string())?;
@@ -476,44 +567,16 @@ fn scenarios(rest: &[&String]) -> Result<(), String> {
     if rest.iter().any(|a| a.as_str() == "--extended") {
         cfg.candidates = DdtKind::EXTENDED.to_vec();
     }
-    // An optional application argument (anywhere among the flags)
-    // restricts the matrix to one row; stray positionals and unknown
-    // flags are errors, not silently ignored full-matrix runs.
-    let mut value_flags = vec!["--base", "--packets"];
-    value_flags.extend(ENGINE_VALUE_FLAGS);
-    // `--stream` is accepted as a no-op: scenarios always streams, and
-    // scripts uniformly appending it to simulating subcommands should
-    // not break here.
-    let bool_flags = ["--quick", "--extended", "--no-cache", "--stream"];
-    let mut positionals = Vec::new();
-    let mut i = 0;
-    while i < rest.len() {
-        let arg = rest[i].as_str();
-        if value_flags.contains(&arg) {
-            i += 2;
-        } else if bool_flags.contains(&arg) {
-            i += 1;
-        } else if arg.starts_with("--") {
-            return Err(format!("unknown scenarios flag `{arg}`"));
-        } else {
-            positionals.push(rest[i]);
-            i += 1;
-        }
-    }
-    match positionals.as_slice() {
-        [] => {}
-        [app] => cfg.apps = vec![app.parse().map_err(|e| format!("{e}"))?],
-        more => {
-            return Err(format!(
-                "scenarios takes at most one application, got {}",
-                more.len()
-            ))
-        }
+    if let Some(app) = scan_app_positional(rest, "scenarios", &["--base", "--packets", FLAG_MEM])? {
+        cfg.apps = vec![app.parse().map_err(|e| format!("{e}"))?];
     }
     if let Some(packets) = flag_value(rest, "--packets")? {
         cfg.packets_per_sim = packets
             .parse()
             .map_err(|e| format!("bad packet count: {e}"))?;
+    }
+    if let Some(name) = flag_value(rest, FLAG_MEM)? {
+        cfg.mem = name.parse::<MemoryPreset>()?.config();
     }
     let mut engine = engine_from(rest)?;
     let matrix = explore_scenarios_with(&mut engine, &cfg).map_err(|e| e.to_string())?;
@@ -561,6 +624,92 @@ fn scenarios(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+fn sweep(rest: &[&String]) -> Result<(), String> {
+    let base: NetworkPreset = match flag_value(rest, "--base")? {
+        Some(v) => v.parse()?,
+        None => NetworkPreset::DartmouthBerry,
+    };
+    let mut cfg = if rest.iter().any(|a| a.as_str() == "--quick") {
+        SweepConfig::quick(base)
+    } else {
+        SweepConfig::paper(base)
+    };
+    if rest.iter().any(|a| a.as_str() == "--extended") {
+        cfg.candidates = DdtKind::EXTENDED.to_vec();
+    }
+    if let Some(app) = scan_app_positional(
+        rest,
+        "sweep",
+        &["--base", "--packets", FLAG_MEM, "--scenario"],
+    )? {
+        cfg.apps = vec![app.parse().map_err(|e| format!("{e}"))?];
+    }
+    let scenario_names = repeated_flag_values(rest, "--scenario")?;
+    if !scenario_names.is_empty() {
+        cfg.scenarios = scenario_names
+            .iter()
+            .map(|n| n.parse::<Scenario>())
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(packets) = flag_value(rest, "--packets")? {
+        cfg.packets_per_sim = packets
+            .parse()
+            .map_err(|e| format!("bad packet count: {e}"))?;
+    }
+    if let Some(list) = flag_value(rest, FLAG_MEM)? {
+        cfg.mem_presets = list
+            .split(',')
+            .map(|n| n.parse::<MemoryPreset>())
+            .collect::<Result<_, _>>()?;
+    }
+    let mut engine = engine_from(rest)?;
+    println!(
+        "# platform sweep over {base}: {} apps x {} scenarios x {} platforms, {} packets/sim (streamed)",
+        cfg.apps.len(),
+        cfg.scenarios.len(),
+        cfg.mem_presets.len(),
+        cfg.packets_per_sim
+    );
+    // Cells print as they complete — the sweep streams on the CLI too.
+    let matrix = explore_sweep_observed(&mut engine, &cfg, |cell, done, total| {
+        println!(
+            "\n== [{done}/{total}] {} under {} on {} ({}) ==",
+            cell.app, cell.scenario, cell.mem, cell.network
+        );
+        println!(
+            "{} combinations evaluated, {} Pareto-optimal:",
+            cell.evaluations,
+            cell.front.len()
+        );
+        for log in &cell.front {
+            println!("  {:20} {}", log.combo, log.report);
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    // The cross-platform answer: who survives on how many cells?
+    let cells = matrix.cells.len();
+    println!("\n# cross-platform survivors ({cells} cells)");
+    for s in &matrix.survivors {
+        let marker = if s.cells_on_front == cells {
+            "  [every cell]"
+        } else {
+            ""
+        };
+        println!(
+            "  {:20} on {:3} of {cells} fronts{marker}",
+            s.combo, s.cells_on_front
+        );
+    }
+    let robust = matrix.robust_combos(cells);
+    println!(
+        "{} of {} front combinations survive the whole platform family",
+        robust.len(),
+        matrix.survivors.len()
+    );
+    println!("\n{}", engine_stats_line(&engine));
+    Ok(())
+}
+
 fn serve(rest: &[&String]) -> Result<(), String> {
     let endpoint: Endpoint = match flag_value(rest, "--listen")? {
         Some(raw) => raw.parse()?,
@@ -576,7 +725,14 @@ fn serve(rest: &[&String]) -> Result<(), String> {
 /// [`query_spec`] skips exactly these constants, and the extraction below
 /// it reads the same names through [`flag_value`], so adding a
 /// value-taking query flag cannot desynchronise the two.
-const QUERY_VALUE_FLAGS: [&str; 5] = ["--base", "--packets", "--seed", "--scenario", "--id"];
+const QUERY_VALUE_FLAGS: [&str; 6] = [
+    "--base",
+    "--packets",
+    "--seed",
+    "--scenario",
+    "--id",
+    FLAG_MEM,
+];
 
 fn query_spec(rest: &[&String]) -> Result<JobSpec, String> {
     let mut spec = JobSpec::default();
@@ -595,7 +751,7 @@ fn query_spec(rest: &[&String]) -> Result<JobSpec, String> {
         i += 1;
     }
     match positionals.as_slice() {
-        [] => return Err("query needs a mode (explore, ga, scenarios or headline)".into()),
+        [] => return Err("query needs a mode (explore, ga, scenarios, sweep or headline)".into()),
         [mode] => spec.mode = Some((*mode).clone()),
         [mode, app] => {
             spec.mode = Some((*mode).clone());
@@ -620,17 +776,15 @@ fn query_spec(rest: &[&String]) -> Result<JobSpec, String> {
         spec.seed = Some(seed.parse().map_err(|e| format!("bad seed: {e}"))?);
     }
     // `--scenario` may repeat; collect every occurrence.
-    let scenarios: Vec<String> = rest
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| a.as_str() == "--scenario")
-        .map(|(i, _)| match rest.get(i + 1) {
-            Some(v) if !v.starts_with("--") => Ok((*v).clone()),
-            _ => Err("--scenario needs a value".to_string()),
-        })
-        .collect::<Result<_, _>>()?;
+    let scenarios = repeated_flag_values(rest, "--scenario")?;
     if !scenarios.is_empty() {
-        spec.scenarios = Some(scenarios);
+        spec.scenarios = Some(scenarios.into_iter().cloned().collect());
+    }
+    // `--mem` takes one preset (single-platform modes) or a
+    // comma-separated platform axis (sweep); the spec carries the list
+    // and the server enforces arity per mode.
+    if let Some(list) = flag_value(rest, FLAG_MEM)? {
+        spec.mem = Some(list.split(',').map(str::to_string).collect());
     }
     Ok(spec)
 }
@@ -664,6 +818,24 @@ fn query(rest: &[&String]) -> Result<(), String> {
                     eprint!("\r{id}: running {done}/{total}");
                     progressed = true;
                 }
+                Event::Cell {
+                    id,
+                    done,
+                    total,
+                    app,
+                    scenario,
+                    mem,
+                    front,
+                } => {
+                    if progressed {
+                        eprintln!();
+                        progressed = false;
+                    }
+                    eprintln!(
+                        "{id}: cell {done}/{total} {app}/{scenario} on {mem}: {}",
+                        front.join(" ")
+                    );
+                }
                 _ => {}
             }
         })
@@ -686,9 +858,22 @@ fn query(rest: &[&String]) -> Result<(), String> {
             } else {
                 println!("# {} answered by {endpoint}", result.mode());
                 println!("engine: cache_hits={cache_hits} executed={executed}");
-                println!("Pareto-optimal combinations:");
-                for label in result.front_labels() {
-                    println!("  {label}");
+                if let ExploreResult::Sweep(matrix) = result.as_ref() {
+                    // The aggregated cross-platform answer (the per-cell
+                    // fronts already streamed as Cell events).
+                    let cells = matrix.cells.len();
+                    println!("cross-platform survivors ({cells} cells):");
+                    for s in &matrix.survivors {
+                        println!(
+                            "  {:20} on {:3} of {cells} fronts",
+                            s.combo, s.cells_on_front
+                        );
+                    }
+                } else {
+                    println!("Pareto-optimal combinations:");
+                    for label in result.front_labels() {
+                        println!("  {label}");
+                    }
                 }
             }
             Ok(())
@@ -933,6 +1118,82 @@ mod tests {
             "url",
         ]))
         .expect("app after flags restricts the matrix to one row");
+    }
+
+    #[test]
+    fn sweep_quick_runs_end_to_end() {
+        run(&args(&[
+            "sweep",
+            "drr",
+            "--quick",
+            "--packets",
+            "40",
+            "--mem",
+            "embedded,l2-small",
+            "--scenario",
+            "baseline",
+            "--scenario",
+            "ddos-syn",
+            "--no-cache",
+        ]))
+        .expect("platform sweep");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        // Unknown memory presets are rejected with the catalog listed —
+        // the same structured error the serve layer returns.
+        let err = run(&args(&[
+            "sweep",
+            "drr",
+            "--quick",
+            "--mem",
+            "quantum",
+            "--no-cache",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("quantum"), "{err}");
+        assert!(err.contains("embedded"), "error lists the catalog: {err}");
+        assert!(err.contains("l2-small"), "error lists the catalog: {err}");
+        let err = run(&args(&["sweep", "nfs", "--quick"])).unwrap_err();
+        assert!(err.contains("nfs"), "{err}");
+        let err = run(&args(&["sweep", "drr", "--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        let err = run(&args(&["sweep", "drr", "url", "--quick"])).unwrap_err();
+        assert!(err.contains("at most one application"), "{err}");
+        // Duplicate platform columns are a config error, not a silent
+        // double evaluation.
+        let err = run(&args(&[
+            "sweep",
+            "drr",
+            "--quick",
+            "--mem",
+            "l2,l2",
+            "--no-cache",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("distinct"), "{err}");
+    }
+
+    #[test]
+    fn mem_flag_selects_the_platform_on_simulating_subcommands() {
+        let binding = args(&["drr", "--quick", "--mem", "deep"]);
+        let rest: Vec<&String> = binding.iter().collect();
+        let (_, cfg) = parse_app(&rest).expect("parses");
+        assert!(cfg.mem.l2.is_some(), "deep preset carries an L2");
+        assert_eq!(cfg.mem.l1.capacity_bytes, 16 * 1024);
+        // Unknown names are rejected with the catalog.
+        let err = run(&args(&["explore", "drr", "--quick", "--mem", "nope"])).unwrap_err();
+        assert!(err.contains("nope") && err.contains("spm"), "{err}");
+        let err = run(&args(&["ga", "drr", "--quick", "--mem", "nope"])).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        let err = run(&args(&["scenarios", "drr", "--quick", "--mem", "nope"])).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn mem_presets_subcommand_lists_the_catalog() {
+        run(&args(&["mem-presets"])).expect("lists memory presets");
     }
 
     #[test]

@@ -19,6 +19,9 @@ use crate::ga::{explore_heuristic_with, GaConfig, GaOutcome};
 use crate::headline::{headline_comparison, HeadlineReport};
 use crate::pipeline::{Methodology, MethodologyOutcome};
 use crate::scenarios::{explore_scenarios_with, ScenarioConfig, ScenarioMatrix};
+use crate::sweep::{
+    explore_sweep_observed, explore_sweep_with, SweepCell, SweepConfig, SweepMatrix,
+};
 use ddtr_engine::ExploreEngine;
 use serde::{Deserialize, Serialize};
 
@@ -36,13 +39,16 @@ pub enum ExploreRequest {
     Ga(GaConfig),
     /// The application × scenario Pareto matrix (always streamed).
     Scenarios(ScenarioConfig),
+    /// The scenarios × platforms sweep over the memory-preset catalog
+    /// (always streamed).
+    Sweep(SweepConfig),
     /// The pipeline plus the paper's headline comparison against the
     /// all-SLL baseline.
     Headline(MethodologyConfig),
 }
 
 impl ExploreRequest {
-    /// The request's mode name (`explore`, `ga`, `scenarios`,
+    /// The request's mode name (`explore`, `ga`, `scenarios`, `sweep`,
     /// `headline`).
     #[must_use]
     pub fn mode(&self) -> &'static str {
@@ -50,6 +56,7 @@ impl ExploreRequest {
             ExploreRequest::Explore(_) => "explore",
             ExploreRequest::Ga(_) => "ga",
             ExploreRequest::Scenarios(_) => "scenarios",
+            ExploreRequest::Sweep(_) => "sweep",
             ExploreRequest::Headline(_) => "headline",
         }
     }
@@ -65,6 +72,7 @@ impl ExploreRequest {
             ExploreRequest::Explore(cfg) | ExploreRequest::Headline(cfg) => cfg.validate(),
             ExploreRequest::Ga(cfg) => cfg.validate(),
             ExploreRequest::Scenarios(cfg) => cfg.validate(),
+            ExploreRequest::Sweep(cfg) => cfg.validate(),
         }
     }
 }
@@ -78,6 +86,8 @@ pub enum ExploreResult {
     Ga(GaOutcome),
     /// Answer of an [`ExploreRequest::Scenarios`] request.
     Scenarios(ScenarioMatrix),
+    /// Answer of an [`ExploreRequest::Sweep`] request.
+    Sweep(SweepMatrix),
     /// Answer of an [`ExploreRequest::Headline`] request.
     Headline(HeadlineReport),
 }
@@ -90,6 +100,7 @@ impl ExploreResult {
             ExploreResult::Explore(_) => "explore",
             ExploreResult::Ga(_) => "ga",
             ExploreResult::Scenarios(_) => "scenarios",
+            ExploreResult::Sweep(_) => "sweep",
             ExploreResult::Headline(_) => "headline",
         }
     }
@@ -97,7 +108,8 @@ impl ExploreResult {
     /// The Pareto-front combination labels the result carries, in the
     /// result's own deterministic order (global front for the pipeline,
     /// archive front for the GA, per-cell fronts flattened in matrix
-    /// order for scenarios, the two headline points for headline).
+    /// order for scenarios and sweep, the two headline points for
+    /// headline).
     #[must_use]
     pub fn front_labels(&self) -> Vec<String> {
         match self {
@@ -109,6 +121,11 @@ impl ExploreResult {
                 .collect(),
             ExploreResult::Ga(outcome) => outcome.front.iter().map(|l| l.combo.clone()).collect(),
             ExploreResult::Scenarios(matrix) => matrix
+                .cells
+                .iter()
+                .flat_map(|c| c.front.iter().map(|l| l.combo.clone()))
+                .collect(),
+            ExploreResult::Sweep(matrix) => matrix
                 .cells
                 .iter()
                 .flat_map(|c| c.front.iter().map(|l| l.combo.clone()))
@@ -170,10 +187,32 @@ pub fn dispatch_with(
         ExploreRequest::Scenarios(cfg) => {
             explore_scenarios_with(engine, cfg).map(ExploreResult::Scenarios)
         }
+        ExploreRequest::Sweep(cfg) => explore_sweep_with(engine, cfg).map(ExploreResult::Sweep),
         ExploreRequest::Headline(cfg) => {
             let outcome = Methodology::new(cfg.clone()).run_with(engine)?;
             headline_comparison(cfg, &outcome).map(ExploreResult::Headline)
         }
+    }
+}
+
+/// [`dispatch_with`], but with a per-cell observer for sweep requests —
+/// the hook `ddtr serve` streams `Cell` events from. Non-sweep requests
+/// never invoke the observer and behave exactly like [`dispatch_with`].
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] when the configuration is invalid, the run
+/// fails, or the engine's control was cancelled.
+pub fn dispatch_observed(
+    engine: &mut ExploreEngine,
+    request: &ExploreRequest,
+    on_cell: impl FnMut(&SweepCell, usize, usize),
+) -> Result<ExploreResult, ExploreError> {
+    match request {
+        ExploreRequest::Sweep(cfg) => {
+            explore_sweep_observed(engine, cfg, on_cell).map(ExploreResult::Sweep)
+        }
+        other => dispatch_with(engine, other),
     }
 }
 
@@ -189,6 +228,7 @@ mod tests {
             ExploreRequest::Explore(MethodologyConfig::quick(AppKind::Drr)),
             ExploreRequest::Ga(GaConfig::quick(AppKind::Url)),
             ExploreRequest::Scenarios(ScenarioConfig::quick(NetworkPreset::DartmouthBerry)),
+            ExploreRequest::Sweep(SweepConfig::quick(NetworkPreset::DartmouthBerry)),
             ExploreRequest::Headline(MethodologyConfig::quick(AppKind::Nat)),
         ];
         for request in requests {
@@ -230,6 +270,36 @@ mod tests {
         let back: ExploreResult = serde_json::from_str(&json).expect("de");
         assert_eq!(back.front_labels(), result.front_labels());
         assert!(!result.front_labels().is_empty());
+    }
+
+    #[test]
+    fn sweep_dispatch_matches_the_direct_entry_point_and_observes_cells() {
+        let mut cfg = SweepConfig::quick(NetworkPreset::DartmouthBerry);
+        cfg.packets_per_sim = 40;
+        let direct = crate::sweep::explore_sweep(&cfg).expect("direct");
+        let mut cells_seen = 0;
+        let via = dispatch_observed(
+            &mut ExploreEngine::in_memory(),
+            &ExploreRequest::Sweep(cfg),
+            |_, done, total| {
+                cells_seen = done;
+                assert_eq!(total, 4);
+            },
+        )
+        .expect("dispatched");
+        let ExploreResult::Sweep(matrix) = &via else {
+            panic!("wrong result mode {}", via.mode());
+        };
+        assert_eq!(cells_seen, 4, "observer saw every cell");
+        assert_eq!(
+            serde_json::to_string(&matrix.cells).expect("ser"),
+            serde_json::to_string(&direct.cells).expect("ser"),
+            "byte-identical sweep cells"
+        );
+        assert_eq!(
+            serde_json::to_string(&matrix.survivors).expect("ser"),
+            serde_json::to_string(&direct.survivors).expect("ser"),
+        );
     }
 
     #[test]

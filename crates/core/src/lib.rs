@@ -59,6 +59,7 @@ mod scenarios;
 mod step1;
 mod step2;
 mod step3;
+mod sweep;
 mod workload;
 
 pub use config::MethodologyConfig;
@@ -68,7 +69,8 @@ pub use ddtr_engine::{
     BatchProgress, CacheKey, CacheStats, CancelToken, Combo, ConfigKey, EngineConfig,
     EngineSession, ExploreEngine, SimLog, SimUnit, Simulator, TraceSource,
 };
-pub use dispatch::{dispatch, dispatch_with, ExploreRequest, ExploreResult};
+pub use ddtr_mem::MemoryPreset;
+pub use dispatch::{dispatch, dispatch_observed, dispatch_with, ExploreRequest, ExploreResult};
 pub use error::ExploreError;
 pub use ga::{explore_heuristic, explore_heuristic_with, GaConfig, GaOutcome, GenerationStats};
 pub use headline::{headline_comparison, HeadlineReport};
@@ -84,3 +86,7 @@ pub use scenarios::{
 pub use step1::{explore_application_level, explore_application_level_with, Step1Result};
 pub use step2::{explore_network_level, explore_network_level_with, NetworkConfig, Step2Result};
 pub use step3::{explore_pareto_level, ConfigFront, ParetoPoint, ParetoReport};
+pub use sweep::{
+    explore_sweep, explore_sweep_observed, explore_sweep_with, SweepCell, SweepConfig, SweepMatrix,
+    SweepSurvivor,
+};

@@ -93,6 +93,11 @@ impl PartialEq<&str> for ConfigKey {
 /// Human-readable labels make cache files greppable; the three fingerprints
 /// make the key collision-safe: changing a single packet of the trace, an
 /// application parameter, or the platform memory model changes the key.
+///
+/// `mem_fp` is what makes the memory-hierarchy sweep axis cacheable for
+/// free: every platform of a `ddtr sweep` addresses its own cache entries,
+/// so sweep cells are individually reusable — a repeated sweep executes
+/// nothing, and adding one platform column re-executes only that column.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CacheKey {
     /// Application simulated.

@@ -255,6 +255,51 @@ impl MemoryConfig {
         }
     }
 
+    /// A `with_l2` variant with a small, close L2: 64 KiB 8-way with
+    /// 4-cycle hits — the cheap-SoC point of the platform family.
+    #[must_use]
+    pub fn with_small_l2() -> Self {
+        MemoryConfig {
+            l2: Some(CacheConfig {
+                capacity_bytes: 64 * 1024,
+                line_bytes: 32,
+                ways: 8,
+                hit_cycles: 4,
+                replacement: ReplacementPolicy::Lru,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// A deeper three-level hierarchy: a halved 16 KiB 2-way L1 in front
+    /// of a large 512 KiB 16-way L2, over a bigger but slower DRAM — the
+    /// application-processor end of the platform family, where a DDT's
+    /// locality is rewarded twice before main memory is charged.
+    #[must_use]
+    pub fn deep_hierarchy() -> Self {
+        MemoryConfig {
+            l1: CacheConfig {
+                capacity_bytes: 16 * 1024,
+                line_bytes: 32,
+                ways: 2,
+                hit_cycles: 1,
+                replacement: ReplacementPolicy::Lru,
+            },
+            l2: Some(CacheConfig {
+                capacity_bytes: 512 * 1024,
+                line_bytes: 32,
+                ways: 16,
+                hit_cycles: 12,
+                replacement: ReplacementPolicy::Lru,
+            }),
+            dram: DramConfig {
+                access_cycles: 100,
+                capacity_bytes: 64 * 1024 * 1024,
+            },
+            ..Self::default()
+        }
+    }
+
     /// The default platform extended with a scratchpad for DDT descriptors
     /// — used by the scratchpad ablation.
     #[must_use]

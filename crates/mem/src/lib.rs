@@ -44,6 +44,7 @@ mod cache;
 mod config;
 mod dram;
 mod energy;
+mod preset;
 mod report;
 mod system;
 
@@ -55,5 +56,6 @@ pub use config::{
 };
 pub use dram::{DramModel, DramStats};
 pub use energy::EnergyModel;
+pub use preset::MemoryPreset;
 pub use report::{CostReport, MemStats};
 pub use system::MemorySystem;

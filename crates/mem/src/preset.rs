@@ -1,0 +1,189 @@
+//! The named platform catalog — the memory-hierarchy axis of the
+//! exploration.
+//!
+//! The DATE 2006 methodology evaluates DDT choices against a *platform's*
+//! memory hierarchy, so "which DDTs survive?" is only half a question
+//! until the platform is named. [`MemoryPreset`] is the catalog of
+//! platforms the sweep axis ranges over: every preset is a pure name →
+//! [`MemoryConfig`] mapping, serialisable, and round-trips through its
+//! CLI spelling (`"embedded".parse()` ↔ `preset.to_string()`), so the
+//! same vocabulary works in CLI flags, wire requests, and persisted
+//! results.
+
+use crate::config::MemoryConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One named platform of the memory-hierarchy sweep axis.
+///
+/// # Example
+///
+/// ```
+/// use ddtr_mem::MemoryPreset;
+///
+/// let preset: MemoryPreset = "deep".parse()?;
+/// assert_eq!(preset, MemoryPreset::Deep);
+/// assert_eq!(preset.to_string(), "deep");
+/// assert!(preset.config().l2.is_some());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemoryPreset {
+    /// The embedded default of the whole reproduction: 32 KiB 4-way L1
+    /// straight over a 16 MiB DRAM ([`MemoryConfig::embedded_default`]).
+    Embedded,
+    /// The default L1 backed by a 256 KiB 8-way L2
+    /// ([`MemoryConfig::with_l2`]).
+    L2,
+    /// A small, close 64 KiB 4-cycle L2 — the cheap-SoC variant
+    /// ([`MemoryConfig::with_small_l2`]).
+    L2Small,
+    /// The deeper three-level hierarchy: halved L1, large 512 KiB L2,
+    /// slower DRAM ([`MemoryConfig::deep_hierarchy`]).
+    Deep,
+    /// The embedded platform with a scratchpad holding the hot DDT
+    /// descriptors ([`MemoryConfig::with_spm`]).
+    Spm,
+}
+
+impl MemoryPreset {
+    /// Every preset, in canonical sweep-column order.
+    pub const ALL: [MemoryPreset; 5] = [
+        MemoryPreset::Embedded,
+        MemoryPreset::L2,
+        MemoryPreset::L2Small,
+        MemoryPreset::Deep,
+        MemoryPreset::Spm,
+    ];
+
+    /// The CLI/wire spelling of this preset.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryPreset::Embedded => "embedded",
+            MemoryPreset::L2 => "l2",
+            MemoryPreset::L2Small => "l2-small",
+            MemoryPreset::Deep => "deep",
+            MemoryPreset::Spm => "spm",
+        }
+    }
+
+    /// One-line description for catalogs and `--help` style output.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            MemoryPreset::Embedded => "32 KiB 4-way L1 over 16 MiB DRAM (the default)",
+            MemoryPreset::L2 => "default L1 + 256 KiB 8-way L2",
+            MemoryPreset::L2Small => "default L1 + small close 64 KiB 4-cycle L2",
+            MemoryPreset::Deep => "16 KiB L1 + 512 KiB L2 + slow 64 MiB DRAM",
+            MemoryPreset::Spm => "default L1 + 4 KiB scratchpad for DDT descriptors",
+        }
+    }
+
+    /// The platform configuration this preset names. Always valid — the
+    /// catalog is test-enforced against [`MemoryConfig::validate`].
+    #[must_use]
+    pub fn config(self) -> MemoryConfig {
+        match self {
+            MemoryPreset::Embedded => MemoryConfig::embedded_default(),
+            MemoryPreset::L2 => MemoryConfig::with_l2(),
+            MemoryPreset::L2Small => MemoryConfig::with_small_l2(),
+            MemoryPreset::Deep => MemoryConfig::deep_hierarchy(),
+            MemoryPreset::Spm => MemoryConfig::with_spm(),
+        }
+    }
+
+    /// The comma-joined list of valid preset names, for error messages
+    /// that must name every accepted spelling.
+    #[must_use]
+    pub fn names() -> String {
+        Self::ALL
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for MemoryPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for MemoryPreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|p| p.name() == norm)
+            .ok_or_else(|| format!("unknown memory preset `{s}` (expected {})", Self::names()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parsing() {
+        for preset in MemoryPreset::ALL {
+            assert_eq!(preset.name().parse::<MemoryPreset>().unwrap(), preset);
+            assert_eq!(preset.to_string(), preset.name());
+        }
+        // Parsing is whitespace- and case-forgiving, like the other
+        // catalogs.
+        assert_eq!(
+            " L2-Small ".parse::<MemoryPreset>().unwrap(),
+            MemoryPreset::L2Small
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_listing_the_catalog() {
+        let err = "quantum".parse::<MemoryPreset>().unwrap_err();
+        assert!(err.contains("quantum"), "{err}");
+        for preset in MemoryPreset::ALL {
+            assert!(err.contains(preset.name()), "{err} misses {preset}");
+        }
+    }
+
+    #[test]
+    fn every_preset_config_is_valid_and_distinct() {
+        let mut encodings: Vec<String> = MemoryPreset::ALL
+            .iter()
+            .map(|p| {
+                p.config().validate().expect("preset config valid");
+                serde_json::to_string(&p.config()).expect("ser")
+            })
+            .collect();
+        encodings.sort();
+        encodings.dedup();
+        assert_eq!(
+            encodings.len(),
+            MemoryPreset::ALL.len(),
+            "presets must name distinct platforms"
+        );
+    }
+
+    #[test]
+    fn presets_serialise_round_trip() {
+        for preset in MemoryPreset::ALL {
+            let json = serde_json::to_string(&preset).expect("ser");
+            let back: MemoryPreset = serde_json::from_str(&json).expect("de");
+            assert_eq!(back, preset);
+        }
+    }
+
+    #[test]
+    fn embedded_is_the_default_platform() {
+        assert_eq!(
+            serde_json::to_string(&MemoryPreset::Embedded.config()).expect("ser"),
+            serde_json::to_string(&MemoryConfig::embedded_default()).expect("ser"),
+        );
+    }
+}

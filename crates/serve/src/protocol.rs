@@ -16,7 +16,8 @@
 
 use ddtr_apps::AppKind;
 use ddtr_core::{
-    CacheStats, ExploreRequest, ExploreResult, GaConfig, MethodologyConfig, ScenarioConfig,
+    CacheStats, ExploreRequest, ExploreResult, GaConfig, MemoryPreset, MethodologyConfig,
+    ScenarioConfig, SweepConfig,
 };
 use ddtr_ddt::DdtKind;
 use ddtr_trace::{NetworkPreset, Scenario};
@@ -82,9 +83,11 @@ pub enum RequestBody {
 /// app/mode preset with CLI-equivalent flags.
 ///
 /// Preset resolution mirrors the CLI exactly: `mode` is one of
-/// `"explore"`, `"ga"`, `"scenarios"`, `"headline"`; `quick` selects the
-/// reduced configuration; `extended` widens the DDT candidate set;
-/// `stream` generates packets on the fly. Fields that do not apply to the
+/// `"explore"`, `"ga"`, `"scenarios"`, `"sweep"`, `"headline"`; `quick`
+/// selects the reduced configuration; `extended` widens the DDT candidate
+/// set; `stream` generates packets on the fly; `mem` names platform
+/// presets from the [`MemoryPreset`] catalog (one for the single-platform
+/// modes, the platform axis for `sweep`). Fields that do not apply to the
 /// chosen mode are rejected, not ignored.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -108,18 +111,24 @@ pub struct JobSpec {
     /// Stream packets into each simulation (`--stream`).
     #[serde(default)]
     pub stream: bool,
-    /// Base network preset (`scenarios` only; default `BWY-I`).
+    /// Base network preset (`scenarios`/`sweep` only; default `BWY-I`).
     #[serde(default)]
     pub base: Option<String>,
-    /// Scenario columns (`scenarios` only; default: all).
+    /// Scenario columns (`scenarios`/`sweep` only; default: all).
     #[serde(default)]
     pub scenarios: Option<Vec<String>>,
-    /// Packets per simulation override (`scenarios` only).
+    /// Packets per simulation override (`scenarios`/`sweep` only).
     #[serde(default)]
     pub packets: Option<usize>,
     /// RNG seed override (`ga` only).
     #[serde(default)]
     pub seed: Option<u64>,
+    /// Memory presets: exactly one for `explore`/`ga`/`scenarios`/
+    /// `headline` (the platform to run on), any distinct set for `sweep`
+    /// (the platform axis; default: the whole catalog). Unknown names are
+    /// rejected with an error listing the valid presets.
+    #[serde(default)]
+    pub mem: Option<Vec<String>>,
 }
 
 impl JobSpec {
@@ -178,6 +187,18 @@ impl JobSpec {
                 Ok(())
             }
         };
+        // The single platform of a non-sweep mode, when `mem` is given.
+        let single_mem = || -> Result<Option<MemoryPreset>, String> {
+            match &self.mem {
+                None => Ok(None),
+                Some(names) => match names.as_slice() {
+                    [name] => name.parse().map(Some),
+                    _ => Err(format!(
+                        "mode `{mode}` takes exactly one `mem` preset (the sweep mode takes a list)"
+                    )),
+                },
+            }
+        };
         match mode {
             "explore" | "headline" => {
                 let app = app(true)?.expect("required");
@@ -194,6 +215,9 @@ impl JobSpec {
                     cfg.candidates = DdtKind::EXTENDED.to_vec();
                 }
                 cfg.streaming = self.stream;
+                if let Some(preset) = single_mem()? {
+                    cfg.mem = preset.config();
+                }
                 Ok(if mode == "explore" {
                     ExploreRequest::Explore(cfg)
                 } else {
@@ -216,6 +240,9 @@ impl JobSpec {
                 cfg.streaming = self.stream;
                 if let Some(seed) = self.seed {
                     cfg.seed = seed;
+                }
+                if let Some(preset) = single_mem()? {
+                    cfg.mem = preset.config();
                 }
                 Ok(ExploreRequest::Ga(cfg))
             }
@@ -247,10 +274,49 @@ impl JobSpec {
                 if let Some(packets) = self.packets {
                     cfg.packets_per_sim = packets;
                 }
+                if let Some(preset) = single_mem()? {
+                    cfg.mem = preset.config();
+                }
                 Ok(ExploreRequest::Scenarios(cfg))
             }
+            "sweep" => {
+                reject("seed", self.seed.is_some())?;
+                // `stream` is accepted as a no-op: sweeps always stream,
+                // like scenarios.
+                let base: NetworkPreset = match &self.base {
+                    Some(name) => name.parse()?,
+                    None => NetworkPreset::DartmouthBerry,
+                };
+                let mut cfg = if self.quick {
+                    SweepConfig::quick(base)
+                } else {
+                    SweepConfig::paper(base)
+                };
+                if self.extended {
+                    cfg.candidates = DdtKind::EXTENDED.to_vec();
+                }
+                if let Some(app) = app(false)? {
+                    cfg.apps = vec![app];
+                }
+                if let Some(names) = &self.scenarios {
+                    cfg.scenarios = names
+                        .iter()
+                        .map(|n| n.parse::<Scenario>())
+                        .collect::<Result<_, _>>()?;
+                }
+                if let Some(packets) = self.packets {
+                    cfg.packets_per_sim = packets;
+                }
+                if let Some(names) = &self.mem {
+                    cfg.mem_presets = names
+                        .iter()
+                        .map(|n| n.parse::<MemoryPreset>())
+                        .collect::<Result<_, _>>()?;
+                }
+                Ok(ExploreRequest::Sweep(cfg))
+            }
             other => Err(format!(
-                "unknown mode `{other}` (expected explore, ga, scenarios or headline)"
+                "unknown mode `{other}` (expected explore, ga, scenarios, sweep or headline)"
             )),
         }
     }
@@ -289,6 +355,26 @@ pub enum Event {
         done: usize,
         /// Units scheduled so far.
         total: usize,
+    },
+    /// One completed cell of a running `sweep` request: the platform
+    /// family streams in as it is explored, without waiting for the
+    /// aggregated [`Event::Result`]. Cells arrive in deterministic
+    /// `apps × scenarios × presets` order; `done`/`total` count cells.
+    Cell {
+        /// Echoed request id.
+        id: String,
+        /// Cells completed so far (this one included).
+        done: usize,
+        /// Total cells of the sweep.
+        total: usize,
+        /// Application of the completed cell.
+        app: AppKind,
+        /// Scenario of the completed cell.
+        scenario: Scenario,
+        /// Platform (memory preset) of the completed cell.
+        mem: MemoryPreset,
+        /// The cell's Pareto-front combination labels, in order.
+        front: Vec<String>,
     },
     /// Terminal success of a request. `executed`/`cache_hits` are this
     /// request's exact engine counters; `result` is deterministic — byte
@@ -340,6 +426,7 @@ impl Event {
             Event::Pong { id }
             | Event::Queued { id }
             | Event::Running { id, .. }
+            | Event::Cell { id, .. }
             | Event::Result { id, .. }
             | Event::Stats { id, .. }
             | Event::Cancelled { id } => Some(id),
@@ -396,6 +483,15 @@ mod tests {
                 done: 3,
                 total: 10,
             },
+            Event::Cell {
+                id: "r".into(),
+                done: 1,
+                total: 4,
+                app: AppKind::Drr,
+                scenario: Scenario::Baseline,
+                mem: MemoryPreset::Deep,
+                front: vec!["AR+SLL(AR)".into()],
+            },
             Event::Cancelled { id: "r".into() },
             Event::Error {
                 id: None,
@@ -446,6 +542,78 @@ mod tests {
         assert_eq!(cfg.scenarios, vec![Scenario::FlashCrowd, Scenario::DdosSyn]);
         assert_eq!(cfg.packets_per_sim, 64);
         assert_eq!(cfg.apps, vec![AppKind::Url]);
+    }
+
+    #[test]
+    fn sweep_specs_resolve_the_platform_axis() {
+        let spec = JobSpec {
+            quick: true,
+            mem: Some(vec!["embedded".into(), "deep".into(), "spm".into()]),
+            scenarios: Some(vec!["baseline".into(), "ddos-syn".into()]),
+            packets: Some(40),
+            ..JobSpec::preset("sweep", Some("url"))
+        };
+        let request = spec.resolve().expect("resolves");
+        let ExploreRequest::Sweep(cfg) = &request else {
+            panic!("wrong mode {}", request.mode());
+        };
+        assert_eq!(
+            cfg.mem_presets,
+            vec![
+                MemoryPreset::Embedded,
+                MemoryPreset::Deep,
+                MemoryPreset::Spm
+            ]
+        );
+        assert_eq!(cfg.scenarios, vec![Scenario::Baseline, Scenario::DdosSyn]);
+        assert_eq!(cfg.apps, vec![AppKind::Url]);
+        assert_eq!(cfg.packets_per_sim, 40);
+        // Without `mem`, the paper-sized sweep covers the whole catalog.
+        let full = JobSpec::preset("sweep", None).resolve().expect("resolves");
+        let ExploreRequest::Sweep(cfg) = &full else {
+            panic!("wrong mode");
+        };
+        assert_eq!(cfg.mem_presets, MemoryPreset::ALL.to_vec());
+    }
+
+    #[test]
+    fn single_platform_modes_accept_one_mem_preset() {
+        let spec = JobSpec {
+            quick: true,
+            mem: Some(vec!["l2".into()]),
+            ..JobSpec::preset("explore", Some("drr"))
+        };
+        let request = spec.resolve().expect("resolves");
+        let ExploreRequest::Explore(cfg) = &request else {
+            panic!("wrong mode {}", request.mode());
+        };
+        assert!(cfg.mem.l2.is_some(), "--mem l2 reaches the platform config");
+        // More than one preset only makes sense for a sweep.
+        let err = JobSpec {
+            quick: true,
+            mem: Some(vec!["l2".into(), "deep".into()]),
+            ..JobSpec::preset("explore", Some("drr"))
+        }
+        .resolve()
+        .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn unknown_mem_presets_are_rejected_listing_the_catalog() {
+        for mode in ["explore", "sweep"] {
+            let err = JobSpec {
+                quick: true,
+                mem: Some(vec!["quantum".into()]),
+                ..JobSpec::preset(mode, Some("drr"))
+            }
+            .resolve()
+            .unwrap_err();
+            assert!(err.contains("quantum"), "{mode}: {err}");
+            for preset in MemoryPreset::ALL {
+                assert!(err.contains(preset.name()), "{mode}: {err} misses {preset}");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! never order-dependent).
 
 use crate::protocol::{Event, Request, RequestBody, PROTOCOL_VERSION};
-use ddtr_core::{dispatch_with, ExploreError};
+use ddtr_core::{dispatch_observed, ExploreError};
 use ddtr_engine::{BatchControl, EngineConfig, EngineError, EngineSession};
 use std::collections::HashMap;
 use std::fmt;
@@ -296,7 +296,23 @@ impl Server {
                         let inflight = &inflight;
                         scope.spawn(move || {
                             let mut engine = session.engine_with(control);
-                            let outcome = dispatch_with(&mut engine, &explore);
+                            // Sweep requests additionally stream one
+                            // `Cell` line per completed platform cell;
+                            // every other mode never invokes the observer.
+                            let cell_writer = Arc::clone(&result_writer);
+                            let cell_id = id.clone();
+                            let outcome =
+                                dispatch_observed(&mut engine, &explore, |cell, done, total| {
+                                    cell_writer.emit(&Event::Cell {
+                                        id: cell_id.clone(),
+                                        done,
+                                        total,
+                                        app: cell.app,
+                                        scenario: cell.scenario,
+                                        mem: cell.mem,
+                                        front: cell.front_labels(),
+                                    });
+                                });
                             inflight
                                 .lock()
                                 .expect("inflight registry poisoned")

@@ -3,7 +3,7 @@
 //! warm-cache answering across client connections, malformed-input
 //! handling, and cancellation.
 
-use ddtr_core::{dispatch, ExploreRequest, ExploreResult, MethodologyConfig};
+use ddtr_core::{dispatch, ExploreRequest, ExploreResult, MemoryPreset, MethodologyConfig};
 use ddtr_engine::EngineConfig;
 use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
 use std::io::Write;
@@ -62,6 +62,16 @@ fn quick_scenarios_spec() -> JobSpec {
         quick: true,
         packets: Some(40),
         ..JobSpec::preset("scenarios", Some("drr"))
+    }
+}
+
+fn quick_sweep_spec() -> JobSpec {
+    JobSpec {
+        quick: true,
+        packets: Some(40),
+        mem: Some(vec!["embedded".into(), "l2".into()]),
+        scenarios: Some(vec!["baseline".into(), "flash-crowd".into()]),
+        ..JobSpec::preset("sweep", Some("drr"))
     }
 }
 
@@ -206,6 +216,134 @@ fn second_client_is_answered_from_cache_with_zero_simulations() {
     // step-1 entries during step 2, so the total exceeds B's share).
     assert!(stats.hits >= *cache_hits);
     assert_eq!(stats.entries, stats.misses, "every execution was retained");
+}
+
+#[test]
+fn sweep_requests_stream_cells_and_repeat_from_cache() {
+    // Two identical sweeps, the second sent only after the first's
+    // terminal event (a blocking client round trip — concurrent identical
+    // requests would legitimately race each other's cache fills): the
+    // first streams one Cell event per platform cell and pays for the
+    // simulations, the second answers entirely from the session cache.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let endpoint = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
+    let server = Server::new(EngineConfig::with_jobs(2)).expect("server");
+    let (events, reply_cold, reply_warm) = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let mut events: Vec<Event> = Vec::new();
+        let reply_cold = client
+            .call(&Request::run("cold", quick_sweep_spec()), |e| {
+                events.push(e.clone());
+            })
+            .expect("cold call");
+        let reply_warm = client
+            .call(&Request::run("warm", quick_sweep_spec()), |e| {
+                events.push(e.clone());
+            })
+            .expect("warm call");
+        client
+            .send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown");
+        (events, reply_cold, reply_warm)
+    });
+    let cells: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::Cell { id, .. } if id == "cold"))
+        .collect();
+    assert_eq!(
+        cells.len(),
+        4,
+        "1 app x 2 scenarios x 2 platforms: {events:?}"
+    );
+    for (i, event) in cells.iter().enumerate() {
+        let Event::Cell {
+            done, total, front, ..
+        } = event
+        else {
+            unreachable!()
+        };
+        assert_eq!((*done, *total), (i + 1, 4), "cells stream in order");
+        assert!(!front.is_empty(), "every cell carries its front");
+        assert!(!event.is_terminal(), "cells are progress, not terminals");
+    }
+    // Both platforms of the axis appear among the streamed cells.
+    for preset in [MemoryPreset::Embedded, MemoryPreset::L2] {
+        assert!(
+            cells
+                .iter()
+                .any(|e| matches!(e, Event::Cell { mem, .. } if *mem == preset)),
+            "platform {preset} streamed: {events:?}"
+        );
+    }
+    // The aggregated result matches a direct dispatch byte-for-byte.
+    let direct = dispatch(&quick_sweep_spec().resolve().expect("resolves")).expect("direct");
+    let ExploreResult::Sweep(direct) = direct else {
+        panic!("wrong mode");
+    };
+    let Event::Result {
+        executed, result, ..
+    } = &reply_cold
+    else {
+        panic!("cold sweep must succeed: {reply_cold:?}");
+    };
+    assert!(*executed > 0, "cold sweep simulates");
+    let ExploreResult::Sweep(served) = result.as_ref() else {
+        panic!("wrong result mode");
+    };
+    assert_eq!(
+        serde_json::to_string(&served.cells).expect("ser"),
+        serde_json::to_string(&direct.cells).expect("ser"),
+        "served sweep cells are byte-identical to the direct entry point"
+    );
+    assert_eq!(
+        serde_json::to_string(&served.survivors).expect("ser"),
+        serde_json::to_string(&direct.survivors).expect("ser"),
+    );
+    // The repeat reports executed=0 — the acceptance criterion of the
+    // whole axis: sweep cells are individually reusable.
+    let Event::Result {
+        executed,
+        cache_hits,
+        ..
+    } = &reply_warm
+    else {
+        panic!("warm sweep must succeed: {reply_warm:?}");
+    };
+    assert_eq!(*executed, 0, "repeated sweep executes nothing");
+    assert_eq!(*cache_hits, 400, "4 cells x 100 combinations replay");
+}
+
+#[test]
+fn unknown_memory_presets_get_structured_errors_across_the_protocol() {
+    // A bad preset name must come back as an Error event listing the
+    // catalog — never a panic, never a dropped connection.
+    let bad = JobSpec {
+        mem: Some(vec!["quantum".into()]),
+        ..quick_sweep_spec()
+    };
+    let script = vec![
+        run_line("bad-mem", &bad),
+        serde_json::to_string(&Request::new("alive", RequestBody::Ping)).expect("ser"),
+    ];
+    let events = serve_script(1, &script);
+    let Event::Error {
+        id: Some(id),
+        error,
+    } = terminal_for(&events, "bad-mem")
+    else {
+        panic!("bad preset must answer with an error: {events:?}");
+    };
+    assert_eq!(id, "bad-mem");
+    assert!(error.contains("quantum"), "{error}");
+    for preset in MemoryPreset::ALL {
+        assert!(error.contains(preset.name()), "{error} misses {preset}");
+    }
+    assert!(
+        matches!(terminal_for(&events, "alive"), Event::Pong { .. }),
+        "the connection stays usable after the rejection"
+    );
 }
 
 #[test]
