@@ -46,9 +46,6 @@
 //! assert!(mem.report().accesses > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod app;
 mod drr;
 mod ipchains;

@@ -43,7 +43,7 @@ fn main() {
         .iter()
         .map(|&i| (&step1.measurements[i].combo, points4[i]))
         .collect();
-    rows.sort_by(|a, b| a.1[1].partial_cmp(&b.1[1]).expect("finite"));
+    rows.sort_by(|a, b| a.1[1].total_cmp(&b.1[1]));
     for (combo, p) in rows {
         println!(
             "{combo:20} {:>14.0} {:>14.1} {:>12.0} {:>12.0}",

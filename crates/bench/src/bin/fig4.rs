@@ -30,7 +30,7 @@ fn main() {
             .iter()
             .map(|p| (p.combo.as_str(), p.report.cycles as f64, p.report.energy_nj))
             .collect();
-        pts.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        pts.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (combo, t, e) in pts {
             println!("  {combo:20} time {t:>9.0} cycles   energy {e:>10.1} nJ");
         }
@@ -67,7 +67,7 @@ fn main() {
         .copied()
         .min_by(|&a, &b| {
             let score = |i: usize| te[i][0] / max_t + te[i][1] / max_e;
-            score(a).partial_cmp(&score(b)).expect("finite")
+            score(a).total_cmp(&score(b))
         })
         .expect("front is non-empty");
     println!("\nhighlighted balanced Pareto point (paper run: AR+DLL):");

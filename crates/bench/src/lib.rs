@@ -28,9 +28,6 @@
 //! | `extended_library` | 12-kind extended candidate set vs the paper's 10 |
 //! | `extension_app` | full pipeline on the NAT gateway (fifth application) |
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use ddtr_apps::AppKind;
 use ddtr_core::{ExploreError, Methodology, MethodologyConfig, MethodologyOutcome};
 

@@ -42,9 +42,6 @@
 //! # Ok::<(), ddtr_core::ExploreError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod constraints;
 mod dispatch;

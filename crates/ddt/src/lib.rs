@@ -56,9 +56,6 @@
 //! assert!(mem.report().accesses > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod array;
 mod array_ptr;
 mod chunked;

@@ -47,9 +47,6 @@
 //! assert_eq!(engine.stats().misses, 5);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod cache;
 mod combo;
 mod engine;

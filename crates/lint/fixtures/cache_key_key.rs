@@ -1,0 +1,8 @@
+// Fixture stand-in for crates/engine/src/key.rs: a coverage manifest
+// with one stale entry (`retired`) and one field missing (`added`).
+pub fn fingerprint_value() {}
+
+// ddtr-lint: cache-key-coverage begin
+// FixtureParams @ crates/apps/src/params.rs: quantum, retired, seed
+// GoneStruct @ crates/apps/src/params.rs: whatever
+// ddtr-lint: cache-key-coverage end

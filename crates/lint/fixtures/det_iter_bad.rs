@@ -1,0 +1,31 @@
+// Seeded det-iter violations (mapped into crates/pareto/src by the
+// harness): hash-order iteration in a determinism-critical module.
+use std::collections::{HashMap, HashSet};
+
+struct Archive {
+    memo: HashMap<String, u64>,
+}
+
+fn leak_order(archive: &Archive, seen: HashSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for key in archive.memo.keys() {
+        // keys() iteration over a field-typed map: violation above
+        out.push(key.clone());
+    }
+    for s in &seen {
+        // for-loop over a param-typed set: violation above
+        out.push(s.clone());
+    }
+    out
+}
+
+fn drained(mut m: HashMap<String, u64>) -> Vec<(String, u64)> {
+    m.drain().collect() // drain(): violation
+}
+
+fn waived(m: &HashMap<String, u64>) -> Vec<String> {
+    // ddtr-lint: allow(det-iter) — fixture: collected and sorted below
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}

@@ -1,0 +1,23 @@
+// Known-good: hash collections used for lookup only, iteration confined
+// to order-preserving structures (Vec, BTreeMap), plus the memo+order
+// pattern the GA archive uses.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Archive {
+    memo: HashMap<String, u64>,
+    order: Vec<String>,
+}
+
+fn lookups(archive: &Archive, seen: &mut HashSet<String>) -> u64 {
+    let mut total = 0;
+    for key in &archive.order {
+        if seen.insert(key.clone()) {
+            total += archive.memo.get(key).copied().unwrap_or(0);
+        }
+    }
+    total
+}
+
+fn sorted_view(m: &BTreeMap<String, u64>) -> Vec<&String> {
+    m.keys().collect()
+}

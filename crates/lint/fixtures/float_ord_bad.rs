@@ -1,0 +1,17 @@
+// Seeded float-ord violations: each `partial_cmp` comparator is the
+// PR 3 bug class (NaN panics the expect form; unwrap_or de-sorts).
+fn sorts(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite")); // line 4: violation
+    xs
+}
+
+fn best(xs: &[f64]) -> Option<&f64> {
+    // line 9 comment, then line 10: violation
+    xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+fn waived(mut xs: Vec<f64>) -> Vec<f64> {
+    // ddtr-lint: allow(float-ord) — fixture: demonstrates waiver honoring
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs
+}

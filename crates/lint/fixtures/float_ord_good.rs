@@ -1,0 +1,25 @@
+// Known-good: total_cmp comparators, plus decoys that must not match —
+// partial_cmp in this comment, in a string, and a PartialOrd impl.
+fn sorts(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}
+
+fn decoy() -> &'static str {
+    "never call partial_cmp on floats"
+}
+
+struct Wrapped(f64);
+
+impl PartialEq for Wrapped {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl PartialOrd for Wrapped {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

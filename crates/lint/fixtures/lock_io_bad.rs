@@ -1,0 +1,19 @@
+// Seeded lock-across-io violations (mapped into crates/serve/src by the
+// harness): guards held across blocking writes — the slow-client stall.
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+fn stream_progress<W: Write>(out: &Mutex<W>, done: usize) {
+    let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+    writeln!(w, "done={done}").ok(); // guard held across writeln!: violation
+}
+
+fn chained<W: Write>(out: &Mutex<W>) {
+    out.lock().unwrap_or_else(PoisonError::into_inner).flush().ok(); // violation
+}
+
+fn waived<W: Write>(out: &Mutex<W>, done: usize) {
+    let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+    // ddtr-lint: allow(lock-across-io) — fixture: writer mutex serialises the write itself
+    writeln!(w, "done={done}").ok();
+}

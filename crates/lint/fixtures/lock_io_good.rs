@@ -1,0 +1,28 @@
+// Known-good: the guard is dropped (explicitly or by scope) before any
+// blocking write, and temporary guards die at the statement's semicolon.
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+fn buffered<W: Write>(state: &Mutex<Vec<u8>>, out: &mut W) {
+    let snapshot = {
+        let guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.clone()
+    };
+    out.write_all(&snapshot).ok();
+}
+
+fn explicit_drop<W: Write>(state: &Mutex<u64>, out: &mut W) {
+    let guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let value = *guard;
+    drop(guard);
+    writeln!(out, "value={value}").ok();
+}
+
+fn temporary(state: &Mutex<Vec<u8>>, byte: u8) -> usize {
+    state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(byte);
+    let len = state.lock().unwrap_or_else(PoisonError::into_inner).len();
+    len
+}

@@ -1,0 +1,129 @@
+//! `ddtr-lint` — run the workspace invariant rules.
+//!
+//! ```text
+//! ddtr-lint [--root <dir>] [--json] [--deny-all] [--list]
+//! ```
+//!
+//! * `--list`      print the rule catalog (name + one-line description) and exit
+//! * `--json`      machine-readable findings instead of rustc-style lines
+//! * `--deny-all`  also fail on warn-level findings (waiver hygiene) — CI mode
+//! * `--root`      workspace root (default: walk up from the current directory)
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use ddtr_lint::{all_rules, diag, find_workspace_root, run, Severity, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        deny_all: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--deny-all" => args.deny_all = true,
+            "--list" => args.list = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err("usage: ddtr-lint [--root <dir>] [--json] [--deny-all] [--list]".into())
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        // The catalog prints from the same registry the checker runs, so
+        // this list (and the CI log that shows it) cannot drift from the
+        // implementation.
+        for rule in all_rules() {
+            println!("{:20} {}", rule.name(), rule.description());
+        }
+        println!(
+            "{:20} a waiver names a rule `ddtr-lint --list` does not know",
+            "unknown-waiver"
+        );
+        println!(
+            "{:20} a waiver suppresses nothing and should be removed",
+            "unused-waiver"
+        );
+        println!(
+            "{:20} a waiver carries no justification after `allow(..)`",
+            "bare-waiver"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let start = args
+        .root
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_workspace_root(&start) else {
+        eprintln!(
+            "ddtr-lint: no workspace root (Cargo.toml with [workspace]) at or above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("ddtr-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = run(&ws);
+
+    if args.json {
+        print!(
+            "{}",
+            diag::render_json(&report.findings, report.files_checked)
+        );
+    } else {
+        for finding in &report.findings {
+            let tag = match finding.severity {
+                Severity::Deny => "",
+                Severity::Warn => " (warn)",
+            };
+            println!("{finding}{tag}");
+        }
+        eprintln!(
+            "ddtr-lint: {} file(s), {} finding(s), {} waiver(s) honoured",
+            report.files_checked,
+            report.findings.len(),
+            report.waivers_used
+        );
+    }
+
+    if report.failed(args.deny_all) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

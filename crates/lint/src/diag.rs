@@ -1,0 +1,125 @@
+//! Findings and their text / JSON renderings.
+
+use std::fmt;
+
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (exit code 1).
+    Deny,
+    /// Reported but non-fatal by default; `--deny-all` promotes it.
+    Warn,
+}
+
+/// One diagnostic: a rule violation or a waiver-hygiene problem.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (or `unused-waiver` / `unknown-waiver`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Whether the finding fails the run.
+    pub severity: Severity,
+}
+
+impl Finding {
+    /// A deny-level finding for `rule`.
+    #[must_use]
+    pub fn deny(file: &str, line: usize, rule: &str, message: impl Into<String>) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.into(),
+            severity: Severity::Deny,
+        }
+    }
+
+    /// A warn-level finding for `rule`.
+    #[must_use]
+    pub fn warn(file: &str, line: usize, rule: &str, message: impl Into<String>) -> Finding {
+        Finding {
+            severity: Severity::Warn,
+            ..Finding::deny(file, line, rule, message)
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    /// The rustc-style `file:line: rule: message` form CI logs grep for.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (the checker is
+/// dependency-free, so it renders its `--json` output by hand).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a stable machine-readable JSON document.
+#[must_use]
+pub fn render_json(findings: &[Finding], files_checked: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.rule),
+            match f.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            },
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"files_checked\": {files_checked}\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let f = Finding::deny("crates/x/src/lib.rs", 7, "float-ord", "no");
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:7: float-ord: no");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let doc = render_json(&[Finding::warn("a.rs", 1, "r", "say \"hi\"\n")], 3);
+        assert!(doc.contains("\\\"hi\\\"\\n"));
+        assert!(doc.contains("\"files_checked\": 3"));
+    }
+}

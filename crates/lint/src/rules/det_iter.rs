@@ -1,0 +1,200 @@
+//! `det-iter`: no hash-order iteration in determinism-critical modules.
+//!
+//! The repo's headline guarantee is byte-identical Pareto fronts at any
+//! `--jobs N` (regression-tested since PR 2). `HashMap`/`HashSet`
+//! iteration order is randomized per process, so one `for (k, v) in &map`
+//! in a module that feeds result ordering silently breaks the guarantee
+//! — and only ever shows up as an unreproducible cross-run diff. The
+//! critical modules are the Pareto crate, the GA (`core::ga`), and the
+//! engine's cache/execution/key path, where hash collections are fine as
+//! *lookup* structures (the GA's `Archive` pairs its memo map with a
+//! first-insertion `order` vector for exactly this reason) but must not
+//! be *iterated* without a deterministic sort.
+//!
+//! Detection is lexical: names bound or typed as `HashMap`/`HashSet` in
+//! the file are tracked, and iteration adapters (`.iter()`, `.keys()`,
+//! `.values()`, `.drain()`, `for _ in &name`, …) over those names are
+//! flagged. A waiver (`// ddtr-lint: allow(det-iter) — sorted below`) is
+//! the documented escape hatch for collect-then-sort sites.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::source::SourceFile;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+/// See the module docs.
+pub struct DetIter;
+
+/// Whether a file is in a determinism-critical module.
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/pareto/src/")
+        || path == "crates/core/src/ga.rs"
+        || path == "crates/engine/src/cache.rs"
+        || path == "crates/engine/src/engine.rs"
+        || path == "crates/engine/src/key.rs"
+}
+
+const ITER_SUFFIXES: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+];
+
+impl Rule for DetIter {
+    fn name(&self) -> &'static str {
+        "det-iter"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet iteration in pareto, core::ga and the engine cache/execution path"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws.files.iter().filter(|f| in_scope(&f.path)) {
+            let names = hash_collection_names(file);
+            if names.is_empty() {
+                continue;
+            }
+            for (idx, code) in file.code.iter().enumerate() {
+                if file.is_test_line(idx + 1) {
+                    continue;
+                }
+                for name in &names {
+                    if iterates(code, name) {
+                        out.push(Finding::deny(
+                            &file.path,
+                            idx + 1,
+                            self.name(),
+                            format!(
+                                "iterating hash collection `{name}` has randomized order \
+                                 in a determinism-critical module; collect and sort (then \
+                                 waive with a reason) or keep a first-insertion order \
+                                 vector beside the map"
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers bound or typed as `HashMap`/`HashSet` anywhere in
+/// the file: `let [mut] name = HashMap::new()`, `let name: HashSet<..>`,
+/// struct fields and fn params `name: [&]HashMap<..>`.
+fn hash_collection_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for code in &file.code {
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            if let Some(name) = leading_ident(rest) {
+                names.insert(name);
+                continue;
+            }
+        }
+        // `name: HashMap<..>` / `name: &mut HashSet<..>` (field, param or
+        // annotated binding) — anchor on each type occurrence and walk back
+        // to *its* colon, so a line with several params binds the right one.
+        for needle in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(needle) {
+                let pos = from + at;
+                from = pos + needle.len();
+                let ident_boundary = |c: char| c.is_alphanumeric() || c == '_';
+                if code[..pos].chars().next_back().is_some_and(ident_boundary)
+                    || code[pos + needle.len()..].starts_with(ident_boundary)
+                {
+                    continue; // inside a larger ident like `MyHashMapLike`
+                }
+                let Some(colon) = last_single_colon(&code[..pos]) else {
+                    continue;
+                };
+                // Only `&`, `mut` and lifetimes may sit between `:` and the
+                // type — `Vec<HashMap<..>>` etc. must not bind the name.
+                let seg = &code[colon + 1..pos];
+                if !seg
+                    .chars()
+                    .all(|c| c.is_whitespace() || "&'_".contains(c) || c.is_alphanumeric())
+                {
+                    continue;
+                }
+                if let Some(name) = trailing_ident(code[..colon].trim_end()) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Position of the last `:` in `code` that is not part of a `::` path
+/// separator.
+fn last_single_colon(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    (0..bytes.len()).rev().find(|&i| {
+        bytes[i] == b':' && bytes.get(i + 1) != Some(&b':') && (i == 0 || bytes[i - 1] != b':')
+    })
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let name: String = s
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit())).then_some(name)
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let name: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit())).then_some(name)
+}
+
+/// Whether this line iterates `name`: an iteration adapter directly on it
+/// (possibly behind `self.`) or a `for .. in [&[mut ]]name` header.
+fn iterates(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(name) {
+        let pos = from + at;
+        let before_ok = !code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &code[pos + name.len()..];
+        if before_ok && ITER_SUFFIXES.iter().any(|s| after.starts_with(s)) {
+            return true;
+        }
+        if before_ok && (after.trim_start().starts_with('{') || after.trim_start().is_empty()) {
+            // `for x in name {` / `for x in &name` at line end.
+            let head = code[..pos].trim_end();
+            let head = head.trim_end_matches(['&']).trim_end();
+            let head = head.strip_suffix("mut").map_or(head, str::trim_end);
+            let head = head.trim_end_matches(['&']).trim_end();
+            if head.ends_with(" in") {
+                return true;
+            }
+        }
+        from = pos + name.len();
+    }
+    false
+}

@@ -1,0 +1,52 @@
+//! `float-ord`: ban `partial_cmp` in favour of `f64::total_cmp`.
+//!
+//! The bug class: `a.partial_cmp(&b).unwrap()/.expect("finite")` inside a
+//! sort comparator panics on NaN, and the `unwrap_or(Equal)` variant is
+//! worse — it makes the comparator non-transitive, so sort order (and
+//! with it Pareto fronts, GA selection and report ordering) silently
+//! depends on element order and thread count. PR 3 converted every core
+//! comparator to the IEEE 754 `total_cmp` total order; this rule keeps
+//! the pattern from growing back (it had already reappeared in the
+//! figure-reproduction bins and a pareto property test by PR 6).
+//!
+//! The ban is workspace-wide, tests included: a nondeterministic
+//! comparator in a test is a flaky test. `fn partial_cmp` *definitions*
+//! (manual `PartialOrd` impls) are exempt; calls are not.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::source::find_tokens;
+use crate::Workspace;
+
+/// See the module docs.
+pub struct FloatOrd;
+
+impl Rule for FloatOrd {
+    fn name(&self) -> &'static str {
+        "float-ord"
+    }
+
+    fn description(&self) -> &'static str {
+        "no partial_cmp comparators: NaN makes them panic or go non-transitive; use f64::total_cmp"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            for (idx, code) in file.code.iter().enumerate() {
+                if code.contains("fn partial_cmp") {
+                    continue;
+                }
+                if !find_tokens(code, "partial_cmp").is_empty() {
+                    out.push(Finding::deny(
+                        &file.path,
+                        idx + 1,
+                        self.name(),
+                        "`partial_cmp` is not a total order on floats (NaN panics the \
+                         `expect` form and de-sorts the `unwrap_or` form); compare with \
+                         `f64::total_cmp` like the core comparators",
+                    ));
+                }
+            }
+        }
+    }
+}

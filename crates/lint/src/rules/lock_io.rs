@@ -1,0 +1,170 @@
+//! `lock-across-io`: no mutex guard held across blocking I/O in the
+//! service crate.
+//!
+//! The slow-client stall class: PR 4's review found the engine session
+//! holding its jobs-pool permit while writing progress events, so one
+//! client that stopped reading its socket stalled every other request of
+//! the resident session. The same shape — acquire a `Mutex`, then
+//! `write`/`flush`/`emit` while the guard is live — reappears easily in
+//! `crates/serve`, where almost every path touches both shared state and
+//! a connection writer.
+//!
+//! Detection is lexical and scoped to `crates/serve/src/`:
+//!
+//! * a single expression that both locks and does I/O
+//!   (`x.lock()...flush()`), and
+//! * a `let guard = ...lock()...;` binding (the guard-shaped statement
+//!   may only postfix `unwrap`/`expect`/`unwrap_or_else` after `.lock()`)
+//!   followed by an I/O call before the guard's block ends or it is
+//!   `drop`ped.
+//!
+//! The one legitimate site — a writer mutex whose entire purpose is to
+//! serialise the write itself — carries a waiver with its justification.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::Workspace;
+
+/// See the module docs.
+pub struct LockAcrossIo;
+
+const IO_TOKENS: &[&str] = &[
+    "writeln!",
+    "write!",
+    ".write(",
+    ".write_all(",
+    ".flush(",
+    ".emit(",
+    ".send(",
+    ".read_line(",
+    ".connect(",
+];
+
+fn io_token(code: &str) -> Option<&'static str> {
+    IO_TOKENS.iter().copied().find(|t| code.contains(t))
+}
+
+impl Rule for LockAcrossIo {
+    fn name(&self) -> &'static str {
+        "lock-across-io"
+    }
+
+    fn description(&self) -> &'static str {
+        "no MutexGuard held across write/flush/socket calls in crates/serve (slow-client stalls)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| f.path.starts_with("crates/serve/src/"))
+        {
+            for (idx, code) in file.code.iter().enumerate() {
+                if file.is_test_line(idx + 1) {
+                    continue;
+                }
+                if code.contains(".lock()") {
+                    if let Some(tok) = io_token(code) {
+                        out.push(Finding::deny(
+                            &file.path,
+                            idx + 1,
+                            self.name(),
+                            format!(
+                                "`{tok}` runs while the same expression holds a mutex \
+                                 guard; a slow peer blocks every other holder — do the \
+                                 I/O after the guard drops"
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+                if let Some(guard) = guard_binding(file, idx) {
+                    scan_guard_scope(file, idx, &guard, self.name(), out);
+                }
+            }
+        }
+    }
+}
+
+/// If the logical `let` statement starting at `idx` binds a mutex guard,
+/// returns the bound name. Statements that keep calling into the locked
+/// value (`.lock()...get(..)`) produce a temporary guard dropped at the
+/// `;`, not a live binding.
+fn guard_binding(file: &crate::source::SourceFile, idx: usize) -> Option<String> {
+    let first = file.code[idx].trim_start();
+    let rest = first.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    // Join rustfmt-split chains into one logical statement (bounded).
+    let mut stmt = String::new();
+    for line in file.code.iter().skip(idx).take(8) {
+        stmt.push_str(line.trim());
+        if line.contains(';') {
+            break;
+        }
+    }
+    let after_lock = stmt.rsplit_once(".lock()")?.1;
+    // Only guard-preserving postfixes may follow the lock call.
+    let mut ok = true;
+    let mut scan = after_lock;
+    while let Some(dot) = scan.find('.') {
+        let method: String = scan[dot + 1..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !matches!(method.as_str(), "unwrap" | "expect" | "unwrap_or_else") {
+            ok = false;
+            break;
+        }
+        scan = &scan[dot + 1..];
+    }
+    (ok && after_lock.trim_end().ends_with(';')).then_some(name)
+}
+
+/// Flags I/O between a guard binding and the end of its enclosing block
+/// (or an explicit `drop(guard)`).
+fn scan_guard_scope(
+    file: &crate::source::SourceFile,
+    bind_idx: usize,
+    guard: &str,
+    rule: &str,
+    out: &mut Vec<Finding>,
+) {
+    let mut rel: i64 = 0;
+    for (j, code) in file.code.iter().enumerate().skip(bind_idx + 1) {
+        if code.contains(&format!("drop({guard})")) {
+            return;
+        }
+        if let Some(tok) = io_token(code) {
+            out.push(Finding::deny(
+                &file.path,
+                j + 1,
+                rule,
+                format!(
+                    "`{tok}` runs while mutex guard `{guard}` (bound at line {}) is \
+                     held; a slow peer blocks every other holder — drop the guard \
+                     first or buffer and write after the critical section",
+                    bind_idx + 1
+                ),
+            ));
+        }
+        for c in code.chars() {
+            match c {
+                '{' => rel += 1,
+                '}' => {
+                    rel -= 1;
+                    if rel < 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The rule catalog.
+//!
+//! Every rule implements [`Rule`] over the whole [`Workspace`] (most scan
+//! file by file; `cache-key-coverage` is genuinely cross-file). The
+//! checker in [`crate::run`] applies waivers afterwards, so rules report
+//! every raw violation they see.
+
+use crate::diag::Finding;
+use crate::Workspace;
+
+mod cache_key;
+mod det_iter;
+mod float_ord;
+mod lock_io;
+mod no_panic;
+
+pub use cache_key::CacheKeyCoverage;
+pub use det_iter::DetIter;
+pub use float_ord::FloatOrd;
+pub use lock_io::LockAcrossIo;
+pub use no_panic::NoPanicBoundary;
+
+/// One invariant checker.
+pub trait Rule {
+    /// Stable rule name — what waivers and diagnostics reference.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list` and the docs.
+    fn description(&self) -> &'static str;
+    /// Scans the workspace and appends raw (pre-waiver) findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Every shipped rule, in catalog order.
+#[must_use]
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(FloatOrd),
+        Box::new(NoPanicBoundary),
+        Box::new(DetIter),
+        Box::new(CacheKeyCoverage),
+        Box::new(LockAcrossIo),
+    ]
+}

@@ -1,0 +1,129 @@
+//! `no-panic-boundary`: structured errors, never panics, on the service
+//! boundary.
+//!
+//! The serve protocol contract (docs/PROTOCOL.md) is that every failure a
+//! client can provoke comes back as a structured `Error` event — a panic
+//! in request handling tears down the connection (or, under
+//! `std::thread::scope`, the whole server) and turns one bad request into
+//! a denial of service for every other client of the resident session.
+//! The boundary is `crates/serve/src/*` plus the shared request→result
+//! path `crates/core/src/dispatch.rs`.
+//!
+//! Banned: `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`, the non-debug `assert*!` family, and literal slice
+//! indexing `x[0]` (use `.get(0)`). `#[cfg(test)]` items are exempt —
+//! tests *should* unwrap. `debug_assert*!` is allowed (compiled out of
+//! release servers).
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::source::find_tokens;
+use crate::Workspace;
+
+/// See the module docs.
+pub struct NoPanicBoundary;
+
+/// Whether a file lies on the no-panic boundary.
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src/") || path == "crates/core/src/dispatch.rs"
+}
+
+const BANNED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "convert to a structured error (`unwrap_or_else`, `ok_or`, `?`)",
+    ),
+    (
+        ".expect(",
+        "convert to a structured error or a poison-tolerant lock",
+    ),
+    ("panic!", "return a structured `Error` event instead"),
+    (
+        "unreachable!",
+        "make the match arm return a structured error",
+    ),
+    ("todo!", "boundary code cannot ship holes"),
+    ("unimplemented!", "boundary code cannot ship holes"),
+    (
+        "assert!(",
+        "use `debug_assert!` or return a structured error",
+    ),
+    (
+        "assert_eq!(",
+        "use `debug_assert_eq!` or return a structured error",
+    ),
+    (
+        "assert_ne!(",
+        "use `debug_assert_ne!` or return a structured error",
+    ),
+];
+
+impl Rule for NoPanicBoundary {
+    fn name(&self) -> &'static str {
+        "no-panic-boundary"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic/assert/x[i] in crates/serve and core::dispatch request handling"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws.files.iter().filter(|f| in_scope(&f.path)) {
+            for (idx, code) in file.code.iter().enumerate() {
+                if file.is_test_line(idx + 1) {
+                    continue;
+                }
+                for &(token, hint) in BANNED {
+                    if !find_tokens(code, token).is_empty() {
+                        out.push(Finding::deny(
+                            &file.path,
+                            idx + 1,
+                            self.name(),
+                            format!(
+                                "`{}` can panic across the serve boundary and kill the \
+                                 resident session; {hint}",
+                                token.trim_matches(['.', '(', ')']),
+                            ),
+                        ));
+                    }
+                }
+                if let Some(snippet) = literal_index(code) {
+                    out.push(Finding::deny(
+                        &file.path,
+                        idx + 1,
+                        self.name(),
+                        format!(
+                            "literal slice index `{snippet}` can panic across the serve \
+                             boundary; use `.get(..)` and handle `None`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Finds a direct literal index expression `ident[3]` / `)[0]` — the
+/// panicking pattern a `.get()` should replace. Slice *patterns*
+/// (`[name] => ...`) and attributes (`#[cfg]`) never match because the
+/// char before `[` must close a value expression.
+fn literal_index(code: &str) -> Option<String> {
+    let bytes: Vec<char> = code.chars().collect();
+    for (i, &c) in bytes.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > i + 1 && bytes.get(j) == Some(&']') {
+            return Some(bytes[i - 1..=j].iter().collect());
+        }
+    }
+    None
+}

@@ -1,0 +1,427 @@
+//! Source loading and lexical preprocessing.
+//!
+//! Every rule works on a [`SourceFile`]: the raw lines of one `.rs` file
+//! plus a *code view* of the same lines in which comment text and the
+//! contents of string/char literals are blanked out. Rules match tokens
+//! against the code view, so `partial_cmp` inside a doc comment or a
+//! string constant can never produce a finding — which is also what lets
+//! this crate's own rule sources pass the rules they implement.
+//!
+//! The preprocessing is deliberately lexical (no `syn`, no full parser),
+//! mirroring the hand-written vendored serde derive: it tracks line
+//! comments, nested block comments, plain/raw/byte string literals and
+//! char-vs-lifetime quotes, which is enough to make token scans reliable
+//! on rustfmt-formatted sources.
+
+use std::path::Path;
+
+/// One waiver comment: `// ddtr-lint: allow(<rule>) — <reason>`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// 1-based line of the waiver comment itself.
+    pub line: usize,
+    /// 1-based line the waiver applies to: its own line when the comment
+    /// trails code, otherwise the next line carrying code.
+    pub applies_to: usize,
+    /// Whether a non-empty justification follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// One preprocessed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts).
+    pub path: String,
+    /// The file's lines, verbatim.
+    pub raw: Vec<String>,
+    /// The lines with comments and literal contents blanked (quote
+    /// delimiters are kept so token boundaries survive).
+    pub code: Vec<String>,
+    /// Per line: whether it falls inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Waiver comments, in line order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Loads and preprocesses a file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be read.
+    pub fn load(path: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::from_source(rel, &text))
+    }
+
+    /// Preprocesses in-memory source text under a synthetic path — the
+    /// constructor the fixture tests use to place snippets into any
+    /// rule's file scope.
+    #[must_use]
+    pub fn from_source(rel: &str, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let code = strip_comments_and_literals(&raw);
+        let in_test = mark_cfg_test(&code);
+        let waivers = collect_waivers(&raw, &code);
+        SourceFile {
+            path: rel.to_string(),
+            raw,
+            code,
+            in_test,
+            waivers,
+        }
+    }
+
+    /// The code view of a 1-based line (empty for out-of-range lines).
+    #[must_use]
+    pub fn code_line(&self, line: usize) -> &str {
+        self.code.get(line - 1).map_or("", String::as_str)
+    }
+
+    /// Whether a 1-based line is inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Code,
+    /// Nested block comment at the given depth.
+    Block(usize),
+    /// Plain (escaped) string literal.
+    Str,
+    /// Raw string literal terminated by `"` plus this many `#`s.
+    RawStr(usize),
+}
+
+/// Blanks comments and literal contents, preserving delimiters and line
+/// lengths so column-free token scans stay honest.
+fn strip_comments_and_literals(raw: &[String]) -> Vec<String> {
+    let mut state = State::Code;
+    let mut out = Vec::with_capacity(raw.len());
+    for line in raw {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut cooked = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            match state {
+                State::Block(depth) => {
+                    if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        cooked.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        cooked.push_str("  ");
+                        i += 2;
+                    } else {
+                        cooked.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if bytes[i] == '\\' {
+                        cooked.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        state = State::Code;
+                        cooked.push('"');
+                        i += 1;
+                    } else {
+                        cooked.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if bytes[i] == '"' && has_hashes(&bytes, i + 1, hashes) {
+                        state = State::Code;
+                        cooked.push('"');
+                        for _ in 0..hashes {
+                            cooked.push(' ');
+                        }
+                        i += 1 + hashes;
+                    } else {
+                        cooked.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = bytes[i];
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: blank the rest of the line.
+                        break;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        cooked.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    // Raw / byte-raw string openers: r"", r#""#, br"", ...
+                    if (c == 'r' || c == 'b') && !prev_is_ident(&bytes, i) {
+                        let mut j = i + 1;
+                        if c == 'b' && bytes.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        if c == 'r' || j > i + 1 {
+                            let mut hashes = 0;
+                            while bytes.get(j + hashes) == Some(&'#') {
+                                hashes += 1;
+                            }
+                            if bytes.get(j + hashes) == Some(&'"') {
+                                for _ in i..=(j + hashes) {
+                                    cooked.push(' ');
+                                }
+                                cooked.pop();
+                                cooked.push('"');
+                                state = State::RawStr(hashes);
+                                i = j + hashes + 1;
+                                continue;
+                            }
+                        }
+                    }
+                    if c == '"' {
+                        // Plain or byte string literal.
+                        state = State::Str;
+                        cooked.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime: 'x' / '\n' are
+                        // literals, 'static is a lifetime.
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i..=j.min(bytes.len() - 1) {
+                                cooked.push(' ');
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                        if bytes.get(i + 2) == Some(&'\'') {
+                            cooked.push_str("   ");
+                            i += 3;
+                            continue;
+                        }
+                        cooked.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    cooked.push(c);
+                    i += 1;
+                }
+            }
+        }
+        // A line comment inside State::Code breaks out early; everything
+        // before the `//` is already in `cooked`.
+        out.push(cooked);
+    }
+    out
+}
+
+fn has_hashes(bytes: &[char], from: usize, count: usize) -> bool {
+    (0..count).all(|k| bytes.get(from + k) == Some(&'#'))
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (in practice: the
+/// `mod tests` block) so boundary rules can skip test-only panics.
+fn mark_cfg_test(code: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].trim_start().starts_with("#[cfg(test)]") {
+            // Find the opening brace of the annotated item; a `mod x;`
+            // (no body in this file) has none before the `;`.
+            let mut depth = 0usize;
+            let mut opened = false;
+            'item: for (j, line) in code.iter().enumerate().skip(i) {
+                for c in line.chars() {
+                    match c {
+                        ';' if !opened => break 'item,
+                        '{' => {
+                            opened = true;
+                            depth += 1;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                flags[i..=j].iter_mut().for_each(|f| *f = true);
+                                i = j;
+                                break 'item;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                flags[j] = opened;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Parses `ddtr-lint: allow(<rule>)` waiver comments out of the raw lines.
+///
+/// Only real `//` line comments count: the comment is located through the
+/// code view (which truncates at `//` but blanks string contents without
+/// truncating), so a waiver-shaped string literal is never a waiver, and
+/// `///` / `//!` doc comments are skipped so documentation can show the
+/// syntax without waiving anything.
+fn collect_waivers(raw: &[String], code: &[String]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (idx, line) in raw.iter().enumerate() {
+        let code_chars = code.get(idx).map_or(0, |c| c.chars().count());
+        if code_chars >= line.chars().count() {
+            continue; // no line comment on this line
+        }
+        let comment: String = line.chars().skip(code_chars).collect();
+        let comment = comment.as_str();
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = comment.find("ddtr-lint: allow(") else {
+            continue;
+        };
+        let rest = &comment[at + "ddtr-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':'])
+            .trim();
+        // A waiver trailing code covers its own line; a standalone waiver
+        // comment covers the next line that carries code.
+        let own_code = code.get(idx).map_or("", String::as_str);
+        let applies_to = if own_code.trim().is_empty() {
+            (idx + 1..code.len())
+                .find(|&j| !code[j].trim().is_empty())
+                .map_or(idx + 1, |j| j + 1)
+        } else {
+            idx + 1
+        };
+        waivers.push(Waiver {
+            rule,
+            line: idx + 1,
+            applies_to,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    waivers
+}
+
+/// Whether `code[pos..]` starts with `token` at an identifier boundary.
+/// For tokens beginning with an identifier char, the preceding char must
+/// not extend an identifier (`debug_assert!` is not `assert!`); tokens
+/// beginning with punctuation (`.unwrap()`) match anywhere.
+#[must_use]
+pub fn token_at(code: &str, pos: usize, token: &str) -> bool {
+    if !code[pos..].starts_with(token) {
+        return false;
+    }
+    let ident_start = token
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    !ident_start
+        || !code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// All identifier-boundary occurrences of `token` in `code`.
+#[must_use]
+pub fn find_tokens(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(token) {
+        let pos = from + at;
+        if token_at(code, pos, token) {
+            out.push(pos);
+        }
+        from = pos + token.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "let a = \"partial_cmp\"; // partial_cmp here\nlet b = 1; /* partial_cmp */ let c = 2;\n",
+        );
+        assert!(!f.code[0].contains("partial_cmp"));
+        assert!(f.code[0].contains("let a"));
+        assert!(!f.code[1].contains("partial_cmp"));
+        assert!(f.code[1].contains("let c"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "let a = r#\"unwrap() \"quoted\" inside\"#;\nlet c = '\\n'; let l: &'static str = \"x\";\n",
+        );
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[1].contains("'static"));
+        assert!(!f.code[1].contains("\\n"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f =
+            SourceFile::from_source("x.rs", "/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(f.code[0].contains("let x"));
+        assert!(!f.code[0].contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn waivers_bind_to_their_line_or_the_next_code_line() {
+        let src = "let a = 1; // ddtr-lint: allow(float-ord) — trailing\n// ddtr-lint: allow(det-iter) — standalone\n\nlet b = 2;\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].applies_to, 1);
+        assert!(f.waivers[0].has_reason);
+        assert_eq!(f.waivers[1].applies_to, 4);
+    }
+
+    #[test]
+    fn token_boundaries_reject_identifier_prefixes() {
+        assert!(token_at("assert!(x)", 0, "assert!"));
+        let line = "debug_assert!(x)";
+        let pos = line.find("assert!").unwrap();
+        assert!(!token_at(line, pos, "assert!"));
+        assert_eq!(find_tokens("a.unwrap() b_unwrap()", ".unwrap()").len(), 1);
+    }
+}

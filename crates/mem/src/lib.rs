@@ -35,9 +35,6 @@
 //! assert!(report.peak_footprint_bytes >= 64);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod addr;
 mod allocator;
 mod cache;

@@ -36,9 +36,6 @@
 //! assert!((spread[0].spread_ratio() - (9.0 - 1.0) / 9.0).abs() < 1e-12);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod chart;
 mod front;
 mod tradeoff;

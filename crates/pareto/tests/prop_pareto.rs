@@ -178,7 +178,7 @@ proptest! {
         // The in-plane minimum of objective 0 is on the curve, and that
         // point is non-dominated in the plane by construction.
         let min0 = (0..pts.len())
-            .min_by(|&a, &b| pts[a][0].partial_cmp(&pts[b][0]).expect("finite"))
+            .min_by(|&a, &b| pts[a][0].total_cmp(&pts[b][0]))
             .expect("non-empty");
         let covered = curve.iter().any(|&i| pts[i][0] <= pts[min0][0] + 1e-12);
         prop_assert!(covered);

@@ -52,9 +52,6 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod client;
 pub mod protocol;
 mod server;

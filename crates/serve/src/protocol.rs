@@ -173,12 +173,14 @@ impl JobSpec {
             return Ok(inline.clone());
         }
         let mode = self.mode.as_deref().ok_or("missing `mode` (or `inline`)")?;
-        let app = |required: bool| -> Result<Option<AppKind>, String> {
-            match (&self.app, required) {
-                (Some(name), _) => name.parse().map(Some).map_err(|e| format!("{e}")),
-                (None, true) => Err(format!("mode `{mode}` requires `app`")),
-                (None, false) => Ok(None),
+        let optional_app = || -> Result<Option<AppKind>, String> {
+            match &self.app {
+                Some(name) => name.parse().map(Some).map_err(|e| format!("{e}")),
+                None => Ok(None),
             }
+        };
+        let required_app = || -> Result<AppKind, String> {
+            optional_app()?.ok_or_else(|| format!("mode `{mode}` requires `app`"))
         };
         let reject = |field: &str, set: bool| -> Result<(), String> {
             if set {
@@ -201,7 +203,7 @@ impl JobSpec {
         };
         match mode {
             "explore" | "headline" => {
-                let app = app(true)?.expect("required");
+                let app = required_app()?;
                 reject("base", self.base.is_some())?;
                 reject("scenarios", self.scenarios.is_some())?;
                 reject("packets", self.packets.is_some())?;
@@ -225,7 +227,7 @@ impl JobSpec {
                 })
             }
             "ga" => {
-                let app = app(true)?.expect("required");
+                let app = required_app()?;
                 reject("base", self.base.is_some())?;
                 reject("scenarios", self.scenarios.is_some())?;
                 reject("packets", self.packets.is_some())?;
@@ -262,7 +264,7 @@ impl JobSpec {
                 if self.extended {
                     cfg.candidates = DdtKind::EXTENDED.to_vec();
                 }
-                if let Some(app) = app(false)? {
+                if let Some(app) = optional_app()? {
                     cfg.apps = vec![app];
                 }
                 if let Some(names) = &self.scenarios {
@@ -295,7 +297,7 @@ impl JobSpec {
                 if self.extended {
                     cfg.candidates = DdtKind::EXTENDED.to_vec();
                 }
-                if let Some(app) = app(false)? {
+                if let Some(app) = optional_app()? {
                     cfg.apps = vec![app];
                 }
                 if let Some(names) = &self.scenarios {

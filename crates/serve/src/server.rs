@@ -19,7 +19,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A server-side failure (socket setup, engine/cache construction).
 #[derive(Debug)]
@@ -118,7 +118,10 @@ impl<W: Write> ConnWriter<W> {
         let Ok(line) = serde_json::to_string(event) else {
             return;
         };
-        let mut w = self.inner.lock().expect("event writer poisoned");
+        let mut w = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // ddtr-lint: allow(lock-across-io) — this mutex exists to serialise
+        // the write itself; it is never held while simulating, and a stalled
+        // peer only stalls its own writer (one ConnWriter per connection).
         if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
             self.peer_gone.store(true, Ordering::SeqCst);
         }
@@ -207,7 +210,7 @@ impl Server {
                     RequestBody::Cancel { target } => {
                         let control = inflight
                             .lock()
-                            .expect("inflight registry poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .get(&target)
                             .cloned();
                         match control {
@@ -233,7 +236,7 @@ impl Server {
                         // indistinguishable — reject it.
                         if inflight
                             .lock()
-                            .expect("inflight registry poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .contains_key(&id)
                         {
                             writer.emit(&Event::Error {
@@ -289,7 +292,7 @@ impl Server {
                         let _ = own_token.set(control.token());
                         inflight
                             .lock()
-                            .expect("inflight registry poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .insert(id.clone(), control.clone());
                         let result_writer = Arc::clone(&writer);
                         let session = &self.session;
@@ -315,7 +318,7 @@ impl Server {
                                 });
                             inflight
                                 .lock()
-                                .expect("inflight registry poisoned")
+                                .unwrap_or_else(PoisonError::into_inner)
                                 .remove(&id);
                             let progress = engine.control().progress();
                             let event = match outcome {

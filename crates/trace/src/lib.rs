@@ -34,9 +34,6 @@
 //! assert!(params.throughput_pps > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod format;
 mod gen;
 mod packet;

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|p| p.report.energy_nj)
             .collect();
-        e.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        e.sort_by(|a, b| a.total_cmp(b));
         e[e.len() / 2]
     };
     let battery = DesignConstraints::none().with_max_energy_nj(median_energy);

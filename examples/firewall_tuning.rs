@@ -35,12 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let best = front
                 .front
                 .iter()
-                .min_by(|a, b| {
-                    a.report
-                        .energy_nj
-                        .partial_cmp(&b.report.energy_nj)
-                        .expect("finite")
-                })
+                .min_by(|a, b| a.report.energy_nj.total_cmp(&b.report.energy_nj))
                 .expect("front is non-empty");
             println!(
                 "  {:24} best-energy {:18} {}",

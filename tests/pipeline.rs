@@ -140,11 +140,7 @@ fn survivors_contain_every_metric_winner() {
             .step1
             .measurements
             .iter()
-            .min_by(|a, b| {
-                a.objectives()[dim]
-                    .partial_cmp(&b.objectives()[dim])
-                    .expect("finite")
-            })
+            .min_by(|a, b| a.objectives()[dim].total_cmp(&b.objectives()[dim]))
             .expect("measurements exist");
         assert!(
             outcome.step1.survivors.contains(&winner.combo),

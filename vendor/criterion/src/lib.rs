@@ -234,6 +234,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
             $($target(&mut criterion);)+
