@@ -29,6 +29,19 @@ fn explore(engine: &mut ExploreEngine, cfg: &MethodologyConfig) -> MethodologyOu
 
 fn main() {
     let mut report = BenchReport::new("explore wall-clock (engine)");
+    report.set_meta("units", "seconds");
+    report.set_meta(
+        "notes",
+        "cold/warm cache, worker scaling and streamed packet-count scaling",
+    );
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            report.set_meta("git_rev", String::from_utf8_lossy(&out.stdout).trim());
+        }
+    }
     println!("# exploration timing baseline\n");
 
     // Cold versus warm persistent cache, quick explores, all five apps.

@@ -1,0 +1,171 @@
+//! Drives N concurrent query clients against a live in-process server
+//! and records end-to-end request latency percentiles, writing
+//! `BENCH_serve.json` at the repository root:
+//!
+//! * per-client `Ping` round trips — protocol floor (parse, dispatch,
+//!   emit, no simulation),
+//! * per-client quick DRR explores — a real exploration answered by the
+//!   shared engine session (later requests hit its in-memory cache), and
+//! * one `Metrics` fetch at the end, printing the server's own view of
+//!   the same latencies (Prometheus-style exposition).
+//!
+//! Percentiles are computed client-side from the raw sorted samples
+//! (nearest-rank), so `BENCH_serve.json` is exact, not bucketed.
+//!
+//! Run with `cargo run -p ddtr_bench --bin serve_baseline --release`.
+
+use ddtr_core::EngineConfig;
+use ddtr_engine::timing::BenchReport;
+use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
+use std::net::TcpListener;
+use std::path::Path;
+use std::time::Instant;
+
+/// Concurrent query clients.
+const CLIENTS: usize = 4;
+
+/// Ping round trips per client.
+const PINGS_PER_CLIENT: usize = 50;
+
+/// Quick explores per client.
+const EXPLORES_PER_CLIENT: usize = 4;
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One client's workload: pings then quick explores, timed end to end.
+fn drive_client(endpoint: &Endpoint, client_idx: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut client = Client::connect(endpoint).expect("client connects");
+    let mut pings = Vec::with_capacity(PINGS_PER_CLIENT);
+    for i in 0..PINGS_PER_CLIENT {
+        let started = Instant::now();
+        let reply = client
+            .call(
+                &Request::new(format!("p{client_idx}-{i}"), RequestBody::Ping),
+                |_| {},
+            )
+            .expect("ping answered");
+        assert!(matches!(reply, Event::Pong { .. }), "ping yields pong");
+        pings.push(started.elapsed().as_secs_f64());
+    }
+    let mut explores = Vec::with_capacity(EXPLORES_PER_CLIENT);
+    for i in 0..EXPLORES_PER_CLIENT {
+        let spec = JobSpec {
+            mode: Some("explore".to_string()),
+            app: Some("drr".to_string()),
+            quick: true,
+            ..JobSpec::default()
+        };
+        let started = Instant::now();
+        let reply = client
+            .call(&Request::run(format!("e{client_idx}-{i}"), spec), |_| {})
+            .expect("explore answered");
+        assert!(
+            matches!(reply, Event::Result { .. }),
+            "explore yields a result"
+        );
+        explores.push(started.elapsed().as_secs_f64());
+    }
+    (pings, explores)
+}
+
+fn main() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let endpoint: Endpoint = format!("tcp:{}", listener.local_addr().expect("local addr"))
+        .parse()
+        .expect("endpoint parses");
+    let server = Server::new(EngineConfig {
+        jobs: 2,
+        cache_dir: None,
+        no_cache: true,
+    })
+    .expect("server starts");
+
+    println!("# serve request-latency baseline\n");
+    println!(
+        "{CLIENTS} clients x ({PINGS_PER_CLIENT} pings + {EXPLORES_PER_CLIENT} quick DRR explores) against {endpoint}\n"
+    );
+
+    let mut pings: Vec<f64> = Vec::new();
+    let mut explores: Vec<f64> = Vec::new();
+    let mut exposition = String::new();
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("server serves"));
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || drive_client(&endpoint, c))
+            })
+            .collect();
+        for handle in handles {
+            let (p, e) = handle.join().expect("client thread joins");
+            pings.extend(p);
+            explores.extend(e);
+        }
+        // The server's own view of the same workload, for the record.
+        let mut client = Client::connect(&endpoint).expect("metrics client connects");
+        if let Event::Metrics { text, .. } = client
+            .call(&Request::new("m1", RequestBody::Metrics), |_| {})
+            .expect("metrics answered")
+        {
+            exposition = text;
+        }
+        client
+            .send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown sent");
+    });
+
+    pings.sort_by(f64::total_cmp);
+    explores.sort_by(f64::total_cmp);
+    let mut report = BenchReport::new("serve request latency (end to end, concurrent clients)");
+    report.set_meta("units", "seconds");
+    report.set_meta("clients", CLIENTS.to_string());
+    report.set_meta(
+        "notes",
+        "client-side nearest-rank percentiles over ping and quick-DRR-explore round trips",
+    );
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            report.set_meta("git_rev", String::from_utf8_lossy(&out.stdout).trim());
+        }
+    }
+    for (name, samples) in [("ping", &pings), ("explore drr quick", &explores)] {
+        let p50 = percentile(samples, 0.50);
+        let p99 = percentile(samples, 0.99);
+        println!(
+            "{name:20} n={:3}  p50 {:>10.6}s  p99 {:>10.6}s",
+            samples.len(),
+            p50,
+            p99
+        );
+        report.push(format!("{name} p50"), p50);
+        report.push(format!("{name} p99"), p99);
+    }
+
+    println!("\n## server-side exposition (excerpt)\n");
+    for line in exposition.lines().filter(|l| {
+        l.contains("serve_request_latency") || l.contains("request_") && l.ends_with("_total")
+    }) {
+        println!("{line}");
+    }
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let json = report.to_json().expect("report serialises");
+    std::fs::write(&path, format!("{json}\n")).expect("BENCH_serve.json is writable");
+    println!(
+        "\nwrote {} ({} samples, host parallelism {})",
+        path.display(),
+        report.samples.len(),
+        report.host_parallelism
+    );
+}

@@ -25,7 +25,9 @@
 //! * `--jobs N` — worker threads (default: one per core),
 //! * `--cache-dir <dir>` — persistent result cache (default
 //!   `.ddtr-cache`),
-//! * `--no-cache` — disable the persistent cache for this run.
+//! * `--no-cache` — disable the persistent cache for this run,
+//! * `--trace-json <file>` — write the run's recorded spans as Chrome
+//!   trace-event JSON (loads in Perfetto / `chrome://tracing`).
 //!
 //! `explore`, `pareto`, `report` and `ga` additionally take `--stream`:
 //! packets are then generated into each simulation on the fly (constant
@@ -59,7 +61,7 @@ use ddtr_core::{
 };
 use ddtr_ddt::DdtKind;
 use ddtr_engine::SimCache;
-use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, Server};
+use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
 use ddtr_trace::{NetworkParams, NetworkPreset, Scenario, TraceWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -96,7 +98,7 @@ usage:
                [--packets N] [--mem <preset>,...] [--scenario <name>]... [engine flags]
   ddtr cache   stats|clear [--cache-dir <dir>]
   ddtr serve   [--listen stdio|tcp:<addr>|unix:<path>] [engine flags]
-  ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|sweep|headline> [app]
+  ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|sweep|headline|metrics> [app]
                [--quick] [--extended] [--stream] [--base <preset>] [--packets N]
                [--seed N] [--scenario <name>]... [--mem <preset>[,...]]
                [--id ID] [--json] [--quiet]
@@ -107,6 +109,8 @@ engine flags (simulating subcommands):
   --jobs N           worker threads per batch (default: one per core)
   --cache-dir <dir>  persistent result cache (default: .ddtr-cache)
   --no-cache         do not read or write the persistent cache
+  --trace-json <f>   write the run's spans as Chrome trace-event JSON
+                     (loads in Perfetto / chrome://tracing)
 
 --stream generates packets into each simulation on the fly: constant
 memory at any trace length, byte-identical results. `ddtr scenarios`
@@ -135,11 +139,15 @@ const FLAG_CACHE_DIR: &str = "--cache-dir";
 /// list on `ddtr sweep`).
 const FLAG_MEM: &str = "--mem";
 
+/// The `--trace-json` observability flag (write the recorded spans as
+/// Chrome trace-event JSON after the run).
+const FLAG_TRACE_JSON: &str = "--trace-json";
+
 /// Engine flags that consume a value. `engine_from`/`cache_dir_of` parse
 /// exactly these constants and the `scenarios` positional scanner skips
 /// them, so adding a value-taking engine flag cannot desynchronise the
 /// two.
-const ENGINE_VALUE_FLAGS: [&str; 2] = [FLAG_JOBS, FLAG_CACHE_DIR];
+const ENGINE_VALUE_FLAGS: [&str; 3] = [FLAG_JOBS, FLAG_CACHE_DIR, FLAG_TRACE_JSON];
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -277,6 +285,18 @@ fn engine_from(rest: &[&String]) -> Result<ExploreEngine, String> {
     ExploreEngine::new(engine_config_from(rest)?).map_err(|e| e.to_string())
 }
 
+/// Writes the spans recorded during the run as Chrome trace-event JSON
+/// when `--trace-json <file>` was given. The file loads directly in
+/// Perfetto or `chrome://tracing`.
+fn write_trace_if_requested(rest: &[&String]) -> Result<(), String> {
+    if let Some(path) = flag_value(rest, FLAG_TRACE_JSON)? {
+        ddtr_obs::write_chrome_trace(Path::new(path.as_str()))
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("wrote {} spans to {path}", ddtr_obs::trace_len());
+    }
+    Ok(())
+}
+
 /// The one-line engine summary printed after a simulating run.
 fn engine_summary(report: &ddtr_core::EngineReport) -> String {
     format!(
@@ -350,6 +370,7 @@ fn explore(rest: &[&String]) -> Result<(), String> {
     let outcome = Methodology::new(cfg)
         .run_with(&mut engine)
         .map_err(|e| e.to_string())?;
+    write_trace_if_requested(rest)?;
     if let Some(path) = flag_value(rest, "--logs")? {
         let file = std::fs::File::create(path.as_str()).map_err(|e| e.to_string())?;
         write_logs(&outcome.step2.logs, std::io::BufWriter::new(file))
@@ -398,6 +419,7 @@ fn pareto(rest: &[&String]) -> Result<(), String> {
     let outcome = Methodology::new(cfg)
         .run_with(&mut engine)
         .map_err(|e| e.to_string())?;
+    write_trace_if_requested(rest)?;
     println!("# Pareto exploration spaces of {app}");
     for front in &outcome.pareto.per_config {
         let logs = outcome.step2.logs_for(&front.config_key);
@@ -420,6 +442,7 @@ fn report(rest: &[&String]) -> Result<(), String> {
     let outcome = Methodology::new(cfg.clone())
         .run_with(&mut engine)
         .map_err(|e| e.to_string())?;
+    write_trace_if_requested(rest)?;
     println!("{}", table1_markdown(&[&outcome]));
     println!("{}", table2_markdown(&[&outcome]));
     let headline = headline_comparison(&cfg, &outcome).map_err(|e| e.to_string())?;
@@ -528,6 +551,7 @@ fn ga(rest: &[&String]) -> Result<(), String> {
     let space = cfg.candidates.len().pow(2);
     let mut engine = engine_from(rest)?;
     let outcome = explore_heuristic_with(&mut engine, &cfg).map_err(|e| e.to_string())?;
+    write_trace_if_requested(rest)?;
     println!("# heuristic (NSGA-II) exploration of {app}");
     println!(
         "candidates: {} kinds ({} combinations), seed {}",
@@ -580,6 +604,7 @@ fn scenarios(rest: &[&String]) -> Result<(), String> {
     }
     let mut engine = engine_from(rest)?;
     let matrix = explore_scenarios_with(&mut engine, &cfg).map_err(|e| e.to_string())?;
+    write_trace_if_requested(rest)?;
     println!(
         "# scenario matrix over {base}: {} apps x {} scenarios, {} packets/sim (streamed)",
         cfg.apps.len(),
@@ -686,6 +711,7 @@ fn sweep(rest: &[&String]) -> Result<(), String> {
         }
     })
     .map_err(|e| e.to_string())?;
+    write_trace_if_requested(rest)?;
     // The cross-platform answer: who survives on how many cells?
     let cells = matrix.cells.len();
     println!("\n# cross-platform survivors ({cells} cells)");
@@ -789,11 +815,35 @@ fn query_spec(rest: &[&String]) -> Result<JobSpec, String> {
     Ok(spec)
 }
 
+/// Fetches the server's metrics exposition (Prometheus-style text) and
+/// prints it verbatim. `metrics` is not an exploration mode, so it skips
+/// [`query_spec`] entirely.
+fn query_metrics(endpoint: &Endpoint, rest: &[&String]) -> Result<(), String> {
+    let id = flag_value(rest, "--id")?
+        .cloned()
+        .unwrap_or_else(|| "m1".to_string());
+    let mut client = Client::connect(endpoint).map_err(|e| e.to_string())?;
+    let reply = client
+        .call(&Request::new(id, RequestBody::Metrics), |_| {})
+        .map_err(|e| e.to_string())?;
+    match reply {
+        Event::Metrics { text, .. } => {
+            print!("{text}");
+            Ok(())
+        }
+        Event::Error { error, .. } => Err(error),
+        other => Err(format!("unexpected terminal event {other:?}")),
+    }
+}
+
 fn query(rest: &[&String]) -> Result<(), String> {
     let endpoint: Endpoint = rest
         .first()
         .ok_or("query needs an endpoint (tcp:<addr> or unix:<path>)")?
         .parse()?;
+    if rest.get(1).is_some_and(|m| m.as_str() == "metrics") {
+        return query_metrics(&endpoint, &rest[2..]);
+    }
     let spec = query_spec(&rest[1..])?;
     // Validate locally first for a fast, offline error message.
     spec.resolve()?;
@@ -1275,6 +1325,8 @@ mod tests {
                 "query", &endpoint, "explore", "drr", "--quick", "--quiet",
             ]))
             .expect("query answers");
+            // `metrics` is a first-class query mode, not an explore spec.
+            run(&args(&["query", &endpoint, "metrics"])).expect("metrics answers");
             // Shut the server down so the scope can join.
             let mut client =
                 Client::connect(&endpoint.parse().expect("endpoint")).expect("connect");
@@ -1282,6 +1334,33 @@ mod tests {
                 .send(&Request::new("bye", ddtr_serve::RequestBody::Shutdown))
                 .expect("shutdown");
         });
+    }
+
+    #[test]
+    fn trace_json_flag_writes_a_chrome_trace() {
+        let path = std::env::temp_dir().join(format!("ddtr-cli-trace-{}.json", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        run(&args(&[
+            "explore",
+            "drr",
+            "--quick",
+            "--no-cache",
+            "--trace-json",
+            &path_str,
+        ]))
+        .expect("explore with tracing");
+        let raw = std::fs::read_to_string(&path).expect("trace file exists");
+        let doc = serde_json::parse(&raw).expect("trace file is valid JSON");
+        let events = doc
+            .as_map()
+            .and_then(|m| m.get("traceEvents"))
+            .and_then(|v| v.as_seq())
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "the run records spans");
+        // A forgotten value errors rather than consuming the next flag.
+        let err = run(&args(&["explore", "drr", "--quick", "--trace-json"])).unwrap_err();
+        assert!(err.contains("--trace-json needs a value"), "{err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -369,6 +369,7 @@ pub fn explore_heuristic_with(
     let mut stale = 0usize;
 
     for generation in 1..=cfg.generations {
+        let _gen_span = ddtr_obs::Span::enter("core.ga.generation");
         let fitness: Vec<[f64; 4]> = population
             .iter()
             .map(|g| archive.objectives(to_combo(g)))

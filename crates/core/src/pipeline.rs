@@ -122,10 +122,22 @@ impl Methodology {
     pub fn run_with(&self, engine: &mut ExploreEngine) -> Result<MethodologyOutcome, ExploreError> {
         self.config.validate()?;
         let before = engine.stats();
-        let profile = profile_application(&self.config)?;
-        let step1 = explore_application_level_with(engine, &self.config)?;
-        let step2 = explore_network_level_with(engine, &self.config, &step1.survivor_combos())?;
-        let pareto = explore_pareto_level(&step2)?;
+        let profile = {
+            let _span = ddtr_obs::Span::enter("core.profile");
+            profile_application(&self.config)?
+        };
+        let step1 = {
+            let _span = ddtr_obs::Span::enter("core.step1");
+            explore_application_level_with(engine, &self.config)?
+        };
+        let step2 = {
+            let _span = ddtr_obs::Span::enter("core.step2");
+            explore_network_level_with(engine, &self.config, &step1.survivor_combos())?
+        };
+        let pareto = {
+            let _span = ddtr_obs::Span::enter("core.step3");
+            explore_pareto_level(&step2)?
+        };
         let counts = SimCounts {
             exhaustive: self.config.exhaustive_simulations(),
             reduced: step1.measurements.len() + step2.simulations(),

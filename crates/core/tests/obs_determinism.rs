@@ -1,0 +1,34 @@
+//! Observation must never steer results: the Pareto front of an explore
+//! with the metrics/span layer recording is byte-identical to one with
+//! recording disabled.
+//!
+//! Lives in its own integration-test binary because
+//! [`ddtr_obs::set_enabled`] is process-global — flipping it here must
+//! not race other tests sharing the process.
+
+use ddtr_apps::AppKind;
+use ddtr_core::{ExploreEngine, Methodology, MethodologyConfig};
+
+fn quick_front_json() -> String {
+    let cfg = MethodologyConfig::quick(AppKind::Drr);
+    let outcome = Methodology::new(cfg)
+        .run_with(&mut ExploreEngine::with_jobs(2))
+        .expect("exploration runs");
+    serde_json::to_string(&outcome.pareto.global_front).expect("front serialises")
+}
+
+#[test]
+fn pareto_front_is_byte_identical_with_observability_on_and_off() {
+    ddtr_obs::set_enabled(false);
+    let disabled = quick_front_json();
+    ddtr_obs::set_enabled(true);
+    let enabled = quick_front_json();
+    assert!(
+        ddtr_obs::trace_len() > 0,
+        "the instrumented run records spans"
+    );
+    assert_eq!(
+        disabled, enabled,
+        "recording metrics and spans must not change the Pareto front"
+    );
+}

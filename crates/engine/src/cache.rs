@@ -96,6 +96,7 @@ impl SimCache {
             }
         }
         let store = OpenOptions::new().create(true).append(true).open(&path)?;
+        ddtr_obs::counter("engine.cache.load").add(loaded as u64);
         Ok(SimCache {
             map,
             store: Some(store),
@@ -117,6 +118,7 @@ impl SimCache {
         match self.map.get(id) {
             Some(log) => {
                 self.hits += 1;
+                ddtr_obs::counter("engine.cache.hit").inc();
                 Some(log.clone())
             }
             None => None,
@@ -127,6 +129,7 @@ impl SimCache {
     /// when caching is disabled, so the miss accounting stays truthful.
     pub fn note_miss(&mut self) {
         self.misses += 1;
+        ddtr_obs::counter("engine.cache.miss").inc();
     }
 
     /// Records one executed simulation, appending it to the disk store when
@@ -134,6 +137,7 @@ impl SimCache {
     /// (the run's results stay correct either way).
     pub fn insert(&mut self, key: &CacheKey, log: SimLog) {
         self.misses += 1;
+        ddtr_obs::counter("engine.cache.miss").inc();
         if let Some(store) = &mut self.store {
             let entry = CacheEntry {
                 key: key.clone(),
@@ -141,6 +145,7 @@ impl SimCache {
             };
             if let Ok(line) = serde_json::to_string(&entry) {
                 let _ = writeln!(store, "{line}");
+                ddtr_obs::counter("engine.cache.store").inc();
             }
         }
         self.map.insert(key.id(), log);

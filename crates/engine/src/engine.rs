@@ -366,11 +366,13 @@ impl ExploreEngine {
         if self.control.is_cancelled() {
             return Err(Cancelled);
         }
+        let _batch_span = ddtr_obs::Span::enter("engine.batch");
         let keys: Vec<CacheKey> = units.iter().map(SimUnit::key).collect();
         let ids: Vec<String> = keys.iter().map(CacheKey::id).collect();
         let mut results: Vec<Option<SimLog>> = vec![None; units.len()];
         self.control.add_total(units.len());
         // Resolve cross-batch hits and pick one executor per distinct id.
+        let schedule_span = ddtr_obs::Span::enter("engine.schedule");
         let mut to_run: Vec<usize> = Vec::new();
         let mut scheduled: std::collections::HashSet<&str> = std::collections::HashSet::new();
         let mut hits = 0;
@@ -389,6 +391,7 @@ impl ExploreEngine {
                 }
             }
         }
+        drop(schedule_span);
         self.control.add_hits(hits);
         // Execute the misses in parallel, deterministically ordered. Each
         // unit takes a permit from the session's FIFO pool (when bound to
@@ -396,6 +399,7 @@ impl ExploreEngine {
         // checks the cancel token so an abandoned batch stops promptly.
         let control = &self.control;
         let pool = self.pool.as_deref();
+        let execute_span = ddtr_obs::Span::enter("engine.execute");
         let executed: Vec<Option<SimLog>> = run_ordered(&to_run, self.cfg.jobs, |&i| {
             if control.is_cancelled() {
                 return None;
@@ -410,8 +414,10 @@ impl ExploreEngine {
             // held permit would stall every other request of the session.
             drop(permit);
             control.add_executed();
+            ddtr_obs::counter("engine.sim.executed").inc();
             Some(log)
         });
+        drop(execute_span);
         // Record the executions (even on a cancelled batch — completed work
         // stays reusable), then satisfy duplicates by identity. With
         // caching disabled, executions are counted but never retained.

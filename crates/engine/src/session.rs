@@ -239,7 +239,13 @@ impl JobsPool {
 
     /// Blocks until this caller's turn comes *and* a permit is free, then
     /// takes the permit. Returns a guard releasing it on drop.
+    ///
+    /// The time spent queueing is recorded into the
+    /// `engine.jobs_pool.wait` histogram (see `docs/OBSERVABILITY.md`) —
+    /// the direct measure of how contended the session's `--jobs` budget
+    /// is.
     pub fn acquire(&self) -> JobsPermit<'_> {
+        let queued_at = std::time::Instant::now();
         let mut state = self.state.lock().expect("jobs pool poisoned");
         let ticket = state.next;
         state.next += 1;
@@ -248,6 +254,8 @@ impl JobsPool {
         }
         state.serving += 1;
         state.held += 1;
+        drop(state);
+        ddtr_obs::histogram("engine.jobs_pool.wait").record_duration(queued_at.elapsed());
         // Later tickets may now be eligible (serving advanced).
         self.cv.notify_all();
         JobsPermit { pool: self }

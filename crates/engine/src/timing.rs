@@ -6,6 +6,7 @@
 //! `BENCH_explore.json`.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Times a closure, returning its result and the elapsed seconds.
@@ -33,6 +34,11 @@ pub struct BenchReport {
     pub host_parallelism: usize,
     /// The measurements, in recording order.
     pub samples: Vec<BenchSample>,
+    /// Free-form self-description — git revision, units, notes — so a
+    /// `BENCH_*.json` file can be read without the commit that wrote it.
+    /// Defaults to empty for reports persisted before the field existed.
+    #[serde(default)]
+    pub meta: BTreeMap<String, String>,
 }
 
 impl BenchReport {
@@ -43,7 +49,13 @@ impl BenchReport {
             benchmark: benchmark.into(),
             host_parallelism: crate::scheduler::effective_jobs(0),
             samples: Vec::new(),
+            meta: BTreeMap::new(),
         }
+    }
+
+    /// Records one metadata entry (e.g. `"units"` → `"seconds"`).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
     }
 
     /// Appends one measurement.
@@ -92,6 +104,8 @@ mod tests {
         let mut report = BenchReport::new("explore");
         report.push("cold", 1.5);
         report.push("warm", 0.1);
+        report.set_meta("units", "seconds");
+        report.set_meta("git_rev", "deadbeef");
         let json = report.to_json().expect("serialise");
         let back: BenchReport = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(back.benchmark, "explore");
@@ -99,5 +113,19 @@ mod tests {
         assert_eq!(back.seconds_of("warm"), Some(0.1));
         assert_eq!(back.seconds_of("missing"), None);
         assert!(back.host_parallelism >= 1);
+        assert_eq!(back.meta.get("units").map(String::as_str), Some("seconds"));
+    }
+
+    #[test]
+    fn reports_written_before_meta_existed_still_deserialise() {
+        // The exact shape BENCH_explore.json had before the meta field.
+        let legacy = r#"{
+            "benchmark": "explore",
+            "host_parallelism": 4,
+            "samples": [{"label": "drr quick cold", "seconds": 0.25}]
+        }"#;
+        let back: BenchReport = serde_json::from_str(legacy).expect("legacy deserialise");
+        assert!(back.meta.is_empty());
+        assert_eq!(back.seconds_of("drr quick cold"), Some(0.25));
     }
 }

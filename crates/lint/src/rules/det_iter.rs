@@ -26,9 +26,13 @@ use std::collections::BTreeSet;
 /// See the module docs.
 pub struct DetIter;
 
-/// Whether a file is in a determinism-critical module.
+/// Whether a file is in a determinism-critical module. `crates/obs` is
+/// on the list because its snapshots serialise (metrics exposition,
+/// `Event::Stats`, trace export) — hash-order iteration there would make
+/// two exports of identical state differ byte-for-byte.
 fn in_scope(path: &str) -> bool {
     path.starts_with("crates/pareto/src/")
+        || path.starts_with("crates/obs/src/")
         || path == "crates/core/src/ga.rs"
         || path == "crates/engine/src/cache.rs"
         || path == "crates/engine/src/engine.rs"
@@ -52,7 +56,7 @@ impl Rule for DetIter {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet iteration in pareto, core::ga and the engine cache/execution path"
+        "no HashMap/HashSet iteration in pareto, obs, core::ga and the engine cache/key path"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

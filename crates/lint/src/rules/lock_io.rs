@@ -9,7 +9,10 @@
 //! `crates/serve`, where almost every path touches both shared state and
 //! a connection writer.
 //!
-//! Detection is lexical and scoped to `crates/serve/src/`:
+//! Detection is lexical and scoped to `crates/serve/src/` and
+//! `crates/obs/src/` (the metrics registry and span ring are mutexes
+//! every exploration thread touches — holding either across I/O such as
+//! the trace export would stall recording everywhere):
 //!
 //! * a single expression that both locks and does I/O
 //!   (`x.lock()...flush()`), and
@@ -50,15 +53,13 @@ impl Rule for LockAcrossIo {
     }
 
     fn description(&self) -> &'static str {
-        "no MutexGuard held across write/flush/socket calls in crates/serve (slow-client stalls)"
+        "no MutexGuard held across write/flush/socket calls in crates/serve and crates/obs"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in ws
-            .files
-            .iter()
-            .filter(|f| f.path.starts_with("crates/serve/src/"))
-        {
+        for file in ws.files.iter().filter(|f| {
+            f.path.starts_with("crates/serve/src/") || f.path.starts_with("crates/obs/src/")
+        }) {
             for (idx, code) in file.code.iter().enumerate() {
                 if file.is_test_line(idx + 1) {
                     continue;

@@ -7,7 +7,10 @@
 //! `std::thread::scope`, the whole server) and turns one bad request into
 //! a denial of service for every other client of the resident session.
 //! The boundary is `crates/serve/src/*` plus the shared request→result
-//! path `crates/core/src/dispatch.rs`.
+//! path `crates/core/src/dispatch.rs`, plus `crates/obs/src/*`: the
+//! observability layer records from every exploration thread, so a panic
+//! there tears down whatever was being observed — instrumentation must
+//! never be the thing that crashes the run.
 //!
 //! Banned: `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
 //! `unimplemented!`, the non-debug `assert*!` family, and literal slice
@@ -25,7 +28,9 @@ pub struct NoPanicBoundary;
 
 /// Whether a file lies on the no-panic boundary.
 fn in_scope(path: &str) -> bool {
-    path.starts_with("crates/serve/src/") || path == "crates/core/src/dispatch.rs"
+    path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/obs/src/")
+        || path == "crates/core/src/dispatch.rs"
 }
 
 const BANNED: &[(&str, &str)] = &[
@@ -64,7 +69,7 @@ impl Rule for NoPanicBoundary {
     }
 
     fn description(&self) -> &'static str {
-        "no unwrap/expect/panic/assert/x[i] in crates/serve and core::dispatch request handling"
+        "no unwrap/expect/panic/assert/x[i] in crates/serve, crates/obs and core::dispatch"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -1,0 +1,343 @@
+//! Fixed-bucket log-scale latency histograms with quantile extraction.
+//!
+//! The bucket grid is HdrHistogram-shaped: values `0..8` land in eight
+//! exact unit buckets, and every power-of-two octave above that is split
+//! into eight linear sub-buckets, so the relative quantisation error is
+//! bounded by 1/8 = 12.5% everywhere. Values are plain `u64`s — the ddtr
+//! call sites record durations in nanoseconds via
+//! [`Histogram::record_duration`]. A quantile query returns the *lower
+//! bound* of the bucket holding the nearest-rank sample, which makes
+//! quantiles exact whenever the recorded values sit on bucket boundaries
+//! (every value below 8, every value `(8 + s) << k`) — the property the
+//! unit tests pin down.
+//!
+//! Recording is a single relaxed `fetch_add` per bucket plus three for
+//! the count/sum/max aggregates: lock-free, `Send + Sync`, and safe to
+//! hammer from every worker thread of the engine's pool.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (8 → ≤ 12.5% relative quantisation error).
+const SUB: usize = 8;
+/// Highest octave tracked distinctly; larger values saturate into the
+/// last bucket. `2^40` ns is ~18 minutes — far beyond any ddtr latency.
+const MAX_OCTAVE: u32 = 39;
+/// Total bucket count: the exact `0..8` region plus `SUB` buckets for
+/// each octave `3..=MAX_OCTAVE`.
+const N_BUCKETS: usize = SUB + (MAX_OCTAVE as usize - 2) * SUB;
+
+/// Index of the bucket covering `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    if octave > MAX_OCTAVE {
+        return N_BUCKETS - 1;
+    }
+    let sub = ((v >> (octave - 3)) & (SUB as u64 - 1)) as usize;
+    SUB + (octave as usize - 3) * SUB + sub
+}
+
+/// Smallest value covered by bucket `i` — what quantile queries report.
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let rel = i - SUB;
+        let octave = rel / SUB + 3;
+        let sub = (rel % SUB) as u64;
+        (SUB as u64 + sub) << (octave - 3)
+    }
+}
+
+/// A concurrent fixed-bucket log-scale histogram (see the module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one raw value (ddtr convention: nanoseconds).
+    ///
+    /// A no-op while recording is disabled (see [`crate::set_enabled`]).
+    /// Values above the tracked range saturate into the last bucket but
+    /// still contribute their exact magnitude to `sum` and `max`.
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if let Some(bucket) = self.buckets.get(bucket_index(v)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration with nanosecond resolution.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (saturating in the extreme).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value, exact (not quantised), 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank quantile: the lower bound of the bucket holding the
+    /// `⌈q·n⌉`-th smallest recorded value. `None` on an empty histogram.
+    /// `q` is clamped to `[0, 1]`; `q = 0` reports the smallest bucket
+    /// with any samples.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_of(&counts, q)
+    }
+
+    /// A consistent point-in-time copy for serialisation and exposition.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: counts.iter().sum(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: quantile_of(&counts, 0.50).unwrap_or(0),
+            p90: quantile_of(&counts, 0.90).unwrap_or(0),
+            p99: quantile_of(&counts, 0.99).unwrap_or(0),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| BucketCount {
+                    lower: bucket_lower_bound(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Nearest-rank quantile over a dense bucket-count vector.
+fn quantile_of(counts: &[u64], q: f64) -> Option<u64> {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return None;
+    }
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= rank {
+            return Some(bucket_lower_bound(i));
+        }
+    }
+    Some(bucket_lower_bound(N_BUCKETS - 1))
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Smallest value the bucket covers.
+    #[serde(default)]
+    pub lower: u64,
+    /// Samples recorded into it.
+    #[serde(default)]
+    pub count: u64,
+}
+
+/// A serialisable point-in-time copy of one [`Histogram`].
+///
+/// Travels inside [`crate::MetricsSnapshot`] (and therefore inside the
+/// serve protocol's `Stats` event); `buckets` lists only non-empty
+/// buckets so idle histograms cost nothing on the wire. All fields carry
+/// `#[serde(default)]` so the schema can grow without breaking old
+/// readers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    #[serde(default)]
+    pub count: u64,
+    /// Sum of all recorded values (nanoseconds at ddtr call sites).
+    #[serde(default)]
+    pub sum: u64,
+    /// Largest recorded value, exact.
+    #[serde(default)]
+    pub max: u64,
+    /// Median (nearest-rank, bucket lower bound).
+    #[serde(default)]
+    pub p50: u64,
+    /// 90th percentile.
+    #[serde(default)]
+    pub p90: u64,
+    /// 99th percentile.
+    #[serde(default)]
+    pub p99: u64,
+    /// The non-empty buckets, ascending by `lower`.
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_grid_is_monotone_and_self_consistent() {
+        // Every bucket's lower bound maps back to that bucket, and the
+        // bounds strictly increase.
+        let mut prev = None;
+        for i in 0..N_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(lo > p, "bounds must increase at {i}");
+            }
+            prev = Some(lo);
+        }
+    }
+
+    #[test]
+    fn values_below_eight_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [9u64, 100, 1000, 12_345, 1_000_000, 987_654_321] {
+            let lo = bucket_lower_bound(bucket_index(v));
+            assert!(lo <= v);
+            assert!((v - lo) as f64 / v as f64 <= 0.125, "value {v} → {lo}");
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_known_inputs() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        // Nearest rank: p50 → rank 2 → value 2; p90/p99 → rank 4 → 4.
+        assert_eq!(h.quantile(0.50), Some(2));
+        assert_eq!(h.quantile(0.90), Some(4));
+        assert_eq!(h.quantile(0.99), Some(4));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(4));
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn exact_quantiles_on_power_of_two_inputs() {
+        let h = Histogram::new();
+        // 10 values: 2^10 .. 2^19 — all bucket lower bounds, so every
+        // quantile is exact.
+        for e in 10..20u32 {
+            h.record(1 << e);
+        }
+        assert_eq!(h.quantile(0.50), Some(1 << 14)); // rank 5
+        assert_eq!(h.quantile(0.90), Some(1 << 18)); // rank 9
+        assert_eq!(h.quantile(0.99), Some(1 << 19)); // rank 10
+    }
+
+    #[test]
+    fn empty_histogram_reports_none_and_zeroed_snapshot() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50, 0);
+        assert_eq!(snap.p99, 0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn huge_values_saturate_into_the_last_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 50);
+        assert_eq!(h.count(), 2);
+        // Both land in the final bucket; the quantile reports its lower
+        // bound while `max` keeps the exact magnitude.
+        let last = bucket_lower_bound(N_BUCKETS - 1);
+        assert_eq!(h.quantile(0.5), Some(last));
+        assert_eq!(h.quantile(0.99), Some(last));
+        assert_eq!(h.max(), u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 1);
+        assert_eq!(
+            snap.buckets.first(),
+            Some(&BucketCount {
+                lower: last,
+                count: 2
+            })
+        );
+    }
+
+    #[test]
+    fn snapshot_lists_only_non_empty_buckets_in_order() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 300, 1 << 30] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets.len(), 3);
+        let lowers: Vec<u64> = snap.buckets.iter().map(|b| b.lower).collect();
+        assert!(lowers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(lowers.first(), Some(&5));
+    }
+
+    #[test]
+    fn duration_recording_uses_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(std::time::Duration::from_micros(1));
+        assert_eq!(h.max(), 1_000);
+    }
+}

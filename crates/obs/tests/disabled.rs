@@ -1,0 +1,34 @@
+//! Behaviour with recording disabled — isolated in its own test binary
+//! (and therefore its own process) because [`ddtr_obs::set_enabled`]
+//! flips process-global state that would race the other tests.
+
+use ddtr_obs::{counter, gauge, histogram, set_enabled, snapshot, Span};
+
+#[test]
+fn disabled_recording_is_a_complete_no_op() {
+    set_enabled(false);
+    counter("off.counter").add(5);
+    gauge("off.gauge").inc();
+    histogram("off.hist").record(123);
+    {
+        let _s = Span::enter("off.span");
+    }
+    let snap = snapshot();
+    assert_eq!(snap.counters.get("off.counter"), Some(&0));
+    assert_eq!(snap.gauges.get("off.gauge"), Some(&0));
+    assert_eq!(snap.histograms["off.hist"].count, 0);
+    assert_eq!(ddtr_obs::trace_len(), 0);
+
+    // Re-enabling restores recording on the same handles.
+    set_enabled(true);
+    counter("off.counter").add(2);
+    histogram("off.hist").record(7);
+    {
+        let _s = Span::enter("on.span");
+    }
+    let snap = snapshot();
+    assert_eq!(snap.counters.get("off.counter"), Some(&2));
+    assert_eq!(snap.histograms["off.hist"].count, 1);
+    assert_eq!(ddtr_obs::trace_len(), 1);
+    assert!(ddtr_obs::chrome_trace_json().contains("on.span"));
+}

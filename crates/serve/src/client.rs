@@ -37,6 +37,10 @@ impl Client {
             )),
             Endpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr.as_str())?;
+                // One small request line waiting on one small reply line
+                // is the worst case for Nagle + delayed ACK (tens of ms
+                // per round trip); send request lines immediately.
+                let _ = stream.set_nodelay(true);
                 Ok(Self::over(BufReader::new(stream.try_clone()?), stream))
             }
             #[cfg(unix)]

@@ -20,6 +20,7 @@ use ddtr_core::{
     ScenarioConfig, SweepConfig,
 };
 use ddtr_ddt::DdtKind;
+use ddtr_obs::MetricsSnapshot;
 use ddtr_trace::{NetworkPreset, Scenario};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +62,10 @@ pub enum RequestBody {
     /// Report the session's shared cache counters and jobs budget;
     /// answered with [`Event::Stats`].
     Stats,
+    /// Report the process's full metrics in the Prometheus text
+    /// exposition format; answered with [`Event::Metrics`]. `ddtr query
+    /// <endpoint> metrics` prints the text verbatim.
+    Metrics,
     /// Schedule one exploration; answered with [`Event::Queued`], a
     /// stream of [`Event::Running`], and finally [`Event::Result`],
     /// [`Event::Cancelled`] or [`Event::Error`]. (Boxed: a full inline
@@ -401,6 +406,20 @@ pub enum Event {
         stats: CacheStats,
         /// Concurrent-simulation budget of the session.
         jobs: usize,
+        /// Full metrics snapshot of the server process: request latency
+        /// histograms, cache counters, in-flight gauge (see
+        /// `docs/OBSERVABILITY.md`). Defaults to empty when talking to a
+        /// pre-metrics server. (Boxed: it dwarfs the other fields.)
+        #[serde(default)]
+        metrics: Box<MetricsSnapshot>,
+    },
+    /// Answer to [`RequestBody::Metrics`]: the process metrics rendered
+    /// in the Prometheus text exposition format.
+    Metrics {
+        /// Echoed request id.
+        id: String,
+        /// Prometheus-style exposition text (`ddtr_*` families).
+        text: String,
     },
     /// Terminal reply of a cancelled request.
     Cancelled {
@@ -431,6 +450,7 @@ impl Event {
             | Event::Cell { id, .. }
             | Event::Result { id, .. }
             | Event::Stats { id, .. }
+            | Event::Metrics { id, .. }
             | Event::Cancelled { id } => Some(id),
             Event::Error { id, .. } => id.as_deref(),
         }
@@ -446,6 +466,7 @@ impl Event {
                 | Event::Error { .. }
                 | Event::Pong { .. }
                 | Event::Stats { .. }
+                | Event::Metrics { .. }
         )
     }
 }

@@ -133,6 +133,24 @@ impl<W: Write> ConnWriter<W> {
     }
 }
 
+/// The variant counter a request increments (docs/OBSERVABILITY.md).
+fn request_counter(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::Ping => "serve.request.ping",
+        RequestBody::Stats => "serve.request.stats",
+        RequestBody::Metrics => "serve.request.metrics",
+        RequestBody::Run(_) => "serve.request.run",
+        RequestBody::Cancel { .. } => "serve.request.cancel",
+        RequestBody::Shutdown => "serve.request.shutdown",
+    }
+}
+
+/// Records one end-to-end request latency sample: receipt of the request
+/// line to emission of its terminal event.
+fn record_latency(arrived: std::time::Instant) {
+    ddtr_obs::histogram("serve.request.latency").record_duration(arrived.elapsed());
+}
+
 /// The long-running exploration server. See the crate docs for the
 /// protocol and [`EngineSession`] for the sharing/fairness model.
 #[derive(Debug)]
@@ -193,6 +211,7 @@ impl Server {
                 let request: Request = match serde_json::from_str(&line) {
                     Ok(request) => request,
                     Err(e) => {
+                        ddtr_obs::counter("serve.request.malformed").inc();
                         writer.emit(&Event::Error {
                             id: None,
                             error: format!("unparseable request: {e}"),
@@ -200,13 +219,32 @@ impl Server {
                         continue;
                     }
                 };
+                // Per-request accounting (docs/OBSERVABILITY.md): one
+                // variant counter per request, an end-to-end latency
+                // sample per terminal event.
+                let arrived = std::time::Instant::now();
+                ddtr_obs::counter(request_counter(&request.body)).inc();
                 match request.body {
-                    RequestBody::Ping => writer.emit(&Event::Pong { id: request.id }),
-                    RequestBody::Stats => writer.emit(&Event::Stats {
-                        id: request.id,
-                        stats: self.session.stats(),
-                        jobs: self.session.jobs(),
-                    }),
+                    RequestBody::Ping => {
+                        writer.emit(&Event::Pong { id: request.id });
+                        record_latency(arrived);
+                    }
+                    RequestBody::Stats => {
+                        writer.emit(&Event::Stats {
+                            id: request.id,
+                            stats: self.session.stats(),
+                            jobs: self.session.jobs(),
+                            metrics: Box::new(ddtr_obs::snapshot()),
+                        });
+                        record_latency(arrived);
+                    }
+                    RequestBody::Metrics => {
+                        writer.emit(&Event::Metrics {
+                            id: request.id,
+                            text: ddtr_obs::render_prometheus(&ddtr_obs::snapshot()),
+                        });
+                        record_latency(arrived);
+                    }
                     RequestBody::Cancel { target } => {
                         let control = inflight
                             .lock()
@@ -217,12 +255,15 @@ impl Server {
                             // The cancelled request replies `Cancelled`
                             // on its own id.
                             Some(control) => control.cancel(),
-                            None => writer.emit(&Event::Error {
-                                id: Some(request.id),
-                                error: format!(
-                                    "no in-flight request `{target}` (unknown or finished)"
-                                ),
-                            }),
+                            None => {
+                                writer.emit(&Event::Error {
+                                    id: Some(request.id),
+                                    error: format!(
+                                        "no in-flight request `{target}` (unknown or finished)"
+                                    ),
+                                });
+                                record_latency(arrived);
+                            }
                         }
                     }
                     RequestBody::Shutdown => {
@@ -243,6 +284,7 @@ impl Server {
                                 id: Some(id),
                                 error: "a request with this id is already in flight".into(),
                             });
+                            record_latency(arrived);
                             continue;
                         }
                         let explore = match spec.resolve() {
@@ -252,6 +294,7 @@ impl Server {
                                     id: Some(id),
                                     error,
                                 });
+                                record_latency(arrived);
                                 continue;
                             }
                         };
@@ -297,7 +340,11 @@ impl Server {
                         let result_writer = Arc::clone(&writer);
                         let session = &self.session;
                         let inflight = &inflight;
+                        let queued_at = std::time::Instant::now();
+                        ddtr_obs::gauge("serve.inflight").inc();
                         scope.spawn(move || {
+                            ddtr_obs::histogram("serve.request.queue_wait")
+                                .record_duration(queued_at.elapsed());
                             let mut engine = session.engine_with(control);
                             // Sweep requests additionally stream one
                             // `Cell` line per completed platform cell;
@@ -335,6 +382,8 @@ impl Server {
                                 },
                             };
                             result_writer.emit(&event);
+                            ddtr_obs::gauge("serve.inflight").dec();
+                            record_latency(arrived);
                         });
                     }
                 }
@@ -364,6 +413,10 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                // Event lines are small and latency-bound; never hold
+                // them back for coalescing (Nagle + delayed ACK costs
+                // tens of ms per request/reply round trip).
+                let _ = stream.set_nodelay(true);
                 scope.spawn(move || {
                     let Ok(read_half) = stream.try_clone() else {
                         return;

@@ -526,6 +526,87 @@ fn duplicate_inflight_ids_are_rejected() {
 }
 
 #[test]
+fn metrics_requests_return_the_exposition_and_stats_carry_the_snapshot() {
+    // Ping first: its end-to-end latency is recorded synchronously, so
+    // by the time the Metrics line is parsed the latency histogram is
+    // guaranteed non-empty (the explore may still be in flight).
+    let script = vec![
+        serde_json::to_string(&Request::new("warm", RequestBody::Ping)).expect("ser"),
+        run_line("paid", &quick_explore_spec()),
+        serde_json::to_string(&Request::new("m", RequestBody::Metrics)).expect("ser"),
+        serde_json::to_string(&Request::new("s", RequestBody::Stats)).expect("ser"),
+    ];
+    let events = serve_script(2, &script);
+    let Event::Metrics { id, text } = terminal_for(&events, "m") else {
+        panic!("metrics request must answer with Metrics: {events:?}");
+    };
+    assert_eq!(id, "m");
+    // Prometheus-style exposition: per-request latency summary with
+    // quantiles, and the per-variant request counters, all non-zero.
+    assert!(
+        text.contains("# TYPE ddtr_serve_request_latency_seconds summary"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ddtr_serve_request_latency_seconds{quantile=\"0.5\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ddtr_serve_request_latency_seconds{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    let counter_value = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).map(|v| v.trim()))
+            .unwrap_or_else(|| panic!("{name} missing from exposition: {text}"))
+            .parse()
+            .expect("counter value parses")
+    };
+    assert!(counter_value("ddtr_serve_request_ping_total ") >= 1);
+    assert!(counter_value("ddtr_serve_request_run_total ") >= 1);
+    assert!(counter_value("ddtr_serve_request_metrics_total ") >= 1);
+    // The Stats event carries the same snapshot structurally.
+    let Event::Stats { metrics, .. } = terminal_for(&events, "s") else {
+        panic!("stats request must answer with Stats: {events:?}");
+    };
+    assert!(
+        metrics.counters.get("serve.request.ping").copied() >= Some(1),
+        "snapshot carries the ping counter: {:?}",
+        metrics.counters
+    );
+    assert!(
+        metrics
+            .histograms
+            .get("serve.request.latency")
+            .is_some_and(|h| h.count >= 1 && h.sum > 0),
+        "snapshot carries the latency histogram: {:?}",
+        metrics.histograms.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn stats_events_from_pre_metrics_servers_still_parse() {
+    // The `metrics` field is new in this protocol revision; an event
+    // written by an older server (no such key) must deserialise with an
+    // empty snapshot rather than fail.
+    let legacy =
+        r#"{"Stats":{"id":"s","stats":{"entries":3,"hits":2,"misses":1,"loaded":0},"jobs":4}}"#;
+    let event: Event = serde_json::from_str(legacy).expect("legacy Stats parses");
+    let Event::Stats {
+        id,
+        stats,
+        jobs,
+        metrics,
+    } = event
+    else {
+        panic!("wrong variant");
+    };
+    assert_eq!((id.as_str(), jobs), ("s", 4));
+    assert_eq!((stats.entries, stats.hits, stats.misses), (3, 2, 1));
+    assert!(metrics.counters.is_empty() && metrics.histograms.is_empty());
+}
+
+#[test]
 fn inline_configs_round_trip_through_a_live_server() {
     // serialize → dispatch (through the live server) → deserialize: the
     // full protocol round trip on an inline configuration.
