@@ -1,0 +1,6 @@
+//! Seeded doc drift: registers a metric the observability catalog
+//! never mentions (and the paired test's catalog lists a stale one).
+
+pub fn record(reg: &Registry) {
+    reg.counter("serve.request.ghost").inc();
+}

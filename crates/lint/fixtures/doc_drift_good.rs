@@ -1,0 +1,7 @@
+//! The documented twin: every metric this file registers appears in
+//! the paired test's observability catalog, and nothing else does.
+
+pub fn record(reg: &Registry) {
+    reg.counter("serve.request.ok").inc();
+    reg.histogram("engine.batch").observe(1.0);
+}

@@ -1,0 +1,28 @@
+// Constructs the PR 6 line blanker mis-lexed, kept as a regression
+// corpus for the token front end. The killer is the escaped-quote char
+// literal: the old blanker consumed `'\''` one char short, then its
+// stray-quote recovery swallowed the `,` and the opening quote of the
+// *next* literal — leaking a phantom `}` into the code view. Two of
+// those collapse the `#[cfg(test)]` brace count below, so the old front
+// end flagged the genuine test-only `assert_eq!`/`unwrap()` here as
+// no-panic-boundary violations. The raw strings and nested comments
+// carry banned tokens that must stay blanked either way.
+pub fn tricky() -> usize {
+    let sql = r#"
+        multi-line raw string: .unwrap() and partial_cmp stay hidden "#;
+    let deep = r##"ends with "# one hash but keeps going .unwrap()"##;
+    let nested = 1; /* outer /* .unwrap() inner */ still comment */
+    sql.len() + deep.len() + nested
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quoting() {
+        let a = ['\'','}']; // adjacency matters: no space after the comma
+        let b = ['\'','}'];
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _ = (a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded two-mutex inversion: `ab` takes `alpha` before `beta` while
+//! `ba` ends up with the opposite order through `helper`.
+
+pub struct Eng {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl Eng {
+    pub fn ab(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        self.helper() + *b
+    }
+
+    fn helper(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        *a
+    }
+}

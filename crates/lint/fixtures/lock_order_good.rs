@@ -1,0 +1,32 @@
+//! The well-ordered twin: every overlapping path takes `alpha` before
+//! `beta`; elsewhere guards are block-scoped or dropped first.
+
+pub struct Eng {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl Eng {
+    pub fn ab(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn ba_scoped(&self) -> u32 {
+        let a = {
+            let g = self.alpha.lock().unwrap();
+            *g
+        };
+        let b = self.beta.lock().unwrap();
+        a + *b
+    }
+
+    pub fn ba_dropped(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let snapshot = *b;
+        drop(b);
+        let a = self.alpha.lock().unwrap();
+        snapshot + *a
+    }
+}

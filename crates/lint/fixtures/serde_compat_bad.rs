@@ -1,0 +1,21 @@
+//! Seeded wire break: `JobSpec.retries` was added after v1 without
+//! `Option` or `#[serde(default)]`, so a v1 peer fails to deserialize.
+
+// ddtr-lint: serde-compat begin
+// struct JobSpec v1: app, seed
+// enum Event v1: Done, Failed
+// variant Event::Failed v1: id
+// ddtr-lint: serde-compat end
+
+#[derive(Serialize, Deserialize)]
+pub struct JobSpec {
+    pub app: String,
+    pub seed: u64,
+    pub retries: u32,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum Event {
+    Done,
+    Failed { id: String },
+}

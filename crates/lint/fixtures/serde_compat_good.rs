@@ -1,0 +1,24 @@
+//! The compatible twin: post-v1 fields are `Option` or carry
+//! `#[serde(default)]`, and new enum variants extend additively.
+
+// ddtr-lint: serde-compat begin
+// struct JobSpec v1: app, seed
+// enum Event v1: Done, Failed
+// variant Event::Failed v1: id
+// ddtr-lint: serde-compat end
+
+#[derive(Serialize, Deserialize)]
+pub struct JobSpec {
+    pub app: String,
+    pub seed: u64,
+    pub retries: Option<u32>,
+    #[serde(default)]
+    pub tags: Vec<String>,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum Event {
+    Done,
+    Failed { id: String },
+    Progress { done: usize },
+}

@@ -17,27 +17,18 @@
 //! flagged. A waiver (`// ddtr-lint: allow(det-iter) — sorted below`) is
 //! the documented escape hatch for collect-then-sort sites.
 
-use super::Rule;
+use super::{in_scope, Rule};
 use crate::diag::Finding;
 use crate::source::SourceFile;
 use crate::Workspace;
 use std::collections::BTreeSet;
 
-/// See the module docs.
+/// See the module docs. The determinism-critical file set lives in
+/// [`super::SCOPES`]; `crates/obs` is on it because its snapshots
+/// serialise (metrics exposition, `Event::Stats`, trace export) —
+/// hash-order iteration there would make two exports of identical state
+/// differ byte-for-byte.
 pub struct DetIter;
-
-/// Whether a file is in a determinism-critical module. `crates/obs` is
-/// on the list because its snapshots serialise (metrics exposition,
-/// `Event::Stats`, trace export) — hash-order iteration there would make
-/// two exports of identical state differ byte-for-byte.
-fn in_scope(path: &str) -> bool {
-    path.starts_with("crates/pareto/src/")
-        || path.starts_with("crates/obs/src/")
-        || path == "crates/core/src/ga.rs"
-        || path == "crates/engine/src/cache.rs"
-        || path == "crates/engine/src/engine.rs"
-        || path == "crates/engine/src/key.rs"
-}
 
 const ITER_SUFFIXES: &[&str] = &[
     ".iter()",
@@ -60,7 +51,7 @@ impl Rule for DetIter {
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in ws.files.iter().filter(|f| in_scope(&f.path)) {
+        for file in ws.files.iter().filter(|f| in_scope(self.name(), &f.path)) {
             let names = hash_collection_names(file);
             if names.is_empty() {
                 continue;

@@ -1,0 +1,440 @@
+//! `doc-drift`: shipped docs and code name the same things.
+//!
+//! Three catalogs in this repo are contracts, not prose: the metric/span
+//! name tables in `docs/OBSERVABILITY.md` (dashboards and the
+//! Prometheus exposition key on them), the request/event schema in
+//! `docs/PROTOCOL.md` (clients are written against it), and the
+//! subcommand reference table in `README.md` (the CLI's front door).
+//! Each decays silently: renaming a metric or adding a subcommand
+//! compiles clean and leaves the docs wrong. This rule cross-checks all
+//! three against the source of truth in code:
+//!
+//! * **metrics/spans** — every name registered in scoped code (a string
+//!   literal shaped `engine.…`/`serve.…`/`core.…`: ≥ 2 lowercase
+//!   dot-separated segments) must be cataloged in
+//!   `docs/OBSERVABILITY.md`, and every cataloged name must still be
+//!   registered — both ways. The catalog may brace-expand families:
+//!   `` `serve.request.{ping,stats}` `` pins both names.
+//! * **protocol** — every `RequestBody`/`Event` variant in
+//!   `crates/serve/src/protocol.rs` must appear (as a word) in
+//!   `docs/PROTOCOL.md`.
+//! * **CLI** — the string arms of `main.rs`'s `match cmd` dispatch and
+//!   the rows of README's subcommand reference table (first word of the
+//!   first backticked cell, under the header row containing
+//!   "subcommand") must agree — both ways.
+//!
+//! Test code is exempt (bench/test helpers name throwaway metrics), and
+//! each sub-check is skipped when its document is absent, so fixture
+//! workspaces without docs stay silent.
+
+use super::{in_scope, Rule};
+use crate::diag::Finding;
+use crate::lex::TokKind;
+use crate::scope::ItemKind;
+use crate::source::SourceFile;
+use crate::{DocFile, Workspace};
+use std::collections::BTreeMap;
+
+/// See the module docs. The scanned crate set lives in [`super::SCOPES`].
+pub struct DocDrift;
+
+const OBS_DOC: &str = "docs/OBSERVABILITY.md";
+const PROTOCOL_DOC: &str = "docs/PROTOCOL.md";
+const README: &str = "README.md";
+const PROTOCOL_SRC: &str = "crates/serve/src/protocol.rs";
+const CLI_MAIN: &str = "crates/cli/src/main.rs";
+
+impl Rule for DocDrift {
+    fn name(&self) -> &'static str {
+        "doc-drift"
+    }
+
+    fn description(&self) -> &'static str {
+        "metric names, protocol variants and CLI subcommands match their docs catalogs"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        if ws.docs.is_empty() {
+            return;
+        }
+        self.check_metrics(ws, out);
+        self.check_protocol(ws, out);
+        self.check_cli(ws, out);
+    }
+}
+
+impl DocDrift {
+    /// Metric/span names: code ↔ `docs/OBSERVABILITY.md`, both ways.
+    fn check_metrics(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(doc) = ws.docs.iter().find(|d| d.path == OBS_DOC) else {
+            return;
+        };
+        let mut code_names: BTreeMap<String, (String, usize)> = BTreeMap::new();
+        for file in ws.files.iter().filter(|f| in_scope(self.name(), &f.path)) {
+            for tok in &file.tokens {
+                if tok.kind == TokKind::Str
+                    && !file.is_test_line(tok.line)
+                    && metric_shape(&tok.text)
+                {
+                    code_names
+                        .entry(tok.text.clone())
+                        .or_insert((file.path.clone(), tok.line));
+                }
+            }
+        }
+        let mut doc_names: BTreeMap<String, usize> = BTreeMap::new();
+        for (idx, line) in doc.lines.iter().enumerate() {
+            for span in backtick_spans(line) {
+                for name in expand_braces(span) {
+                    if metric_shape(&name) {
+                        doc_names.entry(name).or_insert(idx + 1);
+                    }
+                }
+            }
+        }
+        for (name, (path, line)) in &code_names {
+            if !doc_names.contains_key(name) {
+                out.push(Finding::deny(
+                    path,
+                    *line,
+                    self.name(),
+                    format!(
+                        "metric/span name `{name}` is registered here but missing from \
+                         the {OBS_DOC} catalog — document it"
+                    ),
+                ));
+            }
+        }
+        for (name, line) in &doc_names {
+            if !code_names.contains_key(name) {
+                out.push(Finding::deny(
+                    OBS_DOC,
+                    *line,
+                    self.name(),
+                    format!(
+                        "{OBS_DOC} catalogs `{name}` but no scoped code registers it — \
+                         remove or fix the entry"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Wire enum variants: `protocol.rs` → `docs/PROTOCOL.md`.
+    fn check_protocol(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(doc) = ws.docs.iter().find(|d| d.path == PROTOCOL_DOC) else {
+            return;
+        };
+        let Some(file) = ws.files.iter().find(|f| f.path == PROTOCOL_SRC) else {
+            return;
+        };
+        for item in &file.scope.items {
+            if item.kind != ItemKind::Enum
+                || item.is_test
+                || !matches!(item.name.as_str(), "RequestBody" | "Event")
+            {
+                continue;
+            }
+            for variant in &item.variants {
+                let documented = doc
+                    .lines
+                    .iter()
+                    .any(|line| word_present(line, &variant.name));
+                if !documented {
+                    out.push(Finding::deny(
+                        &file.path,
+                        variant.line,
+                        self.name(),
+                        format!(
+                            "wire variant `{}::{}` is not documented in {PROTOCOL_DOC}",
+                            item.name, variant.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// CLI subcommands: `main.rs` dispatch ↔ README reference table.
+    fn check_cli(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(doc) = ws.docs.iter().find(|d| d.path == README) else {
+            return;
+        };
+        let Some(file) = ws.files.iter().find(|f| f.path == CLI_MAIN) else {
+            return;
+        };
+        let arms = cli_arms(file);
+        if arms.is_empty() {
+            return;
+        }
+        let rows = readme_subcommands(doc);
+        for (name, line) in &arms {
+            if !rows.iter().any(|(n, _)| n == name) {
+                out.push(Finding::deny(
+                    &file.path,
+                    *line,
+                    self.name(),
+                    format!(
+                        "CLI subcommand `{name}` is missing from {README}'s subcommand \
+                         reference table"
+                    ),
+                ));
+            }
+        }
+        for (name, line) in &rows {
+            if !arms.iter().any(|(n, _)| n == name) {
+                out.push(Finding::deny(
+                    README,
+                    *line,
+                    self.name(),
+                    format!(
+                        "{README} documents subcommand `{name}` but the CLI no longer \
+                         dispatches it"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether `s` is shaped like a metric/span name: ≥ 2 non-empty
+/// dot-separated segments of `[a-z0-9_]`, rooted in an instrumented
+/// layer.
+fn metric_shape(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    parts.len() >= 2
+        && matches!(parts[0], "engine" | "serve" | "core")
+        && parts.iter().all(|p| {
+            !p.is_empty()
+                && p.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// The inline-code spans of one markdown line (text between backticks).
+fn backtick_spans(line: &str) -> Vec<&str> {
+    line.split('`').skip(1).step_by(2).collect()
+}
+
+/// Expands one `prefix{a,b}suffix` brace family (no nesting); a plain
+/// name expands to itself.
+fn expand_braces(s: &str) -> Vec<String> {
+    if let (Some(open), Some(close)) = (s.find('{'), s.find('}')) {
+        if open < close {
+            let prefix = &s[..open];
+            let suffix = &s[close + 1..];
+            return s[open + 1..close]
+                .split(',')
+                .map(|alt| format!("{prefix}{}{suffix}", alt.trim()))
+                .collect();
+        }
+    }
+    vec![s.to_string()]
+}
+
+/// Whether `word` occurs in `line` at identifier boundaries.
+fn word_present(line: &str, word: &str) -> bool {
+    let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(at) = line[from..].find(word) {
+        let pos = from + at;
+        if boundary(line[..pos].chars().next_back())
+            && boundary(line[pos + word.len()..].chars().next())
+        {
+            return true;
+        }
+        from = pos + word.len();
+    }
+    false
+}
+
+/// The string arms of `main.rs`'s `match cmd …` dispatch, with lines.
+fn cli_arms(file: &SourceFile) -> Vec<(String, usize)> {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].is_ident("match") {
+            // The scrutinee runs to the body's `{`; the dispatch is the
+            // match whose scrutinee mentions `cmd`.
+            let mut j = i + 1;
+            let mut depth = 0i64;
+            let mut has_cmd = false;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') && depth == 0 {
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_ident("cmd") {
+                    has_cmd = true;
+                }
+                j += 1;
+            }
+            if has_cmd && j < toks.len() {
+                return arms_of(file, j);
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// String-literal arm patterns (`"name" =>`) at the top level of the
+/// match body opening at token `open`.
+fn arms_of(file: &SourceFile, open: usize) -> Vec<(String, usize)> {
+    let toks = &file.tokens;
+    let mut arms = Vec::new();
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Str
+            && toks.get(k + 1).is_some_and(|n| n.is_punct('='))
+            && toks.get(k + 2).is_some_and(|n| n.is_punct('>'))
+        {
+            arms.push((t.text.clone(), t.line));
+        }
+        k += 1;
+    }
+    arms
+}
+
+/// The subcommand names of README's reference table: rows under the
+/// header row containing "subcommand"; each name is the first word of
+/// the row's first backticked cell.
+fn readme_subcommands(doc: &DocFile) -> Vec<(String, usize)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in doc.lines.iter().enumerate() {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        if !in_table {
+            in_table = t.to_lowercase().contains("subcommand") && !t.contains('`');
+            continue;
+        }
+        if t.chars().all(|c| matches!(c, '|' | '-' | ' ' | ':')) {
+            continue; // the `|---|` separator row
+        }
+        let Some(tick) = t.find('`') else { continue };
+        let rest = &t[tick + 1..];
+        let Some(close) = rest.find('`') else {
+            continue;
+        };
+        if let Some(name) = rest[..close].split_whitespace().next() {
+            rows.push((name.to_string(), idx + 1));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+
+    #[test]
+    fn metric_names_are_cross_checked_both_ways() {
+        let code = SourceFile::from_source(
+            "crates/engine/src/cache.rs",
+            "fn f() { counter(\"engine.cache.hit\"); counter(\"engine.cache.evict\"); }\n\
+             #[cfg(test)] mod t { fn g() { counter(\"engine.test.only\"); } }\n",
+        );
+        let doc = DocFile::from_text(
+            OBS_DOC,
+            "| `engine.cache.{hit,miss}` | per lookup |\nprose `not.a.metric` here\n",
+        );
+        let ws = Workspace::from_files_and_docs(vec![code], vec![doc]);
+        let mut out = Vec::new();
+        DocDrift.check(&ws, &mut out);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(out.len(), 2, "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`engine.cache.evict`") && m.contains("missing from")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`engine.cache.miss`") && m.contains("no scoped code")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn undocumented_protocol_variants_deny() {
+        let code = SourceFile::from_source(
+            PROTOCOL_SRC,
+            "pub enum Event { Hello, Surprise }\npub enum Other { NotWire }\n",
+        );
+        let doc = DocFile::from_text(PROTOCOL_DOC, "The server greets with `Hello`.\n");
+        let ws = Workspace::from_files_and_docs(vec![code], vec![doc]);
+        let mut out = Vec::new();
+        DocDrift.check(&ws, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("Event::Surprise"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn cli_table_and_dispatch_are_cross_checked_both_ways() {
+        let code = SourceFile::from_source(
+            CLI_MAIN,
+            "fn run(cmd: &str) -> bool {\n\
+             match cmd {\n\
+             \"explore\" => { match inner { \"not-a-subcommand\" => {} _ => {} } true }\n\
+             \"undocumented\" => true,\n\
+             other => false,\n\
+             }\n}\n",
+        );
+        let doc = DocFile::from_text(
+            README,
+            "| subcommand | does |\n|---|---|\n| `explore <app>` | explores |\n\
+             | `vanished` | gone |\n\nOther table:\n| `baseline` | a scenario |\n",
+        );
+        let ws = Workspace::from_files_and_docs(vec![code], vec![doc]);
+        let mut out = Vec::new();
+        DocDrift.check(&ws, &mut out);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(out.len(), 2, "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`undocumented`") && m.contains("missing")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`vanished`") && m.contains("no longer")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn no_docs_means_no_findings() {
+        let code = SourceFile::from_source(
+            "crates/engine/src/cache.rs",
+            "fn f() { counter(\"engine.cache.hit\"); }\n",
+        );
+        let ws = Workspace::from_files(vec![code]);
+        let mut out = Vec::new();
+        DocDrift.check(&ws, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

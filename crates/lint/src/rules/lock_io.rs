@@ -24,11 +24,11 @@
 //! The one legitimate site — a writer mutex whose entire purpose is to
 //! serialise the write itself — carries a waiver with its justification.
 
-use super::Rule;
+use super::{in_scope, Rule};
 use crate::diag::Finding;
 use crate::Workspace;
 
-/// See the module docs.
+/// See the module docs. The watched file set lives in [`super::SCOPES`].
 pub struct LockAcrossIo;
 
 const IO_TOKENS: &[&str] = &[
@@ -57,9 +57,7 @@ impl Rule for LockAcrossIo {
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in ws.files.iter().filter(|f| {
-            f.path.starts_with("crates/serve/src/") || f.path.starts_with("crates/obs/src/")
-        }) {
+        for file in ws.files.iter().filter(|f| in_scope(self.name(), &f.path)) {
             for (idx, code) in file.code.iter().enumerate() {
                 if file.is_test_line(idx + 1) {
                     continue;

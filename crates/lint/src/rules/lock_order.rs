@@ -1,0 +1,802 @@
+//! `lock-order`: deadlock-shape detection across engine, serve and obs.
+//!
+//! The workspace now has enough long-lived mutexes to deadlock the
+//! classic way — two threads acquiring the same two locks in opposite
+//! orders (`cache` then `state` in one function, `state` then `cache` in
+//! another), or a guard held across a call that blocks on the jobs pool
+//! while every pool permit is owned by threads waiting on that guard.
+//! Neither shape is visible file-locally, so this rule is
+//! inter-procedural: it extracts every guard acquisition and its live
+//! scope per function, links functions through same-workspace call
+//! edges, and checks the resulting lock-acquisition graph.
+//!
+//! Per function (token walk over the [`crate::scope`] body range):
+//!
+//! * an *acquisition* is `recv.lock()` (or zero-argument
+//!   `.read()`/`.write()` — `RwLock`; the I/O `write(buf)` takes an
+//!   argument and never matches). Lock identity is the receiver
+//!   identifier: `self.cache.lock()` acquires `cache`.
+//! * the guard is *persistent* when bound by a plain `let` whose only
+//!   postfixes after the acquire are `unwrap`/`expect`/`unwrap_or_else`/
+//!   `map_err`/`?` — it then lives to the end of its block or an explicit
+//!   `drop(guard)`. Anything else (`.lock().insert(..)`, match heads,
+//!   temporaries in bigger expressions) is a temporary dropped at the
+//!   statement's `;`.
+//! * *call edges* resolve `Type::method` exactly, `self.method` against
+//!   the enclosing impl, `ddtr_xxx::free_fn` within that crate, and bare
+//!   names only when unique among all workspace `src/` functions —
+//!   ambiguous names are skipped, so the graph under-approximates rather
+//!   than inventing edges.
+//!
+//! A fixpoint then computes each function's transitive acquire set and
+//! whether it can reach `JobsPool::acquire` (the blocking source: it
+//! waits on a condvar until a permit frees). Findings:
+//!
+//! * **cycle** — the lock graph (edge `a` → `b` when `b` is acquired,
+//!   directly or transitively, while `a` is held) contains a cycle; the
+//!   message carries the full witness chain, one `file:line` + holder
+//!   function (+ call path) per edge.
+//! * **blocking** — a guard is held across a call that can block on the
+//!   jobs pool; a saturated pool then stalls every other holder.
+//!
+//! Known approximations, on purpose: lock identity is the receiver
+//! *name* (two fields named `inner` on different types alias), moved
+//! guards are assumed live to end of block, and unresolvable calls
+//! contribute nothing. Waive false positives per line with
+//! `// ddtr-lint: allow(lock-order) — <why the order is safe>`.
+
+use super::{in_scope, Rule};
+use crate::diag::Finding;
+use crate::lex::{Tok, TokKind};
+use crate::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// See the module docs. The watched file set lives in [`super::SCOPES`].
+pub struct LockOrder;
+
+/// Guard-preserving postfix methods after an acquire call.
+const POSTFIX: &[&str] = &["unwrap", "expect", "unwrap_or_else", "map_err"];
+
+/// Names never recorded as call edges: acquire forms, the
+/// guard-preserving postfixes (they resolve to std, not the workspace),
+/// and `clone`/`drop` — the workspace has manual `Clone`/`Drop` impls,
+/// and resolving every `.clone()` to whichever happens to be unique
+/// would invent edges.
+const NOT_CALLS: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "map_err",
+    "clone",
+    "drop",
+];
+
+/// Keywords that look like `name (` but are not calls.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "let", "fn", "move",
+];
+
+/// One acquisition site inside a function body.
+struct Acq {
+    /// Lock identity (receiver identifier).
+    lock: String,
+    /// 1-based source line.
+    line: usize,
+    /// Locks already held at this point.
+    under: Vec<String>,
+}
+
+/// One call site inside a function body.
+struct CallSite {
+    /// Callee name.
+    name: String,
+    /// `Qual::name(..)` path qualifier, if any.
+    qual: Option<String>,
+    /// `self.name(..)`.
+    recv_self: bool,
+    /// `recv.name(..)` (method syntax).
+    is_method: bool,
+    /// 1-based source line.
+    line: usize,
+    /// Locks held while the call runs.
+    under: Vec<String>,
+}
+
+/// One analysed function.
+struct FnInfo {
+    /// `Type::name` or bare `name`.
+    display: String,
+    /// Index into `ws.files`.
+    file: usize,
+    /// Enclosing impl/trait type.
+    self_ty: Option<String>,
+    /// `crates/<name>` prefix of the defining file (empty for root src).
+    crate_dir: String,
+    acquires: Vec<Acq>,
+    calls: Vec<CallSite>,
+    /// A blocking source itself (`JobsPool::acquire` waits on a condvar
+    /// until a permit frees).
+    blocking: bool,
+}
+
+/// How a lock (or the blocking source) is reached from a function:
+/// directly (`via: None`) or through a call to another function.
+#[derive(Clone)]
+struct Trace {
+    via: Option<usize>,
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "no lock-acquisition cycles or guards held across jobs-pool blocking calls"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let fns = collect_fns(ws);
+        let resolved = resolve_calls(&fns);
+
+        // Transitive acquire sets and jobs-pool reachability, to fixpoint.
+        let mut acquire_sets: Vec<BTreeMap<String, Trace>> = fns
+            .iter()
+            .map(|f| {
+                let mut set = BTreeMap::new();
+                for acq in &f.acquires {
+                    set.entry(acq.lock.clone()).or_insert(Trace { via: None });
+                }
+                set
+            })
+            .collect();
+        let mut blocks: Vec<Option<Trace>> = fns
+            .iter()
+            .map(|f| f.blocking.then_some(Trace { via: None }))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fi, calls) in resolved.iter().enumerate() {
+                for &(_ci, gi) in calls {
+                    let callee_locks: Vec<String> = acquire_sets[gi].keys().cloned().collect();
+                    for lock in callee_locks {
+                        if let std::collections::btree_map::Entry::Vacant(e) =
+                            acquire_sets[fi].entry(lock)
+                        {
+                            e.insert(Trace { via: Some(gi) });
+                            changed = true;
+                        }
+                    }
+                    if blocks[gi].is_some() && blocks[fi].is_none() {
+                        blocks[fi] = Some(Trace { via: Some(gi) });
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Lock graph: edge a → b when b is acquired (directly or through a
+        // call) while a is held. One witness per edge, first writer wins
+        // (files and functions are visited in sorted order).
+        let mut edges: BTreeMap<String, BTreeMap<String, Witness>> = BTreeMap::new();
+        let mut add_edge = |from: &str, to: &str, w: Witness| {
+            edges
+                .entry(from.to_string())
+                .or_default()
+                .entry(to.to_string())
+                .or_insert(w);
+        };
+        let mut blocking_seen: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+        for (fi, f) in fns.iter().enumerate() {
+            if !in_scope(self.name(), &ws.files[f.file].path) {
+                continue;
+            }
+            for acq in &f.acquires {
+                for held in &acq.under {
+                    add_edge(
+                        held,
+                        &acq.lock,
+                        Witness {
+                            file: ws.files[f.file].path.clone(),
+                            line: acq.line,
+                            holder: f.display.clone(),
+                            via: Vec::new(),
+                        },
+                    );
+                }
+            }
+            for &(ci, gi) in &resolved[fi] {
+                let call = &f.calls[ci];
+                if call.under.is_empty() {
+                    continue;
+                }
+                for lock in acquire_sets[gi].keys() {
+                    let via = chain(&fns, &acquire_sets, gi, lock);
+                    for held in &call.under {
+                        add_edge(
+                            held,
+                            lock,
+                            Witness {
+                                file: ws.files[f.file].path.clone(),
+                                line: call.line,
+                                holder: f.display.clone(),
+                                via: via.clone(),
+                            },
+                        );
+                    }
+                }
+                if blocks[gi].is_some() {
+                    let via = block_chain(&fns, &blocks, gi);
+                    for held in &call.under {
+                        if !blocking_seen.insert((f.file, call.line, held.clone())) {
+                            continue;
+                        }
+                        out.push(Finding::deny(
+                            &ws.files[f.file].path,
+                            call.line,
+                            self.name(),
+                            format!(
+                                "mutex guard `{held}` is held across `{}`{}, which blocks \
+                                 until a jobs-pool permit frees; a saturated pool stalls \
+                                 every other holder of `{held}` — drop the guard before \
+                                 dispatching",
+                                fns[gi].display,
+                                fmt_via(&via),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        for cycle in find_cycles(&edges) {
+            let mut hops = Vec::new();
+            for k in 0..cycle.len() {
+                let (a, b) = (&cycle[k], &cycle[(k + 1) % cycle.len()]);
+                let w = &edges[a][b];
+                hops.push(format!(
+                    "`{a}` → `{b}` at {}:{} in `{}`{}",
+                    w.file,
+                    w.line,
+                    w.holder,
+                    fmt_via(&w.via),
+                ));
+            }
+            let first = &edges[&cycle[0]][&cycle[1 % cycle.len()]];
+            let shape = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .map(|l| format!("`{l}`"))
+                .collect::<Vec<_>>()
+                .join(" → ");
+            out.push(Finding::deny(
+                &first.file,
+                first.line,
+                self.name(),
+                format!(
+                    "lock acquisition cycle {shape}: {} — two threads taking these in \
+                     opposite orders deadlock; pick one global order",
+                    hops.join("; "),
+                ),
+            ));
+        }
+    }
+}
+
+/// One witness for a lock-graph edge.
+struct Witness {
+    file: String,
+    line: usize,
+    holder: String,
+    /// Call path (callee display names) for transitive edges.
+    via: Vec<String>,
+}
+
+fn fmt_via(via: &[String]) -> String {
+    if via.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " (via {})",
+            via.iter()
+                .map(|v| format!("`{v}`"))
+                .collect::<Vec<_>>()
+                .join(" → ")
+        )
+    }
+}
+
+/// Call path from `fi` down to the direct acquisition of `lock`.
+fn chain(fns: &[FnInfo], sets: &[BTreeMap<String, Trace>], fi: usize, lock: &str) -> Vec<String> {
+    let mut path = vec![fns[fi].display.clone()];
+    let mut cur = fi;
+    let mut hops = 0;
+    while let Some(trace) = sets[cur].get(lock) {
+        let Some(next) = trace.via else { break };
+        path.push(fns[next].display.clone());
+        cur = next;
+        hops += 1;
+        if hops > fns.len() {
+            break;
+        }
+    }
+    path
+}
+
+/// Call path from `fi` down to the blocking source.
+fn block_chain(fns: &[FnInfo], blocks: &[Option<Trace>], fi: usize) -> Vec<String> {
+    let mut path = Vec::new();
+    let mut cur = fi;
+    let mut hops = 0;
+    while let Some(trace) = &blocks[cur] {
+        let Some(next) = trace.via else { break };
+        path.push(fns[next].display.clone());
+        cur = next;
+        hops += 1;
+        if hops > fns.len() {
+            break;
+        }
+    }
+    path
+}
+
+/// Every simple cycle of the lock graph, each reported once: a DFS from
+/// each start node that only walks nodes `>= start`, so the rotation
+/// beginning at the cycle's minimum is the one emitted.
+fn find_cycles(edges: &BTreeMap<String, BTreeMap<String, Witness>>) -> Vec<Vec<String>> {
+    let mut cycles = Vec::new();
+    for start in edges.keys() {
+        let mut path = vec![start.clone()];
+        dfs(edges, start, &mut path, &mut cycles);
+    }
+    cycles
+}
+
+fn dfs(
+    edges: &BTreeMap<String, BTreeMap<String, Witness>>,
+    start: &str,
+    path: &mut Vec<String>,
+    cycles: &mut Vec<Vec<String>>,
+) {
+    let cur = path.last().expect("non-empty path").clone();
+    let Some(nexts) = edges.get(&cur) else { return };
+    for next in nexts.keys() {
+        if next == start {
+            cycles.push(path.clone());
+        } else if next.as_str() > start && !path.contains(next) {
+            path.push(next.clone());
+            dfs(edges, start, path, cycles);
+            path.pop();
+        }
+    }
+}
+
+/// Analyses every non-test function defined under a `src/` directory.
+/// The whole workspace is indexed (call resolution needs it); findings
+/// are scope-gated by the caller.
+fn collect_fns(ws: &Workspace) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        if !file.path.contains("src/") {
+            continue;
+        }
+        let crate_dir = file
+            .path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(|name| format!("crates/{name}"))
+            .unwrap_or_default();
+        for item in file.scope.fns() {
+            if item.is_test {
+                continue;
+            }
+            let Some(body) = &item.body else { continue };
+            let display = match &item.self_ty {
+                Some(ty) => format!("{ty}::{}", item.name),
+                None => item.name.clone(),
+            };
+            let (acquires, calls) = walk_body(&file.tokens, body.clone());
+            let blocking = item.name == "acquire"
+                && item.self_ty.as_deref().is_some_and(|t| t.contains("Pool"));
+            fns.push(FnInfo {
+                display,
+                file: file_idx,
+                self_ty: item.self_ty.clone(),
+                crate_dir: crate_dir.clone(),
+                acquires,
+                calls,
+                blocking,
+            });
+        }
+    }
+    fns
+}
+
+/// A guard being tracked during the body walk.
+struct Guard {
+    binding: Option<String>,
+    lock: String,
+    depth: i64,
+    ephemeral: bool,
+}
+
+/// Extracts acquisitions and call sites from one body token range.
+#[allow(clippy::too_many_lines)]
+fn walk_body(toks: &[Tok], range: std::ops::Range<usize>) -> (Vec<Acq>, Vec<CallSite>) {
+    let mut acquires = Vec::new();
+    let mut calls = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    let mut stmt_start = range.start;
+    let held = |guards: &[Guard]| -> Vec<String> {
+        let mut locks: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+        locks.sort();
+        locks.dedup();
+        locks
+    };
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !(g.ephemeral && g.depth == depth));
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        // `drop(guard)` releases by name.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            let name = toks[i + 2].text.clone();
+            guards.retain(|g| g.binding.as_deref() != Some(&name));
+            i += 4;
+            continue;
+        }
+        // Macro invocations are opaque (writeln! et al. call no workspace
+        // functions we could resolve).
+        if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            i += 2;
+            continue;
+        }
+        // Acquisition: `.lock()` / zero-argument `.read()` / `.write()`.
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("lock") || n.is_ident("read") || n.is_ident("write"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(lock) = receiver_name(toks, range.start, i) {
+                acquires.push(Acq {
+                    lock: lock.clone(),
+                    line: toks[i + 1].line,
+                    under: held(&guards),
+                });
+                let persistent = guard_persists(toks, i + 4, range.end)
+                    && toks.get(stmt_start).is_some_and(|t| t.is_ident("let"));
+                let binding = persistent.then(|| binding_name(toks, stmt_start)).flatten();
+                guards.push(Guard {
+                    ephemeral: !(persistent && binding.is_some()),
+                    binding,
+                    lock,
+                    depth,
+                });
+            }
+            i += 4;
+            continue;
+        }
+        // Method call `recv.name(..)`.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let name = toks[i + 1].text.clone();
+            if !NOT_CALLS.contains(&name.as_str()) {
+                calls.push(CallSite {
+                    recv_self: i > range.start && toks[i - 1].is_ident("self"),
+                    name,
+                    qual: None,
+                    is_method: true,
+                    line: toks[i + 1].line,
+                    under: held(&guards),
+                });
+            }
+            i += 3;
+            continue;
+        }
+        // Free or path call `name(..)` / `Qual::name(..)`.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !KEYWORDS.contains(&t.text.as_str())
+            && !(i > range.start && toks[i - 1].is_punct('.'))
+            && !(i > range.start && toks[i - 1].is_ident("fn"))
+            && !NOT_CALLS.contains(&t.text.as_str())
+        {
+            let qual = (i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].kind == TokKind::Ident)
+                .then(|| toks[i - 3].text.clone());
+            calls.push(CallSite {
+                name: t.text.clone(),
+                qual,
+                recv_self: false,
+                is_method: false,
+                line: t.line,
+                under: held(&guards),
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    (acquires, calls)
+}
+
+/// The receiver identifier of `recv.lock()` at the `.` token `dot`:
+/// the identifier just before the dot (skipping one balanced call-paren
+/// group, so `self.state().lock()` names `state`). `self.x.lock()` names
+/// `x`.
+fn receiver_name(toks: &[Tok], start: usize, dot: usize) -> Option<String> {
+    if dot == start {
+        return None;
+    }
+    let mut j = dot - 1;
+    if toks[j].is_punct(')') {
+        let mut depth = 0i64;
+        loop {
+            if toks[j].is_punct(')') {
+                depth += 1;
+            } else if toks[j].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == start {
+                return None;
+            }
+            j -= 1;
+        }
+        if j == start {
+            return None;
+        }
+        j -= 1;
+    }
+    (toks[j].kind == TokKind::Ident && toks[j].text != "self").then(|| toks[j].text.clone())
+}
+
+/// Whether only guard-preserving postfixes (`?`, `.unwrap()`, …) follow
+/// the acquire call before the statement's `;`.
+fn guard_persists(toks: &[Tok], mut i: usize, end: usize) -> bool {
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct(';') {
+            return true;
+        }
+        if t.is_punct('?') {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| POSTFIX.contains(&n.text.as_str()))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            // Skip past the postfix's balanced argument list.
+            let mut depth = 0i64;
+            i += 2;
+            while i < end {
+                if toks[i].is_punct('(') {
+                    depth += 1;
+                } else if toks[i].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// The binding name of `let [mut] name [: Ty] = …` starting at `i`.
+fn binding_name(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    toks.get(j)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Resolves every call site of every function; returns, per function,
+/// `(call index, target function index)` pairs.
+fn resolve_calls(fns: &[FnInfo]) -> Vec<Vec<(usize, usize)>> {
+    let mut by_key: BTreeMap<(Option<&str>, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        let (_, name) = f
+            .display
+            .rsplit_once("::")
+            .map_or(("", f.display.as_str()), |(t, n)| (t, n));
+        by_key
+            .entry((f.self_ty.as_deref(), name))
+            .or_default()
+            .push(idx);
+        by_name.entry(name).or_default().push(idx);
+    }
+    fns.iter()
+        .map(|f| {
+            f.calls
+                .iter()
+                .enumerate()
+                .filter_map(|(ci, call)| {
+                    resolve_one(f, call, &by_key, &by_name, fns).map(|gi| (ci, gi))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn resolve_one(
+    caller: &FnInfo,
+    call: &CallSite,
+    by_key: &BTreeMap<(Option<&str>, &str), Vec<usize>>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnInfo],
+) -> Option<usize> {
+    let name = call.name.as_str();
+    // `self.method(..)` — the enclosing impl type wins.
+    if call.is_method && call.recv_self {
+        if let Some(ty) = caller.self_ty.as_deref() {
+            if let Some(c) = by_key.get(&(Some(ty), name)) {
+                if c.len() == 1 {
+                    return Some(c[0]);
+                }
+            }
+        }
+    }
+    // `Qual::name(..)` — exact type match, `Self`, or a `ddtr_*` crate
+    // path narrowing the candidate set.
+    if let Some(qual) = call.qual.as_deref() {
+        let qual = if qual == "Self" {
+            caller.self_ty.as_deref().unwrap_or(qual)
+        } else {
+            qual
+        };
+        if let Some(c) = by_key.get(&(Some(qual), name)) {
+            if c.len() == 1 {
+                return Some(c[0]);
+            }
+        }
+        if let Some(krate) = qual.strip_prefix("ddtr_") {
+            let dir = format!("crates/{krate}");
+            let c: Vec<usize> = by_name
+                .get(name)?
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].crate_dir == dir)
+                .collect();
+            if c.len() == 1 {
+                return Some(c[0]);
+            }
+        }
+        return None;
+    }
+    // Bare name: only a workspace-unique name resolves.
+    let c = by_name.get(name)?;
+    (c.len() == 1).then_some(c[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SourceFile, Workspace};
+
+    fn check(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::from_files(
+            files
+                .iter()
+                .map(|(p, s)| SourceFile::from_source(p, s))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        LockOrder.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn two_function_inversion_is_a_cycle_with_a_witness_chain() {
+        let out = check(&[(
+            "crates/engine/src/x.rs",
+            "impl Eng {\n\
+             fn ab(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }\n\
+             fn ba(&self) { let b = self.beta.lock().unwrap(); let a = self.alpha.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        let msg = &out[0].message;
+        assert!(msg.contains("cycle"), "{msg}");
+        assert!(msg.contains("`alpha` → `beta`"), "{msg}");
+        assert!(msg.contains("`beta` → `alpha`"), "{msg}");
+        assert!(msg.contains("Eng::ab"), "{msg}");
+        assert!(msg.contains("Eng::ba"), "{msg}");
+    }
+
+    #[test]
+    fn cross_function_inversion_goes_through_call_edges() {
+        let out = check(&[(
+            "crates/serve/src/x.rs",
+            "impl Srv {\n\
+             fn outer(&self) { let g = self.state.lock().unwrap(); self.helper(); }\n\
+             fn helper(&self) { let c = self.cache.lock().unwrap(); }\n\
+             fn inverted(&self) { let c = self.cache.lock().unwrap(); let g = self.state.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("via `Srv::helper`"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn guard_across_pool_acquire_is_flagged_and_scoped_guards_are_not() {
+        let out = check(&[(
+            "crates/serve/src/x.rs",
+            "impl Pool { fn acquire(&self) { let s = self.state.lock().unwrap(); } }\n\
+             impl Srv {\n\
+             fn bad(&self) { let g = self.inflight.lock().unwrap(); self.dispatch(); }\n\
+             fn dispatch(&self) { self.pool_handle.acquire(); }\n\
+             fn good(&self) { { let g = self.inflight.lock().unwrap(); } self.dispatch(); }\n\
+             }\n",
+        )]);
+        let blocking: Vec<_> = out
+            .iter()
+            .filter(|f| f.message.contains("jobs-pool"))
+            .collect();
+        assert_eq!(blocking.len(), 1, "{out:?}");
+        assert_eq!(blocking[0].line, 3);
+        assert!(blocking[0].message.contains("`inflight`"));
+    }
+
+    #[test]
+    fn temporaries_and_dropped_guards_create_no_edges() {
+        let out = check(&[(
+            "crates/obs/src/x.rs",
+            "impl Reg {\n\
+             fn a(&self) { self.counters.lock().unwrap().insert(1); let g = self.gauges.lock().unwrap(); }\n\
+             fn b(&self) { let g = self.gauges.lock().unwrap(); drop(g); let c = self.counters.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

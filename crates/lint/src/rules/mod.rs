@@ -1,24 +1,35 @@
 //! The rule catalog.
 //!
 //! Every rule implements [`Rule`] over the whole [`Workspace`] (most scan
-//! file by file; `cache-key-coverage` is genuinely cross-file). The
-//! checker in [`crate::run`] applies waivers afterwards, so rules report
-//! every raw violation they see.
+//! file by file; `cache-key-coverage` and `serde-compat` are genuinely
+//! cross-file, `lock-order` is inter-procedural, `doc-drift` crosses into
+//! markdown). The checker in [`crate::run`] applies waivers afterwards,
+//! so rules report every raw violation they see.
+//!
+//! Path scoping lives in one declarative [`SCOPES`] table instead of a
+//! private predicate per rule, so "which rule watches which files" is a
+//! single diffable surface — `docs/LINTS.md` mirrors it verbatim.
 
 use crate::diag::Finding;
 use crate::Workspace;
 
 mod cache_key;
 mod det_iter;
+mod doc_drift;
 mod float_ord;
 mod lock_io;
+mod lock_order;
 mod no_panic;
+mod serde_compat;
 
 pub use cache_key::CacheKeyCoverage;
 pub use det_iter::DetIter;
+pub use doc_drift::DocDrift;
 pub use float_ord::FloatOrd;
 pub use lock_io::LockAcrossIo;
+pub use lock_order::LockOrder;
 pub use no_panic::NoPanicBoundary;
+pub use serde_compat::SerdeCompat;
 
 /// One invariant checker.
 pub trait Rule {
@@ -39,5 +50,97 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(DetIter),
         Box::new(CacheKeyCoverage),
         Box::new(LockAcrossIo),
+        Box::new(LockOrder),
+        Box::new(SerdeCompat),
+        Box::new(DocDrift),
     ]
+}
+
+/// The path scope of one rule: a file is in scope when its
+/// workspace-relative path starts with any listed prefix or equals any
+/// listed file.
+pub struct Scope {
+    /// Directory prefixes (always ending in `/`).
+    pub prefixes: &'static [&'static str],
+    /// Exact file paths.
+    pub files: &'static [&'static str],
+}
+
+/// Which rule watches which files, declaratively. `float-ord`,
+/// `cache-key-coverage` and `serde-compat` are absent on purpose: the
+/// first is workspace-wide, the other two anchor on a manifest file of
+/// their own (`engine/src/key.rs`, `serve/src/protocol.rs`).
+///
+/// Scope rationale, kept with the data it explains:
+///
+/// * `no-panic-boundary` — the serve boundary, the shared dispatch path
+///   and the observability layer (instrumentation that panics tears down
+///   whatever it was observing).
+/// * `det-iter` — the Pareto crate, the GA, the engine cache/key path and
+///   obs snapshots: everywhere hash-order iteration would break
+///   byte-identical output.
+/// * `lock-across-io` / `lock-order` — every crate that holds long-lived
+///   mutexes (`serve` connection + inflight state, `obs` registries,
+///   `engine` cache and jobs pool).
+/// * `doc-drift` — the crates whose metric/span names and CLI surface the
+///   shipped docs catalog.
+pub const SCOPES: &[(&str, Scope)] = &[
+    (
+        "no-panic-boundary",
+        Scope {
+            prefixes: &["crates/serve/src/", "crates/obs/src/"],
+            files: &["crates/core/src/dispatch.rs"],
+        },
+    ),
+    (
+        "det-iter",
+        Scope {
+            prefixes: &["crates/pareto/src/", "crates/obs/src/"],
+            files: &[
+                "crates/core/src/ga.rs",
+                "crates/engine/src/cache.rs",
+                "crates/engine/src/engine.rs",
+                "crates/engine/src/key.rs",
+            ],
+        },
+    ),
+    (
+        "lock-across-io",
+        Scope {
+            prefixes: &["crates/serve/src/", "crates/obs/src/"],
+            files: &[],
+        },
+    ),
+    (
+        "lock-order",
+        Scope {
+            prefixes: &["crates/engine/src/", "crates/serve/src/", "crates/obs/src/"],
+            files: &[],
+        },
+    ),
+    (
+        "doc-drift",
+        Scope {
+            prefixes: &[
+                "crates/engine/src/",
+                "crates/serve/src/",
+                "crates/obs/src/",
+                "crates/core/src/",
+                "crates/cli/src/",
+            ],
+            files: &[],
+        },
+    ),
+];
+
+/// Whether `path` is in `rule`'s scope per [`SCOPES`]. Rules without a
+/// table entry must not call this (it returns `false` for them).
+#[must_use]
+pub fn in_scope(rule: &str, path: &str) -> bool {
+    SCOPES
+        .iter()
+        .find(|(name, _)| *name == rule)
+        .is_some_and(|(_, scope)| {
+            scope.prefixes.iter().any(|p| path.starts_with(p)) || scope.files.contains(&path)
+        })
 }

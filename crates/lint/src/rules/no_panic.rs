@@ -18,20 +18,13 @@
 //! tests *should* unwrap. `debug_assert*!` is allowed (compiled out of
 //! release servers).
 
-use super::Rule;
+use super::{in_scope, Rule};
 use crate::diag::Finding;
 use crate::source::find_tokens;
 use crate::Workspace;
 
-/// See the module docs.
+/// See the module docs. The boundary file set lives in [`super::SCOPES`].
 pub struct NoPanicBoundary;
-
-/// Whether a file lies on the no-panic boundary.
-fn in_scope(path: &str) -> bool {
-    path.starts_with("crates/serve/src/")
-        || path.starts_with("crates/obs/src/")
-        || path == "crates/core/src/dispatch.rs"
-}
 
 const BANNED: &[(&str, &str)] = &[
     (
@@ -73,7 +66,7 @@ impl Rule for NoPanicBoundary {
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in ws.files.iter().filter(|f| in_scope(&f.path)) {
+        for file in ws.files.iter().filter(|f| in_scope(self.name(), &f.path)) {
             for (idx, code) in file.code.iter().enumerate() {
                 if file.is_test_line(idx + 1) {
                     continue;

@@ -1,0 +1,475 @@
+//! `serde-compat`: the wire protocol stays v1-compatible.
+//!
+//! `ddtr serve` speaks newline-delimited JSON whose schema is the serde
+//! shape of the types in `crates/serve/src/protocol.rs`. Old clients
+//! keep talking to new servers (and vice versa) only if every change to
+//! those types is *additive*: a field a v1 peer does not send must
+//! deserialize anyway (`Option` or `#[serde(default)]`), and nothing a
+//! v1 peer relies on may be removed or renamed. That contract was
+//! enforced by review; this rule mechanizes it the same way
+//! `cache-key-coverage` pins the fingerprint: a manifest comment block
+//! in `protocol.rs` records the v1 field set of every wire-visible
+//! type, and the rule cross-checks manifest and code both ways.
+//!
+//! Manifest syntax, between `// ddtr-lint: serde-compat begin` and
+//! `// ddtr-lint: serde-compat end`:
+//!
+//! ```text
+//! // struct JobSpec v1: inline, mode, app, quick
+//! // enum Event v1: Hello, Pong, Bye
+//! // variant Event::Hello v1: protocol, server, jobs
+//! ```
+//!
+//! Checks:
+//!
+//! * every serde-deriving type in `protocol.rs` must be pinned;
+//! * every pinned field/variant must still exist — a removal or rename
+//!   is a wire break and denies at the manifest line;
+//! * a code field beyond its type's pinned set must be `Option`-typed
+//!   or carry `#[serde(default)]` (v1 peers omit it);
+//! * enum variants beyond the pinned set are additive and fine, but a
+//!   *pinned* variant with named fields needs its own `variant` entry so
+//!   those fields are checked too;
+//! * `#[serde(rename…)]` inside a pinned type denies — it changes wire
+//!   names underneath the manifest.
+//!
+//! Bumping the protocol deliberately means editing the manifest in the
+//! same commit — exactly the reviewable diff this rule exists to force.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::scope::{Item, ItemKind};
+use crate::Workspace;
+use std::collections::BTreeMap;
+
+/// See the module docs.
+pub struct SerdeCompat;
+
+/// The file whose types are the wire protocol, and whose comments carry
+/// the manifest.
+const MANIFEST_FILE: &str = "crates/serve/src/protocol.rs";
+
+const BEGIN: &str = "ddtr-lint: serde-compat begin";
+const END: &str = "ddtr-lint: serde-compat end";
+
+/// One parsed manifest: pinned field/variant names per type, with the
+/// manifest comment line for diagnostics.
+#[derive(Default)]
+struct Manifest {
+    structs: BTreeMap<String, (usize, Vec<String>)>,
+    enums: BTreeMap<String, (usize, Vec<String>)>,
+    variants: BTreeMap<(String, String), (usize, Vec<String>)>,
+    found: bool,
+}
+
+impl Rule for SerdeCompat {
+    fn name(&self) -> &'static str {
+        "serde-compat"
+    }
+
+    fn description(&self) -> &'static str {
+        "wire types in serve/protocol.rs match their pinned v1 manifest; new fields are optional"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(file) = ws.files.iter().find(|f| f.path == MANIFEST_FILE) else {
+            return;
+        };
+        let manifest = parse_manifest(file);
+        if !manifest.found {
+            out.push(Finding::deny(
+                &file.path,
+                1,
+                self.name(),
+                format!(
+                    "wire types have no serde-compat manifest — add a `// {BEGIN}` block \
+                     pinning the v1 field set of every Request/Event type"
+                ),
+            ));
+            return;
+        }
+
+        let wire_types: Vec<&Item> = file
+            .scope
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(i.kind, ItemKind::Struct | ItemKind::Enum)
+                    && !i.is_test
+                    && derives_serde(i)
+            })
+            .collect();
+
+        for item in &wire_types {
+            match item.kind {
+                ItemKind::Struct => {
+                    let Some((line, pinned)) = manifest.structs.get(&item.name) else {
+                        out.push(Finding::deny(
+                            &file.path,
+                            item.start_line,
+                            self.name(),
+                            format!(
+                                "wire struct `{}` is not pinned in the serde-compat \
+                                 manifest — add a `struct {} v1: …` entry",
+                                item.name, item.name
+                            ),
+                        ));
+                        continue;
+                    };
+                    check_fields(
+                        &file.path,
+                        &item.name,
+                        &item.fields,
+                        *line,
+                        pinned,
+                        self.name(),
+                        out,
+                    );
+                }
+                ItemKind::Enum => {
+                    let Some((line, pinned)) = manifest.enums.get(&item.name) else {
+                        out.push(Finding::deny(
+                            &file.path,
+                            item.start_line,
+                            self.name(),
+                            format!(
+                                "wire enum `{}` is not pinned in the serde-compat \
+                                 manifest — add an `enum {} v1: …` entry",
+                                item.name, item.name
+                            ),
+                        ));
+                        continue;
+                    };
+                    for pin in pinned {
+                        let Some(variant) = item.variants.iter().find(|v| v.name == *pin) else {
+                            out.push(Finding::deny(
+                                &file.path,
+                                *line,
+                                self.name(),
+                                format!(
+                                    "v1 variant `{}::{pin}` was removed or renamed — a \
+                                     wire break for every v1 peer",
+                                    item.name
+                                ),
+                            ));
+                            continue;
+                        };
+                        if !variant.fields.is_empty() {
+                            let key = (item.name.clone(), pin.clone());
+                            if let Some((vline, vpinned)) = manifest.variants.get(&key) {
+                                check_fields(
+                                    &file.path,
+                                    &format!("{}::{pin}", item.name),
+                                    &variant.fields,
+                                    *vline,
+                                    vpinned,
+                                    self.name(),
+                                    out,
+                                );
+                            } else {
+                                out.push(Finding::deny(
+                                    &file.path,
+                                    variant.line,
+                                    self.name(),
+                                    format!(
+                                        "pinned variant `{}::{pin}` carries fields but \
+                                         has no `variant {}::{pin} v1: …` manifest entry",
+                                        item.name, item.name
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    for variant in &item.variants {
+                        if variant.attrs.iter().any(|a| is_serde_rename(a)) {
+                            out.push(Finding::deny(
+                                &file.path,
+                                variant.line,
+                                self.name(),
+                                format!(
+                                    "`#[serde(rename…)]` on pinned wire enum `{}` changes \
+                                     wire names underneath the manifest — bump the \
+                                     manifest instead",
+                                    item.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // The manifest must not pin phantoms: every entry resolves to a
+        // wire type (and every variant entry to its pinned enum variant).
+        for (name, (line, _)) in &manifest.structs {
+            if !wire_types
+                .iter()
+                .any(|i| i.kind == ItemKind::Struct && i.name == *name)
+            {
+                out.push(Finding::deny(
+                    &file.path,
+                    *line,
+                    self.name(),
+                    format!("manifest pins struct `{name}` but no such wire type exists"),
+                ));
+            }
+        }
+        for (name, (line, _)) in &manifest.enums {
+            if !wire_types
+                .iter()
+                .any(|i| i.kind == ItemKind::Enum && i.name == *name)
+            {
+                out.push(Finding::deny(
+                    &file.path,
+                    *line,
+                    self.name(),
+                    format!("manifest pins enum `{name}` but no such wire type exists"),
+                ));
+            }
+        }
+        for ((enum_name, var), (line, _)) in &manifest.variants {
+            let resolves = manifest
+                .enums
+                .get(enum_name)
+                .is_some_and(|(_, pins)| pins.contains(var));
+            if !resolves {
+                out.push(Finding::deny(
+                    &file.path,
+                    *line,
+                    self.name(),
+                    format!(
+                        "manifest variant entry `{enum_name}::{var}` does not match any \
+                         pinned v1 variant of a pinned enum"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Field-level checks shared by structs and struct-variants.
+fn check_fields(
+    path: &str,
+    type_name: &str,
+    fields: &[crate::scope::FieldDef],
+    manifest_line: usize,
+    pinned: &[String],
+    rule: &str,
+    out: &mut Vec<Finding>,
+) {
+    for pin in pinned {
+        if !fields.iter().any(|f| f.name == *pin) {
+            out.push(Finding::deny(
+                path,
+                manifest_line,
+                rule,
+                format!(
+                    "v1 field `{pin}` of `{type_name}` was removed or renamed — a wire \
+                     break for every v1 peer"
+                ),
+            ));
+        }
+    }
+    for field in fields {
+        if field.attrs.iter().any(|a| is_serde_rename(a)) {
+            out.push(Finding::deny(
+                path,
+                field.line,
+                rule,
+                format!(
+                    "`#[serde(rename…)]` on `{type_name}.{}` changes wire names \
+                     underneath the manifest — bump the manifest instead",
+                    field.name
+                ),
+            ));
+        }
+        if pinned.contains(&field.name) {
+            continue;
+        }
+        let optional = field.ty.starts_with("Option<")
+            || field
+                .attrs
+                .iter()
+                .any(|a| a.starts_with("#[serde(") && a.contains("default"));
+        if !optional {
+            out.push(Finding::deny(
+                path,
+                field.line,
+                rule,
+                format!(
+                    "field `{}` of `{type_name}` is newer than v1 but neither `Option` \
+                     nor `#[serde(default)]` — a v1 peer omitting it fails to \
+                     deserialize",
+                    field.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether an item's attributes include a serde derive.
+fn derives_serde(item: &Item) -> bool {
+    item.attrs.iter().any(|a| {
+        a.starts_with("#[derive(") && (a.contains("Serialize") || a.contains("Deserialize"))
+    })
+}
+
+/// Whether an attribute renames on the wire (`rename` / `rename_all`).
+fn is_serde_rename(attr: &str) -> bool {
+    attr.starts_with("#[serde(") && attr.contains("rename")
+}
+
+/// Parses the manifest block out of the file's line comments.
+fn parse_manifest(file: &crate::source::SourceFile) -> Manifest {
+    let mut manifest = Manifest::default();
+    let mut inside = false;
+    for comment in &file.comments {
+        if comment.block || comment.doc {
+            continue;
+        }
+        let text = comment.text.trim_start_matches('/').trim();
+        if text.contains(BEGIN) {
+            inside = true;
+            manifest.found = true;
+            continue;
+        }
+        if text.contains(END) {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        let Some((head, list)) = text.split_once(" v1:") else {
+            continue;
+        };
+        let names: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let entry = (comment.line, names);
+        if let Some(name) = head.trim().strip_prefix("struct ") {
+            manifest.structs.insert(name.trim().to_string(), entry);
+        } else if let Some(name) = head.trim().strip_prefix("enum ") {
+            manifest.enums.insert(name.trim().to_string(), entry);
+        } else if let Some(path) = head.trim().strip_prefix("variant ") {
+            if let Some((enum_name, var)) = path.trim().split_once("::") {
+                manifest
+                    .variants
+                    .insert((enum_name.to_string(), var.to_string()), entry);
+            }
+        }
+    }
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::Workspace;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_files(vec![SourceFile::from_source(MANIFEST_FILE, src)]);
+        let mut out = Vec::new();
+        SerdeCompat.check(&ws, &mut out);
+        out
+    }
+
+    const HEADER: &str = "// ddtr-lint: serde-compat begin\n\
+         // struct Job v1: id, mode\n\
+         // enum Ev v1: Done, Fail\n\
+         // variant Ev::Fail v1: error\n\
+         // ddtr-lint: serde-compat end\n";
+
+    #[test]
+    fn compatible_evolution_passes() {
+        let src = format!(
+            "{HEADER}\
+             #[derive(Serialize, Deserialize)]\n\
+             pub struct Job {{ pub id: String, pub mode: String, pub extra: Option<u32>,\n\
+             #[serde(default)]\n pub more: bool }}\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum Ev {{ Done, Fail {{ error: String }}, New {{ anything: u64 }} }}\n"
+        );
+        assert!(check(&src).is_empty(), "{:?}", check(&src));
+    }
+
+    #[test]
+    fn new_field_without_default_denies() {
+        let src = format!(
+            "{HEADER}\
+             #[derive(Serialize, Deserialize)]\n\
+             pub struct Job {{ pub id: String, pub mode: String, pub extra: u32 }}\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum Ev {{ Done, Fail {{ error: String }} }}\n"
+        );
+        let out = check(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`extra`"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("serde(default)"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn removed_pinned_field_and_variant_deny_at_the_manifest() {
+        let src = format!(
+            "{HEADER}\
+             #[derive(Serialize, Deserialize)]\n\
+             pub struct Job {{ pub id: String }}\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum Ev {{ Done }}\n"
+        );
+        let out = check(&src);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`mode`") && m.contains("removed")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("Ev::Fail") && m.contains("removed")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn unpinned_wire_types_and_missing_manifest_deny() {
+        let out = check("#[derive(Serialize, Deserialize)]\npub struct Job { pub id: String }\n");
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("no serde-compat manifest")));
+        let src = format!(
+            "{HEADER}\
+             #[derive(Serialize, Deserialize)]\n\
+             pub struct Job {{ pub id: String, pub mode: String }}\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum Ev {{ Done, Fail {{ error: String }} }}\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub struct Sneaky {{ pub x: u32 }}\n"
+        );
+        let out = check(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`Sneaky`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn serde_rename_denies() {
+        let src = format!(
+            "{HEADER}\
+             #[derive(Serialize, Deserialize)]\n\
+             pub struct Job {{ pub id: String, #[serde(rename = \"m\")] pub mode: String }}\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum Ev {{ Done, Fail {{ error: String }} }}\n"
+        );
+        let out = check(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("rename"), "{}", out[0].message);
+    }
+}

@@ -1,18 +1,24 @@
 //! Source loading and lexical preprocessing.
 //!
 //! Every rule works on a [`SourceFile`]: the raw lines of one `.rs` file
-//! plus a *code view* of the same lines in which comment text and the
+//! plus the [`crate::lex`] token stream, the [`crate::scope`] item tree,
+//! and a *code view* of the same lines in which comment text and the
 //! contents of string/char literals are blanked out. Rules match tokens
-//! against the code view, so `partial_cmp` inside a doc comment or a
-//! string constant can never produce a finding — which is also what lets
-//! this crate's own rule sources pass the rules they implement.
+//! against the code view (or walk the token stream directly), so
+//! `partial_cmp` inside a doc comment or a string constant can never
+//! produce a finding — which is also what lets this crate's own rule
+//! sources pass the rules they implement.
 //!
-//! The preprocessing is deliberately lexical (no `syn`, no full parser),
-//! mirroring the hand-written vendored serde derive: it tracks line
-//! comments, nested block comments, plain/raw/byte string literals and
-//! char-vs-lifetime quotes, which is enough to make token scans reliable
-//! on rustfmt-formatted sources.
+//! Since PR 8 the preprocessing is a real single-pass lexer rather than
+//! a per-line blanking state machine: raw strings spanning lines, nested
+//! block comments, `'\''` char literals and doc comments all tokenize
+//! exactly, the code view is *rebuilt from the token stream* (so the two
+//! can never disagree), waivers are read from comment trivia, and
+//! `#[cfg(test)]` regions come from the item parser instead of a brace
+//! counter over text.
 
+use crate::lex::{self, Comment, Lexed, Tok, TokKind};
+use crate::scope::FileScope;
 use std::path::Path;
 
 /// One waiver comment: `// ddtr-lint: allow(<rule>) — <reason>`.
@@ -37,12 +43,19 @@ pub struct SourceFile {
     /// The file's lines, verbatim.
     pub raw: Vec<String>,
     /// The lines with comments and literal contents blanked (quote
-    /// delimiters are kept so token boundaries survive).
+    /// delimiters are kept so token boundaries survive). Rebuilt from
+    /// the token stream.
     pub code: Vec<String>,
     /// Per line: whether it falls inside a `#[cfg(test)]` item.
     pub in_test: Vec<bool>,
     /// Waiver comments, in line order.
     pub waivers: Vec<Waiver>,
+    /// The token stream.
+    pub tokens: Vec<Tok>,
+    /// Comment trivia, in source order.
+    pub comments: Vec<Comment>,
+    /// Parsed items (functions, types, impls, mods).
+    pub scope: FileScope,
 }
 
 impl SourceFile {
@@ -62,15 +75,20 @@ impl SourceFile {
     #[must_use]
     pub fn from_source(rel: &str, text: &str) -> SourceFile {
         let raw: Vec<String> = text.lines().map(str::to_string).collect();
-        let code = strip_comments_and_literals(&raw);
-        let in_test = mark_cfg_test(&code);
-        let waivers = collect_waivers(&raw, &code);
+        let Lexed { tokens, comments } = lex::lex(text);
+        let scope = FileScope::parse(&tokens);
+        let code = code_view(&raw, &tokens);
+        let in_test = mark_cfg_test(raw.len(), &scope);
+        let waivers = collect_waivers(&comments, &code);
         SourceFile {
             path: rel.to_string(),
             raw,
             code,
             in_test,
             waivers,
+            tokens,
+            comments,
+            scope,
         }
     }
 
@@ -87,218 +105,72 @@ impl SourceFile {
     }
 }
 
-/// Lexer state carried across lines.
-enum State {
-    Code,
-    /// Nested block comment at the given depth.
-    Block(usize),
-    /// Plain (escaped) string literal.
-    Str,
-    /// Raw string literal terminated by `"` plus this many `#`s.
-    RawStr(usize),
-}
-
-/// Blanks comments and literal contents, preserving delimiters and line
-/// lengths so column-free token scans stay honest.
-fn strip_comments_and_literals(raw: &[String]) -> Vec<String> {
-    let mut state = State::Code;
-    let mut out = Vec::with_capacity(raw.len());
-    for line in raw {
-        let bytes: Vec<char> = line.chars().collect();
-        let mut cooked = String::with_capacity(line.len());
-        let mut i = 0;
-        while i < bytes.len() {
-            match state {
-                State::Block(depth) => {
-                    if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
-                        state = State::Block(depth + 1);
-                        cooked.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                        state = if depth == 1 {
-                            State::Code
-                        } else {
-                            State::Block(depth - 1)
-                        };
-                        cooked.push_str("  ");
-                        i += 2;
-                    } else {
-                        cooked.push(' ');
-                        i += 1;
-                    }
-                }
-                State::Str => {
-                    if bytes[i] == '\\' {
-                        cooked.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '"' {
-                        state = State::Code;
-                        cooked.push('"');
-                        i += 1;
-                    } else {
-                        cooked.push(' ');
-                        i += 1;
-                    }
-                }
-                State::RawStr(hashes) => {
-                    if bytes[i] == '"' && has_hashes(&bytes, i + 1, hashes) {
-                        state = State::Code;
-                        cooked.push('"');
-                        for _ in 0..hashes {
-                            cooked.push(' ');
-                        }
-                        i += 1 + hashes;
-                    } else {
-                        cooked.push(' ');
-                        i += 1;
-                    }
-                }
-                State::Code => {
-                    let c = bytes[i];
-                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
-                        // Line comment: blank the rest of the line.
-                        break;
-                    }
-                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
-                        state = State::Block(1);
-                        cooked.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    // Raw / byte-raw string openers: r"", r#""#, br"", ...
-                    if (c == 'r' || c == 'b') && !prev_is_ident(&bytes, i) {
-                        let mut j = i + 1;
-                        if c == 'b' && bytes.get(j) == Some(&'r') {
-                            j += 1;
-                        }
-                        if c == 'r' || j > i + 1 {
-                            let mut hashes = 0;
-                            while bytes.get(j + hashes) == Some(&'#') {
-                                hashes += 1;
-                            }
-                            if bytes.get(j + hashes) == Some(&'"') {
-                                for _ in i..=(j + hashes) {
-                                    cooked.push(' ');
-                                }
-                                cooked.pop();
-                                cooked.push('"');
-                                state = State::RawStr(hashes);
-                                i = j + hashes + 1;
-                                continue;
-                            }
-                        }
-                    }
-                    if c == '"' {
-                        // Plain or byte string literal.
-                        state = State::Str;
-                        cooked.push('"');
-                        i += 1;
-                        continue;
-                    }
-                    if c == '\'' {
-                        // Char literal vs lifetime: 'x' / '\n' are
-                        // literals, 'static is a lifetime.
-                        if bytes.get(i + 1) == Some(&'\\') {
-                            let mut j = i + 2;
-                            while j < bytes.len() && bytes[j] != '\'' {
-                                j += 1;
-                            }
-                            for _ in i..=j.min(bytes.len() - 1) {
-                                cooked.push(' ');
-                            }
-                            i = j + 1;
-                            continue;
-                        }
-                        if bytes.get(i + 2) == Some(&'\'') {
-                            cooked.push_str("   ");
-                            i += 3;
-                            continue;
-                        }
-                        cooked.push('\'');
-                        i += 1;
-                        continue;
-                    }
-                    cooked.push(c);
-                    i += 1;
+/// Rebuilds the blanked per-line code view from the token stream: every
+/// non-literal token is written back at its exact column; string
+/// literals keep their opening and closing `"` (token boundaries
+/// survive); char literals and comments blank entirely.
+fn code_view(raw: &[String], tokens: &[Tok]) -> Vec<String> {
+    let mut canvas: Vec<Vec<char>> = raw.iter().map(|l| vec![' '; l.chars().count()]).collect();
+    let mut put = |line: usize, col: usize, c: char| {
+        if let Some(row) = canvas.get_mut(line - 1) {
+            if let Some(slot) = row.get_mut(col) {
+                *slot = c;
+            }
+        }
+    };
+    for tok in tokens {
+        match tok.kind {
+            TokKind::Str => {
+                put(tok.line, tok.col, '"');
+                put(tok.end_line, tok.end_col, '"');
+            }
+            TokKind::Char => {}
+            _ => {
+                for (k, c) in tok.text.chars().enumerate() {
+                    put(tok.line, tok.col + k, c);
                 }
             }
         }
-        // A line comment inside State::Code breaks out early; everything
-        // before the `//` is already in `cooked`.
-        out.push(cooked);
     }
-    out
+    canvas
+        .into_iter()
+        .map(|row| {
+            let mut s: String = row.into_iter().collect();
+            s.truncate(s.trim_end().len());
+            s
+        })
+        .collect()
 }
 
-fn has_hashes(bytes: &[char], from: usize, count: usize) -> bool {
-    (0..count).all(|k| bytes.get(from + k) == Some(&'#'))
-}
-
-fn prev_is_ident(bytes: &[char], i: usize) -> bool {
-    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
-}
-
-/// Marks every line belonging to a `#[cfg(test)]` item (in practice: the
-/// `mod tests` block) so boundary rules can skip test-only panics.
-fn mark_cfg_test(code: &[String]) -> Vec<bool> {
-    let mut flags = vec![false; code.len()];
-    let mut i = 0;
-    while i < code.len() {
-        if code[i].trim_start().starts_with("#[cfg(test)]") {
-            // Find the opening brace of the annotated item; a `mod x;`
-            // (no body in this file) has none before the `;`.
-            let mut depth = 0usize;
-            let mut opened = false;
-            'item: for (j, line) in code.iter().enumerate().skip(i) {
-                for c in line.chars() {
-                    match c {
-                        ';' if !opened => break 'item,
-                        '{' => {
-                            opened = true;
-                            depth += 1;
-                        }
-                        '}' => {
-                            depth = depth.saturating_sub(1);
-                            if opened && depth == 0 {
-                                flags[i..=j].iter_mut().for_each(|f| *f = true);
-                                i = j;
-                                break 'item;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                flags[j] = opened;
-            }
+/// Marks every line belonging to a `#[cfg(test)]` (or `#[test]`) item,
+/// from its first attribute line to its closing brace.
+fn mark_cfg_test(n_lines: usize, scope: &FileScope) -> Vec<bool> {
+    let mut flags = vec![false; n_lines];
+    for item in &scope.items {
+        if item.is_test {
+            let from = item.start_line.saturating_sub(1);
+            let to = item.end_line.min(n_lines);
+            flags[from..to].iter_mut().for_each(|f| *f = true);
         }
-        i += 1;
     }
     flags
 }
 
-/// Parses `ddtr-lint: allow(<rule>)` waiver comments out of the raw lines.
+/// Parses `ddtr-lint: allow(<rule>)` waivers out of the comment trivia.
 ///
-/// Only real `//` line comments count: the comment is located through the
-/// code view (which truncates at `//` but blanks string contents without
-/// truncating), so a waiver-shaped string literal is never a waiver, and
-/// `///` / `//!` doc comments are skipped so documentation can show the
-/// syntax without waiving anything.
-fn collect_waivers(raw: &[String], code: &[String]) -> Vec<Waiver> {
+/// Only real `//` line comments count: a waiver-shaped string literal is
+/// a string, not a comment, and `///` / `//!` doc comments are skipped
+/// so documentation can show the syntax without waiving anything.
+fn collect_waivers(comments: &[Comment], code: &[String]) -> Vec<Waiver> {
     let mut waivers = Vec::new();
-    for (idx, line) in raw.iter().enumerate() {
-        let code_chars = code.get(idx).map_or(0, |c| c.chars().count());
-        if code_chars >= line.chars().count() {
-            continue; // no line comment on this line
-        }
-        let comment: String = line.chars().skip(code_chars).collect();
-        let comment = comment.as_str();
-        if comment.starts_with("///") || comment.starts_with("//!") {
+    for comment in comments {
+        if comment.doc || comment.block {
             continue;
         }
-        let Some(at) = comment.find("ddtr-lint: allow(") else {
+        let Some(at) = comment.text.find("ddtr-lint: allow(") else {
             continue;
         };
-        let rest = &comment[at + "ddtr-lint: allow(".len()..];
+        let rest = &comment.text[at + "ddtr-lint: allow(".len()..];
         let Some(close) = rest.find(')') else {
             continue;
         };
@@ -308,6 +180,7 @@ fn collect_waivers(raw: &[String], code: &[String]) -> Vec<Waiver> {
             .trim();
         // A waiver trailing code covers its own line; a standalone waiver
         // comment covers the next line that carries code.
+        let idx = comment.line - 1;
         let own_code = code.get(idx).map_or("", String::as_str);
         let applies_to = if own_code.trim().is_empty() {
             (idx + 1..code.len())
@@ -318,7 +191,7 @@ fn collect_waivers(raw: &[String], code: &[String]) -> Vec<Waiver> {
         };
         waivers.push(Waiver {
             rule,
-            line: idx + 1,
+            line: comment.line,
             applies_to,
             has_reason: !reason.is_empty(),
         });
@@ -397,6 +270,23 @@ mod tests {
     }
 
     #[test]
+    fn multi_line_raw_strings_stay_blank_in_the_code_view() {
+        let src = "let q = r##\"first\n.unwrap() \"# still inside\nreal end\"##;\nx.iter();\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(!f.code.join("\n").contains(".unwrap()"));
+        assert!(f.code[3].contains("x.iter()"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_leaves_no_stray_quote() {
+        // The old line blanker consumed `'\''` short by one char and
+        // leaked a stray `'` into the code view.
+        let f = SourceFile::from_source("x.rs", "let c = '\\''; let after = 1;\n");
+        assert!(!f.code[0].contains('\''), "{:?}", f.code[0]);
+        assert!(f.code[0].contains("let after"));
+    }
+
+    #[test]
     fn cfg_test_regions_are_marked() {
         let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
         let f = SourceFile::from_source("x.rs", src);
@@ -414,6 +304,13 @@ mod tests {
         assert_eq!(f.waivers[0].applies_to, 1);
         assert!(f.waivers[0].has_reason);
         assert_eq!(f.waivers[1].applies_to, 4);
+    }
+
+    #[test]
+    fn waivers_in_strings_and_doc_comments_do_not_count() {
+        let src = "let s = \"// ddtr-lint: allow(float-ord) — not real\";\n/// // ddtr-lint: allow(det-iter) — docs showing syntax\nfn f() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.waivers.is_empty(), "{:?}", f.waivers);
     }
 
     #[test]

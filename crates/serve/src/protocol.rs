@@ -28,6 +28,29 @@ use serde::{Deserialize, Serialize};
 /// and reject nothing by version yet (there is only one).
 pub const PROTOCOL_VERSION: u32 = 1;
 
+// The serde-compat manifest: the v1 wire shape, pinned. `ddtr-lint`
+// cross-checks it against the types below both ways — removing or
+// renaming anything listed here is a wire break and fails CI; fields
+// added since v1 (`JobSpec.mem`, `Event::Stats.metrics`) must stay
+// optional, and enum variants beyond the lists (`Metrics`, `Cell`) are
+// additive. Bump deliberately by editing this block in the same commit.
+//
+// ddtr-lint: serde-compat begin
+// struct Request v1: id, body
+// enum RequestBody v1: Ping, Stats, Run, Cancel, Shutdown
+// variant RequestBody::Cancel v1: target
+// struct JobSpec v1: inline, mode, app, quick, extended, stream, base, scenarios, packets, seed
+// enum Event v1: Hello, Pong, Queued, Running, Result, Stats, Cancelled, Error, Bye
+// variant Event::Hello v1: protocol, server, jobs
+// variant Event::Pong v1: id
+// variant Event::Queued v1: id
+// variant Event::Running v1: id, done, total
+// variant Event::Result v1: id, executed, cache_hits, result
+// variant Event::Stats v1: id, stats, jobs
+// variant Event::Cancelled v1: id
+// variant Event::Error v1: id, error
+// ddtr-lint: serde-compat end
+
 /// One client → server line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
