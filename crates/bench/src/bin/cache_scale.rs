@@ -1,0 +1,126 @@
+//! CI gate for the pile store's scale contracts, merging its
+//! measurements into `BENCH_explore.json`:
+//!
+//! * builds 10k- and 100k-entry stores and times `PileStore::open` —
+//!   warm open of the 100k store must finish under 50ms and within 2x
+//!   the 10k time (opening reads segment headers, never the records),
+//! * runs a quick DRR explore cold then warm over one store directory
+//!   and asserts the warm run executes zero simulations.
+//!
+//! Run with `cargo run -p ddtr_bench --bin cache_scale --release`.
+//! A violated gate panics, so the process exits non-zero under CI.
+
+use ddtr_apps::AppKind;
+use ddtr_core::{EngineConfig, ExploreEngine, Methodology, MethodologyConfig};
+use ddtr_engine::timing::{time_secs, BenchReport};
+use ddtr_engine::PileStore;
+use std::path::Path;
+
+/// Warm open of the 100k-entry store must beat this outright.
+const WARM_OPEN_CEILING_SECS: f64 = 0.050;
+
+/// Below this, open times are timer noise — the 2x ratio gate only
+/// applies above the floor.
+const RATIO_FLOOR_SECS: f64 = 0.005;
+
+/// Fills `dir` with `n` synthetic records shaped like real cache lines.
+fn build_store(dir: &Path, n: usize) {
+    let mut store = PileStore::open(dir).expect("store opens");
+    let payload = vec![b'x'; 160];
+    for i in 0..n {
+        store
+            .append(format!("bench-key-{i:06}").as_bytes(), &payload)
+            .expect("append");
+    }
+    store.flush().expect("flush");
+}
+
+/// Seconds to open the store (headers only — no index, no records).
+fn open_secs(dir: &Path) -> f64 {
+    time_secs(|| drop(PileStore::open(dir).expect("open"))).1
+}
+
+fn main() {
+    let mut samples: Vec<(String, f64)> = Vec::new();
+    let mut warm_opens: Vec<f64> = Vec::new();
+    println!("# pile store scale gates\n");
+    for (n, tag) in [(10_000usize, "10k"), (100_000usize, "100k")] {
+        let dir =
+            std::env::temp_dir().join(format!("ddtr-cache-scale-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (_, build) = time_secs(|| build_store(&dir, n));
+        let cold = open_secs(&dir);
+        let warm = (0..5)
+            .map(|_| open_secs(&dir))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{n:>7} entries   built {build:7.3}s   cold open {:8.1}us   warm open {:8.1}us",
+            cold * 1e6,
+            warm * 1e6
+        );
+        samples.push((format!("store cold open {tag}"), cold));
+        samples.push((format!("store warm open {tag}"), warm));
+        warm_opens.push(warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let (warm_10k, warm_100k) = (warm_opens[0], warm_opens[1]);
+    assert!(
+        warm_100k < WARM_OPEN_CEILING_SECS,
+        "warm open of the 100k store took {warm_100k:.4}s, over the {WARM_OPEN_CEILING_SECS}s \
+         ceiling — open is no longer O(segments)"
+    );
+    let bound = (2.0 * warm_10k).max(RATIO_FLOOR_SECS);
+    assert!(
+        warm_100k <= bound,
+        "warm open grew with store size: 100k {warm_100k:.6}s > max(2x 10k, floor) {bound:.6}s"
+    );
+    println!(
+        "\nwarm open 100k/10k ratio {:.2} (gate: <= 2x above a {RATIO_FLOOR_SECS}s floor)",
+        warm_100k / warm_10k
+    );
+
+    // Warm replay through the full engine: a second engine over the same
+    // store directory must execute nothing.
+    println!("\n## quick DRR explore over one store directory\n");
+    let dir = std::env::temp_dir().join(format!("ddtr-cache-scale-explore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine_cfg = EngineConfig {
+        jobs: 0,
+        cache_dir: Some(dir.clone()),
+        no_cache: false,
+    };
+    let cfg = MethodologyConfig::quick(AppKind::Drr);
+    let mut cold_engine = ExploreEngine::new(engine_cfg.clone()).expect("cold engine");
+    let (_, cold) = time_secs(|| {
+        Methodology::new(cfg.clone())
+            .run_with(&mut cold_engine)
+            .expect("cold explore")
+    });
+    let mut warm_engine = ExploreEngine::new(engine_cfg).expect("warm engine");
+    let (outcome, warm) = time_secs(|| {
+        Methodology::new(cfg)
+            .run_with(&mut warm_engine)
+            .expect("warm explore")
+    });
+    assert_eq!(
+        outcome.engine.executed, 0,
+        "warm explore over the shared store must execute nothing"
+    );
+    println!("cold {cold:8.3}s   warm {warm:8.3}s   executed=0 warm");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Merge the open-time samples into BENCH_explore.json so the CI
+    // artifact carries them even when perf_baseline did not run.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_explore.json");
+    let mut report = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<BenchReport>(&s).ok())
+        .unwrap_or_else(|| BenchReport::new("explore wall-clock (engine)"));
+    report.samples.retain(|s| !s.label.starts_with("store "));
+    for (label, secs) in samples {
+        report.push(label, secs);
+    }
+    let json = report.to_json().expect("report serialises");
+    std::fs::write(&path, format!("{json}\n")).expect("BENCH_explore.json is writable");
+    println!("\nmerged store samples into {}", path.display());
+}

@@ -7,7 +7,9 @@
 //!   asserting the Pareto front is byte-identical across worker counts, and
 //! * streamed single DRR simulations at 100k and 1M packets — the
 //!   constant-memory scaling path (packets generated on the fly, never
-//!   materialized).
+//!   materialized), and
+//! * pile-store open latency at 10k and 100k entries — the O(1)
+//!   warm-open contract (opening reads segment headers, never records).
 //!
 //! Run with `cargo run -p ddtr_bench --bin perf_baseline --release`.
 
@@ -17,6 +19,7 @@ use ddtr_core::{
 };
 use ddtr_ddt::DdtKind;
 use ddtr_engine::timing::{time_secs, BenchReport};
+use ddtr_engine::PileStore;
 use ddtr_mem::MemoryConfig;
 use ddtr_trace::{NetworkPreset, StreamSpec};
 use std::path::Path;
@@ -25,6 +28,23 @@ fn explore(engine: &mut ExploreEngine, cfg: &MethodologyConfig) -> MethodologyOu
     Methodology::new(cfg.clone())
         .run_with(engine)
         .expect("exploration runs")
+}
+
+/// Fills `dir` with `n` synthetic records shaped like real cache lines.
+fn build_store(dir: &Path, n: usize) {
+    let mut store = PileStore::open(dir).expect("store opens");
+    let payload = vec![b'x'; 160];
+    for i in 0..n {
+        store
+            .append(format!("bench-key-{i:06}").as_bytes(), &payload)
+            .expect("append");
+    }
+    store.flush().expect("flush");
+}
+
+/// Seconds to open the store (headers only — no index, no records).
+fn open_secs(dir: &Path) -> f64 {
+    time_secs(|| drop(PileStore::open(dir).expect("open"))).1
 }
 
 fn main() {
@@ -113,6 +133,30 @@ fn main() {
         );
         assert!(log.report.accesses > 0);
         report.push(format!("drr streamed {packets} packets"), secs);
+    }
+
+    // Pile-store open latency: opening reads one header page per segment
+    // and nothing else, so the time must stay flat as the store grows
+    // 10x. Cold is the first open after the writer dropped; warm is the
+    // best of five repeats.
+    println!("\n## pile store open latency\n");
+    for (n, tag) in [(10_000usize, "10k"), (100_000usize, "100k")] {
+        let dir =
+            std::env::temp_dir().join(format!("ddtr-perf-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (_, build) = time_secs(|| build_store(&dir, n));
+        let cold = open_secs(&dir);
+        let warm = (0..5)
+            .map(|_| open_secs(&dir))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{n:>7} entries   built {build:7.3}s   cold open {:8.1}us   warm open {:8.1}us",
+            cold * 1e6,
+            warm * 1e6
+        );
+        report.push(format!("store cold open {tag}"), cold);
+        report.push(format!("store warm open {tag}"), warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_explore.json");

@@ -13,7 +13,7 @@
 //! ddtr ga       <app> [--extended]    # heuristic (NSGA-II) exploration
 //! ddtr scenarios [<app>]              # app x scenario Pareto matrix
 //! ddtr sweep    [<app>] [--mem p,…]   # scenarios x platforms sweep
-//! ddtr cache    stats|clear           # inspect / drop the result cache
+//! ddtr cache    stats|verify|compact|… # manage the persistent result store
 //! ddtr serve    [--listen EP]         # resident exploration service
 //! ddtr query    <EP> <mode> [app]     # ask a running service
 //! ```
@@ -96,7 +96,8 @@ usage:
                [--packets N] [--mem <preset>] [engine flags]
   ddtr sweep   [<route|url|ipchains|drr|nat>] [--quick] [--extended] [--base <preset>]
                [--packets N] [--mem <preset>,...] [--scenario <name>]... [engine flags]
-  ddtr cache   stats|clear [--cache-dir <dir>]
+  ddtr cache   stats|clear|verify|compact [--cache-dir <dir>]
+  ddtr cache   import|export <file.jsonl> [--cache-dir <dir>]
   ddtr serve   [--listen stdio|tcp:<addr>|unix:<path>] [engine flags]
   ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|sweep|headline|metrics> [app]
                [--quick] [--extended] [--stream] [--base <preset>] [--packets N]
@@ -935,18 +936,22 @@ fn query(rest: &[&String]) -> Result<(), String> {
 }
 
 fn cache(rest: &[&String]) -> Result<(), String> {
-    let action = rest.first().ok_or("cache needs `stats` or `clear`")?;
+    let action = rest
+        .first()
+        .ok_or("cache needs `stats`, `clear`, `verify`, `compact`, `import` or `export`")?;
     let dir = cache_dir_of(rest)?;
     match action.as_str() {
         "stats" => {
             let (entries, bytes) = SimCache::inspect(&dir).map_err(|e| e.to_string())?;
             println!("cache dir : {}", dir.display());
-            println!(
-                "store     : {}",
-                Path::new(ddtr_engine::CACHE_FILE).display()
-            );
             println!("entries   : {entries}");
             println!("size      : {bytes} bytes");
+            if dir.exists() {
+                let stats = SimCache::store_stats(&dir).map_err(|e| e.to_string())?;
+                println!("segments  : {}", stats.segments);
+                println!("records   : {}", stats.records);
+                println!("generation: {}", stats.generation);
+            }
             Ok(())
         }
         "clear" => {
@@ -956,6 +961,61 @@ fn cache(rest: &[&String]) -> Result<(), String> {
             } else {
                 println!("no result cache under {}", dir.display());
             }
+            Ok(())
+        }
+        "verify" => {
+            let report = SimCache::verify_store(&dir).map_err(|e| e.to_string())?;
+            for seg in &report.segments {
+                println!(
+                    "segment {} : gen={} committed={} ok={} bytes={}",
+                    seg.name, seg.generation, seg.committed_records, seg.records_ok, seg.data_bytes
+                );
+                for issue in &seg.issues {
+                    println!("  corrupt: {issue}");
+                }
+            }
+            println!(
+                "verified  : {} records ok, {} issue(s)",
+                report.records_ok(),
+                report.issue_count()
+            );
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "store under {} has {} corruption issue(s) — see above; \
+                     `ddtr cache compact` rewrites the store keeping only verified records",
+                    dir.display(),
+                    report.issue_count()
+                ))
+            }
+        }
+        "compact" => {
+            let report = SimCache::compact_store(&dir).map_err(|e| e.to_string())?;
+            println!(
+                "compacted : {} records in -> {} out, {} segment(s) removed, generation {}",
+                report.records_in, report.records_out, report.segments_removed, report.generation
+            );
+            Ok(())
+        }
+        "import" => {
+            let file = rest
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("cache import needs a JSONL file path")?;
+            let count = SimCache::import_store(&dir, Path::new(file.as_str()))
+                .map_err(|e| e.to_string())?;
+            println!("imported  : {count} entries from {file}");
+            Ok(())
+        }
+        "export" => {
+            let file = rest
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("cache export needs an output file path")?;
+            let count = SimCache::export_store(&dir, Path::new(file.as_str()))
+                .map_err(|e| e.to_string())?;
+            println!("exported  : {count} entries to {file}");
             Ok(())
         }
         other => Err(format!("unknown cache action `{other}`")),
@@ -1365,9 +1425,10 @@ mod tests {
 
     #[test]
     fn cache_dir_persists_across_runs_and_cache_subcommand_manages_it() {
+        use ddtr_engine::testing::TempCacheDir;
         use ddtr_engine::SimCache;
-        let dir = std::env::temp_dir().join(format!("ddtr-cli-cache-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let tmp = TempCacheDir::new("cli-cache");
+        let dir = tmp.path().to_path_buf();
         let dir_str = dir.to_string_lossy().into_owned();
         run(&args(&[
             "explore",
@@ -1393,10 +1454,39 @@ mod tests {
         assert_eq!(entries, entries_after);
         assert_eq!(bytes, bytes_after, "warm run must not re-execute");
         run(&args(&["cache", "stats", "--cache-dir", &dir_str])).expect("stats");
+        run(&args(&["cache", "verify", "--cache-dir", &dir_str])).expect("verify clean");
+        // Export -> import into a fresh directory preserves every entry.
+        let dump = tmp.join("dump.jsonl");
+        let dump_str = dump.to_string_lossy().into_owned();
+        run(&args(&[
+            "cache",
+            "export",
+            &dump_str,
+            "--cache-dir",
+            &dir_str,
+        ]))
+        .expect("export");
+        let fresh = TempCacheDir::new("cli-cache-import");
+        let fresh_str = fresh.path().to_string_lossy().into_owned();
+        run(&args(&[
+            "cache",
+            "import",
+            &dump_str,
+            "--cache-dir",
+            &fresh_str,
+        ]))
+        .expect("import");
+        let (imported, _) = SimCache::inspect(fresh.path()).expect("inspect import");
+        assert_eq!(imported, entries, "export/import preserves entries");
+        // Compaction keeps the distinct entries.
+        run(&args(&["cache", "compact", "--cache-dir", &dir_str])).expect("compact");
+        let (compacted, _) = SimCache::inspect(&dir).expect("inspect compacted");
+        assert_eq!(compacted, entries);
         run(&args(&["cache", "clear", "--cache-dir", &dir_str])).expect("clear");
         assert_eq!(SimCache::inspect(&dir).expect("inspect"), (0, 0));
         let err = run(&args(&["cache", "frobnicate"])).unwrap_err();
         assert!(err.contains("frobnicate"));
-        let _ = std::fs::remove_dir_all(&dir);
+        let err = run(&args(&["cache", "import", "--cache-dir", &dir_str])).unwrap_err();
+        assert!(err.contains("JSONL"), "{err}");
     }
 }

@@ -689,13 +689,12 @@ mod tests {
 
     #[test]
     fn persistent_engine_replays_across_instances() {
-        let dir = std::env::temp_dir().join(format!("ddtr-engine-replay-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let tmp = crate::testing::TempCacheDir::new("engine-replay");
         let trace = NetworkPreset::DartmouthBerry.generate(40);
         let params = AppParams::default();
         let units = units_for(&trace, &params, &combos());
         let cfg = EngineConfig {
-            cache_dir: Some(dir.clone()),
+            cache_dir: Some(tmp.path().to_path_buf()),
             ..EngineConfig::default()
         };
         let cold = ExploreEngine::new(cfg.clone())
@@ -711,6 +710,5 @@ mod tests {
             assert_eq!(a.report.accesses, b.report.accesses);
             assert_eq!(a.report.energy_nj, b.report.energy_nj);
         }
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

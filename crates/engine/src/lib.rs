@@ -10,9 +10,11 @@
 //! * [`run_ordered`] — a work-stealing scheduler with deterministic result
 //!   ordering: the same batch yields byte-identical output at any worker
 //!   count (`--jobs N` on the CLI).
-//! * [`CacheKey`] / [`SimCache`] — a content-addressed result cache with a
-//!   JSON-lines disk store, making re-exploration incremental: a warm
-//!   re-run answers from the cache instead of re-simulating.
+//! * [`CacheKey`] / [`SimCache`] — a content-addressed result cache backed
+//!   by the [`store`] pile format (page-aligned segments, verified on
+//!   read, O(1) warm open; JSON-lines kept as the import/export
+//!   interchange), making re-exploration incremental: a warm re-run
+//!   answers from the cache instead of re-simulating.
 //! * [`ExploreEngine::evaluate_batch`] — the batched evaluation API the
 //!   steps, the GA population loop and the bench harness all share
 //!   (cancellable via [`ExploreEngine::try_evaluate_batch`] and a
@@ -54,6 +56,8 @@ mod key;
 mod scheduler;
 mod session;
 mod sim;
+pub mod store;
+pub mod testing;
 pub mod timing;
 
 pub use cache::{CacheStats, SimCache, CACHE_FILE};
@@ -68,3 +72,4 @@ pub use session::{
     BatchControl, BatchProgress, CancelToken, Cancelled, EngineSession, JobsPermit, JobsPool,
 };
 pub use sim::{SimLog, Simulator};
+pub use store::{CompactReport, PileStore, StoreError, StoreIssue, StoreStats, VerifyReport};

@@ -1,0 +1,75 @@
+//! Test support: scoped temporary cache directories.
+//!
+//! Test suites used to hand-roll `std::env::temp_dir().join(...)` paths
+//! (or worse, share a working-directory `.ddtr-cache`), which leaked
+//! state between runs and across suites. [`TempCacheDir`] gives every
+//! test its own directory and removes it on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// An RAII temporary directory for cache/store tests: unique per process
+/// *and* per instantiation, created on construction, recursively removed
+/// on drop.
+///
+/// ```
+/// let tmp = ddtr_engine::testing::TempCacheDir::new("doc");
+/// assert!(tmp.path().is_dir());
+/// ```
+#[derive(Debug)]
+pub struct TempCacheDir {
+    path: PathBuf,
+}
+
+impl TempCacheDir {
+    /// Creates a fresh directory under the system temp dir. `tag` keeps
+    /// leftovers attributable when a crashed test skips `Drop`.
+    #[must_use]
+    pub fn new(tag: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("ddtr-test-{tag}-{}-{id}", std::process::id()));
+        // A stale directory from a crashed previous run must not leak
+        // cache state into this test.
+        let _ = std::fs::remove_dir_all(&path);
+        let _ = std::fs::create_dir_all(&path);
+        TempCacheDir { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    #[must_use]
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempCacheDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_are_unique_and_cleaned_up() {
+        let first = TempCacheDir::new("unit");
+        let second = TempCacheDir::new("unit");
+        assert_ne!(first.path(), second.path());
+        assert!(first.path().is_dir());
+        let kept = first.path().to_path_buf();
+        drop(first);
+        assert!(!kept.exists(), "drop removes the directory");
+        assert!(second.path().is_dir());
+    }
+}

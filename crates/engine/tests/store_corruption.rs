@@ -1,0 +1,254 @@
+//! Corruption-injection suite for the pile store.
+//!
+//! Each test builds a healthy store, damages it the way real disks and
+//! crashes do — torn tail, flipped bit, zeroed file, stale version —
+//! and then proves the contract: the damage is *detected* on read,
+//! *quarantined* with a structured issue, and never panics or serves
+//! bad bytes. `SimCache::verify_store` (the engine behind
+//! `ddtr cache verify`) must report every injected fault.
+
+use ddtr_engine::store::format::{PAGE, REC_HEADER_LEN, SEG_HEADER_LEN};
+use ddtr_engine::store::CorruptKind;
+use ddtr_engine::testing::TempCacheDir;
+use ddtr_engine::{fnv1a64, PileStore, SimCache};
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Fixed-size keys/payloads so every record is exactly `RECORD` bytes
+/// and offsets are computable: header 24 + key 7 + payload 11 = 42,
+/// padded to 48.
+const RECORD: u64 = 48;
+const ENTRIES: u64 = 10;
+
+fn key_of(i: u64) -> String {
+    format!("key-{i:03}")
+}
+
+fn payload_of(i: u64) -> String {
+    format!("payload-{i:03}")
+}
+
+/// Builds a published single-segment store with [`ENTRIES`] records and
+/// returns the segment file's path.
+fn build_store(dir: &Path) -> PathBuf {
+    let mut store = PileStore::open(dir).expect("open");
+    for i in 0..ENTRIES {
+        store
+            .append(key_of(i).as_bytes(), payload_of(i).as_bytes())
+            .expect("append");
+    }
+    drop(store); // publishes
+    let seg = std::fs::read_dir(dir)
+        .expect("read dir")
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "ddts"))
+        .expect("one segment");
+    assert_eq!(
+        std::fs::metadata(&seg).expect("meta").len(),
+        PAGE + ENTRIES * RECORD,
+        "fixed-layout premise of this suite"
+    );
+    seg
+}
+
+fn patch(path: &Path, offset: u64, bytes: &[u8]) {
+    let mut f = OpenOptions::new().write(true).open(path).expect("open rw");
+    f.seek(SeekFrom::Start(offset)).expect("seek");
+    f.write_all(bytes).expect("patch");
+}
+
+fn kinds(report: &ddtr_engine::VerifyReport) -> Vec<CorruptKind> {
+    report
+        .segments
+        .iter()
+        .flat_map(|s| s.issues.iter().map(|i| i.kind))
+        .collect()
+}
+
+#[test]
+fn truncated_tail_record_is_detected_and_rest_stays_readable() {
+    let tmp = TempCacheDir::new("corrupt-trunc");
+    let seg = build_store(tmp.path());
+    // A crash tore the last record: the file ends 20 bytes into it.
+    let torn_len = PAGE + (ENTRIES - 1) * RECORD + 20;
+    OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .expect("open rw")
+        .set_len(torn_len)
+        .expect("truncate");
+
+    let mut store = PileStore::open(tmp.path()).expect("open survives");
+    for i in 0..ENTRIES - 1 {
+        assert_eq!(
+            store.get(key_of(i).as_bytes()).expect("get"),
+            Some(payload_of(i).into_bytes()),
+            "records before the tear stay readable"
+        );
+    }
+    assert_eq!(
+        store.get(key_of(ENTRIES - 1).as_bytes()).expect("get"),
+        None,
+        "the torn record reads as a miss, not garbage"
+    );
+    assert!(
+        store
+            .issues()
+            .iter()
+            .any(|i| i.kind == CorruptKind::Truncated),
+        "the tear is recorded as a structured issue: {:?}",
+        store.issues()
+    );
+    let report = SimCache::verify_store(tmp.path()).expect("verify runs");
+    assert!(!report.is_clean());
+    assert_eq!(report.records_ok(), ENTRIES - 1);
+    assert!(kinds(&report).contains(&CorruptKind::Truncated));
+}
+
+#[test]
+fn flipped_payload_byte_is_quarantined_by_checksum() {
+    let tmp = TempCacheDir::new("corrupt-flip");
+    let seg = build_store(tmp.path());
+    // One bit rots inside record 3's payload region.
+    let at = PAGE + 3 * RECORD + REC_HEADER_LEN as u64 + 7 + 2;
+    let mut byte = [0u8; 1];
+    {
+        let mut f = OpenOptions::new().read(true).open(&seg).expect("open");
+        f.seek(SeekFrom::Start(at)).expect("seek");
+        f.read_exact(&mut byte).expect("read");
+    }
+    patch(&seg, at, &[byte[0] ^ 0x10]);
+
+    let mut store = PileStore::open(tmp.path()).expect("open");
+    assert_eq!(
+        store.get(key_of(3).as_bytes()).expect("get"),
+        None,
+        "checksum mismatch must never serve the payload"
+    );
+    assert!(store
+        .issues()
+        .iter()
+        .any(|i| i.kind == CorruptKind::BadChecksum));
+    // Every other record is untouched.
+    for i in (0..ENTRIES).filter(|&i| i != 3) {
+        assert_eq!(
+            store.get(key_of(i).as_bytes()).expect("get"),
+            Some(payload_of(i).into_bytes())
+        );
+    }
+    let report = SimCache::verify_store(tmp.path()).expect("verify");
+    assert!(kinds(&report).contains(&CorruptKind::BadChecksum));
+    assert_eq!(report.records_ok(), ENTRIES - 1);
+}
+
+#[test]
+fn bad_record_magic_is_quarantined() {
+    let tmp = TempCacheDir::new("corrupt-magic");
+    let seg = build_store(tmp.path());
+    // Record 5's magic word is stomped.
+    patch(&seg, PAGE + 5 * RECORD, &[0xDE, 0xAD, 0xBE, 0xEF]);
+
+    let mut store = PileStore::open(tmp.path()).expect("open");
+    assert_eq!(store.get(key_of(5).as_bytes()).expect("get"), None);
+    assert!(store
+        .issues()
+        .iter()
+        .any(|i| i.kind == CorruptKind::BadMagic));
+    assert_eq!(
+        store.get(key_of(6).as_bytes()).expect("get"),
+        Some(payload_of(6).into_bytes()),
+        "the sidecar index still reaches records after the stomp"
+    );
+    let report = SimCache::verify_store(tmp.path()).expect("verify");
+    assert!(kinds(&report).contains(&CorruptKind::BadMagic));
+}
+
+#[test]
+fn stale_format_version_quarantines_the_whole_segment() {
+    let tmp = TempCacheDir::new("corrupt-version");
+    let seg = build_store(tmp.path());
+    // A segment written by a future format: version 99, checksum valid
+    // (an honest future writer would sign its header correctly).
+    let mut header = vec![0u8; SEG_HEADER_LEN];
+    OpenOptions::new()
+        .read(true)
+        .open(&seg)
+        .expect("open")
+        .read_exact(&mut header)
+        .expect("read header");
+    header[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let sum = fnv1a64(&header[0..48]);
+    header[48..56].copy_from_slice(&sum.to_le_bytes());
+    patch(&seg, 0, &header);
+
+    let mut store = PileStore::open(tmp.path()).expect("open survives");
+    assert!(
+        store
+            .issues()
+            .iter()
+            .any(|i| matches!(i.kind, CorruptKind::BadVersion { found: 99 })),
+        "the alien version is reported, not misread: {:?}",
+        store.issues()
+    );
+    assert_eq!(
+        store.get(key_of(0).as_bytes()).expect("get"),
+        None,
+        "no record of an unknown format version is ever served"
+    );
+    let report = SimCache::verify_store(tmp.path()).expect("verify");
+    assert!(kinds(&report)
+        .iter()
+        .any(|k| matches!(k, CorruptKind::BadVersion { found: 99 })));
+    assert_eq!(report.records_ok(), 0);
+}
+
+#[test]
+fn zero_length_segment_is_quarantined_and_store_stays_usable() {
+    let tmp = TempCacheDir::new("corrupt-empty");
+    build_store(tmp.path());
+    // A crash left a zero-length segment behind (created, never written).
+    std::fs::File::create(tmp.join("seg-99999-00000000deadbeef.ddts")).expect("empty segment");
+
+    let mut store = PileStore::open(tmp.path()).expect("open survives");
+    assert!(
+        store
+            .issues()
+            .iter()
+            .any(|i| i.kind == CorruptKind::Truncated),
+        "{:?}",
+        store.issues()
+    );
+    // The healthy segment still serves everything, and appends work.
+    for i in 0..ENTRIES {
+        assert_eq!(
+            store.get(key_of(i).as_bytes()).expect("get"),
+            Some(payload_of(i).into_bytes())
+        );
+    }
+    store.append(b"fresh", b"after damage").expect("append");
+    assert_eq!(
+        store.get(b"fresh").expect("get"),
+        Some(b"after damage".to_vec())
+    );
+    let report = SimCache::verify_store(tmp.path()).expect("verify");
+    assert!(kinds(&report).contains(&CorruptKind::Truncated));
+    assert_eq!(report.records_ok(), ENTRIES + 1);
+}
+
+#[test]
+fn compact_rewrites_a_damaged_store_clean() {
+    let tmp = TempCacheDir::new("corrupt-compact");
+    let seg = build_store(tmp.path());
+    patch(&seg, PAGE + 2 * RECORD, &[0u8; 4]); // kill record 2's magic
+    let report = SimCache::compact_store(tmp.path()).expect("compact");
+    assert_eq!(report.records_out, ENTRIES - 1, "the dead record is gone");
+    let after = SimCache::verify_store(tmp.path()).expect("verify");
+    assert!(after.is_clean(), "compaction leaves a clean store");
+    let mut store = PileStore::open(tmp.path()).expect("open");
+    assert_eq!(
+        store.get(key_of(4).as_bytes()).expect("get"),
+        Some(payload_of(4).into_bytes())
+    );
+}

@@ -47,7 +47,7 @@ impl Rule for DetIter {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet iteration in pareto, obs, core::ga and the engine cache/key path"
+        "no HashMap/HashSet iteration in pareto, obs, core::ga and the engine cache/store path"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -73,11 +73,13 @@ pub struct Scope {
 ///
 /// Scope rationale, kept with the data it explains:
 ///
-/// * `no-panic-boundary` — the serve boundary, the shared dispatch path
-///   and the observability layer (instrumentation that panics tears down
-///   whatever it was observing).
-/// * `det-iter` — the Pareto crate, the GA, the engine cache/key path and
-///   obs snapshots: everywhere hash-order iteration would break
+/// * `no-panic-boundary` — the serve boundary, the shared dispatch path,
+///   the observability layer (instrumentation that panics tears down
+///   whatever it was observing) and the pile store (verify-on-read means
+///   untrusted bytes flow through it; corruption must surface as errors,
+///   never panics).
+/// * `det-iter` — the Pareto crate, the GA, the engine cache/key/store
+///   path and obs snapshots: everywhere hash-order iteration would break
 ///   byte-identical output.
 /// * `lock-across-io` / `lock-order` — every crate that holds long-lived
 ///   mutexes (`serve` connection + inflight state, `obs` registries,
@@ -88,14 +90,22 @@ pub const SCOPES: &[(&str, Scope)] = &[
     (
         "no-panic-boundary",
         Scope {
-            prefixes: &["crates/serve/src/", "crates/obs/src/"],
+            prefixes: &[
+                "crates/serve/src/",
+                "crates/obs/src/",
+                "crates/engine/src/store/",
+            ],
             files: &["crates/core/src/dispatch.rs"],
         },
     ),
     (
         "det-iter",
         Scope {
-            prefixes: &["crates/pareto/src/", "crates/obs/src/"],
+            prefixes: &[
+                "crates/pareto/src/",
+                "crates/obs/src/",
+                "crates/engine/src/store/",
+            ],
             files: &[
                 "crates/core/src/ga.rs",
                 "crates/engine/src/cache.rs",

@@ -10,7 +10,10 @@
 //! path `crates/core/src/dispatch.rs`, plus `crates/obs/src/*`: the
 //! observability layer records from every exploration thread, so a panic
 //! there tears down whatever was being observed — instrumentation must
-//! never be the thing that crashes the run.
+//! never be the thing that crashes the run. `crates/engine/src/store/*`
+//! is in scope too: the pile store's verify-on-read contract says
+//! untrusted on-disk bytes surface as structured corruption errors,
+//! never as panics.
 //!
 //! Banned: `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
 //! `unimplemented!`, the non-debug `assert*!` family, and literal slice
@@ -62,7 +65,7 @@ impl Rule for NoPanicBoundary {
     }
 
     fn description(&self) -> &'static str {
-        "no unwrap/expect/panic/assert/x[i] in crates/serve, crates/obs and core::dispatch"
+        "no unwrap/expect/panic/assert/x[i] in serve, obs, engine::store and core::dispatch"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

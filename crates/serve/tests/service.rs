@@ -34,7 +34,14 @@ impl Write for SharedBuf {
 /// Runs one in-process serve session over the given request lines and
 /// returns the emitted events in order.
 fn serve_script(jobs: usize, lines: &[String]) -> Vec<Event> {
-    let server = Server::new(EngineConfig::with_jobs(jobs)).expect("server");
+    serve_script_with(EngineConfig::with_jobs(jobs), lines)
+}
+
+/// Like [`serve_script`], but with full control over the engine
+/// configuration — used by the shared-store tests to point two separate
+/// server processes at one cache directory.
+fn serve_script_with(cfg: EngineConfig, lines: &[String]) -> Vec<Event> {
+    let server = Server::new(cfg).expect("server");
     let input = lines.join("\n");
     let output = SharedBuf::default();
     server.serve_connection(input.as_bytes(), output.clone());
@@ -216,6 +223,46 @@ fn second_client_is_answered_from_cache_with_zero_simulations() {
     // step-1 entries during step 2, so the total exceeds B's share).
     assert!(stats.hits >= *cache_hits);
     assert_eq!(stats.entries, stats.misses, "every execution was retained");
+}
+
+#[test]
+fn second_server_on_a_shared_store_directory_answers_warm() {
+    // Two *separate server processes* — not two clients of one session —
+    // pointed at the same persistent store directory. The first pays for
+    // the simulations and publishes them on shutdown; the second answers
+    // the identical request entirely from the on-disk store.
+    let tmp = ddtr_engine::testing::TempCacheDir::new("serve-shared");
+    let cfg = EngineConfig {
+        jobs: 2,
+        cache_dir: Some(tmp.path().to_path_buf()),
+        no_cache: false,
+    };
+    let script = vec![run_line("job", &quick_explore_spec())];
+
+    let cold_events = serve_script_with(cfg.clone(), &script);
+    let cold = terminal_for(&cold_events, "job");
+    let Event::Result { executed, .. } = cold else {
+        panic!("cold server expected a result, got {cold:?}");
+    };
+    assert!(*executed > 0, "cold server must execute simulations");
+
+    let warm_events = serve_script_with(cfg, &script);
+    let warm = terminal_for(&warm_events, "job");
+    let Event::Result {
+        executed,
+        cache_hits,
+        ..
+    } = warm
+    else {
+        panic!("warm server expected a result, got {warm:?}");
+    };
+    assert_eq!(*executed, 0, "warm server must execute 0 simulations");
+    assert!(*cache_hits > 0, "warm server answers from the shared store");
+    assert_eq!(
+        front_of(cold),
+        front_of(warm),
+        "both servers produce byte-identical fronts"
+    );
 }
 
 #[test]
