@@ -1,0 +1,154 @@
+//! Fleet loadtest: hundreds of concurrent clients against a
+//! multi-worker server, cold then warm, writing `BENCH_serve.json`.
+//!
+//! This is the bench-side twin of `ddtr loadtest`: same shared
+//! [`ddtr_serve::loadtest`] harness, but it also *owns* the server, so
+//! it can assert fleet-level invariants a black-box client cannot:
+//!
+//! * the run is clean — zero dropped connections, zero protocol errors —
+//!   even at hundreds of concurrent clients through the bounded gate;
+//! * a repeated warm pass reports `executed = 0`: deterministic
+//!   fingerprint routing sent every repeat explore back to the worker
+//!   whose in-memory cache already holds the answer.
+//!
+//! Rows record the worker count alongside client-side p50/p99 for both
+//! passes. Run with
+//! `cargo run -p ddtr_bench --bin loadtest --release`; override the
+//! shape with `--workers N --clients N --pings N --explores N`.
+
+use ddtr_core::EngineConfig;
+use ddtr_engine::timing::BenchReport;
+use ddtr_serve::loadtest::{run as run_loadtest, LoadtestConfig, LoadtestReport};
+use ddtr_serve::{Client, Endpoint, Request, RequestBody, Server, ServerConfig};
+use std::net::TcpListener;
+use std::path::Path;
+
+/// Parses `--flag N` from the bin's argument list.
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let raw = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"));
+    Some(
+        raw.parse()
+            .unwrap_or_else(|e| panic!("bad {flag} value `{raw}`: {e}")),
+    )
+}
+
+/// One full pass of the shared workload; panics unless it was clean.
+fn pass(name: &str, cfg: &LoadtestConfig) -> LoadtestReport {
+    let report = run_loadtest(cfg);
+    assert!(
+        report.clean(),
+        "{name} pass was not clean: {}/{} clients completed, {} dropped, {} protocol errors",
+        report.completed_clients,
+        report.clients,
+        report.dropped_connections,
+        report.protocol_errors
+    );
+    println!(
+        "{name:5} pass: {} clients, executed={}, cache_hits={}, \
+         ping p99 {}us, explore p99 {}us, wall {}ms",
+        report.completed_clients,
+        report.executed,
+        report.cache_hits,
+        report.ping.p99_us,
+        report.explore.p99_us,
+        report.wall_ms
+    );
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = arg_value(&args, "--workers").unwrap_or(2);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let endpoint: Endpoint = format!("tcp:{}", listener.local_addr().expect("local addr"))
+        .parse()
+        .expect("endpoint parses");
+
+    let mut server_cfg = ServerConfig::new(EngineConfig {
+        jobs: 2,
+        cache_dir: None,
+        no_cache: false,
+    });
+    server_cfg.workers = workers;
+    let server = Server::with_config(server_cfg).expect("fleet server starts");
+
+    let mut cfg = LoadtestConfig::new(endpoint.clone());
+    cfg.clients = arg_value(&args, "--clients").unwrap_or(256);
+    cfg.pings = arg_value(&args, "--pings").unwrap_or(4);
+    cfg.explores = arg_value(&args, "--explores").unwrap_or(2);
+    // A stampede of connects can outrun the accept loop; retrying is part
+    // of the workload, a dropped connection is not.
+    cfg.connect_retries = 20;
+
+    println!("# fleet loadtest\n");
+    println!(
+        "{} workers, {} clients x ({} pings + {} quick DRR explores) against {endpoint}\n",
+        server.worker_count(),
+        cfg.clients,
+        cfg.pings,
+        cfg.explores
+    );
+
+    let mut passes = None;
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("server serves"));
+        let cold = pass("cold", &cfg);
+        let warm = pass("warm", &cfg);
+        passes = Some((cold, warm));
+        let mut client = Client::connect(&endpoint).expect("shutdown client connects");
+        client
+            .send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown sent");
+    });
+    let (cold, warm) = passes.expect("both passes ran");
+
+    assert!(
+        cold.executed > 0,
+        "cold pass executed nothing — workload misconfigured"
+    );
+    assert_eq!(
+        warm.executed, 0,
+        "warm pass re-executed work: fingerprint routing failed to pin \
+         repeat requests to the worker holding the cached answer"
+    );
+
+    let mut report = BenchReport::new("serve fleet loadtest (multi-worker, cold + warm)");
+    report.set_meta("units", "seconds");
+    report.set_meta("workers", server.worker_count().to_string());
+    report.set_meta("clients", cfg.clients.to_string());
+    report.set_meta(
+        "notes",
+        "client-side nearest-rank percentiles; warm pass verified executed=0 via deterministic routing",
+    );
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            report.set_meta("git_rev", String::from_utf8_lossy(&out.stdout).trim());
+        }
+    }
+    for (pass_name, outcome) in [("cold", &cold), ("warm", &warm)] {
+        for (kind, lat) in [
+            ("ping", &outcome.ping),
+            ("explore drr quick", &outcome.explore),
+        ] {
+            report.push(format!("{pass_name} {kind} p50"), lat.p50_us as f64 / 1e6);
+            report.push(format!("{pass_name} {kind} p99"), lat.p99_us as f64 / 1e6);
+        }
+    }
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let json = report.to_json().expect("report serialises");
+    std::fs::write(&path, format!("{json}\n")).expect("BENCH_serve.json is writable");
+    println!(
+        "\nwrote {} ({} samples, host parallelism {})",
+        path.display(),
+        report.samples.len(),
+        report.host_parallelism
+    );
+}

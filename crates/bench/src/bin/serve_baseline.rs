@@ -5,77 +5,54 @@
 //! * per-client `Ping` round trips — protocol floor (parse, dispatch,
 //!   emit, no simulation),
 //! * per-client quick DRR explores — a real exploration answered by the
-//!   shared engine session (later requests hit its in-memory cache), and
+//!   resident engine session (later requests hit its in-memory cache),
 //! * one `Metrics` fetch at the end, printing the server's own view of
 //!   the same latencies (Prometheus-style exposition).
 //!
-//! Percentiles are computed client-side from the raw sorted samples
-//! (nearest-rank), so `BENCH_serve.json` is exact, not bucketed.
+//! The workload itself is the shared [`ddtr_serve::loadtest`] harness —
+//! the same code behind `ddtr loadtest` and the `loadtest` fleet bench —
+//! so all three stay in agreement about what "one client" does.
+//! Percentiles are nearest-rank over the raw samples, so
+//! `BENCH_serve.json` is exact, not bucketed.
 //!
-//! Run with `cargo run -p ddtr_bench --bin serve_baseline --release`.
+//! Run with `cargo run -p ddtr_bench --bin serve_baseline --release`;
+//! `--clients N`, `--pings N` and `--explores N` override the default
+//! 4 x (50 pings + 4 explores) workload.
 
 use ddtr_core::EngineConfig;
 use ddtr_engine::timing::BenchReport;
-use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
+use ddtr_serve::loadtest::{run as run_loadtest, LoadtestConfig, LoadtestReport};
+use ddtr_serve::{Client, Endpoint, Event, Request, RequestBody, Server};
 use std::net::TcpListener;
 use std::path::Path;
-use std::time::Instant;
 
-/// Concurrent query clients.
-const CLIENTS: usize = 4;
-
-/// Ping round trips per client.
-const PINGS_PER_CLIENT: usize = 50;
-
-/// Quick explores per client.
-const EXPLORES_PER_CLIENT: usize = 4;
-
-/// Nearest-rank percentile of an ascending-sorted sample set.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+/// Parses `--flag N` from the bin's argument list.
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let raw = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"));
+    Some(
+        raw.parse()
+            .unwrap_or_else(|e| panic!("bad {flag} value `{raw}`: {e}")),
+    )
 }
 
-/// One client's workload: pings then quick explores, timed end to end.
-fn drive_client(endpoint: &Endpoint, client_idx: usize) -> (Vec<f64>, Vec<f64>) {
-    let mut client = Client::connect(endpoint).expect("client connects");
-    let mut pings = Vec::with_capacity(PINGS_PER_CLIENT);
-    for i in 0..PINGS_PER_CLIENT {
-        let started = Instant::now();
-        let reply = client
-            .call(
-                &Request::new(format!("p{client_idx}-{i}"), RequestBody::Ping),
-                |_| {},
-            )
-            .expect("ping answered");
-        assert!(matches!(reply, Event::Pong { .. }), "ping yields pong");
-        pings.push(started.elapsed().as_secs_f64());
-    }
-    let mut explores = Vec::with_capacity(EXPLORES_PER_CLIENT);
-    for i in 0..EXPLORES_PER_CLIENT {
-        let spec = JobSpec {
-            mode: Some("explore".to_string()),
-            app: Some("drr".to_string()),
-            quick: true,
-            ..JobSpec::default()
-        };
-        let started = Instant::now();
-        let reply = client
-            .call(&Request::run(format!("e{client_idx}-{i}"), spec), |_| {})
-            .expect("explore answered");
-        assert!(
-            matches!(reply, Event::Result { .. }),
-            "explore yields a result"
-        );
-        explores.push(started.elapsed().as_secs_f64());
-    }
-    (pings, explores)
+/// Runs the shared workload against `endpoint` and panics unless the run
+/// was clean — a baseline recorded over dropped connections is noise.
+fn drive(cfg: &LoadtestConfig) -> LoadtestReport {
+    let report = run_loadtest(cfg);
+    assert!(
+        report.clean(),
+        "baseline run was not clean: {} dropped, {} protocol errors",
+        report.dropped_connections,
+        report.protocol_errors
+    );
+    report
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     let endpoint: Endpoint = format!("tcp:{}", listener.local_addr().expect("local addr"))
         .parse()
@@ -87,28 +64,29 @@ fn main() {
     })
     .expect("server starts");
 
+    let mut cfg = LoadtestConfig::new(endpoint.clone());
+    if let Some(v) = arg_value(&args, "--clients") {
+        cfg.clients = v;
+    }
+    if let Some(v) = arg_value(&args, "--pings") {
+        cfg.pings = v;
+    }
+    if let Some(v) = arg_value(&args, "--explores") {
+        cfg.explores = v;
+    }
+
     println!("# serve request-latency baseline\n");
     println!(
-        "{CLIENTS} clients x ({PINGS_PER_CLIENT} pings + {EXPLORES_PER_CLIENT} quick DRR explores) against {endpoint}\n"
+        "{} clients x ({} pings + {} quick DRR explores) against {endpoint}\n",
+        cfg.clients, cfg.pings, cfg.explores
     );
 
-    let mut pings: Vec<f64> = Vec::new();
-    let mut explores: Vec<f64> = Vec::new();
     let mut exposition = String::new();
+    let mut report_opt = None;
     std::thread::scope(|scope| {
         let server = &server;
         scope.spawn(move || server.serve_tcp(&listener).expect("server serves"));
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|c| {
-                let endpoint = endpoint.clone();
-                scope.spawn(move || drive_client(&endpoint, c))
-            })
-            .collect();
-        for handle in handles {
-            let (p, e) = handle.join().expect("client thread joins");
-            pings.extend(p);
-            explores.extend(e);
-        }
+        report_opt = Some(drive(&cfg));
         // The server's own view of the same workload, for the record.
         let mut client = Client::connect(&endpoint).expect("metrics client connects");
         if let Event::Metrics { text, .. } = client
@@ -121,12 +99,12 @@ fn main() {
             .send(&Request::new("bye", RequestBody::Shutdown))
             .expect("shutdown sent");
     });
+    let outcome = report_opt.expect("loadtest ran");
 
-    pings.sort_by(f64::total_cmp);
-    explores.sort_by(f64::total_cmp);
     let mut report = BenchReport::new("serve request latency (end to end, concurrent clients)");
     report.set_meta("units", "seconds");
-    report.set_meta("clients", CLIENTS.to_string());
+    report.set_meta("clients", cfg.clients.to_string());
+    report.set_meta("workers", server.worker_count().to_string());
     report.set_meta(
         "notes",
         "client-side nearest-rank percentiles over ping and quick-DRR-explore round trips",
@@ -139,14 +117,15 @@ fn main() {
             report.set_meta("git_rev", String::from_utf8_lossy(&out.stdout).trim());
         }
     }
-    for (name, samples) in [("ping", &pings), ("explore drr quick", &explores)] {
-        let p50 = percentile(samples, 0.50);
-        let p99 = percentile(samples, 0.99);
+    for (name, lat) in [
+        ("ping", &outcome.ping),
+        ("explore drr quick", &outcome.explore),
+    ] {
+        let p50 = lat.p50_us as f64 / 1e6;
+        let p99 = lat.p99_us as f64 / 1e6;
         println!(
             "{name:20} n={:3}  p50 {:>10.6}s  p99 {:>10.6}s",
-            samples.len(),
-            p50,
-            p99
+            lat.count, p50, p99
         );
         report.push(format!("{name} p50"), p50);
         report.push(format!("{name} p99"), p99);

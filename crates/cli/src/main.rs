@@ -14,8 +14,9 @@
 //! ddtr scenarios [<app>]              # app x scenario Pareto matrix
 //! ddtr sweep    [<app>] [--mem p,…]   # scenarios x platforms sweep
 //! ddtr cache    stats|verify|compact|… # manage the persistent result store
-//! ddtr serve    [--listen EP]         # resident exploration service
+//! ddtr serve    [--listen EP] [--workers N] # resident exploration fleet
 //! ddtr query    <EP> <mode> [app]     # ask a running service
+//! ddtr loadtest <EP> [--clients N]    # drive a service with concurrent load
 //! ```
 //!
 //! Every simulating subcommand (`explore`, `pareto`, `report`, `ga`,
@@ -46,10 +47,16 @@
 //! lines, which `replay` turns back into Pareto sets without
 //! re-simulating — the decoupling of the original tool flow.
 //!
-//! `serve` keeps one engine session resident and answers exploration
-//! requests over a newline-delimited JSON protocol (stdio by default,
-//! `--listen tcp:<addr>` / `--listen unix:<path>` for sockets); `query`
-//! is the matching client. See `docs/PROTOCOL.md` for the wire format.
+//! `serve` keeps a fleet of worker engine sessions resident and answers
+//! exploration requests over a newline-delimited JSON protocol (stdio by
+//! default, `--listen tcp:<addr>` / `--listen unix:<path>` for sockets),
+//! with `--workers N` parallel sessions, optional `--auth-token`,
+//! per-connection `--rate-limit` / `--max-inflight` budgets, a
+//! `--max-request-bytes` line ceiling, a `--max-conns` connection gate
+//! and `--daemon`/`--pid-file` for background operation; `query` is the
+//! matching client and `loadtest` drives a running service with
+//! concurrent clients, reporting p50/p99 latencies. See
+//! `docs/PROTOCOL.md` for the wire format.
 
 use ddtr_apps::AppKind;
 use ddtr_core::{
@@ -61,7 +68,8 @@ use ddtr_core::{
 };
 use ddtr_ddt::DdtKind;
 use ddtr_engine::SimCache;
-use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
+use ddtr_serve::loadtest::LoadtestConfig;
+use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server, ServerConfig};
 use ddtr_trace::{NetworkParams, NetworkPreset, Scenario, TraceWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -98,11 +106,17 @@ usage:
                [--packets N] [--mem <preset>,...] [--scenario <name>]... [engine flags]
   ddtr cache   stats|clear|verify|compact [--cache-dir <dir>]
   ddtr cache   import|export <file.jsonl> [--cache-dir <dir>]
-  ddtr serve   [--listen stdio|tcp:<addr>|unix:<path>] [engine flags]
+  ddtr serve   [--listen stdio|tcp:<addr>|unix:<path>] [--workers N]
+               [--auth-token T] [--max-conns N] [--max-inflight N]
+               [--rate-limit N] [--max-request-bytes N]
+               [--daemon] [--pid-file <path>] [engine flags]
   ddtr query   <tcp:<addr>|unix:<path>> <explore|ga|scenarios|sweep|headline|metrics> [app]
                [--quick] [--extended] [--stream] [--base <preset>] [--packets N]
                [--seed N] [--scenario <name>]... [--mem <preset>[,...]]
                [--id ID] [--json] [--quiet]
+  ddtr loadtest <tcp:<addr>|unix:<path>> [--clients N] [--pings N] [--explores N]
+               [--apps a,b,...] [--full] [--auth-token T] [--connect-retries N]
+               [--p99-ms N] [--json]
   ddtr presets
   ddtr mem-presets
 
@@ -124,8 +138,11 @@ runs the scenarios x platforms matrix, reporting which DDT combinations
 stay Pareto-optimal across the platform family.
 
 `ddtr serve` answers exploration requests over newline-delimited JSON
-(docs/PROTOCOL.md) from one resident engine session; `ddtr query` is the
-matching client.";
+(docs/PROTOCOL.md) from a resident fleet of worker engine sessions;
+`ddtr query` is the matching client and `ddtr loadtest` drives a
+running service with concurrent clients, reporting p50/p99 latencies
+and exiting non-zero on dropped connections, protocol errors or a
+broken --p99-ms bound.";
 
 /// Default location of the persistent result cache.
 const DEFAULT_CACHE_DIR: &str = ".ddtr-cache";
@@ -168,6 +185,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cache" => cache(&rest),
         "serve" => serve(&rest),
         "query" => query(&rest),
+        "loadtest" => loadtest(&rest),
         "mem-presets" => {
             for p in MemoryPreset::ALL {
                 println!("{:10} {}", p.to_string(), p.describe());
@@ -737,13 +755,181 @@ fn sweep(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Marker variable distinguishing the daemonized `ddtr serve` child from
+/// the foreground parent that spawned it.
+const ENV_SERVE_DAEMONIZED: &str = "DDTR_SERVE_DAEMONIZED";
+
+/// Parses the hardened-edge flags of `ddtr serve` into a
+/// [`ServerConfig`] on top of the shared engine flags.
+fn server_config_from(rest: &[&String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::new(engine_config_from(rest)?);
+    if let Some(v) = flag_value(rest, "--workers")? {
+        cfg.workers = v.parse().map_err(|e| format!("bad --workers value: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--auth-token")? {
+        cfg.auth_token = Some(v.clone());
+    }
+    if let Some(v) = flag_value(rest, "--max-conns")? {
+        cfg.max_connections = v
+            .parse()
+            .map_err(|e| format!("bad --max-conns value: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--max-inflight")? {
+        cfg.max_inflight = v
+            .parse()
+            .map_err(|e| format!("bad --max-inflight value: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--rate-limit")? {
+        cfg.rate_limit = Some(
+            v.parse()
+                .map_err(|e| format!("bad --rate-limit value: {e}"))?,
+        );
+    }
+    if let Some(v) = flag_value(rest, "--max-request-bytes")? {
+        cfg.max_request_bytes = v
+            .parse()
+            .map_err(|e| format!("bad --max-request-bytes value: {e}"))?;
+    }
+    Ok(cfg)
+}
+
+/// Re-executes `ddtr serve` detached from the terminal (null stdio, the
+/// marker env var set), records the child pid, and returns in the
+/// parent. The child is killed again if the pidfile cannot be written —
+/// a daemon nobody can find is worse than no daemon.
+fn daemonize_serve(pid_file: Option<&Path>) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own executable: {e}"))?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut child = std::process::Command::new(exe)
+        .args(&args)
+        .env(ENV_SERVE_DAEMONIZED, "1")
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot daemonize: {e}"))?;
+    let pid = child.id();
+    if let Some(path) = pid_file {
+        if let Err(e) = ddtr_serve::write_pidfile(path, pid) {
+            let _ = child.kill();
+            return Err(e.to_string());
+        }
+    }
+    println!("ddtr serve: daemonized as pid {pid}");
+    Ok(())
+}
+
 fn serve(rest: &[&String]) -> Result<(), String> {
     let endpoint: Endpoint = match flag_value(rest, "--listen")? {
         Some(raw) => raw.parse()?,
         None => Endpoint::Stdio,
     };
-    let server = Server::new(engine_config_from(rest)?).map_err(|e| e.to_string())?;
+    let pid_file = flag_value(rest, "--pid-file")?.map(PathBuf::from);
+    let daemon_requested = rest.iter().any(|a| a.as_str() == "--daemon");
+    let is_daemon_child = std::env::var_os(ENV_SERVE_DAEMONIZED).is_some();
+    if daemon_requested && !is_daemon_child {
+        if endpoint == Endpoint::Stdio {
+            return Err(
+                "--daemon needs a socket endpoint (--listen tcp:<addr> or unix:<path>)".to_string(),
+            );
+        }
+        return daemonize_serve(pid_file.as_deref());
+    }
+    if let Some(path) = &pid_file {
+        // The daemon parent already recorded the child's pid; everyone
+        // else (foreground or daemon child without a parent-written
+        // file) records their own.
+        if !is_daemon_child {
+            ddtr_serve::write_pidfile(path, std::process::id()).map_err(|e| e.to_string())?;
+        }
+    }
+    let server = Server::with_config(server_config_from(rest)?).map_err(|e| e.to_string())?;
     server.listen(&endpoint).map_err(|e| e.to_string())
+}
+
+/// Drives a running service with concurrent scripted clients and prints
+/// the latency/cleanliness report (`ddtr loadtest`). Exits non-zero when
+/// the run was not clean or broke the `--p99-ms` bound, so CI can gate
+/// on the bare exit code.
+fn loadtest(rest: &[&String]) -> Result<(), String> {
+    let endpoint: Endpoint = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("loadtest needs an endpoint (tcp:<addr> or unix:<path>)")?
+        .parse()?;
+    if endpoint == Endpoint::Stdio {
+        return Err("loadtest needs a socket endpoint (stdio serves exactly one client)".into());
+    }
+    let mut cfg = LoadtestConfig::new(endpoint);
+    if let Some(v) = flag_value(rest, "--clients")? {
+        cfg.clients = v.parse().map_err(|e| format!("bad --clients value: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--pings")? {
+        cfg.pings = v.parse().map_err(|e| format!("bad --pings value: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--explores")? {
+        cfg.explores = v
+            .parse()
+            .map_err(|e| format!("bad --explores value: {e}"))?;
+    }
+    if rest.iter().any(|a| a.as_str() == "--full") {
+        cfg.quick = false;
+    }
+    if let Some(list) = flag_value(rest, "--apps")? {
+        cfg.apps = list.split(',').map(str::to_string).collect();
+    }
+    if let Some(v) = flag_value(rest, "--auth-token")? {
+        cfg.auth = Some(v.clone());
+    }
+    if let Some(v) = flag_value(rest, "--connect-retries")? {
+        cfg.connect_retries = v
+            .parse()
+            .map_err(|e| format!("bad --connect-retries value: {e}"))?;
+    }
+    let p99_bound_ms: Option<u64> = match flag_value(rest, "--p99-ms")? {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --p99-ms value: {e}"))?),
+        None => None,
+    };
+    let report = ddtr_serve::loadtest::run(&cfg);
+    if rest.iter().any(|a| a.as_str() == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("# loadtest against {}", cfg.endpoint);
+        println!(
+            "clients : {} configured, {} completed, {} dropped",
+            report.clients, report.completed_clients, report.dropped_connections
+        );
+        println!("errors  : {} protocol error(s)", report.protocol_errors);
+        println!(
+            "engine  : executed={} cache_hits={}",
+            report.executed, report.cache_hits
+        );
+        for (name, lat) in [("ping", &report.ping), ("explore", &report.explore)] {
+            println!(
+                "{name:8}: n={} p50={}us p99={}us max={}us",
+                lat.count, lat.p50_us, lat.p99_us, lat.max_us
+            );
+        }
+        println!("wall    : {}ms", report.wall_ms);
+    }
+    if !report.clean() {
+        return Err(format!(
+            "loadtest was not clean: {} dropped connection(s), {} protocol error(s)",
+            report.dropped_connections, report.protocol_errors
+        ));
+    }
+    if let Some(bound_ms) = p99_bound_ms {
+        let worst_us = report.ping.p99_us.max(report.explore.p99_us);
+        if worst_us > bound_ms.saturating_mul(1000) {
+            return Err(format!(
+                "p99 latency {worst_us}us exceeds the --p99-ms bound of {bound_ms}ms"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Builds the `Run` job spec of a `ddtr query` invocation from its
@@ -847,7 +1033,7 @@ fn query(rest: &[&String]) -> Result<(), String> {
     }
     let spec = query_spec(&rest[1..])?;
     // Validate locally first for a fast, offline error message.
-    spec.resolve()?;
+    spec.resolve().map_err(|e| e.to_string())?;
     let id = flag_value(rest, "--id")?
         .cloned()
         .unwrap_or_else(|| "q1".to_string());
@@ -1369,6 +1555,78 @@ mod tests {
     fn serve_rejects_bad_listen_endpoints() {
         let err = run(&args(&["serve", "--listen", "carrier-pigeon:coop"])).unwrap_err();
         assert!(err.contains("carrier-pigeon"), "{err}");
+    }
+
+    #[test]
+    fn serve_validates_the_hardened_edge_flags() {
+        let err = run(&args(&["serve", "--workers", "many"])).unwrap_err();
+        assert!(err.contains("bad --workers"), "{err}");
+        let err = run(&args(&["serve", "--rate-limit", "fast"])).unwrap_err();
+        assert!(err.contains("bad --rate-limit"), "{err}");
+        let err = run(&args(&["serve", "--max-request-bytes", "big"])).unwrap_err();
+        assert!(err.contains("bad --max-request-bytes"), "{err}");
+        // Daemonizing a stdio server is a contradiction, not a spawn.
+        let err = run(&args(&["serve", "--daemon"])).unwrap_err();
+        assert!(err.contains("--daemon needs a socket endpoint"), "{err}");
+    }
+
+    #[test]
+    fn loadtest_validates_its_arguments() {
+        let err = run(&args(&["loadtest"])).unwrap_err();
+        assert!(err.contains("endpoint"), "{err}");
+        let err = run(&args(&["loadtest", "stdio"])).unwrap_err();
+        assert!(err.contains("socket endpoint"), "{err}");
+        let err = run(&args(&["loadtest", "tcp:127.0.0.1:1", "--clients", "many"])).unwrap_err();
+        assert!(err.contains("bad --clients"), "{err}");
+        let err = run(&args(&["loadtest", "tcp:127.0.0.1:1", "--p99-ms", "slow"])).unwrap_err();
+        assert!(err.contains("bad --p99-ms"), "{err}");
+    }
+
+    #[test]
+    fn loadtest_drives_a_live_fleet_and_gates_on_cleanliness() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let endpoint = format!("tcp:{}", listener.local_addr().expect("addr"));
+        let cfg = ServerConfig {
+            workers: 2,
+            ..ServerConfig::new(ddtr_core::EngineConfig::with_jobs(2))
+        };
+        let server = Server::with_config(cfg).expect("server");
+        std::thread::scope(|scope| {
+            let server = &server;
+            scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+            run(&args(&[
+                "loadtest",
+                &endpoint,
+                "--clients",
+                "4",
+                "--pings",
+                "3",
+                "--explores",
+                "1",
+            ]))
+            .expect("clean loadtest run");
+            // A vanishingly small p99 bound must fail the run.
+            let err = run(&args(&[
+                "loadtest",
+                &endpoint,
+                "--clients",
+                "2",
+                "--pings",
+                "1",
+                "--explores",
+                "0",
+                "--p99-ms",
+                "0",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("--p99-ms bound"), "{err}");
+            let mut client =
+                Client::connect(&endpoint.parse().expect("endpoint")).expect("connect");
+            client
+                .send(&Request::new("bye", ddtr_serve::RequestBody::Shutdown))
+                .expect("shutdown");
+        });
     }
 
     #[test]

@@ -1,19 +1,211 @@
 //! A blocking client for the serve protocol — the machinery behind
-//! `ddtr query` and the integration tests.
+//! `ddtr query`, `ddtr loadtest` and the integration tests.
+//!
+//! [`Client::connect`] is the raw transport (connect, speak lines);
+//! [`ClientBuilder`] layers the fleet-era niceties on top: the versioned
+//! `Hello` handshake with an auth token, connect retries with backoff,
+//! and socket timeouts.
 
-use crate::protocol::{Event, Request};
-use crate::server::Endpoint;
+use crate::endpoint::Endpoint;
+use crate::protocol::{ErrorCode, Event, Request, RequestBody, PROTOCOL_VERSION};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure: transport trouble, or the server answering
+/// the handshake with a structured rejection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read or write).
+    Io(io::Error),
+    /// The server rejected the handshake with an `Error` event.
+    Rejected {
+        /// The machine-readable code, when the server sent one.
+        code: Option<ErrorCode>,
+        /// The human-readable description.
+        error: String,
+    },
+    /// The connection closed before the handshake finished.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client error: {e}"),
+            ClientError::Rejected { code, error } => match code {
+                Some(code) => write!(f, "server rejected handshake [{code}]: {error}"),
+                None => write!(f, "server rejected handshake: {error}"),
+            },
+            ClientError::Closed => write!(f, "connection closed during handshake"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A typed builder for fleet-era connections: auth token, timeouts and
+/// connect retries around [`Client::connect`], plus the versioned
+/// `Hello`/`Welcome` handshake.
+///
+/// ```no_run
+/// use ddtr_serve::{Client, Endpoint};
+/// use std::time::Duration;
+///
+/// let endpoint: Endpoint = "tcp:127.0.0.1:7171".parse().unwrap();
+/// let client = Client::builder(endpoint)
+///     .auth_token("sesame")
+///     .read_timeout(Duration::from_secs(30))
+///     .retry_connect(5, Duration::from_millis(100))
+///     .connect();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    endpoint: Endpoint,
+    auth: Option<String>,
+    capabilities: Vec<String>,
+    handshake: bool,
+    read_timeout: Option<Duration>,
+    retries: u32,
+    retry_delay: Duration,
+}
+
+impl ClientBuilder {
+    /// A builder for `endpoint` with no auth, no timeouts, no retries
+    /// and the handshake enabled.
+    #[must_use]
+    pub fn new(endpoint: Endpoint) -> Self {
+        ClientBuilder {
+            endpoint,
+            auth: None,
+            capabilities: Vec::new(),
+            handshake: true,
+            read_timeout: None,
+            retries: 0,
+            retry_delay: Duration::from_millis(50),
+        }
+    }
+
+    /// Presents `token` in the handshake's `Hello` (required by servers
+    /// started with `--auth-token`).
+    #[must_use]
+    pub fn auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth = Some(token.into());
+        self
+    }
+
+    /// Announces client capability names in the handshake
+    /// (informational).
+    #[must_use]
+    pub fn capabilities(mut self, capabilities: Vec<String>) -> Self {
+        self.capabilities = capabilities;
+        self
+    }
+
+    /// Skips the `Hello`/`Welcome` handshake entirely (v1 behaviour;
+    /// only works against servers without an auth token).
+    #[must_use]
+    pub fn no_handshake(mut self) -> Self {
+        self.handshake = false;
+        self
+    }
+
+    /// Fails reads that stall longer than `timeout` (socket endpoints
+    /// only).
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Retries a refused/failed connect up to `attempts` more times,
+    /// sleeping `delay` between attempts — the difference between a
+    /// thundering herd of clients surviving a momentarily full accept
+    /// backlog and dropping connections.
+    #[must_use]
+    pub fn retry_connect(mut self, attempts: u32, delay: Duration) -> Self {
+        self.retries = attempts;
+        self.retry_delay = delay;
+        self
+    }
+
+    /// Connects (with retries), applies socket options, and — unless
+    /// [`ClientBuilder::no_handshake`] — performs the versioned
+    /// handshake, returning the ready-to-use client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] when every connect attempt fails,
+    /// [`ClientError::Rejected`] when the server answers the handshake
+    /// with an `Error` event (bad token, unsupported version), and
+    /// [`ClientError::Closed`] when the connection ends mid-handshake.
+    pub fn connect(self) -> Result<Client, ClientError> {
+        let mut attempt = 0;
+        let mut client = loop {
+            match self.connect_once() {
+                Ok(client) => break client,
+                Err(e) => {
+                    if attempt >= self.retries {
+                        return Err(ClientError::Io(e));
+                    }
+                    attempt += 1;
+                    std::thread::sleep(self.retry_delay);
+                }
+            }
+        };
+        if self.handshake {
+            client.handshake(self.auth.clone(), self.capabilities.clone())?;
+        }
+        Ok(client)
+    }
+
+    /// One transport-level connect with socket options applied.
+    fn connect_once(&self) -> io::Result<Client> {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                // One small request line waiting on one small reply line
+                // is the worst case for Nagle + delayed ACK (tens of ms
+                // per round trip); send request lines immediately.
+                let _ = stream.set_nodelay(true);
+                stream.set_read_timeout(self.read_timeout)?;
+                Ok(Client::over(BufReader::new(stream.try_clone()?), stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = std::os::unix::net::UnixStream::connect(path)?;
+                stream.set_read_timeout(self.read_timeout)?;
+                Ok(Client::over(BufReader::new(stream.try_clone()?), stream))
+            }
+            _ => Client::connect(&self.endpoint),
+        }
+    }
+}
 
 /// One connection to a running `ddtr serve` instance.
 ///
 /// The client is deliberately dumb: it writes [`Request`] lines and reads
 /// [`Event`] lines; [`Client::call`] layers the one pattern everything
 /// uses — send a request, stream its events, return its terminal event.
+/// [`Client::builder`] adds the fleet handshake, retries and timeouts.
 pub struct Client {
     reader: Box<dyn BufRead + Send>,
     writer: Box<dyn Write + Send>,
+    greeting: Option<Event>,
+    handshakes: usize,
 }
 
 impl std::fmt::Debug for Client {
@@ -23,6 +215,13 @@ impl std::fmt::Debug for Client {
 }
 
 impl Client {
+    /// A typed builder around `endpoint`: auth, timeouts, retries and
+    /// the versioned handshake.
+    #[must_use]
+    pub fn builder(endpoint: Endpoint) -> ClientBuilder {
+        ClientBuilder::new(endpoint)
+    }
+
     /// Connects to a socket endpoint ([`Endpoint::Stdio`] cannot be
     /// connected to — it is the server's own stdin/stdout).
     ///
@@ -37,9 +236,7 @@ impl Client {
             )),
             Endpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr.as_str())?;
-                // One small request line waiting on one small reply line
-                // is the worst case for Nagle + delayed ACK (tens of ms
-                // per round trip); send request lines immediately.
+                // See ClientBuilder::connect_once on Nagle.
                 let _ = stream.set_nodelay(true);
                 Ok(Self::over(BufReader::new(stream.try_clone()?), stream))
             }
@@ -65,6 +262,48 @@ impl Client {
         Client {
             reader: Box::new(reader),
             writer: Box::new(writer),
+            greeting: None,
+            handshakes: 0,
+        }
+    }
+
+    /// The server's greeting `Hello` event, once the handshake (or any
+    /// read that encountered it) has seen it.
+    #[must_use]
+    pub fn greeting(&self) -> Option<&Event> {
+        self.greeting.as_ref()
+    }
+
+    /// Performs the versioned `Hello`/`Welcome` handshake on an open
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] when the server answers with an
+    /// `Error`, [`ClientError::Closed`] on EOF mid-handshake.
+    pub fn handshake(
+        &mut self,
+        auth: Option<String>,
+        capabilities: Vec<String>,
+    ) -> Result<(), ClientError> {
+        self.handshakes += 1;
+        let id = format!("hello-{}", self.handshakes);
+        let request = Request::new(
+            id,
+            RequestBody::Hello {
+                proto_version: PROTOCOL_VERSION,
+                auth,
+                capabilities,
+            },
+        );
+        let reply = self.call(&request, |_| {})?;
+        match reply {
+            Event::Welcome { .. } => Ok(()),
+            Event::Error { error, code, .. } => Err(ClientError::Rejected { code, error }),
+            other => Err(ClientError::Rejected {
+                code: None,
+                error: format!("unexpected handshake reply: {other:?}"),
+            }),
         }
     }
 
@@ -96,20 +335,24 @@ impl Client {
             if line.trim().is_empty() {
                 continue;
             }
-            return serde_json::from_str(line.trim()).map(Some).map_err(|e| {
+            let event: Event = serde_json::from_str(line.trim()).map_err(|e| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("unparseable event: {e}: {line}"),
                 )
-            });
+            })?;
+            if matches!(event, Event::Hello { .. }) && self.greeting.is_none() {
+                self.greeting = Some(event.clone());
+            }
+            return Ok(Some(event));
         }
     }
 
     /// Sends `request` and reads events until its terminal event
-    /// (`Result`, `Cancelled`, `Error`, `Pong` or `Stats`), which is
-    /// returned. Every event read on the way — including events of other
-    /// concurrent requests on this connection — is passed to `on_event`
-    /// first.
+    /// (`Result`, `Cancelled`, `Error`, `Pong`, `Welcome` or `Stats`),
+    /// which is returned. Every event read on the way — including events
+    /// of other concurrent requests on this connection — is passed to
+    /// `on_event` first.
     ///
     /// # Errors
     ///

@@ -1,0 +1,143 @@
+//! Where a server listens and a client connects, as one parseable,
+//! printable value.
+//!
+//! The `--listen` flag of `ddtr serve`, the positional endpoint of
+//! `ddtr query`/`ddtr loadtest` and [`crate::ClientBuilder`] all speak
+//! the same three spellings: `stdio`, `tcp:<addr>` and `unix:<path>`.
+//! [`Endpoint`] round-trips through [`std::str::FromStr`] /
+//! [`std::fmt::Display`] losslessly, and parse failures are a structured
+//! [`EndpointParseError`] instead of an ad-hoc string.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Where a server listens or a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The process's stdin/stdout — one connection, the default of
+    /// `ddtr serve`.
+    Stdio,
+    /// A TCP socket address (`tcp:127.0.0.1:7070`).
+    Tcp(String),
+    /// A Unix domain socket path (`unix:/tmp/ddtr.sock`); Unix platforms
+    /// only.
+    Unix(PathBuf),
+}
+
+/// Why a string failed to parse as an [`Endpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointParseError {
+    /// The rejected input.
+    pub input: String,
+    /// What was wrong with it.
+    pub kind: EndpointErrorKind,
+}
+
+/// The kinds of [`EndpointParseError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointErrorKind {
+    /// `tcp:` with nothing after the scheme.
+    EmptyTcpAddress,
+    /// `unix:` with nothing after the scheme.
+    EmptyUnixPath,
+    /// No known scheme at all.
+    UnknownScheme,
+}
+
+impl fmt::Display for EndpointParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EndpointErrorKind::EmptyTcpAddress => write!(f, "tcp: endpoint needs an address"),
+            EndpointErrorKind::EmptyUnixPath => write!(f, "unix: endpoint needs a path"),
+            EndpointErrorKind::UnknownScheme => write!(
+                f,
+                "unknown endpoint `{}` (expected stdio, tcp:<addr> or unix:<path>)",
+                self.input
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EndpointParseError {}
+
+// The CLI's error channel is `Result<_, String>`; keep `endpoint.parse()?`
+// working there without forcing every call site through `map_err`.
+impl From<EndpointParseError> for String {
+    fn from(e: EndpointParseError) -> Self {
+        e.to_string()
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = EndpointParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let fail = |kind| EndpointParseError {
+            input: s.to_string(),
+            kind,
+        };
+        if s == "stdio" {
+            return Ok(Endpoint::Stdio);
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(fail(EndpointErrorKind::EmptyTcpAddress));
+            }
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(fail(EndpointErrorKind::EmptyUnixPath));
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        Err(fail(EndpointErrorKind::UnknownScheme))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Stdio => write!(f, "stdio"),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_parse_and_display() {
+        assert_eq!("stdio".parse::<Endpoint>().unwrap(), Endpoint::Stdio);
+        assert_eq!(
+            "tcp:127.0.0.1:7070".parse::<Endpoint>().unwrap(),
+            Endpoint::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            "unix:/tmp/ddtr.sock".parse::<Endpoint>().unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/ddtr.sock"))
+        );
+        for (raw, kind) in [
+            ("tcp:", EndpointErrorKind::EmptyTcpAddress),
+            ("unix:", EndpointErrorKind::EmptyUnixPath),
+            ("carrier-pigeon:coop", EndpointErrorKind::UnknownScheme),
+        ] {
+            let err = raw.parse::<Endpoint>().unwrap_err();
+            assert_eq!(err.kind, kind, "{raw}");
+            assert_eq!(err.input, raw);
+        }
+        assert!("carrier-pigeon:coop"
+            .parse::<Endpoint>()
+            .unwrap_err()
+            .to_string()
+            .contains("carrier-pigeon"));
+        for raw in ["stdio", "tcp:127.0.0.1:7070", "unix:/tmp/ddtr.sock"] {
+            let ep: Endpoint = raw.parse().unwrap();
+            assert_eq!(ep.to_string(), raw, "lossless");
+        }
+    }
+}

@@ -8,19 +8,29 @@
 //! service around that cache:
 //!
 //! * [`protocol`] — the newline-delimited JSON wire format: [`Request`]
-//!   lines in (`Ping`/`Stats`/`Run`/`Cancel`/`Shutdown`), [`Event`] lines
-//!   out (`Hello`, `Queued`, `Running` progress, `Result`/`Cancelled`/
-//!   `Error`, `Bye`), with exploration work named either by app/mode
-//!   preset or as a full inline configuration ([`JobSpec`]).
+//!   lines in (`Hello`/`Ping`/`Stats`/`Run`/`Cancel`/`Shutdown`),
+//!   [`Event`] lines out (`Hello`/`Welcome`, `Queued`, `Running`
+//!   progress, `Result`/`Cancelled`/`Error` — errors carrying a stable
+//!   [`protocol::ErrorCode`] — and `Bye`), with exploration work named
+//!   either by app/mode preset or as a full inline configuration
+//!   ([`JobSpec`]).
 //! * [`Server`] — serves stdin/stdout, TCP, or Unix-socket connections
-//!   (`ddtr serve --listen …`) on one shared
-//!   [`ddtr_engine::EngineSession`]: every request gets its own engine
-//!   bound to the session's result cache and FIFO `--jobs` pool, so a
-//!   million-packet job cannot starve a small query, repeated requests
-//!   answer from cache with zero simulations, and results are
-//!   byte-identical to the CLI's regardless of request interleaving.
+//!   (`ddtr serve --listen …`) on a fleet of worker
+//!   [`ddtr_engine::EngineSession`]s sharing one on-disk store: every
+//!   `Run` routes deterministically to a worker by content fingerprint
+//!   ([`route_worker`]) and gets its own engine bound to that worker's
+//!   result cache and FIFO `--jobs` pool, so a million-packet job cannot
+//!   starve a small query, repeated requests answer from the same warm
+//!   cache with zero simulations, and results are byte-identical to the
+//!   CLI's regardless of fleet size or request interleaving. The edge is
+//!   hardened ([`ServerConfig`]): optional auth at `Hello`, bounded
+//!   connection slots, per-connection rate and in-flight limits, and a
+//!   request-size ceiling — every violation a structured coded error.
 //! * [`Client`] — the blocking client behind `ddtr query` and the
-//!   integration tests.
+//!   integration tests, with [`ClientBuilder`] layering the versioned
+//!   handshake, auth, timeouts and connect retries on top.
+//! * [`loadtest`] — the concurrent load harness behind `ddtr loadtest`
+//!   and the `BENCH_serve.json` benchmarks.
 //!
 //! See `docs/PROTOCOL.md` for the full wire schema with a worked
 //! transcript and `docs/ARCHITECTURE.md` for where the service sits in
@@ -53,9 +63,17 @@
 //! ```
 
 mod client;
+mod endpoint;
+mod fleet;
+mod limits;
+pub mod loadtest;
 pub mod protocol;
 mod server;
 
-pub use client::Client;
-pub use protocol::{Event, JobSpec, Request, RequestBody, PROTOCOL_VERSION};
-pub use server::{Endpoint, ServeError, Server};
+pub use client::{Client, ClientBuilder, ClientError};
+pub use endpoint::{Endpoint, EndpointErrorKind, EndpointParseError};
+pub use fleet::{route_worker, ServerConfig};
+pub use protocol::{
+    ErrorCode, Event, JobSpec, Request, RequestBody, ResolveError, PROTOCOL_VERSION,
+};
+pub use server::{write_pidfile, ServeError, Server};

@@ -25,15 +25,26 @@ use ddtr_trace::{NetworkPreset, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol; servers announce it in [`Event::Hello`]
-/// and reject nothing by version yet (there is only one).
+/// and reject a [`RequestBody::Hello`] naming any other version with
+/// [`ErrorCode::UnsupportedProtocol`]. Everything since v1 is additive,
+/// so the number has not moved.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Capability names a fleet server advertises in [`Event::Hello`] /
+/// [`Event::Welcome`]: what this build can do beyond the bare v1 wire
+/// shape. Clients must ignore names they do not know.
+pub const SERVER_CAPABILITIES: &[&str] = &["auth", "cancel", "cells", "codes", "fleet", "metrics"];
 
 // The serde-compat manifest: the v1 wire shape, pinned. `ddtr-lint`
 // cross-checks it against the types below both ways — removing or
 // renaming anything listed here is a wire break and fails CI; fields
-// added since v1 (`JobSpec.mem`, `Event::Stats.metrics`) must stay
-// optional, and enum variants beyond the lists (`Metrics`, `Cell`) are
-// additive. Bump deliberately by editing this block in the same commit.
+// added since v1 (`JobSpec.mem`, `Event::Stats.metrics`,
+// `Event::Hello.{capabilities,workers}`, `Event::Error.code`) must stay
+// optional, and enum variants beyond the lists (`Metrics`, `Cell`,
+// `Welcome`, `RequestBody::Hello`) are additive. `ErrorCode` shipped
+// whole with the fleet surface, so its variant list is pinned from its
+// first release. Bump deliberately by editing this block in the same
+// commit.
 //
 // ddtr-lint: serde-compat begin
 // struct Request v1: id, body
@@ -49,7 +60,143 @@ pub const PROTOCOL_VERSION: u32 = 1;
 // variant Event::Stats v1: id, stats, jobs
 // variant Event::Cancelled v1: id
 // variant Event::Error v1: id, error
+// enum ErrorCode v1: Parse, BadRequest, AuthRequired, AuthFailed, UnsupportedProtocol, RateLimited, TooLarge, DuplicateId, UnknownTarget, Overloaded, Internal
 // ddtr-lint: serde-compat end
+
+/// Stable machine-readable classification of an [`Event::Error`].
+///
+/// Codes are additive: a client must treat an unknown code (or an absent
+/// one, from a pre-`codes` server) as [`ErrorCode::Internal`]-like and
+/// fall back to the human-readable `error` text. The full table, with
+/// which codes end the connection, lives in `docs/PROTOCOL.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON for a [`Request`].
+    Parse,
+    /// The request parsed but is semantically invalid (bad mode, app,
+    /// preset or flag combination — everything [`ResolveError`] covers).
+    BadRequest,
+    /// The server requires an auth token and the connection has not
+    /// presented one: send [`RequestBody::Hello`] with `auth` first.
+    AuthRequired,
+    /// The presented auth token is wrong. The server closes the
+    /// connection after this error.
+    AuthFailed,
+    /// The client's [`RequestBody::Hello`] named a `proto_version` this
+    /// server does not speak.
+    UnsupportedProtocol,
+    /// The connection exceeded its request-rate budget; retry after
+    /// backing off. The connection stays open.
+    RateLimited,
+    /// The request line exceeded the server's size ceiling and was
+    /// discarded unread. The connection stays open.
+    TooLarge,
+    /// A `Run` re-used the id of a request still in flight.
+    DuplicateId,
+    /// A `Cancel` named an id that is not in flight.
+    UnknownTarget,
+    /// The server is at capacity (connection slots or per-connection
+    /// in-flight budget exhausted).
+    Overloaded,
+    /// The engine failed while executing the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code (the serde variant name).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "Parse",
+            ErrorCode::BadRequest => "BadRequest",
+            ErrorCode::AuthRequired => "AuthRequired",
+            ErrorCode::AuthFailed => "AuthFailed",
+            ErrorCode::UnsupportedProtocol => "UnsupportedProtocol",
+            ErrorCode::RateLimited => "RateLimited",
+            ErrorCode::TooLarge => "TooLarge",
+            ErrorCode::DuplicateId => "DuplicateId",
+            ErrorCode::UnknownTarget => "UnknownTarget",
+            ErrorCode::Overloaded => "Overloaded",
+            ErrorCode::Internal => "Internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a [`JobSpec`] failed to resolve into an [`ExploreRequest`].
+///
+/// Every variant maps onto [`ErrorCode::BadRequest`] on the wire; the
+/// structure exists so in-process callers (the CLI validates specs before
+/// sending them) can branch on the kind instead of grepping a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// `inline` was combined with preset fields.
+    InlineWithPreset,
+    /// Neither `inline` nor `mode` was given.
+    MissingMode,
+    /// `mode` names no known exploration mode.
+    UnknownMode(String),
+    /// The mode requires `app` and none was given.
+    MissingApp {
+        /// The mode that needed it.
+        mode: String,
+    },
+    /// An app/network/scenario/platform name failed to parse; the
+    /// message lists the valid catalog.
+    UnknownName(String),
+    /// A flag was set that the chosen mode does not take.
+    FlagNotApplicable {
+        /// The offending `JobSpec` field.
+        flag: String,
+        /// The mode that rejects it.
+        mode: String,
+    },
+    /// A non-sweep mode was given more than one `mem` preset.
+    MemArity {
+        /// The mode that takes exactly one platform.
+        mode: String,
+    },
+    /// The spec resolved but the resulting configuration failed
+    /// validation.
+    Invalid(String),
+}
+
+impl ResolveError {
+    /// The wire code for this failure (always [`ErrorCode::BadRequest`]).
+    #[must_use]
+    pub fn code(&self) -> ErrorCode {
+        ErrorCode::BadRequest
+    }
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::InlineWithPreset => f.write_str("inline configs take no preset fields"),
+            ResolveError::MissingMode => f.write_str("missing `mode` (or `inline`)"),
+            ResolveError::UnknownMode(mode) => write!(
+                f,
+                "unknown mode `{mode}` (expected explore, ga, scenarios, sweep or headline)"
+            ),
+            ResolveError::MissingApp { mode } => write!(f, "mode `{mode}` requires `app`"),
+            ResolveError::UnknownName(msg) | ResolveError::Invalid(msg) => f.write_str(msg),
+            ResolveError::FlagNotApplicable { flag, mode } => {
+                write!(f, "`{flag}` does not apply to mode `{mode}`")
+            }
+            ResolveError::MemArity { mode } => write!(
+                f,
+                "mode `{mode}` takes exactly one `mem` preset (the sweep mode takes a list)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
 
 /// One client → server line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,6 +227,22 @@ impl Request {
 /// The action a [`Request`] asks for.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum RequestBody {
+    /// Versioned handshake; answered with [`Event::Welcome`] (or
+    /// [`Event::Error`] carrying [`ErrorCode::UnsupportedProtocol`] /
+    /// [`ErrorCode::AuthFailed`]). Optional on open servers; mandatory
+    /// first request when the server was started with `--auth-token`.
+    Hello {
+        /// The protocol version the client speaks; must equal
+        /// [`PROTOCOL_VERSION`].
+        proto_version: u32,
+        /// The shared secret, when the server requires one.
+        #[serde(default)]
+        auth: Option<String>,
+        /// Capability names the client understands (informational; the
+        /// server never rejects on them).
+        #[serde(default)]
+        capabilities: Vec<String>,
+    },
     /// Liveness check; answered with [`Event::Pong`].
     Ping,
     /// Report the session's shared cache counters and jobs budget;
@@ -184,48 +347,56 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first problem: unknown mode, app
-    /// or scenario names, a flag that does not apply to the mode, or an
-    /// invalid resolved configuration.
-    pub fn resolve(&self) -> Result<ExploreRequest, String> {
+    /// Returns a [`ResolveError`] describing the first problem: unknown
+    /// mode, app or scenario names, a flag that does not apply to the
+    /// mode, or an invalid resolved configuration.
+    pub fn resolve(&self) -> Result<ExploreRequest, ResolveError> {
         let request = self.build()?;
-        request.validate().map_err(|e| e.to_string())?;
+        request
+            .validate()
+            .map_err(|e| ResolveError::Invalid(e.to_string()))?;
         Ok(request)
     }
 
-    fn build(&self) -> Result<ExploreRequest, String> {
+    fn build(&self) -> Result<ExploreRequest, ResolveError> {
         if let Some(inline) = &self.inline {
             if self.mode.is_some() || self.app.is_some() {
-                return Err("inline configs take no preset fields".into());
+                return Err(ResolveError::InlineWithPreset);
             }
             return Ok(inline.clone());
         }
-        let mode = self.mode.as_deref().ok_or("missing `mode` (or `inline`)")?;
-        let optional_app = || -> Result<Option<AppKind>, String> {
+        let mode = self.mode.as_deref().ok_or(ResolveError::MissingMode)?;
+        let unknown = |e: &dyn std::fmt::Display| ResolveError::UnknownName(e.to_string());
+        let optional_app = || -> Result<Option<AppKind>, ResolveError> {
             match &self.app {
-                Some(name) => name.parse().map(Some).map_err(|e| format!("{e}")),
+                Some(name) => name.parse().map(Some).map_err(|e| unknown(&e)),
                 None => Ok(None),
             }
         };
-        let required_app = || -> Result<AppKind, String> {
-            optional_app()?.ok_or_else(|| format!("mode `{mode}` requires `app`"))
+        let required_app = || -> Result<AppKind, ResolveError> {
+            optional_app()?.ok_or_else(|| ResolveError::MissingApp {
+                mode: mode.to_string(),
+            })
         };
-        let reject = |field: &str, set: bool| -> Result<(), String> {
+        let reject = |field: &str, set: bool| -> Result<(), ResolveError> {
             if set {
-                Err(format!("`{field}` does not apply to mode `{mode}`"))
+                Err(ResolveError::FlagNotApplicable {
+                    flag: field.to_string(),
+                    mode: mode.to_string(),
+                })
             } else {
                 Ok(())
             }
         };
         // The single platform of a non-sweep mode, when `mem` is given.
-        let single_mem = || -> Result<Option<MemoryPreset>, String> {
+        let single_mem = || -> Result<Option<MemoryPreset>, ResolveError> {
             match &self.mem {
                 None => Ok(None),
                 Some(names) => match names.as_slice() {
-                    [name] => name.parse().map(Some),
-                    _ => Err(format!(
-                        "mode `{mode}` takes exactly one `mem` preset (the sweep mode takes a list)"
-                    )),
+                    [name] => name.parse().map(Some).map_err(|e| unknown(&e)),
+                    _ => Err(ResolveError::MemArity {
+                        mode: mode.to_string(),
+                    }),
                 },
             }
         };
@@ -281,7 +452,7 @@ impl JobSpec {
                 // `stream` is accepted as a no-op: scenarios always
                 // streams, mirroring the CLI.
                 let base: NetworkPreset = match &self.base {
-                    Some(name) => name.parse()?,
+                    Some(name) => name.parse().map_err(|e| unknown(&e))?,
                     None => NetworkPreset::DartmouthBerry,
                 };
                 let mut cfg = if self.quick {
@@ -298,7 +469,7 @@ impl JobSpec {
                 if let Some(names) = &self.scenarios {
                     cfg.scenarios = names
                         .iter()
-                        .map(|n| n.parse::<Scenario>())
+                        .map(|n| n.parse::<Scenario>().map_err(|e| unknown(&e)))
                         .collect::<Result<_, _>>()?;
                 }
                 if let Some(packets) = self.packets {
@@ -314,7 +485,7 @@ impl JobSpec {
                 // `stream` is accepted as a no-op: sweeps always stream,
                 // like scenarios.
                 let base: NetworkPreset = match &self.base {
-                    Some(name) => name.parse()?,
+                    Some(name) => name.parse().map_err(|e| unknown(&e))?,
                     None => NetworkPreset::DartmouthBerry,
                 };
                 let mut cfg = if self.quick {
@@ -331,7 +502,7 @@ impl JobSpec {
                 if let Some(names) = &self.scenarios {
                     cfg.scenarios = names
                         .iter()
-                        .map(|n| n.parse::<Scenario>())
+                        .map(|n| n.parse::<Scenario>().map_err(|e| unknown(&e)))
                         .collect::<Result<_, _>>()?;
                 }
                 if let Some(packets) = self.packets {
@@ -340,14 +511,12 @@ impl JobSpec {
                 if let Some(names) = &self.mem {
                     cfg.mem_presets = names
                         .iter()
-                        .map(|n| n.parse::<MemoryPreset>())
+                        .map(|n| n.parse::<MemoryPreset>().map_err(|e| unknown(&e)))
                         .collect::<Result<_, _>>()?;
                 }
                 Ok(ExploreRequest::Sweep(cfg))
             }
-            other => Err(format!(
-                "unknown mode `{other}` (expected explore, ga, scenarios, sweep or headline)"
-            )),
+            other => Err(ResolveError::UnknownMode(other.to_string())),
         }
     }
 }
@@ -362,8 +531,26 @@ pub enum Event {
         protocol: u32,
         /// Server build identifier.
         server: String,
-        /// Concurrent-simulation budget of the shared session.
+        /// Concurrent-simulation budget of each worker session.
         jobs: usize,
+        /// Capability names of this server build (see
+        /// [`SERVER_CAPABILITIES`]); empty from a pre-fleet server.
+        #[serde(default)]
+        capabilities: Vec<String>,
+        /// Worker sessions behind the listener; `0` from a pre-fleet
+        /// server (read it as one).
+        #[serde(default)]
+        workers: usize,
+    },
+    /// Answer to [`RequestBody::Hello`]: the handshake was accepted and
+    /// the connection is authenticated (when auth is configured).
+    Welcome {
+        /// Echoed request id.
+        id: String,
+        /// [`PROTOCOL_VERSION`] of the server.
+        protocol: u32,
+        /// Capability names of this server build.
+        capabilities: Vec<String>,
     },
     /// Answer to [`RequestBody::Ping`].
     Pong {
@@ -456,6 +643,10 @@ pub enum Event {
         id: Option<String>,
         /// Human-readable description.
         error: String,
+        /// Stable machine-readable classification; absent from pre-
+        /// `codes` servers.
+        #[serde(default)]
+        code: Option<ErrorCode>,
     },
     /// Last line before the server closes the connection.
     Bye,
@@ -468,6 +659,7 @@ impl Event {
         match self {
             Event::Hello { .. } | Event::Bye => None,
             Event::Pong { id }
+            | Event::Welcome { id, .. }
             | Event::Queued { id }
             | Event::Running { id, .. }
             | Event::Cell { id, .. }
@@ -488,9 +680,19 @@ impl Event {
                 | Event::Cancelled { .. }
                 | Event::Error { .. }
                 | Event::Pong { .. }
+                | Event::Welcome { .. }
                 | Event::Stats { .. }
                 | Event::Metrics { .. }
         )
+    }
+
+    /// The machine-readable code when this is an [`Event::Error`].
+    #[must_use]
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            Event::Error { code, .. } => *code,
+            _ => None,
+        }
     }
 }
 
@@ -522,6 +724,13 @@ mod tests {
                 protocol: PROTOCOL_VERSION,
                 server: "test".into(),
                 jobs: 2,
+                capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
+                workers: 4,
+            },
+            Event::Welcome {
+                id: "h".into(),
+                protocol: PROTOCOL_VERSION,
+                capabilities: vec!["fleet".into()],
             },
             Event::Queued { id: "r".into() },
             Event::Running {
@@ -542,6 +751,7 @@ mod tests {
             Event::Error {
                 id: None,
                 error: "bad line".into(),
+                code: Some(ErrorCode::Parse),
             },
             Event::Bye,
         ];
@@ -550,9 +760,53 @@ mod tests {
             let back: Event = serde_json::from_str(&json).expect("de");
             assert_eq!(back.id(), event.id());
             assert_eq!(back.is_terminal(), event.is_terminal());
+            assert_eq!(back.error_code(), event.error_code());
         }
         assert!(!Event::Queued { id: "r".into() }.is_terminal());
         assert!(Event::Cancelled { id: "r".into() }.is_terminal());
+    }
+
+    #[test]
+    fn v1_peers_survive_the_fleet_additions() {
+        // A v1 server's greeting and error lines carry none of the
+        // post-v1 fields; they must still deserialize.
+        let hello: Event =
+            serde_json::from_str(r#"{"Hello":{"protocol":1,"server":"old","jobs":2}}"#)
+                .expect("v1 Hello");
+        let Event::Hello {
+            capabilities,
+            workers,
+            ..
+        } = hello
+        else {
+            panic!("wrong event");
+        };
+        assert!(capabilities.is_empty());
+        assert_eq!(workers, 0);
+        let error: Event =
+            serde_json::from_str(r#"{"Error":{"id":null,"error":"boom"}}"#).expect("v1 Error");
+        assert_eq!(error.error_code(), None);
+        // A minimal client handshake needs only the version.
+        let req: Request =
+            serde_json::from_str(r#"{"id":"h","body":{"Hello":{"proto_version":1}}}"#)
+                .expect("minimal Hello");
+        let RequestBody::Hello {
+            proto_version,
+            auth,
+            capabilities,
+        } = req.body
+        else {
+            panic!("wrong body");
+        };
+        assert_eq!(proto_version, PROTOCOL_VERSION);
+        assert_eq!(auth, None);
+        assert!(capabilities.is_empty());
+        // Codes round-trip as bare variant-name strings.
+        let json = serde_json::to_string(&ErrorCode::RateLimited).expect("ser");
+        assert_eq!(json, r#""RateLimited""#);
+        let back: ErrorCode = serde_json::from_str(&json).expect("de");
+        assert_eq!(back, ErrorCode::RateLimited);
+        assert_eq!(back.as_str(), "RateLimited");
     }
 
     #[test]
@@ -642,7 +896,7 @@ mod tests {
         }
         .resolve()
         .unwrap_err();
-        assert!(err.contains("exactly one"), "{err}");
+        assert!(err.to_string().contains("exactly one"), "{err}");
     }
 
     #[test]
@@ -654,7 +908,8 @@ mod tests {
                 ..JobSpec::preset(mode, Some("drr"))
             }
             .resolve()
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
             assert!(err.contains("quantum"), "{mode}: {err}");
             for preset in MemoryPreset::ALL {
                 assert!(err.contains(preset.name()), "{mode}: {err} misses {preset}");
@@ -665,20 +920,23 @@ mod tests {
     #[test]
     fn bad_specs_are_rejected_with_reasons() {
         let missing = JobSpec::default().resolve().unwrap_err();
-        assert!(missing.contains("mode"), "{missing}");
+        assert_eq!(missing, ResolveError::MissingMode);
+        assert!(missing.to_string().contains("mode"), "{missing}");
         let unknown = JobSpec::preset("frobnicate", None).resolve().unwrap_err();
-        assert!(unknown.contains("frobnicate"), "{unknown}");
+        assert_eq!(unknown, ResolveError::UnknownMode("frobnicate".into()));
+        assert!(unknown.to_string().contains("frobnicate"), "{unknown}");
         let no_app = JobSpec::preset("explore", None).resolve().unwrap_err();
-        assert!(no_app.contains("requires `app`"), "{no_app}");
+        assert!(no_app.to_string().contains("requires `app`"), "{no_app}");
         let bad_app = JobSpec::preset("ga", Some("nfs")).resolve().unwrap_err();
-        assert!(bad_app.contains("nfs"), "{bad_app}");
+        assert!(matches!(bad_app, ResolveError::UnknownName(_)), "{bad_app}");
+        assert!(bad_app.to_string().contains("nfs"), "{bad_app}");
         let stray = JobSpec {
             seed: Some(7),
             ..JobSpec::preset("explore", Some("drr"))
         }
         .resolve()
         .unwrap_err();
-        assert!(stray.contains("seed"), "{stray}");
+        assert!(stray.to_string().contains("seed"), "{stray}");
         let both = JobSpec {
             mode: Some("explore".into()),
             ..JobSpec::inline(ExploreRequest::Explore(MethodologyConfig::quick(
@@ -687,7 +945,8 @@ mod tests {
         }
         .resolve()
         .unwrap_err();
-        assert!(both.contains("preset"), "{both}");
+        assert_eq!(both, ResolveError::InlineWithPreset);
+        assert!(both.to_string().contains("preset"), "{both}");
     }
 
     #[test]

@@ -1,96 +1,126 @@
-//! The resident exploration server.
+//! The resident exploration server: a hardened worker fleet.
 //!
-//! One [`Server`] owns one [`EngineSession`] — the shared result cache
-//! and the shared FIFO `--jobs` pool — and serves any number of
+//! One [`Server`] owns N worker [`EngineSession`]s — each with its own
+//! in-memory result cache and FIFO `--jobs` pool, all sharing one
+//! on-disk pile store — and serves a bounded number of concurrent
 //! connections, each speaking the JSONL protocol of [`crate::protocol`].
-//! Every `Run` request executes on its own engine bound to that session,
-//! so concurrent requests interleave fairly at simulation granularity,
-//! warm the same cache, and still produce byte-identical results
-//! regardless of what else is running (results are content-addressed,
-//! never order-dependent).
+//! Every `Run` request resolves to an [`ddtr_core::ExploreRequest`],
+//! routes deterministically to one worker by content fingerprint
+//! ([`crate::route_worker`]), and executes on its own engine bound to
+//! that worker's session — so identical requests always meet the same
+//! warm cache, concurrent requests interleave fairly at simulation
+//! granularity, and results stay byte-identical regardless of fleet
+//! size or interleaving.
+//!
+//! The edge is hardened per `docs/PROTOCOL.md`: an optional auth token
+//! checked at `Hello` before any engine work, a per-connection request
+//! rate budget, a per-connection in-flight `Run` cap, a request-line
+//! size ceiling, and a bounded connection gate in place of unbounded
+//! thread-per-connection. Every limit violation is a structured
+//! [`Event::Error`] with a machine-readable [`ErrorCode`]; none is a
+//! panic.
 
-use crate::protocol::{Event, Request, RequestBody, PROTOCOL_VERSION};
-use ddtr_core::{dispatch_observed, ExploreError};
+use crate::endpoint::Endpoint;
+use crate::fleet::{open_workers, route_worker, ServerConfig};
+use crate::limits::{read_request_line, ConnGate, RateLimiter, RequestLine};
+use crate::protocol::{
+    ErrorCode, Event, Request, RequestBody, PROTOCOL_VERSION, SERVER_CAPABILITIES,
+};
+use ddtr_core::{dispatch_observed, CacheStats, ExploreError};
 use ddtr_engine::{BatchControl, EngineConfig, EngineError, EngineSession};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
-use std::str::FromStr;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// A server-side failure (socket setup, engine/cache construction).
+/// A server-side failure (socket setup, worker/cache construction,
+/// daemon plumbing) — everything that can go wrong before or around the
+/// protocol, as a structured kind instead of a bare string.
 #[derive(Debug)]
-pub struct ServeError(String);
+pub enum ServeError {
+    /// Opening a worker's engine session (or its cache dir) failed.
+    Engine(EngineError),
+    /// The listen endpoint could not be bound.
+    Bind {
+        /// The endpoint that failed to bind.
+        endpoint: String,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+    /// A transport-level I/O failure outside any single connection.
+    Io(io::Error),
+    /// The endpoint kind does not exist on this platform.
+    UnsupportedPlatform(String),
+    /// The daemon pidfile could not be created.
+    PidFile {
+        /// The pidfile path that failed.
+        path: std::path::PathBuf,
+        /// The underlying filesystem error.
+        source: io::Error,
+    },
+}
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serve error: {}", self.0)
+        match self {
+            ServeError::Engine(e) => write!(f, "serve error: {e}"),
+            ServeError::Bind { endpoint, source } => {
+                write!(f, "serve error: bind {endpoint}: {source}")
+            }
+            ServeError::Io(e) => write!(f, "serve error: {e}"),
+            ServeError::UnsupportedPlatform(what) => write!(f, "serve error: {what}"),
+            ServeError::PidFile { path, source } => {
+                write!(f, "serve error: pidfile {}: {source}", path.display())
+            }
+        }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::Bind { source, .. } | ServeError::PidFile { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+            ServeError::UnsupportedPlatform(_) => None,
+        }
+    }
+}
 
 impl From<EngineError> for ServeError {
     fn from(e: EngineError) -> Self {
-        ServeError(e.to_string())
+        ServeError::Engine(e)
     }
 }
 
 impl From<io::Error> for ServeError {
     fn from(e: io::Error) -> Self {
-        ServeError(e.to_string())
+        ServeError::Io(e)
     }
 }
 
-/// Where a server listens or a client connects.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Endpoint {
-    /// The process's stdin/stdout — one connection, the default of
-    /// `ddtr serve`.
-    Stdio,
-    /// A TCP socket address (`tcp:127.0.0.1:7070`).
-    Tcp(String),
-    /// A Unix domain socket path (`unix:/tmp/ddtr.sock`); Unix platforms
-    /// only.
-    Unix(PathBuf),
-}
-
-impl FromStr for Endpoint {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        if s == "stdio" {
-            return Ok(Endpoint::Stdio);
-        }
-        if let Some(addr) = s.strip_prefix("tcp:") {
-            if addr.is_empty() {
-                return Err("tcp: endpoint needs an address".into());
-            }
-            return Ok(Endpoint::Tcp(addr.to_string()));
-        }
-        if let Some(path) = s.strip_prefix("unix:") {
-            if path.is_empty() {
-                return Err("unix: endpoint needs a path".into());
-            }
-            return Ok(Endpoint::Unix(PathBuf::from(path)));
-        }
-        Err(format!(
-            "unknown endpoint `{s}` (expected stdio, tcp:<addr> or unix:<path>)"
-        ))
-    }
-}
-
-impl fmt::Display for Endpoint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Endpoint::Stdio => write!(f, "stdio"),
-            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
-            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
-        }
-    }
+/// Writes the daemonized server's pid to `path`, refusing to clobber an
+/// existing file (a stale pidfile means an operator question, not a
+/// silent overwrite).
+///
+/// # Errors
+///
+/// Returns [`ServeError::PidFile`] when the file exists or cannot be
+/// created.
+pub fn write_pidfile(path: &Path, pid: u32) -> Result<(), ServeError> {
+    let fail = |source| ServeError::PidFile {
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+        .map_err(fail)?;
+    writeln!(file, "{pid}").map_err(fail)
 }
 
 /// The shared event writer of one connection: serialises events to one
@@ -127,6 +157,19 @@ impl<W: Write> ConnWriter<W> {
         }
     }
 
+    /// Emits a structured `Error` event carrying `code`, bumping the
+    /// matching reject counter when one applies.
+    fn emit_error(&self, id: Option<String>, code: ErrorCode, error: String) {
+        if let Some(name) = reject_counter(code) {
+            ddtr_obs::counter(name).inc();
+        }
+        self.emit(&Event::Error {
+            id,
+            error,
+            code: Some(code),
+        });
+    }
+
     /// Whether a write to the peer has failed.
     fn peer_gone(&self) -> bool {
         self.peer_gone.load(Ordering::SeqCst)
@@ -136,6 +179,7 @@ impl<W: Write> ConnWriter<W> {
 /// The variant counter a request increments (docs/OBSERVABILITY.md).
 fn request_counter(body: &RequestBody) -> &'static str {
     match body {
+        RequestBody::Hello { .. } => "serve.request.hello",
         RequestBody::Ping => "serve.request.ping",
         RequestBody::Stats => "serve.request.stats",
         RequestBody::Metrics => "serve.request.metrics",
@@ -145,37 +189,133 @@ fn request_counter(body: &RequestBody) -> &'static str {
     }
 }
 
+/// The edge-rejection counter a structured error bumps, when the code
+/// marks an edge limit rather than a request-level failure
+/// (docs/OBSERVABILITY.md).
+fn reject_counter(code: ErrorCode) -> Option<&'static str> {
+    match code {
+        ErrorCode::AuthRequired | ErrorCode::AuthFailed => Some("serve.reject.auth"),
+        ErrorCode::RateLimited => Some("serve.reject.rate"),
+        ErrorCode::TooLarge => Some("serve.reject.oversize"),
+        ErrorCode::Overloaded => Some("serve.reject.overload"),
+        _ => None,
+    }
+}
+
 /// Records one end-to-end request latency sample: receipt of the request
 /// line to emission of its terminal event.
 fn record_latency(arrived: std::time::Instant) {
     ddtr_obs::histogram("serve.request.latency").record_duration(arrived.elapsed());
 }
 
-/// The long-running exploration server. See the crate docs for the
-/// protocol and [`EngineSession`] for the sharing/fairness model.
+/// The long-running exploration server: a fleet of worker sessions
+/// behind one hardened listener. See the crate docs for the protocol,
+/// [`ServerConfig`] for the knobs and [`EngineSession`] for each
+/// worker's sharing/fairness model.
 #[derive(Debug)]
 pub struct Server {
+    cfg: ServerConfig,
+    /// Worker 0 — always present, also the compatibility session of
+    /// [`Server::session`].
     session: EngineSession,
+    /// Workers 1…N-1.
+    extra: Vec<EngineSession>,
+    /// Pre-rendered per-worker gauge names (`serve.worker<N>.inflight`),
+    /// one allocation at startup instead of one per request.
+    worker_gauges: Vec<String>,
+    conns: ConnGate,
     shutdown: AtomicBool,
 }
 
 impl Server {
-    /// Builds a server, opening the session's (persistent) result cache.
+    /// Builds a single-worker, open (no auth, default limits) server —
+    /// the pre-fleet constructor, kept for callers that just want a
+    /// session behind the protocol.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError`] when the cache directory cannot be opened.
     pub fn new(cfg: EngineConfig) -> Result<Self, ServeError> {
+        Self::with_config(ServerConfig::new(cfg))
+    }
+
+    /// Builds a fleet server: `cfg.workers` sessions over one shared
+    /// store, plus the edge limits of [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when a worker's cache directory cannot be
+    /// opened.
+    pub fn with_config(cfg: ServerConfig) -> Result<Self, ServeError> {
+        let mut workers = open_workers(&cfg)?;
+        // `open_workers` clamps to at least one; treat an empty vec as
+        // the config asking for a single worker anyway.
+        let session = match workers.is_empty() {
+            false => workers.remove(0),
+            true => EngineSession::new(cfg.engine.clone())?,
+        };
+        let worker_gauges = (0..=workers.len())
+            .map(|i| format!("serve.worker{i}.inflight"))
+            .collect();
+        let conns = ConnGate::new(cfg.max_connections);
         Ok(Server {
-            session: EngineSession::new(cfg)?,
+            cfg,
+            session,
+            extra: workers,
+            worker_gauges,
+            conns,
             shutdown: AtomicBool::new(false),
         })
     }
 
-    /// The server's shared engine session.
+    /// The server's primary (worker 0) engine session.
     #[must_use]
     pub fn session(&self) -> &EngineSession {
         &self.session
+    }
+
+    /// The server's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Worker sessions behind the listener.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        1 + self.extra.len()
+    }
+
+    /// The worker a resolved request routes to (see
+    /// [`crate::route_worker`]).
+    #[must_use]
+    pub fn route(&self, request: &ddtr_core::ExploreRequest) -> usize {
+        route_worker(request, self.worker_count())
+    }
+
+    /// The session of worker `idx`; out-of-range indexes fall back to
+    /// worker 0 (routing never produces one).
+    fn worker(&self, idx: usize) -> &EngineSession {
+        if idx == 0 {
+            &self.session
+        } else {
+            self.extra.get(idx - 1).unwrap_or(&self.session)
+        }
+    }
+
+    /// Cache counters summed across the fleet: every worker's in-memory
+    /// view over the one shared store.
+    #[must_use]
+    pub fn fleet_stats(&self) -> CacheStats {
+        let mut total = self.session.stats();
+        for worker in &self.extra {
+            let s = worker.stats();
+            total.entries += s.entries;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.loaded = total.loaded.max(s.loaded);
+        }
+        total
     }
 
     /// Whether a `Shutdown` request has been received.
@@ -185,26 +325,60 @@ impl Server {
     }
 
     /// Serves one connection until EOF or a `Shutdown` request: reads one
-    /// JSON [`Request`] per line, runs `Run` requests concurrently on the
-    /// shared session, and streams [`Event`] lines (interleaved across
+    /// JSON [`Request`] per line (bounded by the configured size
+    /// ceiling), runs `Run` requests concurrently on their routed worker
+    /// sessions, and streams [`Event`] lines (interleaved across
     /// requests, each tagged with its request id). Malformed lines get an
-    /// `Error` event with a null id and do not end the connection. All
+    /// `Error` event with a null id and do not end the connection; limit
+    /// violations get coded `Error` events per `docs/PROTOCOL.md`. All
     /// in-flight work finishes (or is cancelled) before the final `Bye`.
-    pub fn serve_connection<R, W>(&self, reader: R, writer: W)
+    pub fn serve_connection<R, W>(&self, mut reader: R, writer: W)
     where
         R: BufRead,
         W: Write + Send + 'static,
     {
         let writer = Arc::new(ConnWriter::new(writer));
+        ddtr_obs::gauge("serve.conn.active").inc();
         writer.emit(&Event::Hello {
             protocol: PROTOCOL_VERSION,
             server: format!("ddtr_serve {}", env!("CARGO_PKG_VERSION")),
             jobs: self.session.jobs(),
+            capabilities: SERVER_CAPABILITIES.iter().map(|s| s.to_string()).collect(),
+            workers: self.worker_count(),
         });
+        // Connection state behind the hardened edge: authenticated yet
+        // (immediately, on an open server), this connection's request
+        // budget, and its count of in-flight `Run`s.
+        let mut authed = self.cfg.auth_token.is_none();
+        let rate = RateLimiter::new(self.cfg.rate_limit);
+        let running = Arc::new(AtomicUsize::new(0));
         let inflight: Mutex<HashMap<String, BatchControl>> = Mutex::new(HashMap::new());
         std::thread::scope(|scope| {
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
+            loop {
+                let line = match read_request_line(&mut reader, self.cfg.max_request_bytes) {
+                    Ok(RequestLine::Eof) | Err(_) => break,
+                    Ok(RequestLine::TooLarge) => {
+                        writer.emit_error(
+                            None,
+                            ErrorCode::TooLarge,
+                            format!(
+                                "request line exceeds the {}-byte ceiling and was discarded",
+                                self.cfg.max_request_bytes
+                            ),
+                        );
+                        continue;
+                    }
+                    Ok(RequestLine::NotUtf8) => {
+                        ddtr_obs::counter("serve.request.malformed").inc();
+                        writer.emit_error(
+                            None,
+                            ErrorCode::Parse,
+                            "unparseable request: not valid UTF-8".into(),
+                        );
+                        continue;
+                    }
+                    Ok(RequestLine::Line(line)) => line,
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -212,10 +386,11 @@ impl Server {
                     Ok(request) => request,
                     Err(e) => {
                         ddtr_obs::counter("serve.request.malformed").inc();
-                        writer.emit(&Event::Error {
-                            id: None,
-                            error: format!("unparseable request: {e}"),
-                        });
+                        writer.emit_error(
+                            None,
+                            ErrorCode::Parse,
+                            format!("unparseable request: {e}"),
+                        );
                         continue;
                     }
                 };
@@ -224,7 +399,84 @@ impl Server {
                 // sample per terminal event.
                 let arrived = std::time::Instant::now();
                 ddtr_obs::counter(request_counter(&request.body)).inc();
+                // The rate budget covers every request kind — the cheap
+                // ones are exactly what a misbehaving client floods.
+                if !rate.admit() {
+                    writer.emit_error(
+                        Some(request.id),
+                        ErrorCode::RateLimited,
+                        "request rate limit exceeded; back off and retry".into(),
+                    );
+                    record_latency(arrived);
+                    continue;
+                }
+                // The auth gate: until the connection authenticates,
+                // `Hello` is the only request that reaches any further —
+                // nothing below costs engine work before this point.
+                if !authed && !matches!(request.body, RequestBody::Hello { .. }) {
+                    writer.emit_error(
+                        Some(request.id),
+                        ErrorCode::AuthRequired,
+                        "authentication required: send Hello with the auth token first".into(),
+                    );
+                    record_latency(arrived);
+                    continue;
+                }
                 match request.body {
+                    RequestBody::Hello {
+                        proto_version,
+                        auth,
+                        capabilities: _,
+                    } => {
+                        if proto_version != PROTOCOL_VERSION {
+                            writer.emit_error(
+                                Some(request.id),
+                                ErrorCode::UnsupportedProtocol,
+                                format!(
+                                    "unsupported protocol version {proto_version} \
+                                     (this server speaks {PROTOCOL_VERSION})"
+                                ),
+                            );
+                            record_latency(arrived);
+                            continue;
+                        }
+                        if let Some(expected) = &self.cfg.auth_token {
+                            match auth.as_deref() {
+                                Some(token) if token == expected.as_str() => {}
+                                Some(_) => {
+                                    // A wrong secret ends the
+                                    // conversation; guessing is not
+                                    // free retries on a live socket.
+                                    writer.emit_error(
+                                        Some(request.id),
+                                        ErrorCode::AuthFailed,
+                                        "auth token rejected".into(),
+                                    );
+                                    record_latency(arrived);
+                                    break;
+                                }
+                                None => {
+                                    writer.emit_error(
+                                        Some(request.id),
+                                        ErrorCode::AuthRequired,
+                                        "this server requires an auth token".into(),
+                                    );
+                                    record_latency(arrived);
+                                    continue;
+                                }
+                            }
+                        }
+                        authed = true;
+                        writer.emit(&Event::Welcome {
+                            id: request.id,
+                            protocol: PROTOCOL_VERSION,
+                            capabilities: SERVER_CAPABILITIES
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
+                        });
+                        record_latency(arrived);
+                    }
                     RequestBody::Ping => {
                         writer.emit(&Event::Pong { id: request.id });
                         record_latency(arrived);
@@ -232,7 +484,7 @@ impl Server {
                     RequestBody::Stats => {
                         writer.emit(&Event::Stats {
                             id: request.id,
-                            stats: self.session.stats(),
+                            stats: self.fleet_stats(),
                             jobs: self.session.jobs(),
                             metrics: Box::new(ddtr_obs::snapshot()),
                         });
@@ -256,12 +508,13 @@ impl Server {
                             // on its own id.
                             Some(control) => control.cancel(),
                             None => {
-                                writer.emit(&Event::Error {
-                                    id: Some(request.id),
-                                    error: format!(
+                                writer.emit_error(
+                                    Some(request.id),
+                                    ErrorCode::UnknownTarget,
+                                    format!(
                                         "no in-flight request `{target}` (unknown or finished)"
                                     ),
-                                });
+                                );
                                 record_latency(arrived);
                             }
                         }
@@ -280,24 +533,45 @@ impl Server {
                             .unwrap_or_else(PoisonError::into_inner)
                             .contains_key(&id)
                         {
-                            writer.emit(&Event::Error {
-                                id: Some(id),
-                                error: "a request with this id is already in flight".into(),
-                            });
+                            writer.emit_error(
+                                Some(id),
+                                ErrorCode::DuplicateId,
+                                "a request with this id is already in flight".into(),
+                            );
+                            record_latency(arrived);
+                            continue;
+                        }
+                        // The per-connection executor budget: reject
+                        // rather than queue, so one connection cannot
+                        // hoard every scoped thread.
+                        if running.load(Ordering::SeqCst) >= self.cfg.max_inflight {
+                            writer.emit_error(
+                                Some(id),
+                                ErrorCode::Overloaded,
+                                format!(
+                                    "connection already has {} runs in flight (the limit); \
+                                     wait for one to finish",
+                                    self.cfg.max_inflight
+                                ),
+                            );
                             record_latency(arrived);
                             continue;
                         }
                         let explore = match spec.resolve() {
                             Ok(explore) => explore,
                             Err(error) => {
-                                writer.emit(&Event::Error {
-                                    id: Some(id),
-                                    error,
-                                });
+                                writer.emit_error(Some(id), error.code(), error.to_string());
                                 record_latency(arrived);
                                 continue;
                             }
                         };
+                        // Deterministic fleet placement: the resolved
+                        // request's content fingerprint picks the worker,
+                        // so identical work always meets the same warm
+                        // in-memory cache.
+                        let worker_idx = self.route(&explore);
+                        let session = self.worker(worker_idx);
+                        let worker_gauge = self.worker_gauges.get(worker_idx).map(String::as_str);
                         writer.emit(&Event::Queued { id: id.clone() });
                         // Progress observer: emits monotone `Running`
                         // lines, throttled to ~1% steps (plus every
@@ -338,10 +612,14 @@ impl Server {
                             .unwrap_or_else(PoisonError::into_inner)
                             .insert(id.clone(), control.clone());
                         let result_writer = Arc::clone(&writer);
-                        let session = &self.session;
                         let inflight = &inflight;
+                        let running = Arc::clone(&running);
+                        running.fetch_add(1, Ordering::SeqCst);
                         let queued_at = std::time::Instant::now();
                         ddtr_obs::gauge("serve.inflight").inc();
+                        if let Some(gauge) = worker_gauge {
+                            ddtr_obs::gauge(gauge).inc();
+                        }
                         scope.spawn(move || {
                             ddtr_obs::histogram("serve.request.queue_wait")
                                 .record_duration(queued_at.elapsed());
@@ -379,10 +657,15 @@ impl Server {
                                 Err(e) => Event::Error {
                                     id: Some(id),
                                     error: e.to_string(),
+                                    code: Some(ErrorCode::Internal),
                                 },
                             };
                             result_writer.emit(&event);
+                            running.fetch_sub(1, Ordering::SeqCst);
                             ddtr_obs::gauge("serve.inflight").dec();
+                            if let Some(gauge) = worker_gauge {
+                                ddtr_obs::gauge(gauge).dec();
+                            }
                             record_latency(arrived);
                         });
                     }
@@ -395,11 +678,30 @@ impl Server {
             // the moment a progress write fails.
         });
         writer.emit(&Event::Bye);
+        ddtr_obs::gauge("serve.conn.active").dec();
     }
 
-    /// Accept loop over an already-bound TCP listener; each connection is
-    /// served concurrently on the shared session. Returns after a
-    /// `Shutdown` request once every open connection has finished.
+    /// Greets and immediately turns away a connection the gate has no
+    /// slot for: a coded `Overloaded` error and `Bye`, never silence, so
+    /// the client can tell a full server from a dead one.
+    fn reject_connection<W: Write>(&self, writer: W) {
+        let writer = ConnWriter::new(writer);
+        writer.emit_error(
+            None,
+            ErrorCode::Overloaded,
+            format!(
+                "server is at its {}-connection capacity; retry later",
+                self.cfg.max_connections
+            ),
+        );
+        writer.emit(&Event::Bye);
+    }
+
+    /// Accept loop over an already-bound TCP listener; each accepted
+    /// connection takes one bounded connection slot and is served
+    /// concurrently; connections beyond the gate's capacity are turned
+    /// away with an `Overloaded` error. Returns after a `Shutdown`
+    /// request once every open connection has finished.
     ///
     /// # Errors
     ///
@@ -417,7 +719,12 @@ impl Server {
                 // them back for coalescing (Nagle + delayed ACK costs
                 // tens of ms per request/reply round trip).
                 let _ = stream.set_nodelay(true);
+                let Some(slot) = self.conns.acquire() else {
+                    self.reject_connection(stream);
+                    continue;
+                };
                 scope.spawn(move || {
+                    let _slot = slot;
                     let Ok(read_half) = stream.try_clone() else {
                         return;
                     };
@@ -447,8 +754,13 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                let Some(slot) = self.conns.acquire() else {
+                    self.reject_connection(stream);
+                    continue;
+                };
                 let path = path.clone();
                 scope.spawn(move || {
+                    let _slot = slot;
                     let Ok(read_half) = stream.try_clone() else {
                         return;
                     };
@@ -472,21 +784,24 @@ impl Server {
     /// Returns [`ServeError`] when the endpoint cannot be bound (or is a
     /// Unix socket on a non-Unix platform).
     pub fn listen(&self, endpoint: &Endpoint) -> Result<(), ServeError> {
+        let workers = self.worker_count();
         match endpoint {
             Endpoint::Stdio => {
                 let stdin = io::stdin();
                 eprintln!(
-                    "ddtr serve: listening on stdio (jobs={})",
+                    "ddtr serve: listening on stdio (workers={workers}, jobs={})",
                     self.session.jobs()
                 );
                 self.serve_connection(stdin.lock(), io::stdout());
                 Ok(())
             }
             Endpoint::Tcp(addr) => {
-                let listener = TcpListener::bind(addr.as_str())
-                    .map_err(|e| ServeError(format!("bind tcp:{addr}: {e}")))?;
+                let listener = TcpListener::bind(addr.as_str()).map_err(|e| ServeError::Bind {
+                    endpoint: format!("tcp:{addr}"),
+                    source: e,
+                })?;
                 eprintln!(
-                    "ddtr serve: listening on tcp:{} (jobs={})",
+                    "ddtr serve: listening on tcp:{} (workers={workers}, jobs={})",
                     listener.local_addr()?,
                     self.session.jobs()
                 );
@@ -495,10 +810,13 @@ impl Server {
             }
             #[cfg(unix)]
             Endpoint::Unix(path) => {
-                let listener = std::os::unix::net::UnixListener::bind(path)
-                    .map_err(|e| ServeError(format!("bind unix:{}: {e}", path.display())))?;
+                let listener =
+                    std::os::unix::net::UnixListener::bind(path).map_err(|e| ServeError::Bind {
+                        endpoint: format!("unix:{}", path.display()),
+                        source: e,
+                    })?;
                 eprintln!(
-                    "ddtr serve: listening on unix:{} (jobs={})",
+                    "ddtr serve: listening on unix:{} (workers={workers}, jobs={})",
                     path.display(),
                     self.session.jobs()
                 );
@@ -508,7 +826,7 @@ impl Server {
                 Ok(())
             }
             #[cfg(not(unix))]
-            Endpoint::Unix(path) => Err(ServeError(format!(
+            Endpoint::Unix(path) => Err(ServeError::UnsupportedPlatform(format!(
                 "unix:{} endpoints need a Unix platform",
                 path.display()
             ))),
@@ -521,25 +839,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn endpoints_parse_and_display() {
-        assert_eq!("stdio".parse::<Endpoint>().unwrap(), Endpoint::Stdio);
-        assert_eq!(
-            "tcp:127.0.0.1:7070".parse::<Endpoint>().unwrap(),
-            Endpoint::Tcp("127.0.0.1:7070".into())
-        );
-        assert_eq!(
-            "unix:/tmp/ddtr.sock".parse::<Endpoint>().unwrap(),
-            Endpoint::Unix(PathBuf::from("/tmp/ddtr.sock"))
-        );
-        for raw in ["tcp:", "unix:", "carrier-pigeon:coop"] {
-            assert!(raw.parse::<Endpoint>().is_err(), "{raw}");
+    fn serve_errors_display_their_kind() {
+        let bind = ServeError::Bind {
+            endpoint: "tcp:127.0.0.1:1".into(),
+            source: io::Error::new(io::ErrorKind::AddrInUse, "in use"),
+        };
+        assert!(bind.to_string().contains("bind tcp:127.0.0.1:1"));
+        assert!(std::error::Error::source(&bind).is_some());
+        let io_err = ServeError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().starts_with("serve error:"));
+        assert!(matches!(io_err, ServeError::Io(_)));
+    }
+
+    #[test]
+    fn pidfile_refuses_to_clobber() {
+        let dir = ddtr_engine::testing::TempCacheDir::new("pidfile");
+        let path = dir.path().join("serve.pid");
+        write_pidfile(&path, 4242).expect("first write");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(text.trim(), "4242");
+        let err = write_pidfile(&path, 1).expect_err("second write refused");
+        assert!(matches!(err, ServeError::PidFile { .. }), "{err}");
+        assert!(err.to_string().contains("pidfile"), "{err}");
+    }
+
+    #[test]
+    fn fleet_servers_open_and_route() {
+        let cfg = ServerConfig {
+            workers: 3,
+            ..ServerConfig::new(EngineConfig::with_jobs(1))
+        };
+        let server = Server::with_config(cfg).expect("fleet opens");
+        assert_eq!(server.worker_count(), 3);
+        let request = crate::protocol::JobSpec {
+            quick: true,
+            ..crate::protocol::JobSpec::preset("explore", Some("drr"))
         }
-        assert_eq!(
-            "tcp:127.0.0.1:7070"
-                .parse::<Endpoint>()
-                .unwrap()
-                .to_string(),
-            "tcp:127.0.0.1:7070"
-        );
+        .resolve()
+        .expect("resolves");
+        let idx = server.route(&request);
+        assert!(idx < 3);
+        assert_eq!(idx, server.route(&request), "stable placement");
+        let stats = server.fleet_stats();
+        assert_eq!(stats.entries, 0, "fresh fleet");
+        // Out-of-range worker lookups fall back to worker 0.
+        assert_eq!(server.worker(9).jobs(), server.session().jobs());
     }
 }

@@ -5,7 +5,10 @@
 
 use ddtr_core::{dispatch, ExploreRequest, ExploreResult, MemoryPreset, MethodologyConfig};
 use ddtr_engine::EngineConfig;
-use ddtr_serve::{Client, Endpoint, Event, JobSpec, Request, RequestBody, Server};
+use ddtr_serve::{
+    Client, ClientError, Endpoint, ErrorCode, Event, JobSpec, Request, RequestBody, Server,
+    ServerConfig, PROTOCOL_VERSION,
+};
 use std::io::Write;
 use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
@@ -42,6 +45,12 @@ fn serve_script(jobs: usize, lines: &[String]) -> Vec<Event> {
 /// server processes at one cache directory.
 fn serve_script_with(cfg: EngineConfig, lines: &[String]) -> Vec<Event> {
     let server = Server::new(cfg).expect("server");
+    serve_server_script(&server, lines)
+}
+
+/// Runs the given request lines through an already-built server (fleet
+/// or hardened configurations included) and returns the emitted events.
+fn serve_server_script(server: &Server, lines: &[String]) -> Vec<Event> {
     let input = lines.join("\n");
     let output = SharedBuf::default();
     server.serve_connection(input.as_bytes(), output.clone());
@@ -51,6 +60,22 @@ fn serve_script_with(cfg: EngineConfig, lines: &[String]) -> Vec<Event> {
         .filter(|l| !l.trim().is_empty())
         .map(|l| serde_json::from_str(l).expect("parseable event"))
         .collect()
+}
+
+fn hello_line(id: &str, auth: Option<&str>) -> String {
+    serde_json::to_string(&Request::new(
+        id,
+        RequestBody::Hello {
+            proto_version: PROTOCOL_VERSION,
+            auth: auth.map(String::from),
+            capabilities: Vec::new(),
+        },
+    ))
+    .expect("ser")
+}
+
+fn ping_line(id: &str) -> String {
+    serde_json::to_string(&Request::new(id, RequestBody::Ping)).expect("ser")
 }
 
 fn run_line(id: &str, spec: &JobSpec) -> String {
@@ -378,6 +403,7 @@ fn unknown_memory_presets_get_structured_errors_across_the_protocol() {
     let Event::Error {
         id: Some(id),
         error,
+        ..
     } = terminal_for(&events, "bad-mem")
     else {
         panic!("bad preset must answer with an error: {events:?}");
@@ -414,6 +440,7 @@ fn malformed_requests_get_structured_errors_and_the_connection_survives() {
     let Event::Error {
         id: Some(id),
         error,
+        ..
     } = terminal_for(&events, "bad-spec")
     else {
         panic!("bad spec must answer with an error");
@@ -469,6 +496,7 @@ fn cancel_aborts_a_large_request() {
     let Event::Error {
         id: Some(id),
         error,
+        ..
     } = terminal_for(&events, "nope")
     else {
         panic!("unknown cancel target must answer with an error");
@@ -560,7 +588,7 @@ fn duplicate_inflight_ids_are_rejected() {
     assert!(
         events.iter().any(|e| matches!(
             e,
-            Event::Error { id: Some(id), error } if id == "dup" && error.contains("in flight")
+            Event::Error { id: Some(id), error, .. } if id == "dup" && error.contains("in flight")
         )),
         "duplicate id must be rejected: {events:?}"
     );
@@ -676,4 +704,256 @@ fn inline_configs_round_trip_through_a_live_server() {
         serde_json::to_string(&served.pareto.global_front).expect("ser"),
         serde_json::to_string(&direct.pareto.global_front).expect("ser"),
     );
+}
+
+fn secured_config() -> ServerConfig {
+    ServerConfig {
+        auth_token: Some("sesame".into()),
+        ..ServerConfig::new(EngineConfig::with_jobs(1))
+    }
+}
+
+#[test]
+fn auth_is_enforced_at_hello_before_any_engine_work() {
+    // A Run on an unauthenticated connection: rejected with a coded
+    // error before the spec is even resolved — the engine must do zero
+    // work for an unauthenticated peer.
+    let server = Server::with_config(secured_config()).expect("server");
+    let events = serve_server_script(
+        &server,
+        &[run_line("sneak", &quick_explore_spec()), ping_line("also")],
+    );
+    let rejected = terminal_for(&events, "sneak");
+    assert_eq!(
+        rejected.error_code(),
+        Some(ErrorCode::AuthRequired),
+        "{events:?}"
+    );
+    assert_eq!(
+        terminal_for(&events, "also").error_code(),
+        Some(ErrorCode::AuthRequired),
+        "every pre-auth request is turned away"
+    );
+    let stats = server.fleet_stats();
+    assert_eq!(
+        (stats.misses, stats.hits),
+        (0, 0),
+        "no engine work happened for the unauthenticated peer"
+    );
+    // The greeting still advertises how to get in.
+    let Some(Event::Hello { capabilities, .. }) = events.first() else {
+        panic!("greeting first: {events:?}");
+    };
+    assert!(capabilities.iter().any(|c| c == "auth"), "{capabilities:?}");
+}
+
+#[test]
+fn wrong_auth_token_closes_the_connection_but_missing_token_keeps_it() {
+    // A wrong secret ends the conversation outright (no free guessing).
+    let server = Server::with_config(secured_config()).expect("server");
+    let events = serve_server_script(
+        &server,
+        &[hello_line("guess", Some("wrong")), ping_line("after")],
+    );
+    assert_eq!(
+        terminal_for(&events, "guess").error_code(),
+        Some(ErrorCode::AuthFailed)
+    );
+    assert!(
+        !events.iter().any(|e| e.id() == Some("after")),
+        "connection closed after the failed guess: {events:?}"
+    );
+    assert!(matches!(events.last(), Some(Event::Bye)));
+
+    // A tokenless Hello is an honest mistake: coded error, connection
+    // survives, and the right token then opens the gate.
+    let events = serve_server_script(
+        &server,
+        &[
+            hello_line("bare", None),
+            hello_line("key", Some("sesame")),
+            ping_line("in"),
+        ],
+    );
+    assert_eq!(
+        terminal_for(&events, "bare").error_code(),
+        Some(ErrorCode::AuthRequired)
+    );
+    assert!(
+        matches!(terminal_for(&events, "key"), Event::Welcome { .. }),
+        "{events:?}"
+    );
+    assert!(matches!(terminal_for(&events, "in"), Event::Pong { .. }));
+}
+
+#[test]
+fn client_builder_handshakes_with_auth_and_surfaces_rejection() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let endpoint = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
+    let server = Server::with_config(secured_config()).expect("server");
+    let (reply, greeting_ok, rejection) = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+        let rejection = Client::builder(endpoint.clone())
+            .auth_token("wrong")
+            .connect()
+            .expect_err("wrong token must be rejected");
+        let mut client = Client::builder(endpoint.clone())
+            .auth_token("sesame")
+            .connect()
+            .expect("right token connects");
+        let greeting_ok = client.greeting().is_some();
+        let reply = client
+            .call(&Request::new("p", RequestBody::Ping), |_| {})
+            .expect("ping");
+        client
+            .send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown");
+        (reply, greeting_ok, rejection)
+    });
+    assert!(matches!(reply, Event::Pong { .. }));
+    assert!(greeting_ok, "the builder captured the server greeting");
+    let ClientError::Rejected { code, error } = rejection else {
+        panic!("expected a protocol rejection, got {rejection:?}");
+    };
+    assert_eq!(code, Some(ErrorCode::AuthFailed), "{error}");
+}
+
+#[test]
+fn oversized_request_lines_get_coded_errors_and_the_connection_survives() {
+    let cfg = ServerConfig {
+        max_request_bytes: 64,
+        ..ServerConfig::new(EngineConfig::with_jobs(1))
+    };
+    let server = Server::with_config(cfg).expect("server");
+    let huge = format!(r#"{{"id":"big","body":"{}"}}"#, "x".repeat(4096));
+    let events = serve_server_script(&server, &[huge, ping_line("alive")]);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::Error {
+                id: None,
+                code: Some(ErrorCode::TooLarge),
+                ..
+            }
+        )),
+        "oversized line must answer with a coded error: {events:?}"
+    );
+    assert!(
+        matches!(terminal_for(&events, "alive"), Event::Pong { .. }),
+        "the connection survives the oversized line"
+    );
+    assert!(matches!(events.last(), Some(Event::Bye)));
+}
+
+#[test]
+fn rate_limited_connection_backs_off_while_a_second_client_proceeds() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let endpoint = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
+    let cfg = ServerConfig {
+        rate_limit: Some(2),
+        ..ServerConfig::new(EngineConfig::with_jobs(1))
+    };
+    let server = Server::with_config(cfg).expect("server");
+    let (flood_replies, calm_replies) = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+        // Client A floods well past its 2-per-second budget.
+        let mut flood = Client::connect(&endpoint).expect("connect A");
+        let flood_replies: Vec<Event> = (0..8)
+            .map(|i| {
+                flood
+                    .call(&Request::new(format!("f{i}"), RequestBody::Ping), |_| {})
+                    .expect("flood call")
+            })
+            .collect();
+        // Client B, its own connection, has its own untouched budget
+        // (one ping + the shutdown below stay within the 2/s limit).
+        let mut calm = Client::connect(&endpoint).expect("connect B");
+        let calm_replies: Vec<Event> = (0..1)
+            .map(|i| {
+                calm.call(&Request::new(format!("c{i}"), RequestBody::Ping), |_| {})
+                    .expect("calm call")
+            })
+            .collect();
+        calm.send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown");
+        (flood_replies, calm_replies)
+    });
+    let limited = flood_replies
+        .iter()
+        .filter(|e| e.error_code() == Some(ErrorCode::RateLimited))
+        .count();
+    let ponged = flood_replies
+        .iter()
+        .filter(|e| matches!(e, Event::Pong { .. }))
+        .count();
+    assert!(
+        limited >= 1,
+        "the flooding connection must see backpressure: {flood_replies:?}"
+    );
+    assert!(ponged >= 1, "the budget admits the first requests");
+    assert!(
+        calm_replies.iter().all(|e| matches!(e, Event::Pong { .. })),
+        "the second client's own budget is untouched: {calm_replies:?}"
+    );
+}
+
+#[test]
+fn multi_worker_fleet_routes_deterministically_and_answers_warm() {
+    let cfg = ServerConfig {
+        workers: 3,
+        ..ServerConfig::new(EngineConfig::with_jobs(2))
+    };
+    let server = Server::with_config(cfg).expect("server");
+    assert_eq!(server.worker_count(), 3);
+    // Placement is a pure function of the resolved request content.
+    let resolved = quick_explore_spec().resolve().expect("resolves");
+    let placed = server.route(&resolved);
+    assert!(placed < 3);
+    assert_eq!(placed, server.route(&resolved), "stable placement");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let endpoint = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
+    let (greeting_workers, reply_cold, reply_warm) = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.serve_tcp(&listener).expect("serve"));
+        let mut a = Client::connect(&endpoint).expect("connect A");
+        let reply_cold = a
+            .call(&Request::run("cold", quick_explore_spec()), |_| {})
+            .expect("cold call");
+        let greeting_workers = match a.greeting() {
+            Some(Event::Hello { workers, .. }) => *workers,
+            other => panic!("expected a Hello greeting, got {other:?}"),
+        };
+        drop(a);
+        let mut b = Client::connect(&endpoint).expect("connect B");
+        let reply_warm = b
+            .call(&Request::run("warm", quick_explore_spec()), |_| {})
+            .expect("warm call");
+        b.send(&Request::new("bye", RequestBody::Shutdown))
+            .expect("shutdown");
+        (greeting_workers, reply_cold, reply_warm)
+    });
+    assert_eq!(greeting_workers, 3, "the greeting advertises the fleet");
+    let Event::Result { executed, .. } = &reply_cold else {
+        panic!("cold request must succeed: {reply_cold:?}");
+    };
+    assert!(*executed > 0, "cold request simulates");
+    let Event::Result {
+        executed,
+        cache_hits,
+        ..
+    } = &reply_warm
+    else {
+        panic!("warm request must succeed: {reply_warm:?}");
+    };
+    // Deterministic routing sends the identical request to the same
+    // worker, so its warm in-memory cache answers without simulating —
+    // the fleet-scale acceptance criterion.
+    assert_eq!(
+        *executed, 0,
+        "identical request re-routes to the warm worker"
+    );
+    assert!(*cache_hits > 0);
+    assert_eq!(front_of(&reply_cold), front_of(&reply_warm));
 }
